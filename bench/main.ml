@@ -1,0 +1,766 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation section (see DESIGN.md section 5 for the experiment index).
+
+    Usage:
+      dune exec bench/main.exe                      -- everything
+      dune exec bench/main.exe -- table1 fig5       -- selected sections
+      dune exec bench/main.exe -- --scale 1.0 all   -- bigger designs
+
+    Sections: table1 table2 table3 table4 fig3 fig4 fig5 micro all.
+    Default design scale is 0.5 (full bench in minutes); 1.0 doubles the
+    design sizes at ~4x the runtime. *)
+
+let scale = ref 0.5
+
+(* ------------------------------------------------------------------ *)
+(* Design and flow-result caches: Table IV reuses Table II's runs, the
+   figures reuse designs, etc. *)
+
+let designs : (string, Netlist.Design.t) Hashtbl.t = Hashtbl.create 8
+
+let design name =
+  match Hashtbl.find_opt designs name with
+  | Some d -> d
+  | None ->
+      Printf.printf "[gen] %s (scale %.2f)...\n%!" name !scale;
+      let d = Workloads.Suite.load ~scale:!scale name in
+      Hashtbl.add designs name d;
+      d
+
+let flow_results : (string * string, Tdp.Flow.result) Hashtbl.t = Hashtbl.create 64
+
+let run_flow dname meth =
+  let key = (dname, Tdp.Flow.method_name meth) in
+  match Hashtbl.find_opt flow_results key with
+  | Some r -> r
+  | None ->
+      Printf.printf "[run] %-18s on %s...\n%!" (Tdp.Flow.method_name meth) dname;
+      let r = Tdp.Flow.run meth (design dname) in
+      Hashtbl.add flow_results key r;
+      r
+
+let suite = [ "sb1"; "sb3"; "sb4"; "sb5"; "sb7"; "sb10"; "sb16"; "sb18" ]
+
+let f1 = Util.Tablefmt.fmt_float ~prec:1
+
+let f2 = Util.Tablefmt.fmt_float ~prec:2
+
+(* Average of |v|/|ours| ratios; [floor] bounds the denominator away from
+   zero so a fully-met design does not produce an infinite ratio (use
+   ~100 ps for TNS/WNS, small values for runtime/HPWL). *)
+let avg_ratio ?(floor = 100.0) pairs =
+  let rs =
+    List.map
+      (fun (v, ours) -> Float.max floor (Float.abs v) /. Float.max floor (Float.abs ours))
+      pairs
+  in
+  (* Geometric mean: a single almost-met design would otherwise dominate
+     the arithmetic mean through its tiny denominator. *)
+  Util.Stats.geomean (Array.of_list rs)
+
+(* ------------------------------------------------------------------ *)
+(* Table I: critical path extraction statistics.                       *)
+
+let table1 () =
+  let dname = "sb1" in
+  let d = design dname in
+  (* Coarse placement: the vanilla flow's global placement result. *)
+  ignore (run_flow dname Tdp.Flow.Vanilla);
+  let timer = Sta.Timer.create ~topology:Sta.Delay.Steiner_tree d in
+  Sta.Timer.update timer;
+  let n = Sta.Timer.num_failing_endpoints timer in
+  Printf.printf "\nTable I workload: %s, %d failing endpoints\n" dname n;
+  let t =
+    Util.Tablefmt.create ~title:"TABLE I: timing statistics of critical path extraction methods"
+      ~headers:[ "Command"; "Complexity"; "#Paths"; "#Endpoints"; "#Pin Pairs"; "Time (sec)" ]
+      ~aligns:[ Left; Left; Right; Right; Right; Right ]
+  in
+  let measure name complexity f =
+    let t0 = Unix.gettimeofday () in
+    let paths = f () in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let s = Sta.Timer.stats_of_paths timer paths ~elapsed in
+    Util.Tablefmt.add_row t
+      [
+        name;
+        complexity;
+        string_of_int s.Sta.Report.num_paths;
+        string_of_int s.Sta.Report.num_endpoints;
+        string_of_int s.Sta.Report.num_pin_pairs;
+        Printf.sprintf "%.4f" elapsed;
+      ];
+    s
+  in
+  let s1 =
+    measure
+      (Printf.sprintf "report_timing(%d)" n)
+      "O(n^2)"
+      (fun () -> Sta.Timer.report_timing timer ~n)
+  in
+  let _ =
+    measure
+      (Printf.sprintf "report_timing(%d)" (10 * n))
+      "O(n^2)"
+      (fun () -> Sta.Timer.report_timing timer ~n:(10 * n))
+  in
+  let s3 =
+    measure
+      (Printf.sprintf "report_timing_endpoint(%d,1)" n)
+      "O(n*k)"
+      (fun () -> Sta.Timer.report_timing_endpoint timer ~n ~k:1)
+  in
+  let _ =
+    measure
+      (Printf.sprintf "report_timing_endpoint(%d,10)" n)
+      "O(n*k)"
+      (fun () -> Sta.Timer.report_timing_endpoint timer ~n ~k:10)
+  in
+  Util.Tablefmt.print t;
+  Printf.printf
+    "paper shape: endpoint coverage %d/%d vs %d/%d; speedup rt(n)/rt_ept(n,1) = %.1fx (paper ~6x)\n\n"
+    s1.Sta.Report.num_endpoints n s3.Sta.Report.num_endpoints n
+    (s1.Sta.Report.elapsed /. Float.max 1e-6 s3.Sta.Report.elapsed)
+
+(* ------------------------------------------------------------------ *)
+(* Table II: main results.                                             *)
+
+let table2_methods () =
+  [
+    Tdp.Flow.Vanilla;
+    Tdp.Flow.Dp4;
+    Tdp.Flow.Diff_tdp;
+    Tdp.Flow.Dist_tdp;
+    Tdp.Flow.Efficient Tdp.Config.default;
+  ]
+
+let table2 () =
+  let methods = table2_methods () in
+  let t =
+    Util.Tablefmt.create
+      ~title:"TABLE II: TNS (x10^3 ps), WNS (x10^3 ps), HPWL (x10^3) across timing-driven placers"
+      ~headers:
+        ("Benchmark"
+        :: List.concat_map
+             (fun m ->
+               let n = Tdp.Flow.method_name m in
+               [ n ^ " TNS"; "WNS"; "HPWL" ])
+             methods)
+      ~aligns:(Left :: List.concat_map (fun _ -> [ Util.Tablefmt.Right; Right; Right ]) methods)
+  in
+  let all = List.map (fun dn -> (dn, List.map (fun m -> run_flow dn m) methods)) suite in
+  List.iter
+    (fun (dn, rs) ->
+      Util.Tablefmt.add_row t
+        (dn
+        :: List.concat_map
+             (fun (r : Tdp.Flow.result) ->
+               [
+                 f2 (r.metrics.tns /. 1e3);
+                 f2 (r.metrics.wns /. 1e3);
+                 f1 (r.metrics.hpwl /. 1e3);
+               ])
+             rs))
+    all;
+  Util.Tablefmt.add_sep t;
+  (* Average ratios against Efficient-TDP (the last method). *)
+  let ours (rs : Tdp.Flow.result list) = List.nth rs (List.length rs - 1) in
+  Util.Tablefmt.add_row t
+    ("Avg Ratio"
+    :: List.concat_map
+         (fun m ->
+           let name = Tdp.Flow.method_name m in
+           let col f =
+             avg_ratio
+               (List.map
+                  (fun (_, rs) ->
+                    let r = List.find (fun (r : Tdp.Flow.result) -> r.name = name) rs in
+                    (f r, f (ours rs)))
+                  all)
+           in
+           [
+             f2 (col (fun r -> r.metrics.tns));
+             f2 (col (fun r -> r.metrics.wns));
+             Printf.sprintf "%.3f"
+               (avg_ratio ~floor:1e-3
+                  (List.map
+                     (fun (_, rs) ->
+                       let r = List.find (fun (r : Tdp.Flow.result) -> r.name = name) rs in
+                       (r.metrics.hpwl, (ours rs).metrics.hpwl))
+                     all));
+           ])
+         methods);
+  Util.Tablefmt.print t;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Table III: ablation study.                                          *)
+
+let table3 () =
+  let base = Tdp.Config.default in
+  let variants =
+    [
+      ("w/ HPWL Loss", Tdp.Flow.Efficient (Tdp.Config.with_loss Tdp.Config.Hpwl_like base));
+      ("w/ Linear Loss", Tdp.Flow.Efficient (Tdp.Config.with_loss Tdp.Config.Linear base));
+      ( "w/ rpt_timing(n)",
+        Tdp.Flow.Efficient { base with extraction = Tdp.Config.Global_topn { mult = 1 } } );
+      ( "w/ rpt_timing(n*10)",
+        Tdp.Flow.Efficient { base with extraction = Tdp.Config.Global_topn { mult = 10 } } );
+      ( "w/ rpt_timing_ept(n,10)",
+        Tdp.Flow.Efficient { base with extraction = Tdp.Config.Endpoint_based { k = 10 } } );
+      ("w/o Path Extraction", Tdp.Flow.Dp4_in_ours);
+      ("Our Method", Tdp.Flow.Efficient base);
+    ]
+  in
+  (* Distinct cache keys per variant. *)
+  let run dn (vname, meth) =
+    let key = (dn, "t3:" ^ vname) in
+    match Hashtbl.find_opt flow_results key with
+    | Some r -> r
+    | None ->
+        Printf.printf "[run] %-24s on %s...\n%!" vname dn;
+        let r = Tdp.Flow.run meth (design dn) in
+        Hashtbl.add flow_results key r;
+        r
+  in
+  let t =
+    Util.Tablefmt.create ~title:"TABLE III: ablation study, TNS (x10^3 ps) and WNS (x10^3 ps)"
+      ~headers:("Benchmark" :: List.concat_map (fun (n, _) -> [ n ^ " TNS"; "WNS" ]) variants)
+      ~aligns:(Left :: List.concat_map (fun _ -> [ Util.Tablefmt.Right; Right ]) variants)
+  in
+  let all = List.map (fun dn -> (dn, List.map (fun v -> (fst v, run dn v)) variants)) suite in
+  List.iter
+    (fun (dn, rs) ->
+      Util.Tablefmt.add_row t
+        (dn
+        :: List.concat_map
+             (fun (_, (r : Tdp.Flow.result)) ->
+               [ f2 (r.metrics.tns /. 1e3); f2 (r.metrics.wns /. 1e3) ])
+             rs))
+    all;
+  Util.Tablefmt.add_sep t;
+  let ours_of rs = snd (List.nth rs (List.length rs - 1)) in
+  Util.Tablefmt.add_row t
+    ("Avg Ratio"
+    :: List.concat_map
+         (fun (vname, _) ->
+           let col f =
+             avg_ratio
+               (List.map
+                  (fun (_, rs) ->
+                    let r = snd (List.find (fun (n, _) -> n = vname) rs) in
+                    (f r, f (ours_of rs)))
+                  all)
+           in
+           [
+             f2 (col (fun (r : Tdp.Flow.result) -> r.metrics.tns));
+             f2 (col (fun (r : Tdp.Flow.result) -> r.metrics.wns));
+           ])
+         variants);
+  Util.Tablefmt.print t;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Table IV: runtime.                                                  *)
+
+let table4 () =
+  let methods = [ Tdp.Flow.Vanilla; Tdp.Flow.Dp4; Tdp.Flow.Efficient Tdp.Config.default ] in
+  let t =
+    Util.Tablefmt.create ~title:"TABLE IV: runtime (sec)"
+      ~headers:[ "Benchmark"; "DREAMPlace"; "DREAMPlace 4.0"; "Our Method" ]
+      ~aligns:[ Left; Right; Right; Right ]
+  in
+  let all = List.map (fun dn -> (dn, List.map (fun m -> run_flow dn m) methods)) suite in
+  List.iter
+    (fun (dn, rs) ->
+      Util.Tablefmt.add_row t (dn :: List.map (fun (r : Tdp.Flow.result) -> f2 r.runtime) rs))
+    all;
+  Util.Tablefmt.add_sep t;
+  let ratios i =
+    avg_ratio ~floor:1e-3
+      (List.map
+         (fun (_, rs) ->
+           ( (List.nth rs i : Tdp.Flow.result).runtime,
+             (List.nth rs 2 : Tdp.Flow.result).runtime ))
+         all)
+  in
+  Util.Tablefmt.add_row t [ "Avg Ratio"; f2 (ratios 0); f2 (ratios 1); f2 (ratios 2) ];
+  Util.Tablefmt.print t;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: one critical path under the three distance losses.          *)
+
+let fig3 () =
+  let dname = "sb16" in
+  Printf.printf "FIG 3: worst critical path of %s optimised under each distance loss\n" dname;
+  let base = Tdp.Config.default in
+  let losses =
+    [
+      ("coarse (no timing opt)", None);
+      ("HPWL loss", Some (Tdp.Config.with_loss Tdp.Config.Hpwl_like base));
+      ("Linear loss", Some (Tdp.Config.with_loss Tdp.Config.Linear base));
+      ("Quadratic loss (ours)", Some base);
+    ]
+  in
+  let d = design dname in
+  (* Identify the worst endpoint on the coarse (vanilla) placement; track
+     the same endpoint across the loss variants. Every variant re-places
+     the design freshly: cached results carry metrics, not placements. *)
+  ignore (Tdp.Flow.run Tdp.Flow.Vanilla d);
+  let coarse_timer = Sta.Timer.create d in
+  Sta.Timer.update coarse_timer;
+  let target_ep =
+    match Sta.Timer.critical_path coarse_timer with
+    | Some p -> p.Sta.Paths.endpoint
+    | None -> failwith "fig3: no critical path"
+  in
+  let t =
+    Util.Tablefmt.create ~title:"FIG 3 (quantified): tracked path geometry per loss"
+      ~headers:
+        [ "Loss"; "Path slack (ps)"; "Path WL"; "Max seg"; "Mean seg"; "Seg CV"; "Segments" ]
+      ~aligns:[ Left; Right; Right; Right; Right; Right; Left ]
+  in
+  let describe name =
+    let timer = Sta.Timer.create d in
+    Sta.Timer.update timer;
+    match
+      Sta.Paths.worst_path (Sta.Timer.graph timer) (Sta.Timer.arrivals timer) ~endpoint:target_ep
+    with
+    | None -> ()
+    | Some p ->
+        let graph = Sta.Timer.graph timer in
+        let segs =
+          Array.to_list p.arcs
+          |> List.filter (fun a -> graph.Sta.Graph.arc_is_net.(a))
+          |> List.map (fun a ->
+                 let pi = d.pins.(graph.Sta.Graph.arc_from.(a)) in
+                 let pj = d.pins.(graph.Sta.Graph.arc_to.(a)) in
+                 Geom.Point.manhattan (Netlist.Design.pin_pos d pi) (Netlist.Design.pin_pos d pj))
+          |> Array.of_list
+        in
+        (* ASCII sparkline of segment lengths along the path. *)
+        let chars = "_.-=+*#%@" in
+        let maxseg = Float.max 1e-9 (Util.Stats.max_elt segs) in
+        let spark =
+          String.concat ""
+            (Array.to_list
+               (Array.map
+                  (fun l ->
+                    let i = int_of_float (l /. maxseg *. 8.0) in
+                    String.make 1 chars.[max 0 (min 8 i)])
+                  segs))
+        in
+        Util.Tablefmt.add_row t
+          [
+            name;
+            f1 p.slack;
+            f1 (Util.Stats.sum segs);
+            f1 (Util.Stats.max_elt segs);
+            f1 (Util.Stats.mean segs);
+            f2 (Util.Stats.coeff_variation segs);
+            spark;
+          ]
+  in
+  List.iter
+    (fun (name, cfg) ->
+      (match cfg with
+      | None -> ignore (Tdp.Flow.run Tdp.Flow.Vanilla d)
+      | Some c ->
+          Printf.printf "[run] fig3 %-22s on %s...\n%!" name dname;
+          ignore (Tdp.Flow.run (Tdp.Flow.Efficient c) d));
+      describe name)
+    losses;
+  Util.Tablefmt.print t;
+  Printf.printf
+    "paper shape: quadratic gives the best slack and the most uniform segments (low CV),\n\
+     HPWL/linear leave a few very long segments despite shorter total path WL.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: runtime breakdown, DP4 vs ours, normalised to DP4 total.    *)
+
+let fig4 () =
+  let dname = "sb1" in
+  let dp4 = run_flow dname Tdp.Flow.Dp4 in
+  let ours = run_flow dname (Tdp.Flow.Efficient Tdp.Config.default) in
+  let total_dp4 = dp4.runtime in
+  let t =
+    Util.Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "FIG 4: runtime breakdown on %s, normalised to DREAMPlace 4.0 total (%.2fs)" dname
+           total_dp4)
+      ~headers:[ "Component"; "DREAMPlace 4.0"; "Our Method" ]
+      ~aligns:[ Left; Right; Right ]
+  in
+  let get (r : Tdp.Flow.result) names =
+    List.fold_left
+      (fun acc n -> acc +. (try List.assoc n r.breakdown with Not_found -> 0.0))
+      0.0 names
+  in
+  let rows =
+    [
+      ("wirelength grad", [ "wl_grad" ]);
+      ("density (fft)", [ "density" ]);
+      ("optimizer", [ "optimizer" ]);
+      ("sta", [ "sta+weighting"; "sta" ]);
+      ("path extraction", [ "extraction" ]);
+      ("pin-pair weighting", [ "pp_grad" ]);
+      ("legalize+detailed", [ "legalize"; "detailed" ]);
+    ]
+  in
+  let acc_dp4 = ref 0.0 and acc_ours = ref 0.0 in
+  List.iter
+    (fun (label, keys) ->
+      let a = get dp4 keys and b = get ours keys in
+      acc_dp4 := !acc_dp4 +. a;
+      acc_ours := !acc_ours +. b;
+      Util.Tablefmt.add_row t
+        [ label; Printf.sprintf "%.3f" (a /. total_dp4); Printf.sprintf "%.3f" (b /. total_dp4) ])
+    rows;
+  Util.Tablefmt.add_row t
+    [
+      "other";
+      Printf.sprintf "%.3f" ((total_dp4 -. !acc_dp4) /. total_dp4);
+      Printf.sprintf "%.3f" ((ours.runtime -. !acc_ours) /. total_dp4);
+    ];
+  Util.Tablefmt.add_sep t;
+  Util.Tablefmt.add_row t [ "total"; "1.000"; Printf.sprintf "%.3f" (ours.runtime /. total_dp4) ];
+  Util.Tablefmt.print t;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: optimisation trajectories.                                  *)
+
+let fig5 () =
+  let dname = "sb1" in
+  let dp4 = run_flow dname Tdp.Flow.Dp4 in
+  let ours = run_flow dname (Tdp.Flow.Efficient Tdp.Config.default) in
+  Printf.printf "FIG 5: optimisation trajectory on %s (timing starts at iteration %d)\n" dname
+    Tdp.Config.default.timing_start;
+  let t =
+    Util.Tablefmt.create ~title:"per-round metrics; |tns|/|wns| as in the paper's figure"
+      ~headers:
+        [ "iter"; "dp4 hpwl"; "ovf"; "|tns|"; "|wns|"; "ours hpwl"; "ovf"; "|tns|"; "|wns|" ]
+      ~aligns:[ Right; Right; Right; Right; Right; Right; Right; Right; Right ]
+  in
+  let tbl : (int, Tdp.Flow.curve_point option * Tdp.Flow.curve_point option) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter (fun (c : Tdp.Flow.curve_point) -> Hashtbl.replace tbl c.iter (Some c, None)) dp4.curve;
+  List.iter
+    (fun (c : Tdp.Flow.curve_point) ->
+      let prev = match Hashtbl.find_opt tbl c.iter with Some (a, _) -> a | None -> None in
+      Hashtbl.replace tbl c.iter (prev, Some c))
+    ours.curve;
+  let iters = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare in
+  List.iter
+    (fun i ->
+      let a, b = Hashtbl.find tbl i in
+      let cell = function
+        | None -> [ "-"; "-"; "-"; "-" ]
+        | Some (c : Tdp.Flow.curve_point) ->
+            [
+              Printf.sprintf "%.0f" c.hpwl;
+              f2 c.overflow;
+              Printf.sprintf "%.0f" (Float.abs c.tns);
+              Printf.sprintf "%.0f" (Float.abs c.wns);
+            ]
+      in
+      Util.Tablefmt.add_row t ((string_of_int i :: cell a) @ cell b))
+    iters;
+  Util.Tablefmt.print t;
+  Printf.printf
+    "paper shape: ours improves TNS/WNS faster and holds them stable; DP4's heavy net\n\
+     weights slow HPWL/overflow convergence.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the hot kernels.                       *)
+
+let micro () =
+  let open Bechamel in
+  let d = design "sb18" in
+  ignore (run_flow "sb18" Tdp.Flow.Vanilla);
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  let gx = Array.make (Netlist.Design.num_cells d) 0.0 in
+  let gy = Array.make (Netlist.Design.num_cells d) 0.0 in
+  let grid = Gp.Densitygrid.create d ~bins_x:64 ~bins_y:64 in
+  let electro = Gp.Electro.create grid in
+  let n_failing = max 1 (Sta.Timer.num_failing_endpoints timer) in
+  let tests =
+    Test.make_grouped ~name:"kernels"
+      [
+        Test.make ~name:"wa_wirelength_grad"
+          (Staged.stage (fun () ->
+               Array.fill gx 0 (Array.length gx) 0.0;
+               Array.fill gy 0 (Array.length gy) 0.0;
+               ignore (Gp.Wirelength.wa_wirelength_grad d ~gamma:2.0 ~gx ~gy)));
+        Test.make ~name:"density_update+poisson"
+          (Staged.stage (fun () ->
+               Gp.Densitygrid.update grid d;
+               Gp.Electro.solve electro ~target_density:1.0));
+        Test.make ~name:"sta_full_update"
+          (Staged.stage (fun () ->
+               Sta.Timer.invalidate timer;
+               Sta.Timer.update timer));
+        Test.make ~name:"report_timing_endpoint(n,1)"
+          (Staged.stage (fun () ->
+               ignore (Sta.Timer.report_timing_endpoint timer ~n:n_failing ~k:1)));
+        Test.make ~name:"report_timing(n)"
+          (Staged.stage (fun () -> ignore (Sta.Timer.report_timing timer ~n:n_failing)));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "MICRO: per-call wall time of hot kernels (sb18 scale %.2f)\n" !scale;
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-40s %12.1f ns/call\n" name est
+      | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Extension ablations beyond the paper: design decisions DESIGN.md      *)
+(* calls out, plus hold / congestion / buffer-candidate side metrics.    *)
+
+let ext () =
+  let dnames = [ "sb18"; "sb16"; "sb4" ] in
+  (* -- A: stale-pair relaxation and beta (our deviations) -- *)
+  let t =
+    Util.Tablefmt.create
+      ~title:"EXT A: Efficient-TDP variants (TNS x10^3 / WNS x10^3 / HPWL x10^3)"
+      ~headers:
+        ("Variant"
+        :: List.concat_map (fun dn -> [ dn ^ " TNS"; "WNS"; "HPWL" ]) dnames)
+      ~aligns:(Left :: List.concat_map (fun _ -> [ Util.Tablefmt.Right; Right; Right ]) dnames)
+  in
+  let base = Tdp.Config.default in
+  let variants =
+    [
+      ("default (b=.75 decay=.90)", base, Tdp.Flow.flow_topology);
+      ("pure Eq.9 (decay=1.0)", { base with stale_decay = 1.0 }, Tdp.Flow.flow_topology);
+      ("beta=0.4", { base with beta = 0.4 }, Tdp.Flow.flow_topology);
+      ("beta=1.1", { base with beta = 1.1 }, Tdp.Flow.flow_topology);
+      ("star wire model in timer", base, Sta.Delay.Star);
+    ]
+  in
+  List.iter
+    (fun (vname, cfg, topology) ->
+      let row =
+        List.concat_map
+          (fun dn ->
+            Printf.printf "[run] ext %-26s on %s...\n%!" vname dn;
+            let r = Tdp.Flow.run ~topology (Tdp.Flow.Efficient cfg) (design dn) in
+            [
+              f2 (r.metrics.tns /. 1e3);
+              f2 (r.metrics.wns /. 1e3);
+              f1 (r.metrics.hpwl /. 1e3);
+            ])
+          dnames
+      in
+      Util.Tablefmt.add_row t (vname :: row))
+    variants;
+  Util.Tablefmt.print t;
+  print_newline ();
+  (* -- B: side metrics per flow on sb1: hold, congestion, buffers -- *)
+  let t2 =
+    Util.Tablefmt.create
+      ~title:"EXT B: side metrics on sb1 (hold THS, RUDY hotspot, buffer candidates)"
+      ~headers:
+        [ "Method"; "setup TNS"; "hold THS"; "hotspot"; "buf cands"; "max seg"; "buf recovery" ]
+      ~aligns:[ Left; Right; Right; Right; Right; Right; Right ]
+  in
+  (* Mean van-Ginneken-recoverable required time over the nets of the
+     worst critical paths: how much slack buffer insertion would have to
+     claw back (smaller is better placement). *)
+  let buffering_recovery d timer =
+    let graph = Sta.Timer.graph timer in
+    let paths = Sta.Timer.report_timing_endpoint timer ~n:10 ~k:1 ~failing_only:true in
+    let nets = Hashtbl.create 64 in
+    List.iter
+      (fun (p : Sta.Paths.path) ->
+        Array.iter
+          (fun a ->
+            if graph.Sta.Graph.arc_is_net.(a) then
+              Hashtbl.replace nets graph.Sta.Graph.arc_net.(a) ())
+          p.arcs)
+      paths;
+    let recs =
+      Hashtbl.fold
+        (fun nid () acc ->
+          let net = d.Netlist.Design.nets.(nid) in
+          let nsinks = Array.length net.Netlist.Design.sinks in
+          let xs = Array.make (nsinks + 1) 0.0 and ys = Array.make (nsinks + 1) 0.0 in
+          let dp = d.Netlist.Design.pins.(net.Netlist.Design.driver) in
+          xs.(0) <- Netlist.Design.pin_x d dp;
+          ys.(0) <- Netlist.Design.pin_y d dp;
+          Array.iteri
+            (fun k pid ->
+              let pin = d.Netlist.Design.pins.(pid) in
+              xs.(k + 1) <- Netlist.Design.pin_x d pin;
+              ys.(k + 1) <- Netlist.Design.pin_y d pin)
+            net.Netlist.Design.sinks;
+          let tree = Rctree.Steiner.steiner ~xs ~ys in
+          let drive_res, _, _ = Sta.Delay.driver_params d net.Netlist.Design.driver in
+          let res =
+            Rctree.Buffering.estimate tree ~r:d.Netlist.Design.r_per_unit
+              ~c:d.Netlist.Design.c_per_unit ~drive_res
+              ~term_req:(fun _ -> 0.0)
+              ~term_cap:(fun k -> d.Netlist.Design.pins.(net.Netlist.Design.sinks.(k - 1)).Netlist.Design.cap)
+              ()
+          in
+          (res.Rctree.Buffering.best_q -. res.Rctree.Buffering.unbuffered_q) :: acc)
+        nets []
+    in
+    if recs = [] then 0.0 else Util.Stats.mean (Array.of_list recs)
+  in
+  let d = design "sb1" in
+  List.iter
+    (fun meth ->
+      Printf.printf "[run] ext-b %-18s on sb1...\n%!" (Tdp.Flow.method_name meth);
+      let r = Tdp.Flow.run meth d in
+      let timer = Sta.Timer.create d in
+      Sta.Timer.update timer;
+      let cong = Gp.Congestion.create d ~bins_x:32 ~bins_y:32 in
+      Gp.Congestion.update cong d;
+      let ws = Evalkit.Wire_stats.of_critical_paths d ~n:30 in
+      Util.Tablefmt.add_row t2
+        [
+          r.name;
+          f1 r.metrics.tns;
+          f1 (Sta.Timer.ths timer);
+          f2 (Gp.Congestion.hotspot_factor cong);
+          string_of_int ws.Evalkit.Wire_stats.buffer_candidates;
+          f1 ws.Evalkit.Wire_stats.max_length;
+          f1 (buffering_recovery d timer);
+        ])
+    [ Tdp.Flow.Vanilla; Tdp.Flow.Dp4; Tdp.Flow.Efficient Tdp.Config.default ];
+  Util.Tablefmt.print t2;
+  print_newline ();
+  (* -- C: timing-aware detailed placement as a post-pass -- *)
+  let t3 =
+    Util.Tablefmt.create
+      ~title:"EXT C: refinement post-passes (greedy: TNS-only; SA: TNS + 0.2*HPWL cost)"
+      ~headers:
+        [ "Design"; "TNS start"; "greedy TNS"; "swaps"; "SA TNS"; "SA accepts" ]
+      ~aligns:[ Left; Right; Right; Right; Right; Right ]
+  in
+  List.iter
+    (fun dn ->
+      Printf.printf "[run] ext-c refinement on %s...\n%!" dn;
+      let d = design dn in
+      ignore (Tdp.Flow.run (Tdp.Flow.Efficient Tdp.Config.default) d);
+      let snap = Netlist.Design.snapshot d in
+      let s = Tdp.Timing_dp.run ~max_endpoints:30 d in
+      Netlist.Design.restore d snap;
+      let sa = Tdp.Sa_refine.run ~moves:3000 d in
+      Util.Tablefmt.add_row t3
+        [
+          dn;
+          f1 s.Tdp.Timing_dp.tns_before;
+          f1 s.Tdp.Timing_dp.tns_after;
+          string_of_int s.Tdp.Timing_dp.accepted;
+          f1 sa.Tdp.Sa_refine.tns_after;
+          string_of_int sa.Tdp.Sa_refine.accepted;
+        ])
+    dnames;
+  Util.Tablefmt.print t3;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Multi-seed statistics (optional section "stats", not in the default    *)
+(* run): Table II's headline comparison across 3 placement seeds, with    *)
+(* mean and spread — quantifies the run-to-run noise EXPERIMENTS.md       *)
+(* cautions about.                                                        *)
+
+let stats_section () =
+  let seeds = [ 1; 2; 3 ] in
+  let dnames = [ "sb18"; "sb16"; "sb4"; "sb1" ] in
+  let methods =
+    [ Tdp.Flow.Vanilla; Tdp.Flow.Dp4; Tdp.Flow.Efficient Tdp.Config.default ]
+  in
+  let t =
+    Util.Tablefmt.create
+      ~title:"STATS: TNS (x10^3 ps) as mean +- std over 3 placement seeds"
+      ~headers:("Benchmark" :: List.map Tdp.Flow.method_name methods)
+      ~aligns:(Left :: List.map (fun _ -> Util.Tablefmt.Right) methods)
+  in
+  let wins = ref 0 and total = ref 0 in
+  List.iter
+    (fun dn ->
+      let d = design dn in
+      let cells =
+        List.map
+          (fun m ->
+            let tnss =
+              List.map
+                (fun seed ->
+                  Printf.printf "[run] stats %-18s on %s seed %d...\n%!"
+                    (Tdp.Flow.method_name m) dn seed;
+                  let r = Tdp.Flow.run ~seed m d in
+                  r.Tdp.Flow.metrics.Evalkit.Metrics.tns)
+                seeds
+            in
+            Array.of_list tnss)
+          methods
+      in
+      (* Per-seed win count for Efficient-TDP against the best baseline. *)
+      List.iteri
+        (fun si _ ->
+          incr total;
+          let ours = (List.nth cells 2).(si) in
+          let best_other = Float.max (List.nth cells 0).(si) (List.nth cells 1).(si) in
+          if ours >= best_other then incr wins)
+        seeds;
+      Util.Tablefmt.add_row t
+        (dn
+        :: List.map
+             (fun a ->
+               Printf.sprintf "%.2f +- %.2f" (Util.Stats.mean a /. 1e3)
+                 (Util.Stats.stddev a /. 1e3))
+             cells))
+    dnames;
+  Util.Tablefmt.print t;
+  Printf.printf "Efficient-TDP best or tied in %d/%d (design, seed) pairs\n\n" !wins !total
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse acc = function
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        parse acc rest
+    | x :: rest -> parse (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let sections = parse [] args in
+  let sections =
+    if sections = [] || List.mem "all" sections then
+      [ "table1"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "micro"; "ext"; "stats" ]
+    else sections
+  in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "Efficient-TDP benchmark harness (scale %.2f)\n" !scale;
+  Printf.printf "sections: %s\n\n%!" (String.concat " " sections);
+  List.iter
+    (fun s ->
+      match s with
+      | "table1" -> table1 ()
+      | "table2" -> table2 ()
+      | "table3" -> table3 ()
+      | "table4" -> table4 ()
+      | "fig3" -> fig3 ()
+      | "fig4" -> fig4 ()
+      | "fig5" -> fig5 ()
+      | "micro" -> micro ()
+      | "ext" -> ext ()
+      | "stats" -> stats_section ()
+      | other -> Printf.printf "unknown section %s (skipped)\n" other)
+    sections;
+  Printf.printf "total bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,81 @@
+(** Netlist statistics: size, fanout distribution, timing-graph depth,
+    wire parasitics — the numbers DESIGN.md's generator claims are
+    checked against.
+
+    Example: design_stats -d sb1 --scale 0.5 *)
+
+open Cmdliner
+open Netlist
+
+let histogram values ~buckets =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let b = buckets v in
+      Hashtbl.replace tbl b (1 + (try Hashtbl.find tbl b with Not_found -> 0)))
+    values;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let run design file scale =
+  let d =
+    match file with
+    | Some path -> Io.load_file path
+    | None -> Workloads.Suite.load ~scale ~calibrate:false design
+  in
+  Printf.printf "design %s\n" d.name;
+  Printf.printf "  die          %.0f x %.0f sites, utilization %.2f\n"
+    (Geom.Rect.width d.die) (Geom.Rect.height d.die)
+    (Design.movable_area d /. Geom.Rect.area d.die);
+  let count pred = Array.fold_left (fun n c -> if pred c then n + 1 else n) 0 d.cells in
+  Printf.printf "  cells        %d total: %d comb, %d ff, %d pads, %d macros\n"
+    (Design.num_cells d)
+    (count (fun c -> match c.Design.role with Design.Logic lc -> not lc.Libcell.is_ff | _ -> false))
+    (count Design.is_ff)
+    (count (fun c ->
+         match c.Design.role with Design.Input_pad | Design.Output_pad -> true | _ -> false))
+    (count (fun c -> c.Design.role = Design.Blockage));
+  Printf.printf "  nets         %d, pins %d\n" (Design.num_nets d) (Design.num_pins d);
+  Printf.printf "  wire r/c     %.3f kOhm/site, %.3f fF/site\n" d.r_per_unit d.c_per_unit;
+  (* Fanout distribution. *)
+  let fanouts = Array.to_list d.nets |> List.map (fun n -> Array.length n.Design.sinks) in
+  let fo_arr = Array.of_list (List.map float_of_int fanouts) in
+  Printf.printf "  fanout       mean %.2f, p50 %.0f, p95 %.0f, max %.0f\n"
+    (Util.Stats.mean fo_arr) (Util.Stats.median fo_arr) (Util.Stats.percentile fo_arr 95.0)
+    (Util.Stats.max_elt fo_arr);
+  Printf.printf "  fanout histogram (bucket -> nets):\n";
+  List.iter
+    (fun (b, n) -> Printf.printf "    %4s: %d\n" b n)
+    (histogram fanouts ~buckets:(fun f ->
+         if f <= 1 then "1" else if f <= 2 then "2" else if f <= 4 then "3-4"
+         else if f <= 8 then "5-8" else if f <= 16 then "9-16" else ">16"));
+  (* Timing graph shape. *)
+  let g = Sta.Graph.build d in
+  let depth = Array.make (Sta.Graph.num_pins g) 0 in
+  let max_depth = ref 0 in
+  Array.iter
+    (fun p ->
+      for i = g.Sta.Graph.in_start.(p) to g.Sta.Graph.in_start.(p + 1) - 1 do
+        let a = g.Sta.Graph.in_arc.(i) in
+        depth.(p) <- max depth.(p) (depth.(g.Sta.Graph.arc_from.(a)) + 1)
+      done;
+      if depth.(p) > !max_depth then max_depth := depth.(p))
+    g.Sta.Graph.topo;
+  Printf.printf "  timing graph %d arcs, %d endpoints, max logic depth %d pins\n"
+    g.Sta.Graph.num_arcs
+    (Array.length g.Sta.Graph.endpoints)
+    !max_depth;
+  if d.clock_period < 1e8 then Printf.printf "  clock        %.1f ps\n" d.clock_period
+  else Printf.printf "  clock        (uncalibrated)\n"
+
+let design = Arg.(value & opt string "sb1" & info [ "d"; "design" ] ~docv:"NAME" ~doc:"Suite design name.")
+
+let file =
+  Arg.(value & opt (some string) None & info [ "design-file" ] ~docv:"FILE" ~doc:"Load a design file.")
+
+let scale = Arg.(value & opt float 0.5 & info [ "scale" ] ~docv:"S" ~doc:"Generator size multiplier.")
+
+let cmd =
+  let doc = "print netlist statistics for a design" in
+  Cmd.v (Cmd.info "design_stats" ~doc) Term.(const run $ design $ file $ scale)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,46 @@
+(** Generate a synthetic benchmark design and write it to disk.
+
+    Examples:
+      gen_bench -d sb1 -o sb1.design
+      gen_bench -d sb10 --scale 1.0 --no-calibrate -o big.design *)
+
+open Cmdliner
+
+let run design scale calibrate out =
+  let d = Workloads.Suite.load ~scale ~calibrate design in
+  (match out with
+  | Some path ->
+      Netlist.Io.save_file path d;
+      Printf.printf "wrote %s\n" path
+  | None -> Netlist.Io.save stdout d);
+  Printf.printf "design %s: %d cells, %d nets, %d pins, clock %.1f ps, die %.0fx%.0f\n"
+    d.name
+    (Netlist.Design.num_cells d)
+    (Netlist.Design.num_nets d)
+    (Netlist.Design.num_pins d)
+    d.clock_period
+    (Geom.Rect.width d.die) (Geom.Rect.height d.die)
+
+let design =
+  let doc = "Suite design name (sb1 sb3 sb4 sb5 sb7 sb10 sb16 sb18)." in
+  Arg.(value & opt string "sb1" & info [ "d"; "design" ] ~docv:"NAME" ~doc)
+
+let scale =
+  let doc = "Size multiplier applied to all cell counts." in
+  Arg.(value & opt float 0.5 & info [ "scale" ] ~docv:"S" ~doc)
+
+let calibrate =
+  let doc = "Skip clock calibration (leaves a placeholder period)." in
+  Arg.(value & flag & info [ "no-calibrate" ] ~doc)
+
+let out =
+  let doc = "Output file (stdout when omitted)." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "generate an ICCAD2015-like synthetic benchmark" in
+  Cmd.v
+    (Cmd.info "gen_bench" ~doc)
+    Term.(const (fun d s nc o -> run d s (not nc) o) $ design $ scale $ calibrate $ out)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,83 @@
+(** Run a placement flow on a design and report contest metrics.
+
+    Examples:
+      place -d sb18 --flow efficient
+      place --design-file my.design --flow dp4 --out placed.design
+      place -d sb4 --flow efficient --loss linear --paths-per-endpoint 10 *)
+
+open Cmdliner
+
+let parse_loss = function
+  | "quadratic" -> Tdp.Config.Quadratic
+  | "linear" -> Tdp.Config.Linear
+  | "hpwl" -> Tdp.Config.Hpwl_like
+  | s -> failwith ("unknown loss: " ^ s)
+
+let make_method flow loss k =
+  let cfg = Tdp.Config.with_loss (parse_loss loss) Tdp.Config.default in
+  let cfg = { cfg with extraction = Tdp.Config.Endpoint_based { k } } in
+  match flow with
+  | "vanilla" -> Tdp.Flow.Vanilla
+  | "dp4" -> Tdp.Flow.Dp4
+  | "diff" -> Tdp.Flow.Diff_tdp
+  | "dist" -> Tdp.Flow.Dist_tdp
+  | "efficient" -> Tdp.Flow.Efficient cfg
+  | "noextract" -> Tdp.Flow.Dp4_in_ours
+  | s -> failwith ("unknown flow: " ^ s)
+
+let run design file scale flow loss k out curve =
+  let d =
+    match file with
+    | Some path -> Netlist.Io.load_file path
+    | None -> Workloads.Suite.load ~scale design
+  in
+  Printf.printf "design %s: %d cells, %d nets, clock %.1f ps\n%!" d.name
+    (Netlist.Design.num_cells d) (Netlist.Design.num_nets d) d.clock_period;
+  let meth = make_method flow loss k in
+  Printf.printf "flow: %s\n%!" (Tdp.Flow.method_name meth);
+  let r = Tdp.Flow.run meth d in
+  Printf.printf "global placement  : %s\n" (Format.asprintf "%a" Evalkit.Metrics.pp r.metrics_gp);
+  Printf.printf "after legalization: %s\n" (Format.asprintf "%a" Evalkit.Metrics.pp r.metrics);
+  Printf.printf "runtime: %.2f s\n" r.runtime;
+  Printf.printf "breakdown:\n";
+  List.iter (fun (n, s) -> Printf.printf "  %-16s %8.3f s\n" n s) r.breakdown;
+  if curve then begin
+    Printf.printf "timing-phase curve (iter hpwl overflow tns wns):\n";
+    List.iter
+      (fun (c : Tdp.Flow.curve_point) ->
+        Printf.printf "  %4d %12.1f %6.3f %12.1f %10.1f\n" c.iter c.hpwl c.overflow c.tns c.wns)
+      r.curve
+  end;
+  match out with
+  | Some path ->
+      Netlist.Io.save_file path d;
+      Printf.printf "wrote placed design to %s\n" path
+  | None -> ()
+
+let design = Arg.(value & opt string "sb18" & info [ "d"; "design" ] ~docv:"NAME" ~doc:"Suite design name.")
+
+let file =
+  Arg.(value & opt (some string) None & info [ "design-file" ] ~docv:"FILE" ~doc:"Load a design file instead of generating.")
+
+let scale = Arg.(value & opt float 0.5 & info [ "scale" ] ~docv:"S" ~doc:"Generator size multiplier.")
+
+let flow =
+  Arg.(value & opt string "efficient"
+       & info [ "flow" ] ~docv:"FLOW" ~doc:"vanilla | dp4 | diff | dist | efficient | noextract.")
+
+let loss =
+  Arg.(value & opt string "quadratic" & info [ "loss" ] ~docv:"LOSS" ~doc:"quadratic | linear | hpwl.")
+
+let k =
+  Arg.(value & opt int 1 & info [ "paths-per-endpoint" ] ~docv:"K" ~doc:"Critical paths per endpoint.")
+
+let out = Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Save the placed design.")
+
+let curve = Arg.(value & flag & info [ "curve" ] ~doc:"Print the timing-phase metric curve.")
+
+let cmd =
+  let doc = "timing-driven global placement (Efficient-TDP and baselines)" in
+  Cmd.v (Cmd.info "place" ~doc)
+    Term.(const run $ design $ file $ scale $ flow $ loss $ k $ out $ curve)
+
+let () = exit (Cmd.eval cmd)

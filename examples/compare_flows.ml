@@ -1,0 +1,38 @@
+(** Run every timing-driven placement method of the paper on one small
+    generated design and print the comparison table.
+
+    Run with: dune exec examples/compare_flows.exe *)
+
+let () =
+  let d = Workloads.Suite.load ~scale:0.25 "sb18" in
+  Printf.printf "design %s: %d cells, %d nets, clock %.0f ps\n\n" d.name
+    (Netlist.Design.num_cells d) (Netlist.Design.num_nets d) d.clock_period;
+  let methods =
+    [
+      Tdp.Flow.Vanilla;
+      Tdp.Flow.Dp4;
+      Tdp.Flow.Diff_tdp;
+      Tdp.Flow.Dist_tdp;
+      Tdp.Flow.Efficient Tdp.Config.default;
+    ]
+  in
+  let table =
+    Util.Tablefmt.create ~title:"flow comparison (post-legalization)"
+      ~headers:[ "Method"; "TNS (ps)"; "WNS (ps)"; "HPWL"; "Runtime (s)" ]
+      ~aligns:[ Left; Right; Right; Right; Right ]
+  in
+  List.iter
+    (fun m ->
+      Printf.printf "running %s...\n%!" (Tdp.Flow.method_name m);
+      let r = Tdp.Flow.run m d in
+      Util.Tablefmt.add_row table
+        [
+          r.name;
+          Printf.sprintf "%.1f" r.metrics.tns;
+          Printf.sprintf "%.1f" r.metrics.wns;
+          Printf.sprintf "%.0f" r.metrics.hpwl;
+          Printf.sprintf "%.2f" r.runtime;
+        ])
+    methods;
+  print_newline ();
+  Util.Tablefmt.print table

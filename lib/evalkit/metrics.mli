@@ -1,0 +1,19 @@
+(** The common scorer applied to every flow's output — the stand-in for
+    the ICCAD2015 contest evaluation kit. All flows are measured with the
+    same Steiner-Elmore timing model regardless of their internal timer. *)
+
+type t = {
+  hpwl : float;
+  tns : float;
+  wns : float;
+  num_failing : int;
+  num_endpoints : int;
+}
+
+(** Evaluate the design's current placement. *)
+val evaluate : Netlist.Design.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** |value| / |base| for non-positive metrics, 0/0 = 1, x/0 = infinity. *)
+val neg_metric_ratio : value:float -> base:float -> float

@@ -1,0 +1,83 @@
+(** SVG rendering of placements: die, blockages, cells coloured by their
+    worst pin slack (green = met, red = violating), and optionally the
+    most critical paths drawn as polylines. The output is plain SVG 1.1,
+    viewable in any browser — the repo's substitute for the paper's layout
+    figures (Fig. 3). *)
+
+open Netlist
+
+let header ~w ~h =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 %.1f %.1f\" width=\"800\" \
+     height=\"%.0f\">\n\
+     <rect x=\"0\" y=\"0\" width=\"%.1f\" height=\"%.1f\" fill=\"#f8f8f4\" \
+     stroke=\"#444\" stroke-width=\"0.3\"/>\n"
+    w h
+    (800.0 *. h /. w)
+    w h
+
+(* Slack -> colour: deep red for the worst violation, green when met. *)
+let slack_color ~wns s =
+  if s >= 0.0 then "#7cb87c"
+  else begin
+    let t = if wns < 0.0 then Float.min 1.0 (s /. wns) else 1.0 in
+    let r = 180 + int_of_float (t *. 75.0) in
+    let g = int_of_float ((1.0 -. t) *. 150.0) in
+    Printf.sprintf "#%02x%02x40" (min 255 r) (min 255 g)
+  end
+
+(* Worst slack over a cell's pins (infinity when untimed). *)
+let cell_slack (d : Design.t) slacks id =
+  Array.fold_left
+    (fun acc pid -> Float.min acc slacks.(pid))
+    Float.infinity d.cells.(id).cell_pins
+
+(** Render the design's current placement. [paths] (default 3) worst
+    failing paths are overlaid as blue polylines. *)
+let render ?(paths = 3) (d : Design.t) =
+  let timer = Sta.Timer.create ~topology:Sta.Delay.Steiner_tree d in
+  Sta.Timer.update timer;
+  let slacks = Sta.Timer.slacks timer in
+  let wns = Sta.Timer.wns timer in
+  let die = d.die in
+  let buf = Buffer.create 65536 in
+  let h = Geom.Rect.height die and w = Geom.Rect.width die in
+  (* SVG y grows downward; flip. *)
+  let fy y = h -. (y -. die.yl) in
+  Buffer.add_string buf (header ~w ~h);
+  Array.iter
+    (fun (c : Design.cell) ->
+      let r = Design.cell_rect d c.id in
+      let fill =
+        match c.role with
+        | Design.Blockage -> "#9a9a9a"
+        | Design.Input_pad | Design.Output_pad -> "#5577aa"
+        | Design.Logic _ -> slack_color ~wns (cell_slack d slacks c.id)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" fill=\"%s\" \
+            stroke=\"#333\" stroke-width=\"0.03\"/>\n"
+           (r.xl -. die.xl) (fy r.yh) (Geom.Rect.width r) (Geom.Rect.height r) fill))
+    d.cells;
+  let worst = Sta.Timer.report_timing_endpoint timer ~n:paths ~k:1 ~failing_only:true in
+  List.iter
+    (fun (p : Sta.Paths.path) ->
+      let pts =
+        Array.to_list p.pins
+        |> List.map (fun pid ->
+               let pin = d.pins.(pid) in
+               Printf.sprintf "%.2f,%.2f" (Design.pin_x d pin -. die.xl) (fy (Design.pin_y d pin)))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<polyline points=\"%s\" fill=\"none\" stroke=\"#2255cc\" stroke-width=\"0.15\" \
+            opacity=\"0.8\"/>\n"
+           (String.concat " " pts)))
+    worst;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_file path d =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render d))

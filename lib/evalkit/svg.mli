@@ -1,0 +1,8 @@
+(** SVG rendering of placements: die, blockages, cells coloured by worst
+    pin slack, the worst failing paths overlaid as polylines. *)
+
+(** Render the current placement to an SVG document string. [paths] worst
+    failing paths are overlaid (default 3). *)
+val render : ?paths:int -> Netlist.Design.t -> string
+
+val write_file : string -> Netlist.Design.t -> unit

@@ -1,0 +1,55 @@
+(** Wire-segment statistics over critical paths — the paper's Sec. III-C
+    observation quantified: losses that leave "excessively long wire
+    segments" force downstream buffer insertion (area/power/thermal cost),
+    so a placement with uniform segment lengths is preferable even at
+    equal slack. [buffer_threshold] approximates the length above which a
+    segment would need a repeater. *)
+
+open Netlist
+
+type t = {
+  num_segments : int;
+  total_length : float;
+  max_length : float;
+  mean_length : float;
+  cv : float; (* coefficient of variation: uniformity measure *)
+  buffer_candidates : int; (* segments longer than the threshold *)
+}
+
+(* Driver->sink distances of the net arcs on a path. *)
+let path_segments (d : Design.t) (graph : Sta.Graph.t) (p : Sta.Paths.path) =
+  Array.to_list p.arcs
+  |> List.filter (fun a -> graph.Sta.Graph.arc_is_net.(a))
+  |> List.map (fun a ->
+         Geom.Point.manhattan
+           (Design.pin_pos d d.pins.(graph.Sta.Graph.arc_from.(a)))
+           (Design.pin_pos d d.pins.(graph.Sta.Graph.arc_to.(a))))
+
+let of_segments ?(buffer_threshold = 25.0) segs =
+  let a = Array.of_list segs in
+  if Array.length a = 0 then
+    { num_segments = 0; total_length = 0.0; max_length = 0.0; mean_length = 0.0; cv = 0.0;
+      buffer_candidates = 0 }
+  else
+    {
+      num_segments = Array.length a;
+      total_length = Util.Stats.sum a;
+      max_length = Util.Stats.max_elt a;
+      mean_length = Util.Stats.mean a;
+      cv = Util.Stats.coeff_variation a;
+      buffer_candidates = Array.fold_left (fun n l -> if l > buffer_threshold then n + 1 else n) 0 a;
+    }
+
+(** Statistics over the worst paths of the [n] worst failing endpoints
+    under the current placement. *)
+let of_critical_paths ?buffer_threshold (d : Design.t) ~n =
+  let timer = Sta.Timer.create ~topology:Sta.Delay.Steiner_tree d in
+  Sta.Timer.update timer;
+  let graph = Sta.Timer.graph timer in
+  let paths = Sta.Timer.report_timing_endpoint timer ~n ~k:1 ~failing_only:true in
+  let segs = List.concat_map (fun p -> path_segments d graph p) paths in
+  of_segments ?buffer_threshold segs
+
+let pp fmt s =
+  Format.fprintf fmt "segments=%d total=%.1f max=%.1f mean=%.1f cv=%.2f buffers>=%d"
+    s.num_segments s.total_length s.max_length s.mean_length s.cv s.buffer_candidates

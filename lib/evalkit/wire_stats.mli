@@ -1,0 +1,23 @@
+(** Wire-segment statistics over critical paths (paper Sec. III-C):
+    uniform segment lengths avoid the buffer insertion long segments
+    force downstream. *)
+
+type t = {
+  num_segments : int;
+  total_length : float;
+  max_length : float;
+  mean_length : float;
+  cv : float; (* coefficient of variation: uniformity measure *)
+  buffer_candidates : int; (* segments above the buffer threshold *)
+}
+
+(** Driver->sink distances of a path's net arcs. *)
+val path_segments :
+  Netlist.Design.t -> Sta.Graph.t -> Sta.Paths.path -> float list
+
+val of_segments : ?buffer_threshold:float -> float list -> t
+
+(** Over the worst paths of the [n] worst failing endpoints. *)
+val of_critical_paths : ?buffer_threshold:float -> Netlist.Design.t -> n:int -> t
+
+val pp : Format.formatter -> t -> unit

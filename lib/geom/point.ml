@@ -1,0 +1,28 @@
+(** Planar points with the metrics used throughout placement and timing. *)
+
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+
+let origin = { x = 0.0; y = 0.0 }
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+
+let scale s a = { x = s *. a.x; y = s *. a.y }
+
+(** Manhattan (rectilinear) distance — the wire-length metric. *)
+let manhattan a b = Float.abs (a.x -. b.x) +. Float.abs (a.y -. b.y)
+
+(** Euclidean distance — the linear attraction-loss metric. *)
+let euclidean a b = Float.hypot (a.x -. b.x) (a.y -. b.y)
+
+(** Squared Euclidean distance — the paper's quadratic loss, Eq. (8). *)
+let sq_euclidean a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let equal a b = a.x = b.x && a.y = b.y
+
+let pp fmt p = Format.fprintf fmt "(%.2f, %.2f)" p.x p.y

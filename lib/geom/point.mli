@@ -1,0 +1,26 @@
+(** Planar points with the metrics used throughout placement and timing. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+
+val origin : t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+(** Manhattan (rectilinear) distance — the wirelength metric. *)
+val manhattan : t -> t -> float
+
+(** Euclidean distance — the linear attraction-loss metric. *)
+val euclidean : t -> t -> float
+
+(** Squared Euclidean distance — the paper's quadratic loss, Eq. (8). *)
+val sq_euclidean : t -> t -> float
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

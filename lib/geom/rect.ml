@@ -1,0 +1,60 @@
+(** Axis-aligned rectangles: placement region, cell shapes, bins. *)
+
+type t = { xl : float; yl : float; xh : float; yh : float }
+
+let make ~xl ~yl ~xh ~yh =
+  assert (xh >= xl && yh >= yl);
+  { xl; yl; xh; yh }
+
+let of_corner_size ~x ~y ~w ~h = make ~xl:x ~yl:y ~xh:(x +. w) ~yh:(y +. h)
+
+let width r = r.xh -. r.xl
+
+let height r = r.yh -. r.yl
+
+let area r = width r *. height r
+
+let center r = Point.make ((r.xl +. r.xh) /. 2.0) ((r.yl +. r.yh) /. 2.0)
+
+let contains r (p : Point.t) = p.x >= r.xl && p.x <= r.xh && p.y >= r.yl && p.y <= r.yh
+
+(** Overlap area of two rectangles (0 when disjoint). *)
+let overlap_area a b =
+  let w = Float.min a.xh b.xh -. Float.max a.xl b.xl in
+  let h = Float.min a.yh b.yh -. Float.max a.yl b.yl in
+  if w <= 0.0 || h <= 0.0 then 0.0 else w *. h
+
+let intersects a b = overlap_area a b > 0.0
+
+(** Smallest rectangle containing both. *)
+let union a b =
+  {
+    xl = Float.min a.xl b.xl;
+    yl = Float.min a.yl b.yl;
+    xh = Float.max a.xh b.xh;
+    yh = Float.max a.yh b.yh;
+  }
+
+(** Bounding box of a non-empty point list. *)
+let bbox_of_points = function
+  | [] -> invalid_arg "Rect.bbox_of_points: empty"
+  | (p : Point.t) :: rest ->
+      List.fold_left
+        (fun r (q : Point.t) ->
+          {
+            xl = Float.min r.xl q.x;
+            yl = Float.min r.yl q.y;
+            xh = Float.max r.xh q.x;
+            yh = Float.max r.yh q.y;
+          })
+        { xl = p.x; yl = p.y; xh = p.x; yh = p.y }
+        rest
+
+(** Half-perimeter of the rectangle — HPWL of its corner set. *)
+let half_perimeter r = width r +. height r
+
+(** Clamp a point into the rectangle. *)
+let clamp r (p : Point.t) =
+  Point.make (Float.max r.xl (Float.min r.xh p.x)) (Float.max r.yl (Float.min r.yh p.y))
+
+let pp fmt r = Format.fprintf fmt "[%.1f,%.1f - %.1f,%.1f]" r.xl r.yl r.xh r.yh

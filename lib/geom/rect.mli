@@ -1,0 +1,38 @@
+(** Axis-aligned rectangles: placement region, cell shapes, bins. *)
+
+type t = { xl : float; yl : float; xh : float; yh : float }
+
+(** Requires [xh >= xl] and [yh >= yl]. *)
+val make : xl:float -> yl:float -> xh:float -> yh:float -> t
+
+val of_corner_size : x:float -> y:float -> w:float -> h:float -> t
+
+val width : t -> float
+
+val height : t -> float
+
+val area : t -> float
+
+val center : t -> Point.t
+
+val contains : t -> Point.t -> bool
+
+(** Overlap area of two rectangles (0 when disjoint or abutting). *)
+val overlap_area : t -> t -> float
+
+val intersects : t -> t -> bool
+
+(** Smallest rectangle containing both. *)
+val union : t -> t -> t
+
+(** Bounding box of a non-empty point list; raises [Invalid_argument]
+    on []. *)
+val bbox_of_points : Point.t list -> t
+
+(** width + height — HPWL of the rectangle's corner set. *)
+val half_perimeter : t -> float
+
+(** Project a point into the rectangle. *)
+val clamp : t -> Point.t -> Point.t
+
+val pp : Format.formatter -> t -> unit

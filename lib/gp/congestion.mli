@@ -1,0 +1,25 @@
+(** RUDY routing-demand estimation: each net spreads (w+h)/(w*h) demand
+    over its bounding box; the summed map is the standard placement-time
+    congestion proxy. *)
+
+type t = {
+  bins_x : int;
+  bins_y : int;
+  bin_w : float;
+  bin_h : float;
+  die : Geom.Rect.t;
+  demand : float array; (* wiring demand per bin, row-major *)
+}
+
+val create : Netlist.Design.t -> bins_x:int -> bins_y:int -> t
+
+(** Rebuild the map from the current placement. *)
+val update : t -> Netlist.Design.t -> unit
+
+(** Integral of the map — an HPWL-like total wiring demand. *)
+val total_demand : t -> float
+
+(** Peak / mean bin demand (1.0 = perfectly uniform). *)
+val hotspot_factor : t -> float
+
+val percentile : t -> float -> float

@@ -1,0 +1,28 @@
+(** Bin-grid density accumulation and the overflow metric. Cells smaller
+    than a bin are inflated to bin size with density scaled to preserve
+    area (the ePlace smoothing rule). *)
+
+type t = {
+  bins_x : int;
+  bins_y : int;
+  bin_w : float;
+  bin_h : float;
+  die : Geom.Rect.t;
+  density : float array; (* movable area per bin, row-major [by*bins_x+bx] *)
+  fixed : float array; (* fixed (blockage/pad) area per bin, set once *)
+}
+
+(** Precomputes the fixed-density layer from non-movable cells. *)
+val create : Netlist.Design.t -> bins_x:int -> bins_y:int -> t
+
+val bin_area : t -> float
+
+(** Re-accumulate movable density from the current placement. *)
+val update : t -> Netlist.Design.t -> unit
+
+(** Fraction of movable area above per-bin capacity
+    (target_density * bin_area - fixed) — the convergence metric. *)
+val overflow : t -> target_density:float -> movable_area:float -> float
+
+(** Charge grid for the Poisson solve: occupied density minus target. *)
+val charge : t -> target_density:float -> float array

@@ -1,0 +1,73 @@
+(** Electrostatic density force (ePlace): the bin charge grid is treated
+    as a 2D charge distribution; solving Poisson's equation gives a
+    potential whose negative gradient is the force moving cells from
+    over-filled to under-filled regions. Cell charge = cell area. *)
+
+open Netlist
+
+type t = {
+  grid : Densitygrid.t;
+  poisson : Numerics.Poisson.t;
+  mutable psi : float array;
+  mutable ex : float array; (* field, grid units *)
+  mutable ey : float array;
+  mutable energy : float;
+}
+
+let create grid =
+  {
+    grid;
+    poisson = Numerics.Poisson.create ~rows:grid.Densitygrid.bins_y ~cols:grid.Densitygrid.bins_x;
+    psi = [||];
+    ex = [||];
+    ey = [||];
+    energy = 0.0;
+  }
+
+(** Re-solve the field from the current bin densities. Call after
+    [Densitygrid.update]. *)
+let solve t ~target_density =
+  let rho = Densitygrid.charge t.grid ~target_density in
+  let psi = Numerics.Poisson.solve t.poisson rho in
+  let ex, ey = Numerics.Poisson.field t.poisson psi in
+  t.psi <- psi;
+  t.ex <- ex;
+  t.ey <- ey;
+  t.energy <- Numerics.Poisson.energy rho psi
+
+(* Bilinear interpolation of the field at a physical position. Grid values
+   live at bin centres. *)
+let sample t (field : float array) px py =
+  let g = t.grid in
+  let die = g.Densitygrid.die in
+  let fx = ((px -. die.xl) /. g.Densitygrid.bin_w) -. 0.5 in
+  let fy = ((py -. die.yl) /. g.Densitygrid.bin_h) -. 0.5 in
+  let bx = int_of_float (floor fx) and by = int_of_float (floor fy) in
+  let tx = fx -. float_of_int bx and ty = fy -. float_of_int by in
+  let clampx v = max 0 (min (g.Densitygrid.bins_x - 1) v) in
+  let clampy v = max 0 (min (g.Densitygrid.bins_y - 1) v) in
+  let at bx by = field.((clampy by * g.Densitygrid.bins_x) + clampx bx) in
+  let v00 = at bx by
+  and v10 = at (bx + 1) by
+  and v01 = at bx (by + 1)
+  and v11 = at (bx + 1) (by + 1) in
+  ((v00 *. (1.0 -. tx)) +. (v10 *. tx)) *. (1.0 -. ty)
+  +. (((v01 *. (1.0 -. tx)) +. (v11 *. tx)) *. ty)
+
+(** Density-force gradient: for each movable cell, the gradient of the
+    electrostatic energy w.r.t. its position is -q * E(pos); we *add*
+    +q*(-E) into [gx]/[gy] so that descending the total objective moves
+    cells along the field. Field is converted from grid to physical units. *)
+let add_grad t (d : Design.t) ~gx ~gy =
+  let g = t.grid in
+  let inv_w = 1.0 /. g.Densitygrid.bin_w and inv_h = 1.0 /. g.Densitygrid.bin_h in
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        let q = c.w *. c.h in
+        let fx = sample t t.ex d.x.(c.id) d.y.(c.id) *. inv_w in
+        let fy = sample t t.ey d.x.(c.id) d.y.(c.id) *. inv_h in
+        gx.(c.id) <- gx.(c.id) -. (q *. fx);
+        gy.(c.id) <- gy.(c.id) -. (q *. fy)
+      end)
+    d.cells

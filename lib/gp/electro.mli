@@ -1,0 +1,21 @@
+(** Electrostatic density force (ePlace): bin charges induce a potential
+    via Poisson's equation; its negative gradient moves cells from
+    over-filled to under-filled regions. Cell charge = cell area. *)
+
+type t = {
+  grid : Densitygrid.t;
+  poisson : Numerics.Poisson.t;
+  mutable psi : float array;
+  mutable ex : float array; (* field, grid units *)
+  mutable ey : float array;
+  mutable energy : float;
+}
+
+val create : Densitygrid.t -> t
+
+(** Re-solve potential/field/energy; call after [Densitygrid.update]. *)
+val solve : t -> target_density:float -> unit
+
+(** Add the density-energy gradient (physical units) for every movable
+    cell into [gx]/[gy]; descending it follows the field. *)
+val add_grad : t -> Netlist.Design.t -> gx:float array -> gy:float array -> unit

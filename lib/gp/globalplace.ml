@@ -1,0 +1,237 @@
+(** The analytical global placement loop (vanilla DREAMPlace):
+
+      min_x,y  sum_e w_e * WA_e(x, y) + lambda * Energy(x, y)
+
+    solved with preconditioned Nesterov. Timing-driven flows plug in via
+    [hooks]: [on_round] fires every [round_every] iterations after the
+    reference placement is materialised (the point where a TDP flow runs
+    STA and refreshes weights), and [extra_grad] contributes additional
+    gradient terms (e.g. the pin-to-pin attraction loss). *)
+
+open Netlist
+
+type params = {
+  bins_x : int;
+  bins_y : int; (* 0 = auto from design size *)
+  target_density : float;
+  max_iters : int;
+  min_iters : int;
+  stop_overflow : float;
+  gamma_scale : float; (* WA gamma in bin widths at high overflow *)
+  lambda_mult : float; (* per-iteration density multiplier growth *)
+  noise_sigma : float; (* initial spread, in bin widths *)
+  seed : int;
+  timing_start : int; (* iteration at which hooks begin to fire *)
+  round_every : int; (* hook cadence (the paper's m) *)
+  verbose : bool;
+}
+
+let default_params =
+  {
+    bins_x = 0;
+    bins_y = 0;
+    target_density = 1.0;
+    max_iters = 900;
+    min_iters = 150;
+    stop_overflow = 0.07;
+    gamma_scale = 4.0;
+    lambda_mult = 1.05;
+    noise_sigma = 2.0;
+    seed = 1;
+    timing_start = max_int; (* vanilla: hooks never fire *)
+    round_every = 15;
+    verbose = false;
+  }
+
+type trace_point = {
+  iter : int;
+  hpwl : float;
+  overflow : float;
+  gamma : float;
+  lambda : float;
+}
+
+type hooks = {
+  on_round : iter:int -> overflow:float -> unit;
+  extra_grad : iter:int -> wl_norm:float -> gx:float array -> gy:float array -> unit;
+      (* [wl_norm] is the L1 norm of the pure wirelength gradient over the
+         movable cells this iteration — the stable yardstick auxiliary
+         (timing) forces should be normalised against. *)
+}
+
+let no_hooks =
+  {
+    on_round = (fun ~iter:_ ~overflow:_ -> ());
+    extra_grad = (fun ~iter:_ ~wl_norm:_ ~gx:_ ~gy:_ -> ());
+  }
+
+let auto_bins (d : Design.t) =
+  let n = Design.num_movable d in
+  let rec pow2 v = if v >= 256 || v * v >= n then v else pow2 (2 * v) in
+  max 16 (pow2 16)
+
+(* Pack movable coordinates into the optimizer vector [x...; y...]. *)
+let pack d movable =
+  let nm = Array.length movable in
+  let vec = Array.make (2 * nm) 0.0 in
+  Array.iteri
+    (fun i id ->
+      vec.(i) <- d.Design.x.(id);
+      vec.(nm + i) <- d.Design.y.(id))
+    movable;
+  vec
+
+let unpack d movable vec =
+  let nm = Array.length movable in
+  Array.iteri
+    (fun i id ->
+      d.Design.x.(id) <- vec.(i);
+      d.Design.y.(id) <- vec.(nm + i))
+    movable
+
+(** Spread movable cells around the die centre with Gaussian noise — the
+    standard analytic-placement initialisation. *)
+let initial_spread ?(sigma_bins = 2.0) (d : Design.t) ~bin_w ~bin_h ~seed =
+  let rng = Util.Rng.create seed in
+  let ctr = Geom.Rect.center d.die in
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        d.x.(c.id) <- Util.Rng.gaussian rng ~mean:ctr.Geom.Point.x ~stddev:(sigma_bins *. bin_w);
+        d.y.(c.id) <- Util.Rng.gaussian rng ~mean:ctr.Geom.Point.y ~stddev:(sigma_bins *. bin_h)
+      end)
+    d.cells;
+  Design.clamp_movable d
+
+type result = {
+  trace : trace_point list; (* chronological *)
+  iters : int;
+  final_hpwl : float;
+  final_overflow : float;
+}
+
+let run ?(params = default_params) ?(hooks = no_hooks) ?stats (d : Design.t) =
+  let tick name f =
+    match stats with Some ts -> Util.Timerstat.time ts name f | None -> f ()
+  in
+  let bins_x = if params.bins_x > 0 then params.bins_x else auto_bins d in
+  let bins_y = if params.bins_y > 0 then params.bins_y else bins_x in
+  let grid = Densitygrid.create d ~bins_x ~bins_y in
+  let electro = Electro.create grid in
+  let movable = Array.of_list (Design.movable_ids d) in
+  let nm = Array.length movable in
+  if nm = 0 then invalid_arg "Globalplace.run: no movable cells";
+  let movable_area = Design.movable_area d in
+  let bin_w = grid.Densitygrid.bin_w and bin_h = grid.Densitygrid.bin_h in
+  initial_spread d ~sigma_bins:params.noise_sigma ~bin_w ~bin_h ~seed:params.seed;
+  let opt = Nesterov.create (pack d movable) in
+  (* Per-cell preconditioner data. *)
+  let pin_count = Array.make (Design.num_cells d) 0 in
+  Array.iter
+    (fun (p : Design.pin) -> if p.net >= 0 then pin_count.(p.owner) <- pin_count.(p.owner) + 1)
+    d.pins;
+  let gx = Array.make (Design.num_cells d) 0.0 in
+  let gy = Array.make (Design.num_cells d) 0.0 in
+  let gvec = Array.make (2 * nm) 0.0 in
+  let lambda = ref 0.0 in
+  let trace = ref [] in
+  let iter = ref 0 in
+  let stop = ref false in
+  let converged_once = ref false in
+  let last_overflow = ref 1.0 in
+  let clamp vec =
+    (* Project each candidate position so the cell stays on the die. *)
+    Array.iteri
+      (fun i id ->
+        let c = d.cells.(id) in
+        let hw = c.w /. 2.0 and hh = c.h /. 2.0 in
+        vec.(i) <- Float.max (d.die.xl +. hw) (Float.min (d.die.xh -. hw) vec.(i));
+        vec.(nm + i) <-
+          Float.max (d.die.yl +. hh) (Float.min (d.die.yh -. hh) vec.(nm + i)))
+      movable
+  in
+  while (not !stop) && !iter < params.max_iters do
+    (* Materialise the reference point; all evaluation happens there. *)
+    unpack d movable (Nesterov.reference opt);
+    let overflow =
+      tick "density" (fun () ->
+          Densitygrid.update grid d;
+          let overflow =
+            Densitygrid.overflow grid ~target_density:params.target_density ~movable_area
+          in
+          Electro.solve electro ~target_density:params.target_density;
+          overflow)
+    in
+    last_overflow := overflow;
+    (* Timing hook cadence (the paper's "every m rounds"). *)
+    if !iter >= params.timing_start && (!iter - params.timing_start) mod params.round_every = 0
+    then hooks.on_round ~iter:!iter ~overflow;
+    (* gamma: large when the design is spread-chaotic, small near
+       convergence so WA approaches true HPWL. *)
+    let gamma = bin_w *. params.gamma_scale *. (0.1 +. (0.9 *. Float.min 1.0 overflow)) in
+    Array.fill gx 0 (Array.length gx) 0.0;
+    Array.fill gy 0 (Array.length gy) 0.0;
+    let _wl = tick "wl_grad" (fun () -> Wirelength.wa_wirelength_grad d ~gamma ~gx ~gy) in
+    let wl_norm = ref 0.0 in
+    Array.iter (fun id -> wl_norm := !wl_norm +. Float.abs gx.(id) +. Float.abs gy.(id)) movable;
+    if !lambda = 0.0 then begin
+      (* First iteration: balance wirelength and density gradient norms. *)
+      let dgx = Array.make (Design.num_cells d) 0.0 in
+      let dgy = Array.make (Design.num_cells d) 0.0 in
+      Electro.add_grad electro d ~gx:dgx ~gy:dgy;
+      let den_norm = ref 0.0 in
+      Array.iter (fun id -> den_norm := !den_norm +. Float.abs dgx.(id) +. Float.abs dgy.(id)) movable;
+      lambda := if !den_norm > 1e-30 then 0.1 *. !wl_norm /. !den_norm else 1.0
+    end;
+    (* Density gradient scaled by lambda. *)
+    let dgx = Array.make (Design.num_cells d) 0.0 in
+    let dgy = Array.make (Design.num_cells d) 0.0 in
+    tick "density" (fun () -> Electro.add_grad electro d ~gx:dgx ~gy:dgy);
+    Array.iter
+      (fun id ->
+        gx.(id) <- gx.(id) +. (!lambda *. dgx.(id));
+        gy.(id) <- gy.(id) +. (!lambda *. dgy.(id)))
+      movable;
+    if !iter >= params.timing_start then hooks.extra_grad ~iter:!iter ~wl_norm:!wl_norm ~gx ~gy;
+    (* Precondition and pack. *)
+    Array.iteri
+      (fun i id ->
+        let c = d.cells.(id) in
+        let p = Float.max 1.0 (float_of_int pin_count.(id) +. (!lambda *. c.w *. c.h)) in
+        gvec.(i) <- gx.(id) /. p;
+        gvec.(nm + i) <- gy.(id) /. p)
+      movable;
+    (* Express step bounds as average cell displacement in bin widths. *)
+    let mean_g =
+      let acc = ref 0.0 in
+      Array.iter (fun v -> acc := !acc +. Float.abs v) gvec;
+      Float.max 1e-30 (!acc /. float_of_int (2 * nm))
+    in
+    let fallback_step = 0.25 *. bin_w /. mean_g in
+    let max_step = 25.0 *. bin_w /. mean_g in
+    tick "optimizer" (fun () -> Nesterov.step opt ~g:gvec ~fallback_step ~max_step ~clamp);
+    (* The density multiplier grows until the overflow target is first
+       reached, then latches: timing forces perturb the density, and
+       resuming the exponential growth would let lambda run away and shred
+       the placement (observed as HPWL divergence in the timing phase). *)
+    if overflow < params.stop_overflow then converged_once := true;
+    if not !converged_once then lambda := !lambda *. params.lambda_mult;
+    if !iter mod 10 = 0 || overflow < params.stop_overflow then begin
+      unpack d movable (Nesterov.iterate opt);
+      let hpwl = Design.total_hpwl d in
+      trace := { iter = !iter; hpwl; overflow; gamma; lambda = !lambda } :: !trace;
+      if params.verbose then
+        Printf.eprintf "[gp %s] iter %4d hpwl %.3e ovf %.3f\n%!" d.name !iter hpwl overflow
+    end;
+    if overflow < params.stop_overflow && !iter >= params.min_iters then stop := true;
+    incr iter
+  done;
+  unpack d movable (Nesterov.iterate opt);
+  Design.clamp_movable d;
+  let final_hpwl = Design.total_hpwl d in
+  {
+    trace = List.rev !trace;
+    iters = !iter;
+    final_hpwl;
+    final_overflow = !last_overflow;
+  }

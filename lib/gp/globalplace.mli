@@ -1,0 +1,65 @@
+(** The analytical global placement loop (vanilla DREAMPlace):
+
+      min  sum_e w_e * WA_e(x, y) + lambda * Energy(x, y)
+
+    solved with preconditioned Nesterov. Timing-driven flows plug in via
+    {!hooks}: [on_round] fires every [round_every] iterations with the
+    reference placement materialised (where a TDP flow runs STA and
+    refreshes weights); [extra_grad] contributes additional gradient terms
+    every iteration of the timing phase. *)
+
+type params = {
+  bins_x : int; (* 0 = auto from design size *)
+  bins_y : int;
+  target_density : float;
+  max_iters : int;
+  min_iters : int;
+  stop_overflow : float;
+  gamma_scale : float; (* WA gamma in bin widths at high overflow *)
+  lambda_mult : float; (* per-iteration density multiplier growth *)
+  noise_sigma : float; (* initial spread, in bin widths *)
+  seed : int;
+  timing_start : int; (* iteration at which hooks begin to fire *)
+  round_every : int; (* hook cadence (the paper's m) *)
+  verbose : bool;
+}
+
+val default_params : params
+
+type trace_point = {
+  iter : int;
+  hpwl : float;
+  overflow : float;
+  gamma : float;
+  lambda : float;
+}
+
+type hooks = {
+  on_round : iter:int -> overflow:float -> unit;
+  extra_grad : iter:int -> wl_norm:float -> gx:float array -> gy:float array -> unit;
+      (** [wl_norm] is the L1 norm of the pure wirelength gradient over
+          movable cells this iteration — the stable yardstick auxiliary
+          (timing) forces are normalised against. *)
+}
+
+val no_hooks : hooks
+
+(** Power-of-two bin count heuristic for a design. *)
+val auto_bins : Netlist.Design.t -> int
+
+(** Gaussian spread around the die centre — the standard initialisation
+    (called by {!run}; exposed for tests). *)
+val initial_spread :
+  ?sigma_bins:float -> Netlist.Design.t -> bin_w:float -> bin_h:float -> seed:int -> unit
+
+type result = {
+  trace : trace_point list; (* chronological *)
+  iters : int;
+  final_hpwl : float;
+  final_overflow : float;
+}
+
+(** Runs global placement in place (re-initialises movable positions from
+    [params.seed]). [stats] receives a per-component runtime breakdown. *)
+val run :
+  ?params:params -> ?hooks:hooks -> ?stats:Util.Timerstat.t -> Netlist.Design.t -> result

@@ -1,0 +1,206 @@
+(** Abacus row legalisation (Spindler-Schlichtmann-Johannes).
+
+    Cells are processed in order of desired x. For each cell, candidate
+    rows near its global-placement position are *simulated*: the cell is
+    appended to the row's cluster structure, clusters that would overlap
+    collapse into one placed at its displacement-optimal position, and the
+    resulting displacement of the new cell is the row's cost. The best row
+    wins and the simulation is committed. Cluster stacks are immutable
+    lists, so simulation is free of copying hazards.
+
+    Blockages fragment rows into independent segments. All movable cells
+    are single-row-height in the default library. *)
+
+open Netlist
+
+(* A cluster of abutting cells. [e] total weight, [q] the optimality
+   accumulator (position = q/e before clamping), [w] total width,
+   [members] the cell ids rightmost-first (final positions are derived
+   from cluster positions and member widths at the end). *)
+type cluster = { e : float; q : float; w : float; members : int list }
+
+type segment = {
+  seg_xl : float;
+  seg_xh : float;
+  mutable clusters : cluster list; (* rightmost first *)
+  mutable used : float; (* total cell width committed *)
+}
+
+type row = { row_y : float; segments : segment array }
+
+let cluster_pos seg c =
+  Float.max seg.seg_xl (Float.min (seg.seg_xh -. c.w) (c.q /. c.e))
+
+(* Append a cell cluster and collapse overlaps; returns the final stack. *)
+let rec collapse seg stack c =
+  match stack with
+  | [] -> [ c ]
+  | p :: rest ->
+      let xp = cluster_pos seg p and xc = cluster_pos seg c in
+      if xp +. p.w > xc +. 1e-9 then
+        (* Merge p (left) with c (right). *)
+        collapse seg rest
+          {
+            e = p.e +. c.e;
+            q = p.q +. c.q -. (c.e *. p.w);
+            w = p.w +. c.w;
+            members = c.members @ p.members;
+          }
+      else c :: p :: rest
+
+(* Simulate inserting a cell with desired left edge [x'] and width [w];
+   returns (new stack, final left edge of the inserted cell) or None when
+   the segment cannot hold it. *)
+let simulate seg ~x' ~w ~id =
+  if seg.used +. w > seg.seg_xh -. seg.seg_xl +. 1e-9 then None
+  else begin
+    let stack = collapse seg seg.clusters { e = 1.0; q = x'; w; members = [ id ] } in
+    match stack with
+    | [] -> assert false
+    | top :: _ ->
+        let x_top = cluster_pos seg top in
+        Some (stack, x_top +. top.w -. w)
+  end
+
+let build_rows (d : Design.t) =
+  let die = d.die in
+  let nrows = int_of_float (floor (Geom.Rect.height die /. d.row_height)) in
+  let blockages =
+    Array.to_list d.cells
+    |> List.filter (fun (c : Design.cell) -> (not c.movable) && c.role = Design.Blockage)
+    |> List.map (fun (c : Design.cell) -> Design.cell_rect d c.id)
+  in
+  Array.init nrows (fun k ->
+      let yl = die.yl +. (float_of_int k *. d.row_height) in
+      let yh = yl +. d.row_height in
+      let row_y = (yl +. yh) /. 2.0 in
+      let cuts =
+        List.filter_map
+          (fun (r : Geom.Rect.t) ->
+            if r.yl < yh -. 1e-9 && r.yh > yl +. 1e-9 then Some (r.xl, r.xh) else None)
+          blockages
+        |> List.sort compare
+      in
+      let segments = ref [] in
+      let cur = ref die.xl in
+      List.iter
+        (fun (cxl, cxh) ->
+          if cxl > !cur +. 0.5 then
+            segments := { seg_xl = !cur; seg_xh = cxl; clusters = []; used = 0.0 } :: !segments;
+          cur := Float.max !cur cxh)
+        cuts;
+      if die.xh > !cur +. 0.5 then
+        segments := { seg_xl = !cur; seg_xh = die.xh; clusters = []; used = 0.0 } :: !segments;
+      { row_y; segments = Array.of_list (List.rev !segments) })
+
+(** Legalise in place; returns total Manhattan displacement.
+    Raises [Failure] when some cell cannot be placed anywhere. *)
+let run (d : Design.t) =
+  let rows = build_rows d in
+  let nrows = Array.length rows in
+  if nrows = 0 then failwith "Legalize.run: die has no rows";
+  let order =
+    Design.movable_ids d
+    |> List.sort (fun a b -> compare (d.x.(a) -. (d.cells.(a).w /. 2.0)) (d.x.(b) -. (d.cells.(b).w /. 2.0)))
+    |> Array.of_list
+  in
+  let desired_xs = Array.copy d.x in
+  let disp_y = ref 0.0 in
+  Array.iter
+    (fun id ->
+      let c = d.cells.(id) in
+      let w = c.w in
+      let desired_x = d.x.(id) -. (w /. 2.0) in
+      let desired_y = d.y.(id) in
+      let target_row =
+        int_of_float
+          (Float.round ((desired_y -. d.die.yl -. (d.row_height /. 2.0)) /. d.row_height))
+      in
+      let target_row = max 0 (min (nrows - 1) target_row) in
+      let best_cost = ref Float.infinity in
+      let best = ref None in
+      let try_row k =
+        if k >= 0 && k < nrows then begin
+          let row = rows.(k) in
+          Array.iter
+            (fun seg ->
+              match simulate seg ~x':desired_x ~w ~id with
+              | None -> ()
+              | Some (stack, x_final) ->
+                  let cost =
+                    Float.abs (x_final -. desired_x) +. Float.abs (row.row_y -. desired_y)
+                  in
+                  if cost < !best_cost then begin
+                    best_cost := cost;
+                    best := Some (seg, stack, x_final, k)
+                  end)
+            row.segments
+        end
+      in
+      let radius = ref 0 in
+      let searching = ref true in
+      while !searching do
+        try_row (target_row - !radius);
+        if !radius > 0 then try_row (target_row + !radius);
+        incr radius;
+        let row_floor = float_of_int (!radius - 1) *. d.row_height in
+        if (!best <> None && row_floor > !best_cost) || !radius > nrows then searching := false
+      done;
+      match !best with
+      | None -> failwith (Printf.sprintf "Legalize.run: no room for cell %s" c.cname)
+      | Some (seg, stack, _x_final, k) ->
+          seg.clusters <- stack;
+          seg.used <- seg.used +. w;
+          disp_y := !disp_y +. Float.abs (rows.(k).row_y -. desired_y);
+          d.y.(id) <- rows.(k).row_y)
+    order;
+  (* Materialise x positions from the final cluster structure: later
+     insertions may have collapsed clusters and moved earlier cells. *)
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun seg ->
+          List.iter
+            (fun cl ->
+              let x = cluster_pos seg cl in
+              let right = ref (x +. cl.w) in
+              List.iter
+                (fun id ->
+                  let w = d.cells.(id).w in
+                  d.x.(id) <- !right -. (w /. 2.0);
+                  right := !right -. w)
+                cl.members)
+            seg.clusters)
+        row.segments)
+    rows;
+  (* Exact total displacement: x against the pre-legalisation positions
+     (cluster collapses moved cells after their commit), plus the row
+     moves accumulated above. *)
+  let disp_x = ref 0.0 in
+  Array.iter (fun id -> disp_x := !disp_x +. Float.abs (d.x.(id) -. desired_xs.(id))) order;
+  !disp_x +. !disp_y
+
+(** Check that no two movable cells overlap and every movable cell sits
+    in a row. *)
+let is_legal (d : Design.t) =
+  let movables = Design.movable_ids d in
+  let in_rows =
+    List.for_all
+      (fun id ->
+        let yc = d.y.(id) -. d.die.yl -. (d.row_height /. 2.0) in
+        Float.abs (yc -. (Float.round (yc /. d.row_height) *. d.row_height)) < 1e-6)
+      movables
+  in
+  let rects = List.map (fun id -> (id, Design.cell_rect d id)) movables in
+  let sorted = List.sort (fun (_, (a : Geom.Rect.t)) (_, b) -> compare a.xl b.xl) rects in
+  let arr = Array.of_list sorted in
+  let overlap = ref false in
+  Array.iteri
+    (fun i (_, (r : Geom.Rect.t)) ->
+      let j = ref (i + 1) in
+      while !j < Array.length arr && (snd arr.(!j)).Geom.Rect.xl < r.xh -. 1e-9 do
+        if Geom.Rect.overlap_area r (snd arr.(!j)) > 1e-9 then overlap := true;
+        incr j
+      done)
+    arr;
+  in_rows && not !overlap

@@ -1,0 +1,11 @@
+(** Abacus row legalisation (Spindler et al.): cells are inserted in x
+    order into the displacement-cheapest nearby row; overlapping clusters
+    collapse to their squared-displacement-optimal positions. Blockages
+    fragment rows into independent segments. *)
+
+(** Legalise in place; returns the total displacement charged during row
+    assignment. Raises [Failure] when a cell fits nowhere. *)
+val run : Netlist.Design.t -> float
+
+(** No two movable cells overlap and every movable cell sits in a row. *)
+val is_legal : Netlist.Design.t -> bool

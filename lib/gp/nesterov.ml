@@ -1,0 +1,75 @@
+(** Nesterov accelerated gradient with a Barzilai-Borwein step estimate —
+    the ePlace/DREAMPlace optimizer shape.
+
+    The caller supplies the gradient evaluated at the *reference* point
+    [v]; the optimizer maintains the major iterate [u] and momentum
+    coefficient. Step length is ||dv|| / ||dg|| (an inverse-Lipschitz
+    estimate), clamped to [max_step] to survive the first iterations and
+    weight re-shuffles. *)
+
+type t = {
+  dim : int;
+  u : float array;
+  v : float array;
+  prev_v : float array;
+  prev_g : float array;
+  mutable a : float;
+  mutable have_prev : bool;
+  mutable last_step : float;
+}
+
+let create x0 =
+  {
+    dim = Array.length x0;
+    u = Array.copy x0;
+    v = Array.copy x0;
+    prev_v = Array.copy x0;
+    prev_g = Array.make (Array.length x0) 0.0;
+    a = 1.0;
+    have_prev = false;
+    last_step = 0.0;
+  }
+
+(** Current reference point (where the next gradient must be evaluated). *)
+let reference t = t.v
+
+let iterate t = t.u
+
+(* ||a - b||_2 *)
+let dist2 a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+(** One optimizer step given gradient [g] at [reference t].
+    [fallback_step] is used before a Lipschitz estimate exists;
+    [max_step] bounds the step length; [clamp] projects a candidate
+    iterate into the feasible box (applied to [u]). *)
+let step t ~g ~fallback_step ~max_step ~clamp =
+  let alpha =
+    if not t.have_prev then fallback_step
+    else begin
+      let dv = dist2 t.v t.prev_v and dg = dist2 g t.prev_g in
+      if dg < 1e-30 then fallback_step else Float.min max_step (dv /. dg)
+    end
+  in
+  t.last_step <- alpha;
+  Array.blit t.v 0 t.prev_v 0 t.dim;
+  Array.blit g 0 t.prev_g 0 t.dim;
+  t.have_prev <- true;
+  let u_new = Array.make t.dim 0.0 in
+  for i = 0 to t.dim - 1 do
+    u_new.(i) <- t.v.(i) -. (alpha *. g.(i))
+  done;
+  clamp u_new;
+  let a_new = (1.0 +. sqrt ((4.0 *. t.a *. t.a) +. 1.0)) /. 2.0 in
+  let coef = (t.a -. 1.0) /. a_new in
+  for i = 0 to t.dim - 1 do
+    t.v.(i) <- u_new.(i) +. (coef *. (u_new.(i) -. t.u.(i)));
+    t.u.(i) <- u_new.(i)
+  done;
+  clamp t.v;
+  t.a <- a_new

@@ -1,0 +1,24 @@
+(** Nesterov accelerated gradient with a Barzilai-Borwein step estimate —
+    the ePlace/DREAMPlace optimizer shape. The caller evaluates gradients
+    at [reference t]; the step length is ||dv||/||dg|| clamped to
+    [max_step]. *)
+
+type t
+
+val create : float array -> t
+
+(** Where the next gradient must be evaluated. *)
+val reference : t -> float array
+
+(** The current major iterate. *)
+val iterate : t -> float array
+
+(** One step given gradient [g] at [reference t]. [clamp] projects a
+    candidate iterate into the feasible box (mutates its argument). *)
+val step :
+  t ->
+  g:float array ->
+  fallback_step:float ->
+  max_step:float ->
+  clamp:(float array -> unit) ->
+  unit

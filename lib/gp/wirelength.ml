@@ -1,0 +1,98 @@
+(** Wirelength models: exact HPWL and the smooth weighted-average (WA)
+    approximation with analytic gradients (Hsu-Chang-Balabanov), the
+    wirelength objective of DREAMPlace.
+
+    Per net and dimension, with a_i = exp(x_i / gamma):
+      WA_max = sum(x_i a_i) / sum(a_i)
+      d WA_max / d x_i = a_i (1 + (x_i - WA_max)/gamma) / sum(a_i)
+    and symmetrically for WA_min with negated exponents. The net's smooth
+    length is (WA_max - WA_min) per dimension, scaled by the net weight. *)
+
+open Netlist
+
+(** Exact weighted HPWL (net weights applied) — the objective value. *)
+let weighted_hpwl (d : Design.t) =
+  Array.fold_left (fun acc n -> acc +. (n.Design.weight *. Design.net_hpwl d n)) 0.0 d.nets
+
+(* One dimension of one net: accumulates d(WA_max - WA_min)/d coord into
+   [grad] at the owning cells, scaled by [w]. Returns the net's smooth
+   extent in this dimension. *)
+let wa_one_dim (d : Design.t) (pids : int array) ~coord ~gamma ~w ~grad =
+  let n = Array.length pids in
+  if n <= 1 then 0.0
+  else begin
+    let xs = Array.map (fun pid -> coord d.pins.(pid)) pids in
+    let xmax = Array.fold_left Float.max Float.neg_infinity xs in
+    let xmin = Array.fold_left Float.min Float.infinity xs in
+    (* max side *)
+    let s_max = ref 0.0 and t_max = ref 0.0 in
+    let s_min = ref 0.0 and t_min = ref 0.0 in
+    let ea = Array.make n 0.0 and eb = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      let a = exp ((xs.(i) -. xmax) /. gamma) in
+      let b = exp ((xmin -. xs.(i)) /. gamma) in
+      ea.(i) <- a;
+      eb.(i) <- b;
+      s_max := !s_max +. a;
+      t_max := !t_max +. (xs.(i) *. a);
+      s_min := !s_min +. b;
+      t_min := !t_min +. (xs.(i) *. b)
+    done;
+    let wa_max = !t_max /. !s_max and wa_min = !t_min /. !s_min in
+    for i = 0 to n - 1 do
+      let gmax = ea.(i) *. (1.0 +. ((xs.(i) -. wa_max) /. gamma)) /. !s_max in
+      let gmin = eb.(i) *. (1.0 -. ((xs.(i) -. wa_min) /. gamma)) /. !s_min in
+      let cell = d.pins.(pids.(i)).owner in
+      grad.(cell) <- grad.(cell) +. (w *. (gmax -. gmin))
+    done;
+    wa_max -. wa_min
+  end
+
+(** Smooth weighted wirelength of the whole design; adds its gradient
+    w.r.t. cell centres into [gx]/[gy] (arrays over cells; fixed cells
+    receive gradient too — callers zero or ignore them).
+
+    Parallelised over nets when [Util.Parallel] domains are enabled: each
+    chunk accumulates into private buffers merged afterwards (cells are
+    shared across nets, so direct accumulation would race). *)
+let wa_wirelength_grad (d : Design.t) ~gamma ~gx ~gy =
+  let nnets = Design.num_nets d in
+  let nchunks = Util.Parallel.chunk_count ~n:nnets in
+  if nchunks = 1 then begin
+    let total = ref 0.0 in
+    Array.iter
+      (fun (net : Design.net) ->
+        let pids = Array.of_list (Design.net_pins net) in
+        let w = net.weight in
+        let ex = wa_one_dim d pids ~coord:(fun p -> Design.pin_x d p) ~gamma ~w ~grad:gx in
+        let ey = wa_one_dim d pids ~coord:(fun p -> Design.pin_y d p) ~gamma ~w ~grad:gy in
+        total := !total +. (w *. (ex +. ey)))
+      d.nets;
+    !total
+  end
+  else begin
+    let nc = Design.num_cells d in
+    let bufs =
+      Array.init nchunks (fun _ -> (Array.make nc 0.0, Array.make nc 0.0, ref 0.0))
+    in
+    Util.Parallel.for_chunks ~n:nnets (fun ~chunk ~lo ~hi ->
+        let bx, by, bt = bufs.(chunk) in
+        for i = lo to hi - 1 do
+          let net = d.nets.(i) in
+          let pids = Array.of_list (Design.net_pins net) in
+          let w = net.weight in
+          let ex = wa_one_dim d pids ~coord:(fun p -> Design.pin_x d p) ~gamma ~w ~grad:bx in
+          let ey = wa_one_dim d pids ~coord:(fun p -> Design.pin_y d p) ~gamma ~w ~grad:by in
+          bt := !bt +. (w *. (ex +. ey))
+        done);
+    let total = ref 0.0 in
+    Array.iter
+      (fun (bx, by, bt) ->
+        total := !total +. !bt;
+        for c = 0 to nc - 1 do
+          gx.(c) <- gx.(c) +. bx.(c);
+          gy.(c) <- gy.(c) +. by.(c)
+        done)
+      bufs;
+    !total
+  end

@@ -1,0 +1,12 @@
+(** Wirelength models: exact HPWL and the smooth weighted-average (WA)
+    approximation with analytic gradients — the DREAMPlace wirelength
+    objective. WA underestimates HPWL and converges to it as gamma -> 0. *)
+
+(** Exact net-weighted HPWL. *)
+val weighted_hpwl : Netlist.Design.t -> float
+
+(** Smooth weighted wirelength of the whole design; adds its gradient
+    w.r.t. cell centres into [gx]/[gy] (cell-indexed; fixed cells receive
+    gradient too — callers ignore them). Returns the smooth value. *)
+val wa_wirelength_grad :
+  Netlist.Design.t -> gamma:float -> gx:float array -> gy:float array -> float

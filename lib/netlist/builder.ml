@@ -1,0 +1,180 @@
+(** Incremental construction of a {!Design.t}.
+
+    Collects cells/pins/nets in growable vectors, checks structural
+    invariants (single driver per net, pins exist) and freezes into the
+    flat-array database. All operations are amortised O(1). *)
+
+type t = {
+  name : string;
+  die : Geom.Rect.t;
+  row_height : float;
+  clock_period : float;
+  r_per_unit : float;
+  c_per_unit : float;
+  cells : Design.cell Util.Gvec.t;
+  pins : Design.pin Util.Gvec.t;
+  nets : Design.net Util.Gvec.t;
+  sink_lists : int list Util.Gvec.t; (* per net, reversed sink pids *)
+  xs : float Util.Gvec.t;
+  ys : float Util.Gvec.t;
+}
+
+let create ~name ~die ~row_height ~clock_period ~r_per_unit ~c_per_unit =
+  {
+    name;
+    die;
+    row_height;
+    clock_period;
+    r_per_unit;
+    c_per_unit;
+    cells = Util.Gvec.create ();
+    pins = Util.Gvec.create ();
+    nets = Util.Gvec.create ();
+    sink_lists = Util.Gvec.create ();
+    xs = Util.Gvec.create ();
+    ys = Util.Gvec.create ();
+  }
+
+let num_cells b = Util.Gvec.length b.cells
+
+let num_nets b = Util.Gvec.length b.nets
+
+let add_pin b ~owner ~pin_name ~dir ~off_x ~off_y ~cap =
+  let pid = Util.Gvec.length b.pins in
+  Util.Gvec.push b.pins { Design.pid; owner; pin_name; dir; off_x; off_y; cap; net = -1 };
+  pid
+
+(** Add a logic cell (combinational or FF); creates its pins from the
+    library cell. Returns the cell id. *)
+let add_logic b ~cname ~lib ~x ~y ?(movable = true) () =
+  let id = Util.Gvec.length b.cells in
+  let cell =
+    {
+      Design.id;
+      cname;
+      role = Design.Logic lib;
+      w = lib.Libcell.width;
+      h = lib.Libcell.height;
+      movable;
+      cell_pins = [||];
+    }
+  in
+  let pin_of (lp : Libcell.lib_pin) =
+    let dir = match lp.kind with Libcell.Input -> Design.In | Libcell.Output -> Design.Out in
+    add_pin b ~owner:id ~pin_name:lp.pname ~dir ~off_x:lp.off_x ~off_y:lp.off_y ~cap:lp.cap
+  in
+  cell.cell_pins <- Array.map pin_of lib.Libcell.pins;
+  Util.Gvec.push b.cells cell;
+  Util.Gvec.push b.xs x;
+  Util.Gvec.push b.ys y;
+  id
+
+(* Pads sit on the die boundary, are fixed, and carry one pin at their
+   centre with a nominal pad capacitance. *)
+let add_pad b ~cname ~role ~x ~y =
+  let id = Util.Gvec.length b.cells in
+  let dir, cap =
+    match role with
+    | Design.Input_pad -> (Design.Out, 0.0)
+    | Design.Output_pad -> (Design.In, 3.0)
+    | Design.Logic _ | Design.Blockage -> invalid_arg "Builder.add_pad: not a pad role"
+  in
+  let cell = { Design.id; cname; role; w = 1.0; h = 1.0; movable = false; cell_pins = [||] } in
+  let pid = add_pin b ~owner:id ~pin_name:"p" ~dir ~off_x:0.0 ~off_y:0.0 ~cap in
+  cell.cell_pins <- [| pid |];
+  Util.Gvec.push b.cells cell;
+  Util.Gvec.push b.xs x;
+  Util.Gvec.push b.ys y;
+  id
+
+let add_input_pad b ~cname ~x ~y = add_pad b ~cname ~role:Design.Input_pad ~x ~y
+
+let add_output_pad b ~cname ~x ~y = add_pad b ~cname ~role:Design.Output_pad ~x ~y
+
+(** Add a fixed rectangular blockage (macro). *)
+let add_blockage b ~cname ~x ~y ~w ~h =
+  let id = Util.Gvec.length b.cells in
+  let cell =
+    { Design.id; cname; role = Design.Blockage; w; h; movable = false; cell_pins = [||] }
+  in
+  Util.Gvec.push b.cells cell;
+  Util.Gvec.push b.xs x;
+  Util.Gvec.push b.ys y;
+  id
+
+let add_net b ~nname =
+  let nid = Util.Gvec.length b.nets in
+  Util.Gvec.push b.nets { Design.nid; nname; driver = -1; sinks = [||]; weight = 1.0 };
+  Util.Gvec.push b.sink_lists [];
+  nid
+
+(** Connect pin [pid] to net [nid]; direction decides driver vs sink.
+    A net must end up with exactly one driver. *)
+let connect b ~net:nid ~pin:pid =
+  let net = Util.Gvec.get b.nets nid in
+  let pin = Util.Gvec.get b.pins pid in
+  if pin.Design.net >= 0 then
+    invalid_arg (Printf.sprintf "Builder.connect: pin %d already connected" pid);
+  pin.Design.net <- nid;
+  match pin.Design.dir with
+  | Design.Out ->
+      if net.Design.driver >= 0 then
+        invalid_arg (Printf.sprintf "Builder.connect: net %d already driven" nid);
+      net.Design.driver <- pid
+  | Design.In -> Util.Gvec.set b.sink_lists nid (pid :: Util.Gvec.get b.sink_lists nid)
+
+(** Connect by cell id + pin name (looked up in the cell's pins). *)
+let connect_by_name b ~net ~cell ~pin_name =
+  let c = Util.Gvec.get b.cells cell in
+  let pid =
+    match
+      Array.find_opt
+        (fun pid -> (Util.Gvec.get b.pins pid).Design.pin_name = pin_name)
+        c.Design.cell_pins
+    with
+    | Some pid -> pid
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Builder.connect_by_name: cell %s has no pin %s" c.Design.cname
+             pin_name)
+  in
+  connect b ~net ~pin:pid
+
+(** Pin id of [cell]'s pin called [pin_name]. *)
+let pin_of_cell b ~cell ~pin_name =
+  let c = Util.Gvec.get b.cells cell in
+  match
+    Array.find_opt
+      (fun pid -> (Util.Gvec.get b.pins pid).Design.pin_name = pin_name)
+      c.Design.cell_pins
+  with
+  | Some pid -> pid
+  | None -> invalid_arg "Builder.pin_of_cell: no such pin"
+
+(** Freeze into the flat-array database. Every net must have a driver and
+    at least one sink. *)
+let finish b =
+  let nets = Util.Gvec.to_array b.nets in
+  Array.iteri
+    (fun i (n : Design.net) ->
+      n.sinks <- Array.of_list (List.rev (Util.Gvec.get b.sink_lists i));
+      if n.driver < 0 then
+        invalid_arg (Printf.sprintf "Builder.finish: net %s has no driver" n.nname);
+      if Array.length n.sinks = 0 then
+        invalid_arg (Printf.sprintf "Builder.finish: net %s has no sinks" n.nname))
+    nets;
+  {
+    Design.name = b.name;
+    die = b.die;
+    row_height = b.row_height;
+    clock_period = b.clock_period;
+    input_delay = 0.0;
+    output_delay = 0.0;
+    r_per_unit = b.r_per_unit;
+    c_per_unit = b.c_per_unit;
+    cells = Util.Gvec.to_array b.cells;
+    pins = Util.Gvec.to_array b.pins;
+    nets;
+    x = Util.Gvec.to_array b.xs;
+    y = Util.Gvec.to_array b.ys;
+  }

@@ -1,0 +1,48 @@
+(** Incremental construction of a {!Design.t}: collect cells/pins/nets in
+    growable vectors, check structural invariants (one driver per net,
+    pins exist, no reconnection), freeze into the flat-array database.
+    All operations are amortised O(1). *)
+
+type t
+
+val create :
+  name:string ->
+  die:Geom.Rect.t ->
+  row_height:float ->
+  clock_period:float ->
+  r_per_unit:float ->
+  c_per_unit:float ->
+  t
+
+val num_cells : t -> int
+
+val num_nets : t -> int
+
+(** Add a logic cell (combinational or FF); its pins come from the library
+    cell. Returns the cell id. *)
+val add_logic :
+  t -> cname:string -> lib:Libcell.t -> x:float -> y:float -> ?movable:bool -> unit -> int
+
+(** Fixed 1x1 pad on the boundary with a single output pin "p". *)
+val add_input_pad : t -> cname:string -> x:float -> y:float -> int
+
+(** Fixed 1x1 pad with a single input pin "p". *)
+val add_output_pad : t -> cname:string -> x:float -> y:float -> int
+
+(** Fixed rectangular macro obstruction (no pins). *)
+val add_blockage : t -> cname:string -> x:float -> y:float -> w:float -> h:float -> int
+
+val add_net : t -> nname:string -> int
+
+(** Connect a pin to a net; output pins become the driver (at most one),
+    input pins become sinks. Raises [Invalid_argument] on double driver or
+    reconnection. *)
+val connect : t -> net:int -> pin:int -> unit
+
+val connect_by_name : t -> net:int -> cell:int -> pin_name:string -> unit
+
+(** Pin id of a cell's named pin; raises [Invalid_argument] if absent. *)
+val pin_of_cell : t -> cell:int -> pin_name:string -> int
+
+(** Freeze. Every net must have a driver and at least one sink. *)
+val finish : t -> Design.t

@@ -1,0 +1,145 @@
+(** The circuit database: cells, pins, nets, die, constraints, and the
+    mutable placement state (cell centre coordinates).
+
+    Everything is integer-indexed into flat arrays so placement kernels and
+    the timer can run over contiguous data, mirroring how DREAMPlace and
+    OpenTimer lay out their data for GPU/parallel kernels. *)
+
+type role =
+  | Logic of Libcell.t
+  | Input_pad (* primary input: one output pin, timing startpoint *)
+  | Output_pad (* primary output: one input pin, timing endpoint *)
+  | Blockage (* fixed macro obstruction, no pins *)
+
+type cell = {
+  id : int;
+  cname : string;
+  role : role;
+  w : float;
+  h : float;
+  movable : bool;
+  mutable cell_pins : int array;
+}
+
+type dir = In | Out
+
+type pin = {
+  pid : int;
+  owner : int; (* cell id; every pin belongs to a cell or pad *)
+  pin_name : string;
+  dir : dir;
+  off_x : float; (* offset from the owner cell's centre *)
+  off_y : float;
+  cap : float; (* input capacitance; 0 for outputs *)
+  mutable net : int; (* -1 when unconnected *)
+}
+
+type net = {
+  nid : int;
+  nname : string;
+  mutable driver : int; (* pin id, -1 when undriven *)
+  mutable sinks : int array; (* pin ids *)
+  mutable weight : float; (* net weight used by the wirelength objective *)
+}
+
+type t = {
+  name : string;
+  die : Geom.Rect.t;
+  row_height : float;
+  mutable clock_period : float; (* calibrated after generation *)
+  mutable input_delay : float; (* SDC-like: arrival offset at input pads *)
+  mutable output_delay : float; (* SDC-like: margin required at output pads *)
+  r_per_unit : float; (* wire resistance per unit length *)
+  c_per_unit : float; (* wire capacitance per unit length *)
+  cells : cell array;
+  pins : pin array;
+  nets : net array;
+  x : float array; (* cell centre coordinates, mutable placement state *)
+  y : float array;
+}
+
+let num_cells t = Array.length t.cells
+
+let num_pins t = Array.length t.pins
+
+let num_nets t = Array.length t.nets
+
+let is_ff cell = match cell.role with Logic lc -> lc.is_ff | _ -> false
+
+let libcell_of cell =
+  match cell.role with
+  | Logic lc -> Some lc
+  | Input_pad | Output_pad | Blockage -> None
+
+(** Physical position of a pin under the current placement. *)
+let pin_x t p = t.x.(p.owner) +. p.off_x
+
+let pin_y t p = t.y.(p.owner) +. p.off_y
+
+let pin_pos t p = Geom.Point.make (pin_x t p) (pin_y t p)
+
+let cell_rect t id =
+  let c = t.cells.(id) in
+  Geom.Rect.make
+    ~xl:(t.x.(id) -. (c.w /. 2.0))
+    ~yl:(t.y.(id) -. (c.h /. 2.0))
+    ~xh:(t.x.(id) +. (c.w /. 2.0))
+    ~yh:(t.y.(id) +. (c.h /. 2.0))
+
+let movable_ids t =
+  Array.to_list t.cells |> List.filter (fun c -> c.movable) |> List.map (fun c -> c.id)
+
+let num_movable t =
+  Array.fold_left (fun acc c -> if c.movable then acc + 1 else acc) 0 t.cells
+
+let movable_area t =
+  Array.fold_left (fun acc c -> if c.movable then acc +. (c.w *. c.h) else acc) 0.0 t.cells
+
+(** HPWL of one net under the current placement (0 for degenerate nets). *)
+let net_hpwl t net =
+  if net.driver < 0 && Array.length net.sinks = 0 then 0.0
+  else begin
+    let xmin = ref Float.infinity and xmax = ref Float.neg_infinity in
+    let ymin = ref Float.infinity and ymax = ref Float.neg_infinity in
+    let visit pid =
+      let p = t.pins.(pid) in
+      let px = pin_x t p and py = pin_y t p in
+      if px < !xmin then xmin := px;
+      if px > !xmax then xmax := px;
+      if py < !ymin then ymin := py;
+      if py > !ymax then ymax := py
+    in
+    if net.driver >= 0 then visit net.driver;
+    Array.iter visit net.sinks;
+    if !xmax < !xmin then 0.0 else !xmax -. !xmin +. (!ymax -. !ymin)
+  end
+
+(** Total HPWL (unweighted) — the contest wirelength metric. *)
+let total_hpwl t = Array.fold_left (fun acc n -> acc +. net_hpwl t n) 0.0 t.nets
+
+(** All pin ids of a net: driver first (when present) then sinks. *)
+let net_pins net =
+  if net.driver >= 0 then net.driver :: Array.to_list net.sinks else Array.to_list net.sinks
+
+let net_degree net = (if net.driver >= 0 then 1 else 0) + Array.length net.sinks
+
+(** Copy of the current placement, for snapshots / restores. *)
+let snapshot t = (Array.copy t.x, Array.copy t.y)
+
+let restore t (sx, sy) =
+  Array.blit sx 0 t.x 0 (Array.length sx);
+  Array.blit sy 0 t.y 0 (Array.length sy)
+
+(** Clamp every movable cell centre so the cell stays inside the die. *)
+let clamp_movable t =
+  let die = t.die in
+  Array.iter
+    (fun c ->
+      if c.movable then begin
+        let hw = c.w /. 2.0 and hh = c.h /. 2.0 in
+        t.x.(c.id) <- Float.max (die.xl +. hw) (Float.min (die.xh -. hw) t.x.(c.id));
+        t.y.(c.id) <- Float.max (die.yl +. hh) (Float.min (die.yh -. hh) t.y.(c.id))
+      end)
+    t.cells
+
+let reset_net_weights t = Array.iter (fun n -> n.weight <- 1.0) t.nets

@@ -1,0 +1,106 @@
+(** The circuit database: cells, pins, nets, die, constraints, and the
+    mutable placement state (cell centre coordinates).
+
+    Everything is integer-indexed into flat arrays so that placement
+    kernels and the timer run over contiguous data, mirroring how
+    DREAMPlace and OpenTimer lay out theirs. *)
+
+type role =
+  | Logic of Libcell.t
+  | Input_pad (* primary input: one output pin, timing startpoint *)
+  | Output_pad (* primary output: one input pin, timing endpoint *)
+  | Blockage (* fixed macro obstruction, no pins *)
+
+type cell = {
+  id : int;
+  cname : string;
+  role : role;
+  w : float;
+  h : float;
+  movable : bool;
+  mutable cell_pins : int array;
+}
+
+type dir = In | Out
+
+type pin = {
+  pid : int;
+  owner : int; (* cell id; every pin belongs to a cell or pad *)
+  pin_name : string;
+  dir : dir;
+  off_x : float; (* offset from the owner cell's centre *)
+  off_y : float;
+  cap : float; (* input capacitance; 0 for outputs *)
+  mutable net : int; (* -1 when unconnected *)
+}
+
+type net = {
+  nid : int;
+  nname : string;
+  mutable driver : int; (* pin id, -1 when undriven *)
+  mutable sinks : int array; (* pin ids *)
+  mutable weight : float; (* net weight in the wirelength objective *)
+}
+
+type t = {
+  name : string;
+  die : Geom.Rect.t;
+  row_height : float;
+  mutable clock_period : float; (* calibrated after generation *)
+  mutable input_delay : float; (* SDC-like: arrival offset at input pads *)
+  mutable output_delay : float; (* SDC-like: margin required at output pads *)
+  r_per_unit : float; (* wire resistance per unit length *)
+  c_per_unit : float; (* wire capacitance per unit length *)
+  cells : cell array;
+  pins : pin array;
+  nets : net array;
+  x : float array; (* cell centre coordinates, mutable placement state *)
+  y : float array;
+}
+
+val num_cells : t -> int
+
+val num_pins : t -> int
+
+val num_nets : t -> int
+
+val is_ff : cell -> bool
+
+val libcell_of : cell -> Libcell.t option
+
+(** Physical pin position under the current placement. *)
+val pin_x : t -> pin -> float
+
+val pin_y : t -> pin -> float
+
+val pin_pos : t -> pin -> Geom.Point.t
+
+(** Occupied rectangle of a cell under the current placement. *)
+val cell_rect : t -> int -> Geom.Rect.t
+
+val movable_ids : t -> int list
+
+val num_movable : t -> int
+
+val movable_area : t -> float
+
+(** HPWL of one net (0 for degenerate nets). *)
+val net_hpwl : t -> net -> float
+
+(** Total unweighted HPWL — the contest wirelength metric. *)
+val total_hpwl : t -> float
+
+(** Pin ids of a net: driver first (when present), then sinks. *)
+val net_pins : net -> int list
+
+val net_degree : net -> int
+
+(** Copy of the current placement, for checkpoints. *)
+val snapshot : t -> float array * float array
+
+val restore : t -> float array * float array -> unit
+
+(** Clamp every movable cell centre so the cell stays inside the die. *)
+val clamp_movable : t -> unit
+
+val reset_net_weights : t -> unit

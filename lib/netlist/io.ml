@@ -1,0 +1,160 @@
+(** Plain-text design interchange (a compact DEF/Bookshelf stand-in).
+
+    Format (one record per line, '#' comments):
+    {v
+    design <name>
+    die <xl> <yl> <xh> <yh>
+    rowheight <h>
+    clock <period>
+    wire <r_per_unit> <c_per_unit>
+    c <name> L <libname> <M|F> <x> <y>     logic cell (movable/fixed)
+    c <name> I <x> <y>                      input pad
+    c <name> O <x> <y>                      output pad
+    c <name> B <x> <y> <w> <h>              blockage
+    n <name> <cellindex>:<pinname> ...      net, driver inferred from dirs
+    end
+    v} *)
+
+let save_placement oc (d : Design.t) =
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then Printf.fprintf oc "p %d %.6f %.6f\n" c.id d.x.(c.id) d.y.(c.id))
+    d.cells
+
+let save oc (d : Design.t) =
+  Printf.fprintf oc "# efficient-tdp design format v1\n";
+  Printf.fprintf oc "design %s\n" d.name;
+  Printf.fprintf oc "die %.6f %.6f %.6f %.6f\n" d.die.xl d.die.yl d.die.xh d.die.yh;
+  Printf.fprintf oc "rowheight %.6f\n" d.row_height;
+  Printf.fprintf oc "clock %.6f\n" d.clock_period;
+  Printf.fprintf oc "iodelay %.6f %.6f\n" d.input_delay d.output_delay;
+  Printf.fprintf oc "wire %.6f %.6f\n" d.r_per_unit d.c_per_unit;
+  Array.iter
+    (fun (c : Design.cell) ->
+      let x = d.x.(c.id) and y = d.y.(c.id) in
+      match c.role with
+      | Design.Logic lc ->
+          Printf.fprintf oc "c %s L %s %c %.6f %.6f\n" c.cname lc.Libcell.lname
+            (if c.movable then 'M' else 'F')
+            x y
+      | Design.Input_pad -> Printf.fprintf oc "c %s I %.6f %.6f\n" c.cname x y
+      | Design.Output_pad -> Printf.fprintf oc "c %s O %.6f %.6f\n" c.cname x y
+      | Design.Blockage -> Printf.fprintf oc "c %s B %.6f %.6f %.6f %.6f\n" c.cname x y c.w c.h)
+    d.cells;
+  Array.iter
+    (fun (n : Design.net) ->
+      Printf.fprintf oc "n %s" n.nname;
+      List.iter
+        (fun pid ->
+          let p = d.pins.(pid) in
+          Printf.fprintf oc " %d:%s" p.owner p.pin_name)
+        (Design.net_pins n);
+      Printf.fprintf oc "\n")
+    d.nets;
+  Printf.fprintf oc "end\n"
+
+let save_file path d =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> save oc d)
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let load ic =
+  let builder = ref None in
+  let header = Hashtbl.create 8 in
+  let lineno = ref 0 in
+  let pending_nets = ref [] in
+  (* Cells must all be read before the builder is created (we need the die
+     etc. first), so we buffer raw records and replay. *)
+  let cell_records = ref [] in
+  let finished = ref false in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let line = String.trim line in
+       if line = "" || line.[0] = '#' then ()
+       else begin
+         let words = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+         match words with
+         | [ "design"; name ] -> Hashtbl.replace header "design" [ name ]
+         | "die" :: rest | "rowheight" :: rest | "clock" :: rest | "wire" :: rest
+         | "iodelay" :: rest ->
+             Hashtbl.replace header (List.hd words) rest
+         | "c" :: rest -> cell_records := rest :: !cell_records
+         | "n" :: rest -> pending_nets := rest :: !pending_nets
+         | [ "end" ] ->
+             finished := true;
+             raise Exit
+         | _ -> fail !lineno ("unrecognised record: " ^ line)
+       end
+     done
+   with
+  | Exit -> ()
+  | End_of_file -> ());
+  if not !finished then fail !lineno "missing 'end' record";
+  let get k =
+    match Hashtbl.find_opt header k with
+    | Some v -> v
+    | None -> fail 0 ("missing header record: " ^ k)
+  in
+  let fl s = float_of_string s in
+  let name = List.hd (get "design") in
+  let die =
+    match get "die" with
+    | [ a; b; c; d ] -> Geom.Rect.make ~xl:(fl a) ~yl:(fl b) ~xh:(fl c) ~yh:(fl d)
+    | _ -> fail 0 "bad die record"
+  in
+  let row_height = fl (List.hd (get "rowheight")) in
+  let clock_period = fl (List.hd (get "clock")) in
+  let r_per_unit, c_per_unit =
+    match get "wire" with [ r; c ] -> (fl r, fl c) | _ -> fail 0 "bad wire record"
+  in
+  let input_delay, output_delay =
+    match Hashtbl.find_opt header "iodelay" with
+    | Some [ i; o ] -> (fl i, fl o)
+    | Some _ -> fail 0 "bad iodelay record"
+    | None -> (0.0, 0.0)
+  in
+  let b =
+    Builder.create ~name ~die ~row_height ~clock_period ~r_per_unit ~c_per_unit
+  in
+  builder := Some b;
+  List.iter
+    (fun rest ->
+      match rest with
+      | [ cname; "L"; libname; mv; x; y ] ->
+          let lib = Libcell.find_in_library libname in
+          ignore (Builder.add_logic b ~cname ~lib ~x:(fl x) ~y:(fl y) ~movable:(mv = "M") ())
+      | [ cname; "I"; x; y ] -> ignore (Builder.add_input_pad b ~cname ~x:(fl x) ~y:(fl y))
+      | [ cname; "O"; x; y ] -> ignore (Builder.add_output_pad b ~cname ~x:(fl x) ~y:(fl y))
+      | [ cname; "B"; x; y; w; h ] ->
+          ignore (Builder.add_blockage b ~cname ~x:(fl x) ~y:(fl y) ~w:(fl w) ~h:(fl h))
+      | _ -> fail 0 ("bad cell record: " ^ String.concat " " rest))
+    (List.rev !cell_records);
+  List.iter
+    (fun rest ->
+      match rest with
+      | nname :: pins when pins <> [] ->
+          let nid = Builder.add_net b ~nname in
+          List.iter
+            (fun spec ->
+              match String.index_opt spec ':' with
+              | Some i ->
+                  let cell = int_of_string (String.sub spec 0 i) in
+                  let pin_name = String.sub spec (i + 1) (String.length spec - i - 1) in
+                  Builder.connect_by_name b ~net:nid ~cell ~pin_name
+              | None -> fail 0 ("bad pin spec: " ^ spec))
+            pins
+      | _ -> fail 0 "bad net record")
+    (List.rev !pending_nets);
+  let d = Builder.finish b in
+  d.Design.input_delay <- input_delay;
+  d.Design.output_delay <- output_delay;
+  d
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load ic)

@@ -1,0 +1,17 @@
+(** Plain-text design interchange (a compact DEF/Bookshelf stand-in). The
+    concrete grammar is documented at the top of the implementation. *)
+
+exception Parse_error of int * string
+
+val save : out_channel -> Design.t -> unit
+
+val save_file : string -> Design.t -> unit
+
+(** Positions of movable cells only ("p <cellid> <x> <y>" records). *)
+val save_placement : out_channel -> Design.t -> unit
+
+(** Raises {!Parse_error} on malformed input; library cells are resolved
+    against {!Libcell.default_library}. *)
+val load : in_channel -> Design.t
+
+val load_file : string -> Design.t

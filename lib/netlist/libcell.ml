@@ -1,0 +1,132 @@
+(** Liberty-like standard-cell library.
+
+    Delay model (linear / lumped, per cell arc):
+      arc delay   = intrinsic + drive_res * load + slew_sens * input_slew
+      output slew = slew_base + slew_load * load
+    where [load] is total downstream capacitance (wire + sink pins).
+    Together with the Elmore wire model this makes net delay quadratic in
+    wire length, which is the property (paper Eq. 7) the quadratic
+    attraction loss is designed to match. *)
+
+type pin_kind = Input | Output
+
+type lib_pin = {
+  pname : string;
+  kind : pin_kind;
+  cap : float; (* input capacitance; 0.0 for outputs *)
+  off_x : float; (* offset from the cell centre *)
+  off_y : float;
+}
+
+type t = {
+  lname : string;
+  width : float;
+  height : float;
+  pins : lib_pin array;
+  drive_res : float;
+  intrinsic : float;
+  slew_sens : float; (* delay added per unit of input slew *)
+  slew_base : float;
+  slew_load : float; (* output slew per unit load *)
+  is_ff : bool;
+  setup : float; (* FF only: setup time at D *)
+  hold : float; (* FF only: hold requirement at D *)
+  clk_to_q : float; (* FF only: launch delay at Q *)
+}
+
+let find_pin t name =
+  match Array.find_opt (fun p -> p.pname = name) t.pins with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Libcell.find_pin: %s has no pin %s" t.lname name)
+
+let pin_index t name =
+  let rec go i =
+    if i >= Array.length t.pins then
+      invalid_arg (Printf.sprintf "Libcell.pin_index: %s has no pin %s" t.lname name)
+    else if t.pins.(i).pname = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let inputs t = Array.to_list t.pins |> List.filter (fun p -> p.kind = Input)
+
+let outputs t = Array.to_list t.pins |> List.filter (fun p -> p.kind = Output)
+
+(* Evenly space pins along the cell: inputs on the left edge, outputs on
+   the right, mirroring row-based standard cell layouts. *)
+let layout_pins ~width ~height ins outs =
+  let place names kind x =
+    let n = List.length names in
+    List.mapi
+      (fun i (pname, cap) ->
+        let fy = (float_of_int i +. 1.0) /. (float_of_int n +. 1.0) in
+        { pname; kind; cap; off_x = x; off_y = (fy -. 0.5) *. height })
+      names
+  in
+  Array.of_list (place ins Input (-.width /. 2.0) @ place outs Output (width /. 2.0))
+
+let make_comb ~lname ~width ~drive_res ~intrinsic ~in_caps =
+  let height = 1.0 in
+  let ins = List.mapi (fun i cap -> (Printf.sprintf "a%d" (i + 1), cap)) in_caps in
+  {
+    lname;
+    width;
+    height;
+    pins = layout_pins ~width ~height ins [ ("o", 0.0) ];
+    drive_res;
+    intrinsic;
+    slew_sens = 0.20;
+    slew_base = 5.0;
+    slew_load = 0.8 *. drive_res;
+    is_ff = false;
+    setup = 0.0;
+    hold = 0.0;
+    clk_to_q = 0.0;
+  }
+
+let make_ff ?(hold = 5.0) ~lname ~width ~drive_res ~clk_to_q ~setup ~d_cap () =
+  let height = 1.0 in
+  {
+    lname;
+    width;
+    height;
+    pins = layout_pins ~width ~height [ ("d", d_cap) ] [ ("q", 0.0) ];
+    drive_res;
+    intrinsic = 0.0;
+    slew_sens = 0.15;
+    slew_base = 6.0;
+    slew_load = 0.8 *. drive_res;
+    is_ff = true;
+    setup;
+    hold;
+    clk_to_q;
+  }
+
+(** The default library used by the synthetic benchmark generator.
+    Units: distance in sites, capacitance in fF, resistance in kOhm,
+    time in ps (so R*C is ps). Values are in the ballpark of a generic
+    45nm educational kit. *)
+let default_library =
+  [|
+    make_comb ~lname:"INV_X1" ~width:1.0 ~drive_res:9.0 ~intrinsic:8.0 ~in_caps:[ 1.2 ];
+    make_comb ~lname:"INV_X4" ~width:2.0 ~drive_res:2.8 ~intrinsic:10.0 ~in_caps:[ 4.0 ];
+    make_comb ~lname:"BUF_X2" ~width:1.5 ~drive_res:5.0 ~intrinsic:16.0 ~in_caps:[ 1.8 ];
+    make_comb ~lname:"NAND2_X1" ~width:1.5 ~drive_res:10.0 ~intrinsic:12.0 ~in_caps:[ 1.4; 1.4 ];
+    make_comb ~lname:"NOR2_X1" ~width:1.5 ~drive_res:11.0 ~intrinsic:14.0 ~in_caps:[ 1.5; 1.5 ];
+    make_comb ~lname:"AND2_X1" ~width:2.0 ~drive_res:9.5 ~intrinsic:18.0 ~in_caps:[ 1.3; 1.3 ];
+    make_comb ~lname:"OR2_X1" ~width:2.0 ~drive_res:9.5 ~intrinsic:19.0 ~in_caps:[ 1.3; 1.3 ];
+    make_comb ~lname:"XOR2_X1" ~width:2.5 ~drive_res:11.0 ~intrinsic:24.0 ~in_caps:[ 1.9; 1.9 ];
+    make_comb ~lname:"AOI21_X1" ~width:2.5 ~drive_res:12.0 ~intrinsic:20.0 ~in_caps:[ 1.6; 1.6; 1.6 ];
+    make_comb ~lname:"MUX2_X1" ~width:3.0 ~drive_res:11.5 ~intrinsic:26.0 ~in_caps:[ 1.7; 1.7; 1.5 ];
+    make_ff ~lname:"DFF_X1" ~width:4.0 ~drive_res:8.0 ~clk_to_q:30.0 ~setup:25.0 ~d_cap:1.6 ();
+  |]
+
+let find_in_library name =
+  match Array.find_opt (fun lc -> lc.lname = name) default_library with
+  | Some lc -> lc
+  | None -> invalid_arg (Printf.sprintf "Libcell.find_in_library: unknown cell %s" name)
+
+(** Combinational cells only (generator picks among these for logic). *)
+let comb_cells = Array.of_list (List.filter (fun lc -> not lc.is_ff) (Array.to_list default_library))
+
+let dff = find_in_library "DFF_X1"

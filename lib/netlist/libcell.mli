@@ -1,0 +1,75 @@
+(** Liberty-like standard-cell library.
+
+    Delay model (linear / lumped, per cell arc):
+      arc delay   = intrinsic + drive_res * load + slew_sens * input_slew
+      output slew = slew_base + slew_load * load
+    where [load] is the total downstream capacitance (wire + sink pins).
+    Together with the Elmore wire model this makes net delay quadratic in
+    wire length — the property (paper Eq. 7) that motivates the quadratic
+    attraction loss.
+
+    Units: distance in sites, capacitance in fF, resistance in kOhm,
+    time in ps. *)
+
+type pin_kind = Input | Output
+
+type lib_pin = {
+  pname : string;
+  kind : pin_kind;
+  cap : float; (* input capacitance; 0.0 for outputs *)
+  off_x : float; (* offset from the cell centre *)
+  off_y : float;
+}
+
+type t = {
+  lname : string;
+  width : float;
+  height : float;
+  pins : lib_pin array;
+  drive_res : float;
+  intrinsic : float;
+  slew_sens : float; (* delay added per unit of input slew *)
+  slew_base : float;
+  slew_load : float; (* output slew per unit load *)
+  is_ff : bool;
+  setup : float; (* FF only: setup time at D *)
+  hold : float; (* FF only: hold requirement at D *)
+  clk_to_q : float; (* FF only: launch delay at Q *)
+}
+
+(** Raises [Invalid_argument] for unknown pin names. *)
+val find_pin : t -> string -> lib_pin
+
+val pin_index : t -> string -> int
+
+val inputs : t -> lib_pin list
+
+val outputs : t -> lib_pin list
+
+(** Build a combinational cell with inputs a1..ak and output o. *)
+val make_comb :
+  lname:string -> width:float -> drive_res:float -> intrinsic:float -> in_caps:float list -> t
+
+(** Build a D flip-flop with input d and output q. *)
+val make_ff :
+  ?hold:float ->
+  lname:string ->
+  width:float ->
+  drive_res:float ->
+  clk_to_q:float ->
+  setup:float ->
+  d_cap:float ->
+  unit ->
+  t
+
+(** The default library used by the synthetic benchmark generator. *)
+val default_library : t array
+
+(** Raises [Invalid_argument] for unknown cells. *)
+val find_in_library : string -> t
+
+(** Combinational members of {!default_library}. *)
+val comb_cells : t array
+
+(** The library's D flip-flop. *)
+val dff : t

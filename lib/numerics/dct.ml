@@ -1,0 +1,85 @@
+(** DCT-II and its inverse (DCT-III) via a length-2N FFT (Makhoul's even
+    extension), plus separable 2D transforms over row-major grids.
+
+    Conventions (un-normalised):
+      forward:  X_k = sum_{n<N} x_n cos(pi k (2n+1) / (2N))
+      inverse reconstructs x exactly from X (normalisation built in). *)
+
+(* Scratch buffers are allocated per call; grids are small and transforms
+   run a few times per placement iteration, so this is not a bottleneck. *)
+
+let dct2 x =
+  let n = Array.length x in
+  Fft.check_size n;
+  let m = 2 * n in
+  let re = Array.make m 0.0 and im = Array.make m 0.0 in
+  for i = 0 to n - 1 do
+    re.(i) <- x.(i);
+    re.(m - 1 - i) <- x.(i)
+  done;
+  Fft.forward re im;
+  let out = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    (* X_k = 0.5 * Re(e^{-i pi k / 2N} * Y_k) *)
+    let ang = -.Float.pi *. float_of_int k /. float_of_int m in
+    out.(k) <- 0.5 *. ((re.(k) *. cos ang) -. (im.(k) *. sin ang))
+  done;
+  out
+
+let idct2 coeffs =
+  let n = Array.length coeffs in
+  Fft.check_size n;
+  let m = 2 * n in
+  let re = Array.make m 0.0 and im = Array.make m 0.0 in
+  (* Rebuild the length-2N spectrum Y_k = 2 X_k e^{i pi k / 2N}, with
+     Y_N = 0 and conjugate symmetry, then one inverse FFT recovers the even
+     extension whose first half is x. *)
+  for k = 0 to n - 1 do
+    let ang = Float.pi *. float_of_int k /. float_of_int m in
+    let yr = 2.0 *. coeffs.(k) *. cos ang in
+    let yi = 2.0 *. coeffs.(k) *. sin ang in
+    re.(k) <- yr;
+    im.(k) <- yi;
+    if k > 0 then begin
+      re.(m - k) <- yr;
+      im.(m - k) <- -.yi
+    end
+  done;
+  Fft.inverse re im;
+  Array.sub re 0 n
+
+(* ---- 2D separable transforms on row-major [rows x cols] grids ---- *)
+
+let map_rows f grid ~rows ~cols =
+  let out = Array.make (rows * cols) 0.0 in
+  let row = Array.make cols 0.0 in
+  for r = 0 to rows - 1 do
+    Array.blit grid (r * cols) row 0 cols;
+    let t = f row in
+    Array.blit t 0 out (r * cols) cols
+  done;
+  out
+
+let map_cols f grid ~rows ~cols =
+  let out = Array.make (rows * cols) 0.0 in
+  let col = Array.make rows 0.0 in
+  for c = 0 to cols - 1 do
+    for r = 0 to rows - 1 do
+      col.(r) <- grid.((r * cols) + c)
+    done;
+    let t = f col in
+    for r = 0 to rows - 1 do
+      out.((r * cols) + c) <- t.(r)
+    done
+  done;
+  out
+
+(** 2D DCT-II: rows then columns. *)
+let dct2_2d grid ~rows ~cols =
+  let g = map_rows dct2 grid ~rows ~cols in
+  map_cols dct2 g ~rows ~cols
+
+(** 2D inverse (DCT-III): columns then rows. *)
+let idct2_2d grid ~rows ~cols =
+  let g = map_cols idct2 grid ~rows ~cols in
+  map_rows idct2 g ~rows ~cols

@@ -1,0 +1,17 @@
+(** DCT-II and its exact inverse via a length-2N FFT (Makhoul's even
+    extension), plus separable 2D transforms on row-major grids.
+
+    Convention (un-normalised forward):
+      [dct2 x].(k) = sum_n x.(n) * cos(pi k (2n+1) / 2N)
+    [idct2] reconstructs the input of [dct2] exactly. Lengths must be
+    powers of two. *)
+
+val dct2 : float array -> float array
+
+val idct2 : float array -> float array
+
+(** 2D DCT-II, rows then columns, on a row-major [rows*cols] grid. *)
+val dct2_2d : float array -> rows:int -> cols:int -> float array
+
+(** Exact inverse of {!dct2_2d}. *)
+val idct2_2d : float array -> rows:int -> cols:int -> float array

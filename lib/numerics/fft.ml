@@ -1,0 +1,74 @@
+(** Iterative radix-2 complex FFT on separate re/im float arrays.
+
+    Sizes must be powers of two. This is the workhorse beneath the DCT used
+    by the electrostatic Poisson solver; grids are small (<= 1024) so a
+    straightforward Cooley-Tukey with precomputed twiddles is plenty. *)
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let check_size n =
+  if not (is_power_of_two n) then invalid_arg "Fft: size must be a power of two"
+
+(* Bit-reversal permutation, in place. *)
+let bit_reverse re im n =
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(!j);
+      re.(!j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(!j);
+      im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done
+
+(* Core in-place transform; [sign] is -1 for forward, +1 for inverse. *)
+let transform ~sign re im =
+  let n = Array.length re in
+  check_size n;
+  assert (Array.length im = n);
+  bit_reverse re im n;
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let theta = float_of_int sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wr = cos theta and wi = sin theta in
+    let i = ref 0 in
+    while !i < n do
+      let cr = ref 1.0 and ci = ref 0.0 in
+      for k = 0 to half - 1 do
+        let a = !i + k and b = !i + k + half in
+        let tr = (re.(b) *. !cr) -. (im.(b) *. !ci) in
+        let ti = (re.(b) *. !ci) +. (im.(b) *. !cr) in
+        re.(b) <- re.(a) -. tr;
+        im.(b) <- im.(a) -. ti;
+        re.(a) <- re.(a) +. tr;
+        im.(a) <- im.(a) +. ti;
+        let ncr = (!cr *. wr) -. (!ci *. wi) in
+        ci := (!cr *. wi) +. (!ci *. wr);
+        cr := ncr
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+(** In-place forward DFT. *)
+let forward re im = transform ~sign:(-1) re im
+
+(** In-place inverse DFT, including the 1/n normalisation. *)
+let inverse re im =
+  transform ~sign:1 re im;
+  let n = Array.length re in
+  let inv = 1.0 /. float_of_int n in
+  for i = 0 to n - 1 do
+    re.(i) <- re.(i) *. inv;
+    im.(i) <- im.(i) *. inv
+  done

@@ -1,0 +1,13 @@
+(** Iterative radix-2 complex FFT on separate re/im arrays. Sizes must be
+    powers of two. *)
+
+val is_power_of_two : int -> bool
+
+(** Raises [Invalid_argument] unless the size is a power of two. *)
+val check_size : int -> unit
+
+(** In-place forward DFT. Arrays must have equal power-of-two length. *)
+val forward : float array -> float array -> unit
+
+(** In-place inverse DFT, including the 1/n normalisation. *)
+val inverse : float array -> float array -> unit

@@ -1,0 +1,20 @@
+(** Spectral Poisson solver on a regular grid with Neumann boundaries —
+    the ePlace electrostatics substrate.
+
+    [solve] inverts the *discrete* 5-point Laplacian exactly (cosine-mode
+    eigenvalues 2-2cos w), dropping the DC mode, i.e. it solves
+    laplacian(psi) = -rho for zero-mean charge. *)
+
+type t
+
+(** Grid dimensions must be powers of two. *)
+val create : rows:int -> cols:int -> t
+
+(** Potential from the (row-major) charge grid. *)
+val solve : t -> float array -> float array
+
+(** Field (ex, ey) = -grad psi by central differences, in grid units. *)
+val field : t -> float array -> float array * float array
+
+(** System energy 0.5 * sum(rho * psi) — the ePlace density penalty. *)
+val energy : float array -> float array -> float

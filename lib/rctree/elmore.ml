@@ -1,0 +1,91 @@
+(** Elmore delay over a {!Steiner.t} topology.
+
+    Each tree edge of length L is a distributed RC segment with resistance
+    r*L and capacitance c*L; the standard lumped approximation charges half
+    the segment's own capacitance plus everything downstream:
+
+      delay(edge) = r*L * (c*L/2 + C_downstream_of_child)
+
+    and the delay to a sink is the sum over edges on the root-sink path.
+    The driver's own resistance is handled by the caller (it multiplies the
+    *total* net capacitance and is part of the cell/net arc delay). *)
+
+type result = {
+  total_cap : float; (* wire cap + all terminal loads (driver excluded) *)
+  total_wirelen : float;
+  sink_delay : float array; (* per tree NODE, delay from root *)
+}
+
+(** [compute tree ~r ~c ~term_cap] where [term_cap i] is the load of the
+    caller terminal [i] (the root terminal's value is ignored — a driver
+    pin contributes no load to its own net). *)
+let compute (tree : Steiner.t) ~r ~c ~term_cap =
+  let n = Steiner.num_nodes tree in
+  (* Children lists to traverse top-down / bottom-up. *)
+  let child_count = Array.make n 0 in
+  for v = 1 to n - 1 do
+    child_count.(tree.parent.(v)) <- child_count.(tree.parent.(v)) + 1
+  done;
+  (* Order nodes so that parents precede children: the construction in
+     Steiner pushes children after their parent *except* edge splits,
+     where the Steiner node s is pushed after v but becomes v's parent.
+     So we need a real topological order. *)
+  let order = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  let indeg = Array.make n 0 in
+  for v = 0 to n - 1 do
+    if tree.parent.(v) >= 0 then indeg.(v) <- 1
+  done;
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then begin
+      order.(!tail) <- v;
+      incr tail
+    end
+  done;
+  let children = Array.make n [] in
+  for v = 0 to n - 1 do
+    if tree.parent.(v) >= 0 then children.(tree.parent.(v)) <- v :: children.(tree.parent.(v))
+  done;
+  while !head < !tail do
+    let v = order.(!head) in
+    incr head;
+    List.iter
+      (fun ch ->
+        order.(!tail) <- ch;
+        incr tail)
+      children.(v)
+  done;
+  assert (!tail = n);
+  (* Bottom-up: downstream capacitance per node. *)
+  let down_cap = Array.make n 0.0 in
+  for v = 0 to n - 1 do
+    let t = tree.terminal.(v) in
+    if t > 0 then down_cap.(v) <- term_cap t
+  done;
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    let p = tree.parent.(v) in
+    if p >= 0 then down_cap.(p) <- down_cap.(p) +. down_cap.(v) +. (c *. tree.edge_len.(v))
+  done;
+  (* Top-down: accumulated Elmore delay per node. *)
+  let delay = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let v = order.(i) in
+    let p = tree.parent.(v) in
+    if p >= 0 then begin
+      let len = tree.edge_len.(v) in
+      let rseg = r *. len in
+      delay.(v) <- delay.(p) +. (rseg *. ((c *. len /. 2.0) +. down_cap.(v)))
+    end
+  done;
+  let total_wirelen = Steiner.total_length tree in
+  { total_cap = down_cap.(order.(0)); total_wirelen; sink_delay = delay }
+
+(** Delay from root to caller terminal [i] (must be attached). *)
+let terminal_delay (tree : Steiner.t) result i =
+  let rec find v =
+    if v >= Steiner.num_nodes tree then invalid_arg "Elmore.terminal_delay: no such terminal"
+    else if tree.terminal.(v) = i then result.sink_delay.(v)
+    else find (v + 1)
+  in
+  find 0

@@ -1,0 +1,168 @@
+(** Rectilinear net topologies for RC delay estimation.
+
+    Two constructions:
+    - [star]: driver connects to every sink directly (length = Manhattan
+      distance). Cheapest; makes each sink's wire delay depend only on its
+      own driver-sink distance.
+    - [steiner]: Prim-based rectilinear Steiner heuristic. Terminals are
+      attached one by one to the closest point of the partially built tree,
+      where "points of the tree" include projections onto the bounding box
+      of existing edges; attachment to an edge interior splits it with a
+      Steiner node. Always no longer than the rectilinear MST.
+
+    Node 0 is the root (net driver). [terminal] maps tree nodes back to the
+    caller's terminal indices (-1 for Steiner nodes). *)
+
+type t = {
+  xs : float array;
+  ys : float array;
+  parent : int array; (* parent node index; -1 for the root *)
+  edge_len : float array; (* Manhattan length of the edge to parent *)
+  terminal : int array; (* caller terminal index, -1 for Steiner nodes *)
+}
+
+let num_nodes t = Array.length t.parent
+
+let total_length t = Array.fold_left ( +. ) 0.0 t.edge_len
+
+let manhattan ax ay bx by = Float.abs (ax -. bx) +. Float.abs (ay -. by)
+
+(** Star topology: root at (xs.(0), ys.(0)), every other terminal is a
+    direct child of the root. *)
+let star ~xs ~ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n >= 1);
+  let parent = Array.init n (fun i -> if i = 0 then -1 else 0) in
+  let edge_len =
+    Array.init n (fun i ->
+        if i = 0 then 0.0 else manhattan xs.(0) ys.(0) xs.(i) ys.(i))
+  in
+  { xs = Array.copy xs; ys = Array.copy ys; parent; edge_len; terminal = Array.init n Fun.id }
+
+(* Closest point of the axis-aligned bounding box of segment (a,b) to
+   point p — the standard "merging point" of rectilinear routing. *)
+let closest_on_bbox ax ay bx by px py =
+  let cx = Float.max (Float.min ax bx) (Float.min (Float.max ax bx) px) in
+  let cy = Float.max (Float.min ay by) (Float.min (Float.max ay by) py) in
+  (cx, cy)
+
+(** Prim-based rectilinear Steiner heuristic. O(n^2) per net in the number
+    of terminals, which is fine for placement-scale fanouts. *)
+let steiner ~xs ~ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n >= 1);
+  if n <= 2 then star ~xs ~ys
+  else begin
+    let nodes_x = Util.Gvec.create () and nodes_y = Util.Gvec.create () in
+    let parent = Util.Gvec.create () and edge_len = Util.Gvec.create () in
+    let terminal = Util.Gvec.create () in
+    let push_node x y ~par ~term =
+      let id = Util.Gvec.length parent in
+      Util.Gvec.push nodes_x x;
+      Util.Gvec.push nodes_y y;
+      Util.Gvec.push parent par;
+      Util.Gvec.push edge_len
+        (if par < 0 then 0.0
+         else manhattan x y (Util.Gvec.get nodes_x par) (Util.Gvec.get nodes_y par));
+      Util.Gvec.push terminal term;
+      id
+    in
+    ignore (push_node xs.(0) ys.(0) ~par:(-1) ~term:0);
+    let attached = Array.make n false in
+    attached.(0) <- true;
+    (* Find, over all unattached terminals, the one closest to the current
+       tree (to a node or to an edge bounding box); attach it, possibly via
+       a new Steiner node splitting the edge. *)
+    for _ = 1 to n - 1 do
+      let best_term = ref (-1) in
+      let best_dist = ref Float.infinity in
+      let best_node = ref (-1) in
+      (* attachment node, or parent side of split edge *)
+      let best_sx = ref 0.0 and best_sy = ref 0.0 in
+      let best_is_edge = ref false in
+      for t = 0 to n - 1 do
+        if not attached.(t) then begin
+          let px = xs.(t) and py = ys.(t) in
+          for v = 0 to Util.Gvec.length parent - 1 do
+            let vx = Util.Gvec.get nodes_x v and vy = Util.Gvec.get nodes_y v in
+            let d = manhattan px py vx vy in
+            if d < !best_dist then begin
+              best_dist := d;
+              best_term := t;
+              best_node := v;
+              best_is_edge := false
+            end;
+            let par = Util.Gvec.get parent v in
+            if par >= 0 then begin
+              let ux = Util.Gvec.get nodes_x par and uy = Util.Gvec.get nodes_y par in
+              let cx, cy = closest_on_bbox ux uy vx vy px py in
+              let d = manhattan px py cx cy in
+              if d < !best_dist -. 1e-12 then begin
+                best_dist := d;
+                best_term := t;
+                best_node := v;
+                best_is_edge := true;
+                best_sx := cx;
+                best_sy := cy
+              end
+            end
+          done
+        end
+      done;
+      let attach_to =
+        if not !best_is_edge then !best_node
+        else begin
+          (* Split edge (parent(v), v) at the Steiner point: the new node
+             takes over v's parent; v re-parents onto the Steiner node. *)
+          let v = !best_node in
+          let par = Util.Gvec.get parent v in
+          let s = push_node !best_sx !best_sy ~par ~term:(-1) in
+          Util.Gvec.set parent v s;
+          Util.Gvec.set edge_len v
+            (manhattan (Util.Gvec.get nodes_x v) (Util.Gvec.get nodes_y v) !best_sx !best_sy);
+          s
+        end
+      in
+      ignore (push_node xs.(!best_term) ys.(!best_term) ~par:attach_to ~term:!best_term);
+      attached.(!best_term) <- true
+    done;
+    {
+      xs = Util.Gvec.to_array nodes_x;
+      ys = Util.Gvec.to_array nodes_y;
+      parent = Util.Gvec.to_array parent;
+      edge_len = Util.Gvec.to_array edge_len;
+      terminal = Util.Gvec.to_array terminal;
+    }
+  end
+
+(** Rectilinear MST length by plain Prim (no Steiner points); used as an
+    upper bound in tests. *)
+let rmst_length ~xs ~ys =
+  let n = Array.length xs in
+  if n <= 1 then 0.0
+  else begin
+    let in_tree = Array.make n false in
+    let dist = Array.make n Float.infinity in
+    in_tree.(0) <- true;
+    for j = 1 to n - 1 do
+      dist.(j) <- manhattan xs.(0) ys.(0) xs.(j) ys.(j)
+    done;
+    let total = ref 0.0 in
+    for _ = 1 to n - 1 do
+      let best = ref (-1) and bd = ref Float.infinity in
+      for j = 0 to n - 1 do
+        if (not in_tree.(j)) && dist.(j) < !bd then begin
+          bd := dist.(j);
+          best := j
+        end
+      done;
+      let b = !best in
+      in_tree.(b) <- true;
+      total := !total +. !bd;
+      for j = 0 to n - 1 do
+        if not in_tree.(j) then
+          dist.(j) <- Float.min dist.(j) (manhattan xs.(b) ys.(b) xs.(j) ys.(j))
+      done
+    done;
+    !total
+  end

@@ -1,0 +1,29 @@
+(** Rectilinear net topologies for RC delay estimation.
+
+    Node 0 is the root (net driver); [terminal] maps tree nodes back to
+    caller terminal indices (-1 for Steiner points). *)
+
+type t = {
+  xs : float array;
+  ys : float array;
+  parent : int array; (* parent node index; -1 for the root *)
+  edge_len : float array; (* Manhattan length of the edge to parent *)
+  terminal : int array; (* caller terminal index, -1 for Steiner nodes *)
+}
+
+val num_nodes : t -> int
+
+val total_length : t -> float
+
+(** Star topology: every terminal is a direct child of the root.
+    Terminal 0 is the root. *)
+val star : xs:float array -> ys:float array -> t
+
+(** Prim-based rectilinear Steiner heuristic: terminals attach to the
+    closest point of the partial tree, splitting edges with Steiner nodes
+    where profitable. Never longer than the rectilinear MST. O(n^2). *)
+val steiner : xs:float array -> ys:float array -> t
+
+(** Rectilinear MST length (plain Prim, no Steiner points) — an upper
+    bound used by tests. *)
+val rmst_length : xs:float array -> ys:float array -> float

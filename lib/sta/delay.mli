@@ -1,0 +1,31 @@
+(** Delay calculation: refreshes arc delays and pin slews from the current
+    placement.
+
+    Net arcs: delay = R_driver * C_net_total + Elmore(driver -> sink).
+    Cell arcs: delay = intrinsic + slew_sens * slew(input).
+    Output slews depend only on load, so a net pass followed by a cell-arc
+    pass is exact (no fixed point needed). *)
+
+type topology = Star | Steiner_tree
+
+(** Driver (resistance, slew_base, slew_load); pads use nominal pad
+    parameters. Raises [Invalid_argument] for non-driver pins. *)
+val driver_params : Netlist.Design.t -> int -> float * float * float
+
+type t = {
+  graph : Graph.t;
+  topology : topology;
+  slew : float array; (* per pin *)
+  net_cap : float array; (* per net: total load seen by the driver *)
+  net_wirelen : float array; (* per net: routed (tree) wirelength *)
+}
+
+val create : Graph.t -> topology:topology -> t
+
+(** Full refresh of every net and cell arc. *)
+val update : t -> unit
+
+(** Incremental refresh after moving only [cells]: recompute the nets
+    touching those cells and the cell arcs their sink slews feed.
+    Exactly equivalent to {!update} for that placement change. *)
+val update_moved : t -> cells:int list -> unit

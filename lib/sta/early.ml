@@ -1,0 +1,78 @@
+(** Early (min-delay) analysis and hold checks.
+
+    Setup (late) analysis asks whether data arrives *before* the capture
+    edge; hold asks whether the *earliest* data arrival stays after the
+    capture FF's hold window at the launching edge:
+
+      hold_slack(D) = arr_early(D) - hold(FF)
+
+    with an ideal zero-skew clock. Early arrivals propagate with MIN over
+    in-arcs using the same single-corner arc delays as the late pass (no
+    min/max derating — a documented simplification; the structure is the
+    same with a second delay set). Primary outputs have no hold check. *)
+
+open Netlist
+
+type t = {
+  arr_early : float array; (* per pin; +inf when unreachable *)
+  hold_slack : float array; (* per pin; +inf for non-checked pins *)
+}
+
+let create graph =
+  let np = Graph.num_pins graph in
+  { arr_early = Array.make np 0.0; hold_slack = Array.make np 0.0 }
+
+let hold_requirement (d : Design.t) pin =
+  let owner = d.cells.(d.pins.(pin).owner) in
+  match owner.role with
+  | Design.Logic lc when lc.Libcell.is_ff -> Some lc.Libcell.hold
+  | Design.Logic _ | Design.Input_pad | Design.Output_pad | Design.Blockage -> None
+
+(** Propagate early arrivals and compute hold slacks. Requires the arc
+    delays to be current (run [Delay.update] / a timer update first). *)
+let update t (graph : Graph.t) =
+  let d = graph.design in
+  let np = Graph.num_pins graph in
+  let arr = t.arr_early in
+  for p = 0 to np - 1 do
+    arr.(p) <- (if graph.is_startpoint.(p) then graph.start_arrival.(p) else Float.infinity)
+  done;
+  Array.iter
+    (fun p ->
+      for i = graph.in_start.(p) to graph.in_start.(p + 1) - 1 do
+        let a = graph.in_arc.(i) in
+        let cand = arr.(graph.arc_from.(a)) +. graph.arc_delay.(a) in
+        if cand < arr.(p) then arr.(p) <- cand
+      done)
+    graph.topo;
+  for p = 0 to np - 1 do
+    t.hold_slack.(p) <-
+      (if graph.is_endpoint.(p) && Float.is_finite arr.(p) then
+         match hold_requirement d p with
+         | Some hold -> arr.(p) -. hold
+         | None -> Float.infinity
+       else Float.infinity)
+  done
+
+(** Worst hold slack over checked endpoints (0 when all met or none). *)
+let whs t (graph : Graph.t) =
+  Array.fold_left
+    (fun acc p ->
+      let s = t.hold_slack.(p) in
+      if Float.is_finite s then Float.min acc s else acc)
+    0.0 graph.endpoints
+  |> Float.min 0.0
+
+(** Total (negative) hold slack. *)
+let ths t (graph : Graph.t) =
+  Array.fold_left
+    (fun acc p ->
+      let s = t.hold_slack.(p) in
+      if Float.is_finite s && s < 0.0 then acc +. s else acc)
+    0.0 graph.endpoints
+
+(** Endpoints violating hold, worst first. *)
+let violations t (graph : Graph.t) =
+  Array.to_list graph.endpoints
+  |> List.filter (fun p -> Float.is_finite t.hold_slack.(p) && t.hold_slack.(p) < 0.0)
+  |> List.sort (fun a b -> compare t.hold_slack.(a) t.hold_slack.(b))

@@ -1,0 +1,22 @@
+(** Early (min-delay) analysis and hold checks:
+    hold_slack(D) = min-arrival(D) - hold(FF), ideal zero-skew clock,
+    single-corner delays. Primary outputs have no hold check. *)
+
+type t = {
+  arr_early : float array; (* per pin; +inf when unreachable *)
+  hold_slack : float array; (* per pin; +inf for non-checked pins *)
+}
+
+val create : Graph.t -> t
+
+(** Requires current arc delays (run a timer update first). *)
+val update : t -> Graph.t -> unit
+
+(** Worst hold slack (0 when all met). *)
+val whs : t -> Graph.t -> float
+
+(** Total negative hold slack. *)
+val ths : t -> Graph.t -> float
+
+(** Hold-violating endpoints, worst first. *)
+val violations : t -> Graph.t -> int list

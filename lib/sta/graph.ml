@@ -1,0 +1,186 @@
+(** The timing graph: a DAG over design pins.
+
+    Arcs:
+    - net arcs: net driver pin -> each sink pin (wire + driver delay);
+    - cell arcs: each input pin -> each output pin of a combinational cell.
+
+    Flip-flops cut the graph: Q pins are startpoints (launch at clk-to-Q),
+    D pins are endpoints (setup check against the clock period). Primary
+    input pads start at arrival 0, primary output pads are endpoints with
+    required time = clock period.
+
+    The structure is static over a placement run; only arc delays change,
+    so adjacency (CSR) and the topological order are built once. *)
+
+open Netlist
+
+type t = {
+  design : Design.t;
+  num_arcs : int;
+  arc_from : int array;
+  arc_to : int array;
+  arc_is_net : bool array;
+  arc_net : int array; (* net id for net arcs, -1 for cell arcs *)
+  arc_sink_idx : int array; (* index into net.sinks for net arcs *)
+  arc_delay : float array; (* updated by Delay.update each round *)
+  in_start : int array; (* CSR: in-arcs of pin p are in_arc.[in_start.(p) .. in_start.(p+1)-1] *)
+  in_arc : int array;
+  out_start : int array;
+  out_arc : int array;
+  topo : int array; (* pin ids, topological (sources first) *)
+  is_startpoint : bool array;
+  is_endpoint : bool array;
+  endpoints : int array;
+  start_arrival : float array; (* valid where is_startpoint *)
+  end_required : float array; (* valid where is_endpoint *)
+}
+
+let num_pins t = Design.num_pins t.design
+
+exception Combinational_loop
+
+let build (d : Design.t) =
+  let np = Design.num_pins d in
+  let arcs_from = Util.Gvec.create () in
+  let arcs_to = Util.Gvec.create () in
+  let arcs_is_net = Util.Gvec.create () in
+  let arcs_net = Util.Gvec.create () in
+  let arcs_sink = Util.Gvec.create () in
+  let add_arc ~from_pin ~to_pin ~is_net ~net ~sink_idx =
+    Util.Gvec.push arcs_from from_pin;
+    Util.Gvec.push arcs_to to_pin;
+    Util.Gvec.push arcs_is_net is_net;
+    Util.Gvec.push arcs_net net;
+    Util.Gvec.push arcs_sink sink_idx
+  in
+  Array.iter
+    (fun (n : Design.net) ->
+      Array.iteri
+        (fun k sink -> add_arc ~from_pin:n.driver ~to_pin:sink ~is_net:true ~net:n.nid ~sink_idx:k)
+        n.sinks)
+    d.nets;
+  Array.iter
+    (fun (c : Design.cell) ->
+      match c.role with
+      | Design.Logic lc when not lc.Libcell.is_ff ->
+          let ins =
+            Array.to_list c.cell_pins |> List.filter (fun pid -> d.pins.(pid).dir = Design.In)
+          in
+          let outs =
+            Array.to_list c.cell_pins |> List.filter (fun pid -> d.pins.(pid).dir = Design.Out)
+          in
+          List.iter
+            (fun i ->
+              List.iter
+                (fun o -> add_arc ~from_pin:i ~to_pin:o ~is_net:false ~net:(-1) ~sink_idx:(-1))
+                outs)
+            ins
+      | Design.Logic _ | Design.Input_pad | Design.Output_pad | Design.Blockage -> ())
+    d.cells;
+  let arc_from = Util.Gvec.to_array arcs_from in
+  let arc_to = Util.Gvec.to_array arcs_to in
+  let num_arcs = Array.length arc_from in
+  (* CSR adjacency. *)
+  let build_csr key =
+    let start = Array.make (np + 1) 0 in
+    for a = 0 to num_arcs - 1 do
+      start.(key a + 1) <- start.(key a + 1) + 1
+    done;
+    for p = 1 to np do
+      start.(p) <- start.(p) + start.(p - 1)
+    done;
+    let fill = Array.copy start in
+    let adj = Array.make num_arcs 0 in
+    for a = 0 to num_arcs - 1 do
+      adj.(fill.(key a)) <- a;
+      fill.(key a) <- fill.(key a) + 1
+    done;
+    (start, adj)
+  in
+  let in_start, in_arc = build_csr (fun a -> arc_to.(a)) in
+  let out_start, out_arc = build_csr (fun a -> arc_from.(a)) in
+  (* Kahn topological sort; a leftover pin means a combinational loop. *)
+  let indeg = Array.make np 0 in
+  for a = 0 to num_arcs - 1 do
+    indeg.(arc_to.(a)) <- indeg.(arc_to.(a)) + 1
+  done;
+  let topo = Array.make np 0 in
+  let head = ref 0 and tail = ref 0 in
+  for p = 0 to np - 1 do
+    if indeg.(p) = 0 then begin
+      topo.(!tail) <- p;
+      incr tail
+    end
+  done;
+  while !head < !tail do
+    let p = topo.(!head) in
+    incr head;
+    for i = out_start.(p) to out_start.(p + 1) - 1 do
+      let a = out_arc.(i) in
+      let q = arc_to.(a) in
+      indeg.(q) <- indeg.(q) - 1;
+      if indeg.(q) = 0 then begin
+        topo.(!tail) <- q;
+        incr tail
+      end
+    done
+  done;
+  if !tail <> np then raise Combinational_loop;
+  (* Start / end point classification and boundary conditions. *)
+  let is_startpoint = Array.make np false in
+  let is_endpoint = Array.make np false in
+  let start_arrival = Array.make np 0.0 in
+  let end_required = Array.make np 0.0 in
+  Array.iter
+    (fun (c : Design.cell) ->
+      match c.role with
+      | Design.Logic lc when lc.Libcell.is_ff ->
+          Array.iter
+            (fun pid ->
+              let p = d.pins.(pid) in
+              match p.dir with
+              | Design.Out ->
+                  is_startpoint.(pid) <- true;
+                  start_arrival.(pid) <- lc.Libcell.clk_to_q
+              | Design.In ->
+                  is_endpoint.(pid) <- true;
+                  end_required.(pid) <- d.clock_period -. lc.Libcell.setup)
+            c.cell_pins
+      | Design.Input_pad ->
+          Array.iter
+            (fun pid ->
+              is_startpoint.(pid) <- true;
+              start_arrival.(pid) <- d.input_delay)
+            c.cell_pins
+      | Design.Output_pad ->
+          Array.iter
+            (fun pid ->
+              is_endpoint.(pid) <- true;
+              end_required.(pid) <- d.clock_period -. d.output_delay)
+            c.cell_pins
+      | Design.Logic _ | Design.Blockage -> ())
+    d.cells;
+  let endpoints =
+    Array.of_list
+      (List.filter (fun p -> is_endpoint.(p)) (List.init np Fun.id))
+  in
+  {
+    design = d;
+    num_arcs;
+    arc_from;
+    arc_to;
+    arc_is_net = Util.Gvec.to_array arcs_is_net;
+    arc_net = Util.Gvec.to_array arcs_net;
+    arc_sink_idx = Util.Gvec.to_array arcs_sink;
+    arc_delay = Array.make num_arcs 0.0;
+    in_start;
+    in_arc;
+    out_start;
+    out_arc;
+    topo;
+    is_startpoint;
+    is_endpoint;
+    endpoints;
+    start_arrival;
+    end_required;
+  }

@@ -1,0 +1,106 @@
+(** Critical path enumeration.
+
+    A timing path runs from a startpoint to an endpoint. Enumeration of the
+    k worst paths into a given endpoint uses best-first search over partial
+    backward walks with the *exact* completion bound: a partial suffix
+    (v ~> endpoint, with accumulated suffix delay D) can be completed to a
+    full path of arrival at most arr(v) + D, and exactly that value is
+    achievable by following worst-arrival predecessors. Keying the queue on
+    that bound makes every completed pop the next-worst path — this is the
+    implicit path representation used by modern timers (OpenTimer,
+    UI-Timer) in its plain best-first form. *)
+
+type path = {
+  endpoint : int;
+  arrival : float; (* data arrival at the endpoint along this path *)
+  slack : float; (* end_required(endpoint) - arrival *)
+  pins : int array; (* startpoint first, endpoint last *)
+  arcs : int array; (* arc ids, aligned: arcs.(i) connects pins.(i) -> pins.(i+1) *)
+}
+
+(* Backward suffix as a shared cons-list of arc ids. *)
+type suffix = Nil | Cons of int * suffix
+
+let rec suffix_to_list s acc = match s with Nil -> acc | Cons (a, rest) -> suffix_to_list rest (a :: acc)
+
+let make_path (graph : Graph.t) ~endpoint ~arrival ~start_pin ~suffix =
+  (* suffix holds arcs from [start_pin] forward to [endpoint] in forward
+     order already reversed during the backward walk. *)
+  let arcs = Array.of_list (List.rev (suffix_to_list suffix [])) in
+  let npins = Array.length arcs + 1 in
+  let pins = Array.make npins start_pin in
+  Array.iteri (fun i a -> pins.(i + 1) <- graph.arc_to.(a)) arcs;
+  {
+    endpoint;
+    arrival;
+    slack = graph.end_required.(endpoint) -. arrival;
+    pins;
+    arcs;
+  }
+
+(** [k_worst graph arr ~endpoint ~k] returns up to [k] complete paths into
+    [endpoint], worst (largest arrival) first. [arr] must hold the current
+    arrival times. Returns [] when the endpoint is unreachable. *)
+let k_worst (graph : Graph.t) (arr : float array) ~endpoint ~k =
+  if k <= 0 || not (Float.is_finite arr.(endpoint)) then []
+  else begin
+    (* Min-heap on the negated completion bound. Payload: (node, suffix
+       delay, suffix arcs). *)
+    let pq : (int * float * suffix) Util.Dheap.t = Util.Dheap.create () in
+    Util.Dheap.push pq (-.arr.(endpoint)) (endpoint, 0.0, Nil);
+    let out = ref [] in
+    let count = ref 0 in
+    while !count < k && not (Util.Dheap.is_empty pq) do
+      let neg_bound, (v, sfx_delay, sfx) = Util.Dheap.pop pq in
+      let bound = -.neg_bound in
+      if graph.is_startpoint.(v) || graph.in_start.(v) = graph.in_start.(v + 1) then begin
+        (* Complete path: v has no predecessors to extend through. *)
+        if graph.is_startpoint.(v) then begin
+          out := make_path graph ~endpoint ~arrival:bound ~start_pin:v ~suffix:sfx :: !out;
+          incr count
+        end
+        (* Non-startpoint sources (dangling pins) are not real paths. *)
+      end
+      else
+        for i = graph.in_start.(v) to graph.in_start.(v + 1) - 1 do
+          let a = graph.in_arc.(i) in
+          let u = graph.arc_from.(a) in
+          if Float.is_finite arr.(u) then begin
+            let nd = sfx_delay +. graph.arc_delay.(a) in
+            Util.Dheap.push pq (-.(arr.(u) +. nd)) (u, nd, Cons (a, sfx))
+          end
+        done
+    done;
+    List.rev !out
+  end
+
+(** The single worst path into [endpoint] by following worst-arrival
+    predecessors — O(depth), no queue. *)
+let worst_path (graph : Graph.t) (arr : float array) ~endpoint =
+  match k_worst graph arr ~endpoint ~k:1 with [] -> None | p :: _ -> Some p
+
+(** Validity check used by tests: consecutive pins are linked by the listed
+    arcs, the path starts at a startpoint and ends at the endpoint, and the
+    arrival equals the sum of delays plus the start arrival. *)
+let is_valid (graph : Graph.t) p =
+  let n = Array.length p.pins in
+  n >= 1
+  && graph.is_startpoint.(p.pins.(0))
+  && p.pins.(n - 1) = p.endpoint
+  && graph.is_endpoint.(p.endpoint)
+  && Array.length p.arcs = n - 1
+  && (let ok = ref true in
+      Array.iteri
+        (fun i a ->
+          if graph.arc_from.(a) <> p.pins.(i) || graph.arc_to.(a) <> p.pins.(i + 1) then
+            ok := false)
+        p.arcs;
+      !ok)
+  &&
+  let total =
+    Array.fold_left
+      (fun acc a -> acc +. graph.arc_delay.(a))
+      graph.start_arrival.(p.pins.(0))
+      p.arcs
+  in
+  Float.abs (total -. p.arrival) < 1e-6 *. (1.0 +. Float.abs p.arrival)

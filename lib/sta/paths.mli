@@ -1,0 +1,22 @@
+(** Critical path enumeration: best-first search over partial backward
+    walks keyed by the exact completion bound (the implicit path
+    representation of modern timers, in plain best-first form). Every pop
+    of a complete path is the next-worst path into the endpoint. *)
+
+type path = {
+  endpoint : int;
+  arrival : float; (* data arrival at the endpoint along this path *)
+  slack : float; (* end_required(endpoint) - arrival *)
+  pins : int array; (* startpoint first, endpoint last *)
+  arcs : int array; (* arcs.(i) connects pins.(i) -> pins.(i+1) *)
+}
+
+(** Up to [k] complete paths into [endpoint], worst (largest arrival)
+    first; [] when unreachable. [arr] must hold current arrivals. *)
+val k_worst : Graph.t -> float array -> endpoint:int -> k:int -> path list
+
+(** The single worst path into [endpoint]. *)
+val worst_path : Graph.t -> float array -> endpoint:int -> path option
+
+(** Structural validity + arrival consistency; used by tests. *)
+val is_valid : Graph.t -> path -> bool

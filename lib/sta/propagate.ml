@@ -1,0 +1,80 @@
+(** Arrival / required propagation and slack computation (late/max
+    analysis, i.e. setup checks — the ICCAD2015 TDP contest metric).
+
+    Pins unreachable from any startpoint keep arrival = -inf and never
+    produce violations; symmetrically for required times. *)
+
+type t = {
+  arr : float array;
+  req : float array;
+  slack : float array;
+}
+
+let create graph =
+  let np = Graph.num_pins graph in
+  { arr = Array.make np 0.0; req = Array.make np 0.0; slack = Array.make np 0.0 }
+
+let update t (graph : Graph.t) =
+  let np = Graph.num_pins graph in
+  let arr = t.arr and req = t.req in
+  (* Forward: arrival times in topological order. *)
+  for p = 0 to np - 1 do
+    arr.(p) <- (if graph.is_startpoint.(p) then graph.start_arrival.(p) else Float.neg_infinity)
+  done;
+  Array.iter
+    (fun p ->
+      for i = graph.in_start.(p) to graph.in_start.(p + 1) - 1 do
+        let a = graph.in_arc.(i) in
+        let cand = arr.(graph.arc_from.(a)) +. graph.arc_delay.(a) in
+        if cand > arr.(p) then arr.(p) <- cand
+      done)
+    graph.topo;
+  (* Backward: required times in reverse topological order. *)
+  for p = 0 to np - 1 do
+    req.(p) <- (if graph.is_endpoint.(p) then graph.end_required.(p) else Float.infinity)
+  done;
+  for i = Array.length graph.topo - 1 downto 0 do
+    let p = graph.topo.(i) in
+    for j = graph.out_start.(p) to graph.out_start.(p + 1) - 1 do
+      let a = graph.out_arc.(j) in
+      let cand = req.(graph.arc_to.(a)) -. graph.arc_delay.(a) in
+      if cand < req.(p) then req.(p) <- cand
+    done
+  done;
+  for p = 0 to np - 1 do
+    t.slack.(p) <-
+      (if Float.is_finite arr.(p) && Float.is_finite req.(p) then req.(p) -. arr.(p)
+       else Float.infinity)
+  done
+
+(** Slack at an endpoint pin (infinite when the endpoint is unreachable). *)
+let endpoint_slack t (graph : Graph.t) p =
+  assert (graph.is_endpoint.(p));
+  t.slack.(p)
+
+(** Worst negative slack over all endpoints (0 when none violate). *)
+let wns t (graph : Graph.t) =
+  Array.fold_left
+    (fun acc p ->
+      let s = t.slack.(p) in
+      if Float.is_finite s then Float.min acc s else acc)
+    0.0 graph.endpoints
+  |> Float.min 0.0
+
+(** Total negative slack: sum of negative endpoint slacks. *)
+let tns t (graph : Graph.t) =
+  Array.fold_left
+    (fun acc p ->
+      let s = t.slack.(p) in
+      if Float.is_finite s && s < 0.0 then acc +. s else acc)
+    0.0 graph.endpoints
+
+(** Endpoints with negative slack, worst first. *)
+let failing_endpoints t (graph : Graph.t) =
+  Array.to_list graph.endpoints
+  |> List.filter (fun p -> Float.is_finite t.slack.(p) && t.slack.(p) < 0.0)
+  |> List.sort (fun a b -> compare t.slack.(a) t.slack.(b))
+
+(** All endpoints sorted by slack, worst first. *)
+let endpoints_by_slack t (graph : Graph.t) =
+  Array.to_list graph.endpoints |> List.sort (fun a b -> compare t.slack.(a) t.slack.(b))

@@ -1,0 +1,30 @@
+(** Arrival / required propagation and slack computation (late/max
+    analysis — setup checks, the ICCAD2015 TDP contest metric). Pins
+    unreachable from startpoints keep arrival -inf and never violate. *)
+
+type t = {
+  arr : float array;
+  req : float array;
+  slack : float array;
+}
+
+val create : Graph.t -> t
+
+(** Forward arrivals, backward required times, slacks; call after the arc
+    delays were refreshed. *)
+val update : t -> Graph.t -> unit
+
+(** Slack at an endpoint pin (infinite when unreachable). *)
+val endpoint_slack : t -> Graph.t -> int -> float
+
+(** Worst negative slack (0 when all met). *)
+val wns : t -> Graph.t -> float
+
+(** Sum of negative endpoint slacks. *)
+val tns : t -> Graph.t -> float
+
+(** Endpoints with negative slack, worst first. *)
+val failing_endpoints : t -> Graph.t -> int list
+
+(** All endpoints by slack, worst first. *)
+val endpoints_by_slack : t -> Graph.t -> int list

@@ -1,0 +1,77 @@
+(** Facade over the static timing engine — the OpenTimer-equivalent object
+    a placement flow talks to.
+
+    {[
+      let timer = Timer.create design ~topology:Delay.Steiner_tree in
+      Timer.update timer;
+      let tns = Timer.tns timer in
+      let paths = Timer.report_timing_endpoint timer ~n ~k:1 in
+    ]} *)
+
+type t
+
+(** Builds the timing graph; [topology] picks the wire model (default
+    Steiner trees, matching the evaluation kit). *)
+val create : ?topology:Delay.topology -> Netlist.Design.t -> t
+
+val graph : t -> Graph.t
+
+(** Current arrival times (valid after an update). *)
+val arrivals : t -> float array
+
+val slacks : t -> float array
+
+(** Full re-time from the current placement. *)
+val update : t -> unit
+
+(** Mark timing stale after a placement change; queries re-time lazily. *)
+val invalidate : t -> unit
+
+(** Incremental re-time after moving only [cells] (falls back to a full
+    update when the timer was stale). *)
+val update_moved : t -> cells:int list -> unit
+
+val wns : t -> float
+
+val tns : t -> float
+
+val endpoint_slack : t -> int -> float
+
+val failing_endpoints : t -> int list
+
+val num_failing_endpoints : t -> int
+
+val report_timing : ?failing_only:bool -> ?cap:int -> t -> n:int -> Paths.path list
+
+val report_timing_endpoint : ?failing_only:bool -> t -> n:int -> k:int -> Paths.path list
+
+(** The single most critical path of the design. *)
+val critical_path : t -> Paths.path option
+
+val stats_of_paths : t -> Paths.path list -> elapsed:float -> Report.stats
+
+(** Routed wirelength of a net under the timer's topology. *)
+val net_wirelen : t -> int -> float
+
+type drv = {
+  cap_violations : int; (* nets whose driver load exceeds max_cap *)
+  slew_violations : int; (* pins whose slew exceeds max_slew *)
+  worst_cap : float;
+  worst_slew : float;
+}
+
+(** Max-capacitance / max-slew electrical rule checks (the DRV half of a
+    signoff report); thresholds in fF / ps. *)
+val check_drv : ?max_cap:float -> ?max_slew:float -> t -> drv
+
+(** Worst hold slack, 0 when met (early analysis runs on demand). *)
+val whs : t -> float
+
+(** Total negative hold slack. *)
+val ths : t -> float
+
+(** Hold-violating endpoints, worst first. *)
+val hold_violations : t -> int list
+
+(** Early (min) arrival times. *)
+val early_arrivals : t -> float array

@@ -1,0 +1,183 @@
+(** Differentiable-timing baseline (Guo & Lin, DAC'22, re-implemented at
+    the fidelity our substrate supports; see DESIGN.md).
+
+    A smooth timer is differentiated end to end:
+    - forward: arrivals propagate with a log-sum-exp smooth max
+      (temperature [gamma_sm]) over the timing graph;
+    - loss: smooth TNS = sum over endpoints of
+      eta * softplus((arr - req) / eta);
+    - backward: reverse-mode adjoints distribute each endpoint's loss
+      sensitivity across in-arcs by their softmax shares, yielding
+      dLoss/d(arc delay) for every arc;
+    - chain rule through the *star* wire model maps arc-delay gradients to
+      cell-position gradients (star keeps the delay a closed-form function
+      of pin-to-pin distances).
+
+    The flow adds [mult] * gradient to the placement objective. *)
+
+open Netlist
+
+type t = {
+  design : Design.t;
+  timer : Sta.Timer.t; (* star topology: matches the gradient model *)
+  gamma_sm : float; (* smooth-max temperature, ps *)
+  eta : float; (* softplus sharpness for negative slack, ps *)
+  arr_sm : float array; (* smooth arrivals *)
+  adjoint : float array; (* dLoss / d(arr) *)
+  dl_darc : float array; (* dLoss / d(arc delay) *)
+}
+
+let create ?(gamma_sm = 8.0) ?(eta = 15.0) design =
+  let timer = Sta.Timer.create ~topology:Sta.Delay.Star design in
+  let graph = Sta.Timer.graph timer in
+  {
+    design;
+    timer;
+    gamma_sm;
+    eta;
+    arr_sm = Array.make (Sta.Graph.num_pins graph) 0.0;
+    adjoint = Array.make (Sta.Graph.num_pins graph) 0.0;
+    dl_darc = Array.make graph.Sta.Graph.num_arcs 0.0;
+  }
+
+let softplus x = if x > 30.0 then x else log (1.0 +. exp x)
+
+let sigmoid x = if x > 30.0 then 1.0 else if x < -30.0 then 0.0 else 1.0 /. (1.0 +. exp (-.x))
+
+(* Forward smooth arrivals over the (already delay-updated) graph. *)
+let forward t =
+  let graph = Sta.Timer.graph t.timer in
+  let g = t.gamma_sm in
+  let arr = t.arr_sm in
+  Array.iter
+    (fun p ->
+      if graph.Sta.Graph.is_startpoint.(p) then arr.(p) <- graph.Sta.Graph.start_arrival.(p)
+      else begin
+        let lo = graph.Sta.Graph.in_start.(p) and hi = graph.Sta.Graph.in_start.(p + 1) in
+        if lo = hi then arr.(p) <- Float.neg_infinity
+        else begin
+          (* log-sum-exp with max subtraction *)
+          let m = ref Float.neg_infinity in
+          for i = lo to hi - 1 do
+            let a = graph.Sta.Graph.in_arc.(i) in
+            let v = arr.(graph.Sta.Graph.arc_from.(a)) +. graph.Sta.Graph.arc_delay.(a) in
+            if v > !m then m := v
+          done;
+          if Float.is_finite !m then begin
+            let s = ref 0.0 in
+            for i = lo to hi - 1 do
+              let a = graph.Sta.Graph.in_arc.(i) in
+              let v = arr.(graph.Sta.Graph.arc_from.(a)) +. graph.Sta.Graph.arc_delay.(a) in
+              if Float.is_finite v then s := !s +. exp ((v -. !m) /. g)
+            done;
+            arr.(p) <- !m +. (g *. log !s)
+          end
+          else arr.(p) <- Float.neg_infinity
+        end
+      end)
+    graph.Sta.Graph.topo
+
+(* Backward adjoints; fills dl_darc. Returns the smooth TNS loss value. *)
+let backward t =
+  let graph = Sta.Timer.graph t.timer in
+  let arr = t.arr_sm and adj = t.adjoint in
+  Array.fill adj 0 (Array.length adj) 0.0;
+  Array.fill t.dl_darc 0 (Array.length t.dl_darc) 0.0;
+  let loss = ref 0.0 in
+  Array.iter
+    (fun e ->
+      if Float.is_finite arr.(e) then begin
+        let x = (arr.(e) -. graph.Sta.Graph.end_required.(e)) /. t.eta in
+        loss := !loss +. (t.eta *. softplus x);
+        adj.(e) <- adj.(e) +. sigmoid x
+      end)
+    graph.Sta.Graph.endpoints;
+  (* Reverse topological order: distribute adjoints over in-arc shares. *)
+  for i = Array.length graph.Sta.Graph.topo - 1 downto 0 do
+    let p = graph.Sta.Graph.topo.(i) in
+    let a_p = adj.(p) in
+    if a_p <> 0.0 && not graph.Sta.Graph.is_startpoint.(p) then begin
+      let lo = graph.Sta.Graph.in_start.(p) and hi = graph.Sta.Graph.in_start.(p + 1) in
+      if lo < hi && Float.is_finite arr.(p) then
+        for j = lo to hi - 1 do
+          let a = graph.Sta.Graph.in_arc.(j) in
+          let u = graph.Sta.Graph.arc_from.(a) in
+          let v = arr.(u) +. graph.Sta.Graph.arc_delay.(a) in
+          if Float.is_finite v then begin
+            let share = exp ((v -. arr.(p)) /. t.gamma_sm) in
+            t.dl_darc.(a) <- t.dl_darc.(a) +. (a_p *. share);
+            adj.(u) <- adj.(u) +. (a_p *. share)
+          end
+        done
+    end
+  done;
+  !loss
+
+(** One timing round: re-time (star model), run the differentiable
+    forward/backward. Returns (tns, wns) from the hard timer. *)
+let round t =
+  Sta.Timer.invalidate t.timer;
+  Sta.Timer.update t.timer;
+  forward t;
+  let _loss = backward t in
+  (Sta.Timer.tns t.timer, Sta.Timer.wns t.timer)
+
+(** Chain rule through the star Elmore model: adds [mult] * dLoss/d(pos)
+    into [gx]/[gy]. Must be called after [round] with an unchanged
+    placement (the shares are evaluated at that placement; in the flow the
+    gradient is reused between rounds, as Guo & Lin do between incremental
+    updates). *)
+let add_grad t ~mult ~gx ~gy =
+  let d = t.design in
+  let graph = Sta.Timer.graph t.timer in
+  let r = d.r_per_unit and c = d.c_per_unit in
+  (* Net arcs of one net form a contiguous block in arc order. *)
+  Array.iter
+    (fun (net : Design.net) ->
+      let nsinks = Array.length net.sinks in
+      if nsinks > 0 then begin
+        let drv = d.pins.(net.driver) in
+        let drive_res, _, _ = Sta.Delay.driver_params d net.driver in
+        (* Locate this net's arcs via the driver pin's out-arcs. *)
+        let dxs = Array.make nsinks 0.0 and dys = Array.make nsinks 0.0 in
+        let lens = Array.make nsinks 0.0 in
+        let gsum = ref 0.0 in
+        let garc = Array.make nsinks 0.0 in
+        Array.iteri
+          (fun k spid ->
+            let sp = d.pins.(spid) in
+            dxs.(k) <- Design.pin_x d drv -. Design.pin_x d sp;
+            dys.(k) <- Design.pin_y d drv -. Design.pin_y d sp;
+            lens.(k) <- Float.abs dxs.(k) +. Float.abs dys.(k))
+          net.sinks;
+        (* dLoss/d(arc delay) for each sink arc. *)
+        let lo = graph.Sta.Graph.out_start.(net.driver) in
+        let hi = graph.Sta.Graph.out_start.(net.driver + 1) in
+        for j = lo to hi - 1 do
+          let a = graph.Sta.Graph.out_arc.(j) in
+          if graph.Sta.Graph.arc_is_net.(a) then begin
+            let k = graph.Sta.Graph.arc_sink_idx.(a) in
+            garc.(k) <- t.dl_darc.(a);
+            gsum := !gsum +. t.dl_darc.(a)
+          end
+        done;
+        (* delay_k = R_drv * sum_j (c*L_j + C_j) + r*L_k*(c*L_k/2 + C_k) *)
+        for k = 0 to nsinks - 1 do
+          let sink_cap = d.pins.(net.sinks.(k)).cap in
+          let dl_dlen =
+            (drive_res *. c *. !gsum)
+            +. (garc.(k) *. ((r *. c *. lens.(k)) +. (r *. sink_cap)))
+          in
+          if dl_dlen <> 0.0 then begin
+            let sgn v = if v > 0.0 then 1.0 else if v < 0.0 then -1.0 else 0.0 in
+            let gx_d = mult *. dl_dlen *. sgn dxs.(k) in
+            let gy_d = mult *. dl_dlen *. sgn dys.(k) in
+            let cd = drv.owner and cs = d.pins.(net.sinks.(k)).owner in
+            gx.(cd) <- gx.(cd) +. gx_d;
+            gy.(cd) <- gy.(cd) +. gy_d;
+            gx.(cs) <- gx.(cs) -. gx_d;
+            gy.(cs) <- gy.(cs) -. gy_d
+          end
+        done
+      end)
+    d.nets

@@ -1,0 +1,62 @@
+(** Distribution-TDP baseline (Lin, Chang & Huang, ISPD'24), approximated
+    as described in DESIGN.md: each cell on a failing endpoint's worst
+    path is given an *expected range* — here collapsed to the midpoint of
+    its path neighbours — and a spring force (weighted by the path's
+    criticality) pulls it toward that range. This captures the method's
+    essence (placement targets derived from where timing expects cells to
+    sit) without its full mathematical-programming machinery. *)
+
+open Netlist
+
+type anchor = { cell : int; tx : float; ty : float; strength : float }
+
+type t = {
+  design : Design.t;
+  timer : Sta.Timer.t;
+  mutable anchors : anchor list;
+}
+
+let create design ~topology = { design; timer = Sta.Timer.create ~topology design; anchors = [] }
+
+(** One timing round: re-time, extract each failing endpoint's worst path,
+    derive anchors. Returns (tns, wns). *)
+let round t =
+  Sta.Timer.invalidate t.timer;
+  Sta.Timer.update t.timer;
+  let tns = Sta.Timer.tns t.timer and wns = Sta.Timer.wns t.timer in
+  let d = t.design in
+  t.anchors <- [];
+  if wns < 0.0 then begin
+    let failing = Sta.Timer.failing_endpoints t.timer in
+    let n = List.length failing in
+    let paths = Sta.Timer.report_timing_endpoint t.timer ~n ~k:1 in
+    List.iter
+      (fun (p : Sta.Paths.path) ->
+        if p.slack < 0.0 then begin
+          let crit = p.slack /. wns in
+          let np = Array.length p.pins in
+          for i = 1 to np - 2 do
+            let pin = d.pins.(p.pins.(i)) in
+            let cell = d.cells.(pin.owner) in
+            if cell.movable then begin
+              let prev = d.pins.(p.pins.(i - 1)) and next = d.pins.(p.pins.(i + 1)) in
+              let tx = (Design.pin_x d prev +. Design.pin_x d next) /. 2.0 -. pin.off_x in
+              let ty = (Design.pin_y d prev +. Design.pin_y d next) /. 2.0 -. pin.off_y in
+              t.anchors <- { cell = cell.id; tx; ty; strength = crit } :: t.anchors
+            end
+          done
+        end)
+      paths
+  end;
+  (tns, wns)
+
+(** Spring gradient toward the anchors: d/dpos of
+    strength/2 * ||pos - target||^2, scaled by [mult]. *)
+let add_grad t ~mult ~gx ~gy =
+  let d = t.design in
+  List.iter
+    (fun a ->
+      let s = mult *. a.strength in
+      gx.(a.cell) <- gx.(a.cell) +. (s *. (d.x.(a.cell) -. a.tx));
+      gy.(a.cell) <- gy.(a.cell) +. (s *. (d.y.(a.cell) -. a.ty)))
+    t.anchors

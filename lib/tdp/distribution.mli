@@ -1,0 +1,14 @@
+(** Distribution-TDP baseline (Lin et al., ISPD'24), approximated as
+    expected-position anchors: each cell on a failing endpoint's worst
+    path is pulled toward the midpoint of its path neighbours with a
+    criticality-weighted spring (see DESIGN.md for the substitution). *)
+
+type t
+
+val create : Netlist.Design.t -> topology:Sta.Delay.topology -> t
+
+(** One timing round: re-time, rebuild the anchor set. Returns (tns, wns). *)
+val round : t -> float * float
+
+(** Spring gradient toward the anchors, scaled by [mult]. *)
+val add_grad : t -> mult:float -> gx:float array -> gy:float array -> unit

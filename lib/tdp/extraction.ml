@@ -1,0 +1,86 @@
+(** The timing-round driver: every m placement iterations, re-time the
+    design, extract critical paths with the configured command and fold
+    them into the pin-pair set (paper Sec. III-D workflow).
+
+    Extraction commands:
+    - [Endpoint_based {k}]: report_timing_endpoint(n, k) with n = number
+      of failing endpoints (the paper's method);
+    - [Global_topn {mult}]: report_timing(n * mult) — the OpenTimer-style
+      ablation ('w/ rpt_timing(n*10)'). *)
+
+type round_stats = {
+  iter : int;
+  tns : float;
+  wns : float;
+  num_failing : int;
+  num_paths : int;
+  num_pairs : int; (* size of P after the round *)
+  sta_time : float;
+  extract_time : float;
+}
+
+type t = {
+  timer : Sta.Timer.t;
+  attract : Pin_attract.t;
+  config : Config.t;
+  mutable relax : float; (* multiplies beta: ratchets down once timing is
+                            met so wirelength can recover, back up if
+                            violations return *)
+  mutable rounds : round_stats list; (* newest first *)
+}
+
+let create design ~(config : Config.t) ~topology =
+  {
+    timer = Sta.Timer.create ~topology design;
+    attract = Pin_attract.create design ~loss:config.loss;
+    config;
+    relax = 1.0;
+    rounds = [];
+  }
+
+(** One timing round at placement iteration [iter]. Returns the stats. *)
+let round t ~iter =
+  let cfg = t.config in
+  let t0 = Unix.gettimeofday () in
+  Sta.Timer.invalidate t.timer;
+  Sta.Timer.update t.timer;
+  let tns = Sta.Timer.tns t.timer and wns = Sta.Timer.wns t.timer in
+  let failing = Sta.Timer.failing_endpoints t.timer in
+  let n = List.length failing in
+  let t1 = Unix.gettimeofday () in
+  let paths =
+    if n = 0 then []
+    else
+      match cfg.extraction with
+      | Config.Endpoint_based { k } -> Sta.Timer.report_timing_endpoint t.timer ~n ~k
+      | Config.Global_topn { mult } -> Sta.Timer.report_timing t.timer ~n:(n * mult)
+  in
+  let t2 = Unix.gettimeofday () in
+  if n = 0 then t.relax <- Float.max 0.15 (t.relax *. 0.7)
+  else t.relax <- Float.min 1.0 (t.relax *. 1.3);
+  let graph = Sta.Timer.graph t.timer in
+  Pin_attract.update_from_paths t.attract graph ~w0:cfg.w0 ~w1:cfg.w1 ~wns
+    ~stale_decay:cfg.stale_decay paths;
+  let stats =
+    {
+      iter;
+      tns;
+      wns;
+      num_failing = n;
+      num_paths = List.length paths;
+      num_pairs = Pin_attract.num_pairs t.attract;
+      sta_time = t1 -. t0;
+      extract_time = t2 -. t1;
+    }
+  in
+  t.rounds <- stats :: t.rounds;
+  stats
+
+(** Raw (unscaled) gradient of the pin-pair loss; the flow normalises it
+    against the placement gradient and applies the beta fraction. *)
+let add_grad_raw t ~gx ~gy = Pin_attract.add_grad t.attract ~beta:1.0 ~gx ~gy
+
+(** Current effective beta fraction (config beta times the relax ratchet). *)
+let effective_beta t = t.config.Config.beta *. t.relax
+
+let rounds t = List.rev t.rounds

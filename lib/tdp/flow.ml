@@ -1,0 +1,248 @@
+(** End-to-end placement flows — every method compared in the paper's
+    Tables II-IV, plus the ablation variants of Table III.
+
+    All flows share the same analytical placement engine, initial
+    placement (same seed), legalizer and evaluation; only the timing
+    machinery differs:
+
+    - [Vanilla]      — DREAMPlace: wirelength + density only.
+    - [Dp4]          — DREAMPlace 4.0: momentum net weighting.
+    - [Diff_tdp]     — Guo & Lin: differentiable smooth-TNS gradient.
+    - [Dist_tdp]     — Lin et al.: expected-distribution anchors.
+    - [Efficient c]  — the paper: pin-to-pin attraction via critical path
+                       extraction, configured by [c] (loss kind,
+                       extraction command, Eq. 9 weights). Table III rows
+                       are [Efficient] with modified configs, except
+                       'w/o path extraction' which is [Dp4_in_ours]. *)
+
+open Netlist
+
+type method_ =
+  | Vanilla
+  | Dp4
+  | Diff_tdp
+  | Dist_tdp
+  | Efficient of Config.t
+  | Dp4_in_ours (* ablation 'w/o Path Extraction': momentum pin-level
+                   weighting inside our timing-phase schedule *)
+
+let method_name = function
+  | Vanilla -> "DREAMPlace"
+  | Dp4 -> "DREAMPlace-4.0"
+  | Diff_tdp -> "Differentiable-TDP"
+  | Dist_tdp -> "Distribution-TDP"
+  | Efficient _ -> "Efficient-TDP"
+  | Dp4_in_ours -> "w/o-path-extraction"
+
+type curve_point = { iter : int; hpwl : float; overflow : float; tns : float; wns : float }
+
+type result = {
+  name : string;
+  design : string;
+  metrics : Evalkit.Metrics.t; (* after legalization + detailed placement *)
+  metrics_gp : Evalkit.Metrics.t; (* at the raw global-placement output *)
+  runtime : float; (* whole flow wall-clock, seconds *)
+  curve : curve_point list; (* timing-phase trajectory (Fig. 5) *)
+  breakdown : (string * float) list; (* component seconds (Fig. 4) *)
+  extraction_rounds : Extraction.round_stats list; (* Efficient only *)
+}
+
+(** Timing analysis topology used *inside* flows (evaluation always uses
+    Steiner): Star keeps per-round cost low, Steiner is more accurate.
+    The paper's timer (OpenTimer + FLUTE) corresponds to Steiner. *)
+let flow_topology = Sta.Delay.Steiner_tree
+
+(* Scale an auxiliary gradient so its L1 norm is [mult] times the
+   placement gradient's, then add it. Keeps every timing force a fixed
+   fraction of the wirelength+density force regardless of design scale —
+   the role of the paper's beta, made scale-free (DESIGN.md). *)
+let add_normalized ~mult ~wl_norm ~gx ~gy fill =
+  let n = Array.length gx in
+  let tx = Array.make n 0.0 and ty = Array.make n 0.0 in
+  fill ~gx:tx ~gy:ty;
+  let aux = ref 0.0 in
+  for i = 0 to n - 1 do
+    aux := !aux +. Float.abs tx.(i) +. Float.abs ty.(i)
+  done;
+  if !aux > 1e-30 then begin
+    let s = mult *. wl_norm /. !aux in
+    for i = 0 to n - 1 do
+      gx.(i) <- gx.(i) +. (s *. tx.(i));
+      gy.(i) <- gy.(i) +. (s *. ty.(i))
+    done
+  end
+
+let base_gp_params ~seed =
+  { Gp.Globalplace.default_params with seed; min_iters = 300; max_iters = 1000 }
+
+let timing_gp_params ~seed (cfg : Config.t) =
+  {
+    (base_gp_params ~seed) with
+    timing_start = cfg.timing_start;
+    round_every = cfg.m;
+    min_iters = cfg.timing_start + cfg.extra_iters;
+    max_iters = cfg.timing_start + cfg.extra_iters;
+  }
+
+let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) (meth : method_) (d : Design.t) =
+  let t_start = Unix.gettimeofday () in
+  let stats = Util.Timerstat.create () in
+  Design.reset_net_weights d;
+  let curve = ref [] in
+  (* Checkpoint the best placement seen at any timing round (by the flow
+     timer's TNS, tie-broken by WNS): timing-driven runs can cycle once
+     TNS reaches zero, so the final iterate is not necessarily the best. *)
+  let best_key = ref Float.neg_infinity in
+  let best_hpwl = ref Float.infinity in
+  let best_snap = ref None in
+  let push_curve ~iter ~overflow ~tns ~wns =
+    let key = tns +. (0.1 *. wns) in
+    let hpwl = Design.total_hpwl d in
+    let eps = 1e-9 +. (1e-4 *. Float.abs !best_key) in
+    if key > !best_key +. eps || (key > !best_key -. eps && hpwl < !best_hpwl) then begin
+      best_key := key;
+      best_hpwl := hpwl;
+      best_snap := Some (Design.snapshot d)
+    end;
+    curve := { iter; hpwl; overflow; tns; wns } :: !curve
+  in
+  let cfg_default = Config.default in
+  let extraction_state = ref None in
+  let gp_params, hooks =
+    match meth with
+    | Vanilla -> (base_gp_params ~seed, Gp.Globalplace.no_hooks)
+    | Dp4 ->
+        let nw = Net_weighting.create d ~topology in
+        let hooks =
+          {
+            Gp.Globalplace.on_round =
+              (fun ~iter ~overflow ->
+                let tns, wns = Util.Timerstat.time stats "sta+weighting" (fun () -> Net_weighting.round nw) in
+                push_curve ~iter ~overflow ~tns ~wns);
+            extra_grad = (fun ~iter:_ ~wl_norm:_ ~gx:_ ~gy:_ -> ());
+          }
+        in
+        (timing_gp_params ~seed cfg_default, hooks)
+    | Diff_tdp ->
+        let dt = Diff_timing.create d in
+        let hooks =
+          {
+            Gp.Globalplace.on_round =
+              (fun ~iter ~overflow ->
+                let tns, wns = Util.Timerstat.time stats "sta+backprop" (fun () -> Diff_timing.round dt) in
+                push_curve ~iter ~overflow ~tns ~wns);
+            extra_grad =
+              (fun ~iter:_ ~wl_norm ~gx ~gy ->
+                Util.Timerstat.time stats "timing_grad" (fun () ->
+                    add_normalized ~mult:0.4 ~wl_norm ~gx ~gy (fun ~gx ~gy ->
+                        Diff_timing.add_grad dt ~mult:1.0 ~gx ~gy)));
+          }
+        in
+        (timing_gp_params ~seed cfg_default, hooks)
+    | Dist_tdp ->
+        let ds = Distribution.create d ~topology in
+        let hooks =
+          {
+            Gp.Globalplace.on_round =
+              (fun ~iter ~overflow ->
+                let tns, wns = Util.Timerstat.time stats "sta+anchors" (fun () -> Distribution.round ds) in
+                push_curve ~iter ~overflow ~tns ~wns);
+            extra_grad =
+              (fun ~iter:_ ~wl_norm ~gx ~gy ->
+                Util.Timerstat.time stats "timing_grad" (fun () ->
+                    add_normalized ~mult:0.3 ~wl_norm ~gx ~gy (fun ~gx ~gy ->
+                        Distribution.add_grad ds ~mult:1.0 ~gx ~gy)));
+          }
+        in
+        (timing_gp_params ~seed cfg_default, hooks)
+    | Dp4_in_ours ->
+        (* Our engine and pin-pair loss, but pin-level slack information
+           with DP4's momentum scheme instead of path extraction (the
+           paper's 'w/o Path Extraction' ablation). *)
+        let pl = Pin_level.create d ~topology in
+        let hooks =
+          {
+            Gp.Globalplace.on_round =
+              (fun ~iter ~overflow ->
+                let tns, wns =
+                  Util.Timerstat.time stats "sta+weighting" (fun () -> Pin_level.round pl)
+                in
+                push_curve ~iter ~overflow ~tns ~wns);
+            extra_grad =
+              (fun ~iter:_ ~wl_norm ~gx ~gy ->
+                Util.Timerstat.time stats "pp_grad" (fun () ->
+                    add_normalized ~mult:cfg_default.beta ~wl_norm ~gx ~gy (fun ~gx ~gy ->
+                        Pin_level.add_grad_raw pl ~gx ~gy)));
+          }
+        in
+        (timing_gp_params ~seed cfg_default, hooks)
+    | Efficient cfg ->
+        let ex = Extraction.create d ~config:cfg ~topology in
+        extraction_state := Some ex;
+        let last_iter = cfg.timing_start + cfg.extra_iters in
+        (* Anneal beta over the final iterations: the timing fixes are
+           held by the accumulated pair weights and the best checkpoint,
+           while the shrinking force lets wirelength recover. *)
+        let cooldown iter =
+          if cfg.cooldown_iters <= 0 then 1.0
+          else begin
+            let remaining = last_iter - iter in
+            if remaining >= cfg.cooldown_iters then 1.0
+            else Float.max 0.05 (float_of_int remaining /. float_of_int cfg.cooldown_iters)
+          end
+        in
+        let hooks =
+          {
+            Gp.Globalplace.on_round =
+              (fun ~iter ~overflow ->
+                let r =
+                  Util.Timerstat.time stats "sta+extraction" (fun () -> Extraction.round ex ~iter)
+                in
+                Util.Timerstat.add stats "sta" r.Extraction.sta_time;
+                Util.Timerstat.add stats "extraction" r.Extraction.extract_time;
+                push_curve ~iter ~overflow ~tns:r.Extraction.tns ~wns:r.Extraction.wns);
+            extra_grad =
+              (fun ~iter ~wl_norm ~gx ~gy ->
+                Util.Timerstat.time stats "pp_grad" (fun () ->
+                    add_normalized
+                      ~mult:(Extraction.effective_beta ex *. cooldown iter)
+                      ~wl_norm ~gx ~gy
+                      (fun ~gx ~gy -> Extraction.add_grad_raw ex ~gx ~gy)));
+          }
+        in
+        (timing_gp_params ~seed cfg, hooks)
+  in
+  let _gp = Gp.Globalplace.run ~params:gp_params ~hooks ~stats d in
+  (* Keep the better of (final iterate, best checkpoint) under the common
+     evaluation model. *)
+  let metrics_gp =
+    let final_m = Evalkit.Metrics.evaluate d in
+    match !best_snap with
+    | None -> final_m
+    | Some snap ->
+        let final_pos = Design.snapshot d in
+        Design.restore d snap;
+        let snap_m = Evalkit.Metrics.evaluate d in
+        if snap_m.Evalkit.Metrics.tns > final_m.Evalkit.Metrics.tns then snap_m
+        else begin
+          Design.restore d final_pos;
+          final_m
+        end
+  in
+  if legalize then begin
+    Util.Timerstat.time stats "legalize" (fun () -> ignore (Gp.Legalize.run d));
+    ignore (Util.Timerstat.time stats "detailed" (fun () -> Gp.Detailed.run d))
+  end;
+  let metrics = Evalkit.Metrics.evaluate d in
+  let runtime = Unix.gettimeofday () -. t_start in
+  {
+    name = method_name meth;
+    design = d.name;
+    metrics;
+    metrics_gp;
+    runtime;
+    curve = List.rev !curve;
+    breakdown = Util.Timerstat.to_list stats;
+    extraction_rounds =
+      (match !extraction_state with None -> [] | Some ex -> Extraction.rounds ex);
+  }

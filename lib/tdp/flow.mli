@@ -1,0 +1,41 @@
+(** End-to-end placement flows — every method of the paper's Tables II-IV
+    plus the Table III ablation variants. All flows share the engine,
+    initial placement, legalizer and evaluation; only the timing machinery
+    differs. *)
+
+type method_ =
+  | Vanilla (* DREAMPlace: wirelength + density only *)
+  | Dp4 (* DREAMPlace 4.0: momentum net weighting *)
+  | Diff_tdp (* Guo & Lin: differentiable smooth-TNS gradient *)
+  | Dist_tdp (* Lin et al.: expected-distribution anchors *)
+  | Efficient of Config.t (* the paper *)
+  | Dp4_in_ours (* ablation 'w/o path extraction' *)
+
+val method_name : method_ -> string
+
+type curve_point = { iter : int; hpwl : float; overflow : float; tns : float; wns : float }
+
+type result = {
+  name : string;
+  design : string;
+  metrics : Evalkit.Metrics.t; (* after legalization + detailed placement *)
+  metrics_gp : Evalkit.Metrics.t; (* at the raw global-placement output *)
+  runtime : float; (* whole-flow wall clock, seconds *)
+  curve : curve_point list; (* timing-phase trajectory (Fig. 5) *)
+  breakdown : (string * float) list; (* component seconds (Fig. 4) *)
+  extraction_rounds : Extraction.round_stats list; (* Efficient only *)
+}
+
+(** Timing topology used inside flows (evaluation always uses Steiner). *)
+val flow_topology : Sta.Delay.topology
+
+(** Runs the flow in place: re-initialises the placement from [seed],
+    optimises, keeps the best timing checkpoint, legalises (unless
+    [legalize:false]) and scores with the common evaluation kit. *)
+val run :
+  ?seed:int ->
+  ?legalize:bool ->
+  ?topology:Sta.Delay.topology ->
+  method_ ->
+  Netlist.Design.t ->
+  result

@@ -1,0 +1,50 @@
+(** DREAMPlace 4.0 baseline: momentum-based net weighting.
+
+    Every timing round, each net's criticality is the (normalised) worst
+    negative slack over its pins; a candidate weight grows with
+    criticality and is folded into the running weight with momentum:
+
+      crit_e = clamp(-worst_pin_slack_e / |WNS|, 0, 1)
+      w_hat  = 1 + alpha * crit_e
+      w_e   <- momentum * w_e + (1 - momentum) * w_hat
+
+    The weights multiply the nets' WA wirelength terms — the net weighting
+    scheme of Eq. 5 in the paper. This is pin-level information: it cannot
+    see path sharing, the limitation Sec. III-A motivates. *)
+
+open Netlist
+
+type t = {
+  timer : Sta.Timer.t;
+  design : Design.t;
+  alpha : float;
+  momentum : float;
+  mutable rounds : int;
+}
+
+let create ?(alpha = 8.0) ?(momentum = 0.5) design ~topology =
+  { timer = Sta.Timer.create ~topology design; design; alpha; momentum; rounds = 0 }
+
+(** One timing round: re-time, refresh all net weights in place.
+    Returns (tns, wns). *)
+let round t =
+  Sta.Timer.invalidate t.timer;
+  Sta.Timer.update t.timer;
+  let tns = Sta.Timer.tns t.timer and wns = Sta.Timer.wns t.timer in
+  let slack = Sta.Timer.slacks t.timer in
+  let d = t.design in
+  if wns < 0.0 then
+    Array.iter
+      (fun (net : Design.net) ->
+        let worst = ref Float.infinity in
+        List.iter
+          (fun pid -> if slack.(pid) < !worst then worst := slack.(pid))
+          (Design.net_pins net);
+        let crit =
+          if Float.is_finite !worst && !worst < 0.0 then Float.min 1.0 (!worst /. wns) else 0.0
+        in
+        let w_hat = 1.0 +. (t.alpha *. crit) in
+        net.weight <- (t.momentum *. net.weight) +. ((1.0 -. t.momentum) *. w_hat))
+      d.nets;
+  t.rounds <- t.rounds + 1;
+  (tns, wns)

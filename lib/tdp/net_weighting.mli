@@ -1,0 +1,12 @@
+(** DREAMPlace 4.0 baseline: momentum-based net weighting from pin-level
+    slacks (paper Sec. II-C / Eq. 5). Pin-level information cannot see
+    path sharing — the limitation Sec. III-A motivates. *)
+
+type t
+
+val create :
+  ?alpha:float -> ?momentum:float -> Netlist.Design.t -> topology:Sta.Delay.topology -> t
+
+(** One timing round: re-time and refresh every net's weight in place.
+    Returns (tns, wns). *)
+val round : t -> float * float

@@ -1,0 +1,24 @@
+(** Simulated-annealing timing refinement (Swartz-Sechen spirit):
+    equal-width swaps accepted by Metropolis on a TNS + wirelength cost,
+    re-timed per move with the incremental timer. Runs on a legal
+    placement, preserves legality, and restores the best state seen —
+    the result never regresses the start. *)
+
+type stats = {
+  moves : int;
+  accepted : int;
+  tns_before : float;
+  tns_after : float;
+  hpwl_before : float;
+  hpwl_after : float;
+}
+
+val run :
+  ?seed:int ->
+  ?moves:int ->
+  ?t0:float ->
+  ?alpha:float ->
+  ?wl_weight:float ->
+  ?window:float ->
+  Netlist.Design.t ->
+  stats

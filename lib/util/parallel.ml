@@ -1,0 +1,77 @@
+(** Data-parallel loops over OCaml 5 domains.
+
+    Stands in for the paper's CUDA kernels: all heavy per-pin / per-bin
+    kernels are embarrassingly parallel, so a chunked domain fan-out keeps
+    the same semantics. [num_domains] defaults to 1 (sequential) so tests
+    and benches are deterministic in scheduling-sensitive timing; flows can
+    opt in to more domains. *)
+
+let num_domains = ref 1
+
+let set_num_domains n = num_domains := max 1 n
+
+(** [for_ n f] runs [f i] for all [0 <= i < n], chunked across domains. *)
+let for_ n f =
+  let d = !num_domains in
+  if d <= 1 || n < 1024 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let chunk = (n + d - 1) / d in
+    let worker k () =
+      let lo = k * chunk and hi = min n ((k + 1) * chunk) in
+      for i = lo to hi - 1 do
+        f i
+      done
+    in
+    let spawned = List.init (d - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
+    List.iter Domain.join spawned
+  end
+
+(** Parallel reduction of [f i] over [0 <= i < n] with combiner [( + )]. *)
+let sum n f =
+  let d = !num_domains in
+  if d <= 1 || n < 1024 then begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. f i
+    done;
+    !acc
+  end
+  else begin
+    let chunk = (n + d - 1) / d in
+    let worker k () =
+      let lo = k * chunk and hi = min n ((k + 1) * chunk) in
+      let acc = ref 0.0 in
+      for i = lo to hi - 1 do
+        acc := !acc +. f i
+      done;
+      !acc
+    in
+    let spawned = List.init (d - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    let first = worker 0 () in
+    List.fold_left (fun acc dmn -> acc +. Domain.join dmn) first spawned
+  end
+
+(** [for_chunks ~n f] splits [0, n) into one contiguous chunk per domain
+    and runs [f ~chunk ~lo ~hi] for each — the building block for kernels
+    that need per-domain accumulation buffers. [chunk] indexes the buffer;
+    chunks are disjoint. Sequential (one chunk) when domains = 1. *)
+let for_chunks ~n f =
+  let d = !num_domains in
+  if d <= 1 || n < 256 then f ~chunk:0 ~lo:0 ~hi:n
+  else begin
+    let per = (n + d - 1) / d in
+    let worker k () =
+      let lo = k * per and hi = min n ((k + 1) * per) in
+      if lo < hi then f ~chunk:k ~lo ~hi
+    in
+    let spawned = List.init (d - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
+    List.iter Domain.join spawned
+  end
+
+(** Number of chunks [for_chunks] will use for a problem of size [n]. *)
+let chunk_count ~n = if !num_domains <= 1 || n < 256 then 1 else !num_domains

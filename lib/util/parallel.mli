@@ -1,0 +1,22 @@
+(** Data-parallel loops over OCaml 5 domains — the CPU stand-in for the
+    paper's CUDA kernels. Defaults to sequential ([num_domains] = 1) so
+    results are reproducible unless a flow opts in. *)
+
+val num_domains : int ref
+
+val set_num_domains : int -> unit
+
+(** [for_ n f] runs [f i] for all [0 <= i < n]; chunked across domains
+    when enabled and [n] is large. [f] must only write to disjoint
+    locations per index. *)
+val for_ : int -> (int -> unit) -> unit
+
+(** Parallel sum of [f i] over [0 <= i < n]. *)
+val sum : int -> (int -> float) -> float
+
+(** Split [0, n) into one contiguous chunk per domain; [f ~chunk ~lo ~hi]
+    runs once per chunk ([chunk] indexes per-domain buffers). *)
+val for_chunks : n:int -> (chunk:int -> lo:int -> hi:int -> unit) -> unit
+
+(** Number of chunks {!for_chunks} uses for size [n]. *)
+val chunk_count : n:int -> int

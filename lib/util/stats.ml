@@ -1,0 +1,49 @@
+(** Small descriptive-statistics helpers over float arrays. *)
+
+let sum a = Array.fold_left ( +. ) 0.0 a
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else sum a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let min_elt a = Array.fold_left Float.min Float.infinity a
+
+let max_elt a = Array.fold_left Float.max Float.neg_infinity a
+
+(** Linear-interpolated percentile, [p] in [0, 100]. *)
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  let frac = rank -. floor rank in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let median a = percentile a 50.0
+
+(** Geometric mean of strictly positive values (used for ratio rows). *)
+let geomean a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let acc = Array.fold_left (fun acc x -> acc +. log (Float.max 1e-300 x)) 0.0 a in
+    exp (acc /. float_of_int n)
+  end
+
+(** Coefficient of variation: stddev / |mean| (0 when mean is 0). *)
+let coeff_variation a =
+  let m = mean a in
+  if Float.abs m < 1e-300 then 0.0 else stddev a /. Float.abs m

@@ -1,0 +1,29 @@
+(** Descriptive statistics over float arrays. Empty inputs yield 0 except
+    where noted. *)
+
+val sum : float array -> float
+
+val mean : float array -> float
+
+(** Sample variance (n-1 denominator); 0 for fewer than two samples. *)
+val variance : float array -> float
+
+val stddev : float array -> float
+
+(** [infinity] on empty input. *)
+val min_elt : float array -> float
+
+(** [neg_infinity] on empty input. *)
+val max_elt : float array -> float
+
+(** Linear-interpolated percentile, [p] in [0, 100]. Raises
+    [Invalid_argument] on empty input. *)
+val percentile : float array -> float -> float
+
+val median : float array -> float
+
+(** Geometric mean of positive values (tiny floor guards zeros). *)
+val geomean : float array -> float
+
+(** stddev / |mean|; 0 when the mean is 0. *)
+val coeff_variation : float array -> float

@@ -1,0 +1,72 @@
+(** Paper-style plain-text table rendering.
+
+    Benches print their reproduced tables through this module so every
+    experiment's output has a uniform, diffable shape. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~headers ~aligns =
+  if List.length headers <> List.length aligns then
+    invalid_arg "Tablefmt.create: headers/aligns length mismatch";
+  { title; headers; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Tablefmt.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let add_sep t = t.rows <- [] :: t.rows
+
+let fmt_float ?(prec = 2) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" prec v
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: List.filter (fun r -> r <> []) rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let note_row r = List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) r in
+  List.iter note_row all;
+  let buf = Buffer.create 1024 in
+  let total_width = Array.fold_left ( + ) 0 widths + (3 * (ncols - 1)) in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make total_width '=');
+  Buffer.add_char buf '\n';
+  let emit_row r =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad (List.nth t.aligns i) widths.(i) c))
+      r;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      if r = [] then begin
+        Buffer.add_string buf (String.make total_width '-');
+        Buffer.add_char buf '\n'
+      end
+      else emit_row r)
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

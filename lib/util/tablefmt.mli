@@ -1,0 +1,23 @@
+(** Paper-style plain-text table rendering: the benches print their
+    reproduced tables through this module so every experiment's output has
+    a uniform, diffable shape. *)
+
+type align = Left | Right
+
+type t
+
+(** Raises [Invalid_argument] when [headers] and [aligns] disagree. *)
+val create : title:string -> headers:string list -> aligns:align list -> t
+
+(** Raises [Invalid_argument] on column-count mismatch. *)
+val add_row : t -> string list -> unit
+
+(** Horizontal separator before the next row. *)
+val add_sep : t -> unit
+
+(** ["-"] for NaN, fixed-point otherwise. *)
+val fmt_float : ?prec:int -> float -> string
+
+val render : t -> string
+
+val print : t -> unit

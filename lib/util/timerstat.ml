@@ -1,0 +1,38 @@
+(** Named wall-clock accumulators for runtime breakdowns (Fig. 4).
+
+    A registry maps component names ("sta", "extraction", "wl_grad", ...)
+    to accumulated seconds; flows wrap their phases in [time]. *)
+
+type t = { tbl : (string, float ref) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 16 }
+
+let cell t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0.0 in
+      Hashtbl.add t.tbl name r;
+      r
+
+let add t name seconds =
+  let r = cell t name in
+  r := !r +. seconds
+
+(** Run [f ()], charging its wall-clock time to [name]. *)
+let time t name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  add t name (Unix.gettimeofday () -. t0);
+  result
+
+let get t name = match Hashtbl.find_opt t.tbl name with Some r -> !r | None -> 0.0
+
+let total t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.tbl 0.0
+
+(** All (name, seconds) pairs, largest first. *)
+let to_list t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let reset t = Hashtbl.reset t.tbl

@@ -1,0 +1,21 @@
+(** Named wall-clock accumulators for runtime breakdowns (paper Fig. 4). *)
+
+type t
+
+val create : unit -> t
+
+(** Add [seconds] to the named accumulator (created on first use). *)
+val add : t -> string -> float -> unit
+
+(** Run the thunk, charging its wall-clock time to the name. *)
+val time : t -> string -> (unit -> 'a) -> 'a
+
+(** Accumulated seconds (0 for unknown names). *)
+val get : t -> string -> float
+
+val total : t -> float
+
+(** All (name, seconds), largest first. *)
+val to_list : t -> (string * float) list
+
+val reset : t -> unit

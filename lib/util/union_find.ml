@@ -1,0 +1,31 @@
+(** Disjoint-set forest with path compression and union by rank. *)
+
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let r = find t p in
+    t.parent.(i) <- r;
+    r
+  end
+
+(** [union t a b] merges the sets of [a] and [b]; returns [false] when they
+    were already in the same set. *)
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+    else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end;
+    true
+  end
+
+let same t a b = find t a = find t b

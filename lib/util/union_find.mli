@@ -1,0 +1,15 @@
+(** Disjoint-set forest with path compression and union by rank. *)
+
+type t
+
+(** [create n] makes [n] singleton sets, elements [0 .. n-1]. *)
+val create : int -> t
+
+(** Canonical representative of the element's set. *)
+val find : t -> int -> int
+
+(** [union t a b] merges the sets of [a] and [b]; [false] when they were
+    already together. *)
+val union : t -> int -> int -> bool
+
+val same : t -> int -> int -> bool

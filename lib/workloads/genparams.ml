@@ -1,0 +1,36 @@
+(** Knobs of the synthetic benchmark generator. *)
+
+type t = {
+  name : string;
+  seed : int;
+  num_comb : int; (* combinational cell count *)
+  num_ff : int;
+  num_inputs : int;
+  num_outputs : int;
+  levels : int; (* combinational depth between register stages *)
+  fanout_hub_prob : float; (* probability a driver is a high-fanout hub *)
+  fanout_hub_weight : float; (* sampling weight multiplier for hubs *)
+  num_macros : int;
+  macro_frac : float; (* macro side as a fraction of die width *)
+  utilization : float; (* movable area / die area *)
+  slack_quantile : float; (* clock calibration: fraction of endpoints
+                             that should PASS under the vanilla placement;
+                             lower = tighter clock, more violations *)
+}
+
+let default =
+  {
+    name = "default";
+    seed = 7;
+    num_comb = 2000;
+    num_ff = 300;
+    num_inputs = 64;
+    num_outputs = 64;
+    levels = 12;
+    fanout_hub_prob = 0.02;
+    fanout_hub_weight = 40.0;
+    num_macros = 2;
+    macro_frac = 0.12;
+    utilization = 0.72;
+    slack_quantile = 0.88;
+  }

@@ -1,0 +1,17 @@
+(** The benchmark suite: eight designs mirroring the relative sizes and
+    constraint tightness of the ICCAD2015 superblue cases the paper uses
+    (scaled to CPU-friendly sizes; substitution rationale in DESIGN.md). *)
+
+type entry = { short : string; params : Genparams.t }
+
+(** The eight designs; [scale] multiplies all cell counts. *)
+val entries : ?scale:float -> unit -> entry list
+
+val names : ?scale:float -> unit -> string list
+
+(** Raises [Invalid_argument] for unknown names. *)
+val find : ?scale:float -> string -> entry
+
+(** Generate a suite design; [calibrate] (default true) also sets its
+    clock. Deterministic in (short, scale). *)
+val load : ?scale:float -> ?calibrate:bool -> string -> Netlist.Design.t

@@ -1,0 +1,82 @@
+(* Shared builders for hand-crafted test circuits. *)
+
+open Netlist
+
+let die100 = Geom.Rect.make ~xl:0.0 ~yl:0.0 ~xh:100.0 ~yh:100.0
+
+let inv = Libcell.find_in_library "INV_X1"
+
+let nand2 = Libcell.find_in_library "NAND2_X1"
+
+let fresh_builder ?(clock_period = 500.0) ?(r = 0.1) ?(c = 0.2) () =
+  Builder.create ~name:"test" ~die:die100 ~row_height:1.0 ~clock_period ~r_per_unit:r
+    ~c_per_unit:c
+
+(* pi -> inv(u1) -> ff -> inv(u2) -> po, cells on a horizontal line. *)
+let chain_design () =
+  let b = fresh_builder () in
+  let pi = Builder.add_input_pad b ~cname:"pi" ~x:0.0 ~y:50.0 in
+  let u1 = Builder.add_logic b ~cname:"u1" ~lib:inv ~x:30.0 ~y:50.0 () in
+  let ff = Builder.add_logic b ~cname:"ff" ~lib:Libcell.dff ~x:60.0 ~y:50.0 () in
+  let u2 = Builder.add_logic b ~cname:"u2" ~lib:inv ~x:80.0 ~y:50.0 () in
+  let po = Builder.add_output_pad b ~cname:"po" ~x:100.0 ~y:50.0 in
+  let wire src_cell src_pin dst_cell dst_pin name =
+    let n = Builder.add_net b ~nname:name in
+    Builder.connect_by_name b ~net:n ~cell:src_cell ~pin_name:src_pin;
+    Builder.connect_by_name b ~net:n ~cell:dst_cell ~pin_name:dst_pin
+  in
+  wire pi "p" u1 "a1" "n1";
+  wire u1 "o" ff "d" "n2";
+  wire ff "q" u2 "a1" "n3";
+  wire u2 "o" po "p" "n4";
+  Builder.finish b
+
+(* Reconvergent diamond: pi feeds two parallel nand2 stages that merge.
+       pi -> u_a -> u_m -> po
+       pi -> u_b ---^
+   u_a sits close to the merge, u_b far away: the u_b branch is the
+   critical (worse-arrival) one. *)
+let diamond_design () =
+  let b = fresh_builder () in
+  let pi = Builder.add_input_pad b ~cname:"pi" ~x:0.0 ~y:50.0 in
+  let ua = Builder.add_logic b ~cname:"ua" ~lib:inv ~x:40.0 ~y:52.0 () in
+  let ub = Builder.add_logic b ~cname:"ub" ~lib:inv ~x:40.0 ~y:95.0 () in
+  let um = Builder.add_logic b ~cname:"um" ~lib:nand2 ~x:60.0 ~y:50.0 () in
+  let po = Builder.add_output_pad b ~cname:"po" ~x:100.0 ~y:50.0 in
+  let n0 = Builder.add_net b ~nname:"n0" in
+  Builder.connect_by_name b ~net:n0 ~cell:pi ~pin_name:"p";
+  Builder.connect_by_name b ~net:n0 ~cell:ua ~pin_name:"a1";
+  Builder.connect_by_name b ~net:n0 ~cell:ub ~pin_name:"a1";
+  let na = Builder.add_net b ~nname:"na" in
+  Builder.connect_by_name b ~net:na ~cell:ua ~pin_name:"o";
+  Builder.connect_by_name b ~net:na ~cell:um ~pin_name:"a1";
+  let nb = Builder.add_net b ~nname:"nb" in
+  Builder.connect_by_name b ~net:nb ~cell:ub ~pin_name:"o";
+  Builder.connect_by_name b ~net:nb ~cell:um ~pin_name:"a2";
+  let no = Builder.add_net b ~nname:"no" in
+  Builder.connect_by_name b ~net:no ~cell:um ~pin_name:"o";
+  Builder.connect_by_name b ~net:no ~cell:po ~pin_name:"p";
+  Builder.finish b
+
+(* A small but realistic generated design; cached per (scale-independent)
+   parameters so suites share the cost. *)
+let small_gen_params =
+  {
+    Workloads.Genparams.default with
+    name = "tiny";
+    seed = 99;
+    num_comb = 220;
+    num_ff = 40;
+    num_inputs = 12;
+    num_outputs = 12;
+    levels = 6;
+    num_macros = 1;
+  }
+
+let small_generated = lazy (Workloads.Generate.generate small_gen_params)
+
+(* A calibrated copy for flow tests (own instance: flows mutate state). *)
+let small_calibrated () =
+  let d = Workloads.Generate.generate small_gen_params in
+  ignore (Workloads.Generate.calibrate_clock d ~quantile:0.9);
+  d

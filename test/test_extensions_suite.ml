@@ -1,0 +1,386 @@
+(* Tests for the extension features: hold (early) analysis, RUDY
+   congestion, wire-segment statistics, and timing-aware detailed
+   placement on the incremental timer. *)
+
+open Netlist
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ---------------- Hold / early analysis ---------------- *)
+
+let test_early_le_late () =
+  let d = Helpers.small_calibrated () in
+  let rng = Util.Rng.create 21 in
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
+        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
+      end)
+    d.cells;
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  let late = Sta.Timer.arrivals timer in
+  let early = Sta.Timer.early_arrivals timer in
+  Array.iteri
+    (fun p a_late ->
+      if Float.is_finite a_late && Float.is_finite early.(p) then
+        Alcotest.(check bool) "early <= late" true (early.(p) <= a_late +. 1e-9))
+    late
+
+let test_hold_chain_exact () =
+  (* Chain design: the only FF D pin's early arrival equals its late
+     arrival (single path), so hold slack = arrival - hold. *)
+  let d = Helpers.chain_design () in
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  let g = Sta.Timer.graph timer in
+  let ff = d.cells.(2) in
+  let dpin = Array.to_list ff.cell_pins |> List.find (fun p -> d.pins.(p).pin_name = "d") in
+  let early = Sta.Timer.early_arrivals timer in
+  check_float "single path: early = late" (Sta.Timer.arrivals timer).(dpin) early.(dpin);
+  (* DFF hold = 5.0; arrival ~136 ps >> 5 ps, so no violation. *)
+  check_float "whs zero" 0.0 (Sta.Timer.whs timer);
+  check_float "ths zero" 0.0 (Sta.Timer.ths timer);
+  Alcotest.(check (list int)) "no violations" [] (Sta.Timer.hold_violations timer);
+  ignore g
+
+let test_hold_violation_constructed () =
+  (* An FF fed directly by another FF's Q through a very short wire with a
+     huge hold requirement must violate hold. *)
+  let b = Helpers.fresh_builder () in
+  let big_hold_ff =
+    Libcell.make_ff ~hold:100.0 ~lname:"DFFH" ~width:4.0 ~drive_res:8.0 ~clk_to_q:30.0
+      ~setup:25.0 ~d_cap:1.6 ()
+  in
+  let ff1 = Builder.add_logic b ~cname:"ff1" ~lib:Libcell.dff ~x:50.0 ~y:50.0 () in
+  let ff2 = Builder.add_logic b ~cname:"ff2" ~lib:big_hold_ff ~x:54.0 ~y:50.0 () in
+  let po = Builder.add_output_pad b ~cname:"po" ~x:100.0 ~y:50.0 in
+  let n1 = Builder.add_net b ~nname:"n1" in
+  Builder.connect_by_name b ~net:n1 ~cell:ff1 ~pin_name:"q";
+  Builder.connect_by_name b ~net:n1 ~cell:ff2 ~pin_name:"d";
+  let n2 = Builder.add_net b ~nname:"n2" in
+  Builder.connect_by_name b ~net:n2 ~cell:ff2 ~pin_name:"q";
+  Builder.connect_by_name b ~net:n2 ~cell:po ~pin_name:"p";
+  let d = Builder.finish b in
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  Alcotest.(check bool) "hold violated" true (Sta.Timer.whs timer < 0.0);
+  Alcotest.(check int) "one violation" 1 (List.length (Sta.Timer.hold_violations timer));
+  Alcotest.(check bool) "ths <= whs" true (Sta.Timer.ths timer <= Sta.Timer.whs timer)
+
+let test_hold_diamond_early_branch () =
+  (* Diamond: early arrival at the endpoint follows the FAST branch
+     (through ua), late follows the slow one — they must differ. *)
+  let d = Helpers.diamond_design () in
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  let g = Sta.Timer.graph timer in
+  let ep = g.Sta.Graph.endpoints.(0) in
+  let early = Sta.Timer.early_arrivals timer in
+  Alcotest.(check bool) "early < late at reconvergence" true
+    (early.(ep) < (Sta.Timer.arrivals timer).(ep) -. 1.0)
+
+(* ---------------- RUDY congestion ---------------- *)
+
+let test_rudy_single_net () =
+  let d = Helpers.chain_design () in
+  let c = Gp.Congestion.create d ~bins_x:16 ~bins_y:16 in
+  Gp.Congestion.update c d;
+  (* Every net contributes (w+h) of wiring demand over its (padded)
+     bbox: total demand equals the sum of padded half-perimeters. *)
+  let expect =
+    Array.fold_left
+      (fun acc (net : Design.net) ->
+        let pts = List.map (fun pid -> Design.pin_pos d d.pins.(pid)) (Design.net_pins net) in
+        let bb = Geom.Rect.bbox_of_points pts in
+        acc +. (Geom.Rect.width bb +. c.bin_w +. (Geom.Rect.height bb +. c.bin_h)))
+      0.0 d.nets
+  in
+  (* Some demand may fall outside the die for boundary nets; allow 15%. *)
+  let total = Gp.Congestion.total_demand c in
+  Alcotest.(check bool)
+    (Printf.sprintf "demand %.1f ~ %.1f" total expect)
+    true
+    (total > 0.7 *. expect && total <= expect +. 1e-6)
+
+let test_rudy_hotspot_detects_clumping () =
+  let d = Helpers.small_calibrated () in
+  let c = Gp.Congestion.create d ~bins_x:16 ~bins_y:16 in
+  (* Spread: low hotspot factor. *)
+  let rng = Util.Rng.create 5 in
+  Array.iter
+    (fun (cell : Design.cell) ->
+      if cell.movable then begin
+        d.x.(cell.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
+        d.y.(cell.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
+      end)
+    d.cells;
+  Gp.Congestion.update c d;
+  let spread_factor = Gp.Congestion.hotspot_factor c in
+  (* Stack everything: hotspot factor must jump. *)
+  let ctr = Geom.Rect.center d.die in
+  Array.iter
+    (fun (cell : Design.cell) ->
+      if cell.movable then begin
+        d.x.(cell.id) <- ctr.Geom.Point.x;
+        d.y.(cell.id) <- ctr.Geom.Point.y
+      end)
+    d.cells;
+  Gp.Congestion.update c d;
+  let stacked_factor = Gp.Congestion.hotspot_factor c in
+  Alcotest.(check bool)
+    (Printf.sprintf "stacked %.1f > spread %.1f" stacked_factor spread_factor)
+    true
+    (stacked_factor > spread_factor)
+
+(* ---------------- Wire stats ---------------- *)
+
+let test_wire_stats_of_segments () =
+  let s = Evalkit.Wire_stats.of_segments ~buffer_threshold:10.0 [ 5.0; 15.0; 20.0 ] in
+  Alcotest.(check int) "segments" 3 s.num_segments;
+  check_float "total" 40.0 s.total_length;
+  check_float "max" 20.0 s.max_length;
+  Alcotest.(check int) "buffer candidates" 2 s.buffer_candidates;
+  let empty = Evalkit.Wire_stats.of_segments [] in
+  Alcotest.(check int) "empty" 0 empty.num_segments
+
+let test_wire_stats_critical_paths () =
+  let d = Helpers.small_calibrated () in
+  let rng = Util.Rng.create 6 in
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
+        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
+      end)
+    d.cells;
+  d.clock_period <- d.clock_period *. 0.7;
+  let s = Evalkit.Wire_stats.of_critical_paths d ~n:10 in
+  Alcotest.(check bool) "segments found" true (s.num_segments > 0);
+  Alcotest.(check bool) "mean <= max" true (s.mean_length <= s.max_length +. 1e-9)
+
+(* ---------------- Timing-aware detailed placement ---------------- *)
+
+let test_timing_dp_never_degrades () =
+  let d = Helpers.small_calibrated () in
+  ignore (Gp.Globalplace.run ~params:{ Gp.Globalplace.default_params with max_iters = 200 } d);
+  ignore (Gp.Legalize.run d);
+  let s = Tdp.Timing_dp.run ~max_endpoints:10 ~window:6.0 d in
+  Alcotest.(check bool)
+    (Printf.sprintf "tns %.1f -> %.1f" s.tns_before s.tns_after)
+    true
+    (s.tns_after >= s.tns_before -. 1e-6);
+  Alcotest.(check bool) "still legal" true (Gp.Legalize.is_legal d);
+  Alcotest.(check bool) "accepted <= candidates" true (s.accepted <= s.candidates);
+  (* The independent evaluator agrees with the internal timer. *)
+  let m = Evalkit.Metrics.evaluate d in
+  Alcotest.(check bool) "evaluator agrees" true (Float.abs (m.tns -. s.tns_after) < 1e-6)
+
+(* ---------------- IO delay constraints ---------------- *)
+
+let test_io_delays_shift_timing () =
+  let d = Helpers.chain_design () in
+  let timer0 = Sta.Timer.create d in
+  Sta.Timer.update timer0;
+  let g0 = Sta.Timer.graph timer0 in
+  let po = d.cells.(4) in
+  let base_slack = Sta.Timer.endpoint_slack timer0 po.cell_pins.(0) in
+  ignore g0;
+  (* input delay shifts arrivals on PI-fed cones; output delay tightens
+     the PO requirement — both reduce the PO slack additively. *)
+  d.input_delay <- 40.0;
+  d.output_delay <- 25.0;
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  let s = Sta.Timer.endpoint_slack timer po.cell_pins.(0) in
+  (* PO path launches from the FF (not the PI), so only output_delay
+     applies to it. *)
+  check_float "output delay tightens PO" (base_slack -. 25.0) s;
+  (* The FF D endpoint is fed from the PI: input delay applies. *)
+  let ff = d.cells.(2) in
+  let dpin = Array.to_list ff.cell_pins |> List.find (fun p -> d.pins.(p).pin_name = "d") in
+  d.input_delay <- 0.0;
+  d.output_delay <- 0.0;
+  let t2 = Sta.Timer.create d in
+  Sta.Timer.update t2;
+  let slack_no_delay = Sta.Timer.endpoint_slack t2 dpin in
+  d.input_delay <- 40.0;
+  let t3 = Sta.Timer.create d in
+  Sta.Timer.update t3;
+  check_float "input delay shifts D slack" (slack_no_delay -. 40.0)
+    (Sta.Timer.endpoint_slack t3 dpin);
+  d.input_delay <- 0.0
+
+let test_io_delays_roundtrip () =
+  let d = Helpers.chain_design () in
+  d.input_delay <- 12.5;
+  d.output_delay <- 7.25;
+  let path = Filename.temp_file "tdp_iod" ".txt" in
+  Io.save_file path d;
+  let d2 = Io.load_file path in
+  Sys.remove path;
+  check_float "input delay" 12.5 d2.input_delay;
+  check_float "output delay" 7.25 d2.output_delay
+
+let test_pp_path_report () =
+  let d = Helpers.chain_design () in
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  match Sta.Timer.critical_path timer with
+  | None -> Alcotest.fail "no path"
+  | Some p ->
+      let s =
+        Format.asprintf "%a" (fun fmt p -> Sta.Report.pp_path fmt (Sta.Timer.graph timer) p) p
+      in
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "mentions startpoint" true (contains "Startpoint" s);
+      Alcotest.(check bool) "mentions slack" true (contains "slack" s)
+
+(* ---------------- SVG rendering ---------------- *)
+
+let test_svg_render () =
+  let d = Helpers.small_calibrated () in
+  ignore (Gp.Globalplace.run ~params:{ Gp.Globalplace.default_params with max_iters = 120 } d);
+  let s = Evalkit.Svg.render d in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "is svg" true (contains "<svg" s && contains "</svg>" s);
+  Alcotest.(check bool) "has rects" true (contains "<rect" s);
+  (* every logic cell becomes a rect: more rects than cells/2 *)
+  let count_sub sub =
+    let n = ref 0 and i = ref 0 in
+    let sl = String.length sub and l = String.length s in
+    while !i + sl <= l do
+      if String.sub s !i sl = sub then incr n;
+      incr i
+    done;
+    !n
+  in
+  Alcotest.(check bool) "rect per cell" true (count_sub "<rect" > Design.num_cells d / 2)
+
+(* ---------------- Row reordering ---------------- *)
+
+let test_reorder_rows_legal_and_improving () =
+  let d = Helpers.small_calibrated () in
+  ignore (Gp.Globalplace.run ~params:{ Gp.Globalplace.default_params with max_iters = 150 } d);
+  ignore (Gp.Legalize.run d);
+  let before = Design.total_hpwl d in
+  let improved = Gp.Detailed.reorder_rows d in
+  let after = Design.total_hpwl d in
+  Alcotest.(check bool) "hpwl not worse" true (after <= before +. 1e-6);
+  Alcotest.(check bool) "still legal" true (Gp.Legalize.is_legal d);
+  Alcotest.(check bool) "some windows improved" true (improved >= 0)
+
+(* ---------------- SA refinement ---------------- *)
+
+let test_sa_refine_never_regresses_cost () =
+  let d = Helpers.small_calibrated () in
+  ignore (Gp.Globalplace.run ~params:{ Gp.Globalplace.default_params with max_iters = 150 } d);
+  ignore (Gp.Legalize.run d);
+  let s = Tdp.Sa_refine.run ~moves:600 d in
+  let cost tns hpwl = -.tns +. (0.5 *. hpwl) in
+  Alcotest.(check bool)
+    (Printf.sprintf "cost %.0f -> %.0f" (cost s.tns_before s.hpwl_before)
+       (cost s.tns_after s.hpwl_after))
+    true
+    (cost s.tns_after s.hpwl_after <= cost s.tns_before s.hpwl_before +. 1e-6);
+  Alcotest.(check bool) "legal after SA" true (Gp.Legalize.is_legal d);
+  Alcotest.(check bool) "moves made" true (s.moves > 0)
+
+let test_sa_refine_deterministic () =
+  let run_once () =
+    let d = Helpers.small_calibrated () in
+    ignore (Gp.Globalplace.run ~params:{ Gp.Globalplace.default_params with max_iters = 150 } d);
+    ignore (Gp.Legalize.run d);
+    let s = Tdp.Sa_refine.run ~seed:5 ~moves:300 d in
+    (s.accepted, s.tns_after)
+  in
+  let a1, t1 = run_once () in
+  let a2, t2 = run_once () in
+  Alcotest.(check int) "same accepts" a1 a2;
+  check_float "same tns" t1 t2
+
+(* ---------------- DRV checks ---------------- *)
+
+let test_drv_checks () =
+  let d = Helpers.small_calibrated () in
+  let rng = Util.Rng.create 61 in
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
+        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
+      end)
+    d.cells;
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  (* Absurdly loose thresholds: nothing violates. *)
+  let loose = Sta.Timer.check_drv ~max_cap:1e9 ~max_slew:1e9 timer in
+  Alcotest.(check int) "no cap violations" 0 loose.cap_violations;
+  Alcotest.(check int) "no slew violations" 0 loose.slew_violations;
+  Alcotest.(check bool) "worst cap positive" true (loose.worst_cap > 0.0);
+  (* Thresholds below the observed worst: at least one violation each. *)
+  let tight =
+    Sta.Timer.check_drv ~max_cap:(loose.worst_cap /. 2.0) ~max_slew:(loose.worst_slew /. 2.0)
+      timer
+  in
+  Alcotest.(check bool) "cap violations found" true (tight.cap_violations > 0);
+  Alcotest.(check bool) "slew violations found" true (tight.slew_violations > 0);
+  (* Worst values are threshold-independent. *)
+  check_float "same worst cap" loose.worst_cap tight.worst_cap
+
+let test_save_placement_format () =
+  let d = Helpers.chain_design () in
+  let path = Filename.temp_file "tdp_pl" ".txt" in
+  let oc = open_out path in
+  Io.save_placement oc d;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  Alcotest.(check int) "one line per movable" (Design.num_movable d) (List.length !lines);
+  List.iter
+    (fun l ->
+      match String.split_on_char ' ' l with
+      | [ "p"; id; x; y ] ->
+          let id = int_of_string id in
+          Alcotest.(check bool) "movable id" true d.cells.(id).movable;
+          check_float "x matches" d.x.(id) (float_of_string x);
+          check_float "y matches" d.y.(id) (float_of_string y)
+      | _ -> Alcotest.fail ("bad placement line: " ^ l))
+    !lines
+
+let suite =
+  [
+    ("drv checks", `Quick, test_drv_checks);
+    ("save_placement format", `Quick, test_save_placement_format);
+    ("sa refine cost never regresses", `Slow, test_sa_refine_never_regresses_cost);
+    ("sa refine deterministic", `Slow, test_sa_refine_deterministic);
+    ("svg render", `Quick, test_svg_render);
+    ("reorder rows legal", `Quick, test_reorder_rows_legal_and_improving);
+    ("early <= late arrivals", `Quick, test_early_le_late);
+    ("io delays shift timing", `Quick, test_io_delays_shift_timing);
+    ("io delays roundtrip", `Quick, test_io_delays_roundtrip);
+    ("pp_path report", `Quick, test_pp_path_report);
+    ("hold: chain exact", `Quick, test_hold_chain_exact);
+    ("hold: constructed violation", `Quick, test_hold_violation_constructed);
+    ("hold: diamond early branch", `Quick, test_hold_diamond_early_branch);
+    ("rudy: total demand", `Quick, test_rudy_single_net);
+    ("rudy: hotspot detection", `Quick, test_rudy_hotspot_detects_clumping);
+    ("wire stats: segments", `Quick, test_wire_stats_of_segments);
+    ("wire stats: critical paths", `Quick, test_wire_stats_critical_paths);
+    ("timing dp: never degrades", `Slow, test_timing_dp_never_degrades);
+  ]

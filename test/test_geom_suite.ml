@@ -1,0 +1,122 @@
+(* Unit + property tests for the geom library. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let pt = QCheck.Gen.(map2 Geom.Point.make (float_bound_inclusive 100.0) (float_bound_inclusive 100.0))
+
+let point_arb = QCheck.make ~print:(fun (p : Geom.Point.t) -> Printf.sprintf "(%f,%f)" p.x p.y) pt
+
+let test_point_ops () =
+  let a = Geom.Point.make 1.0 2.0 and b = Geom.Point.make 4.0 6.0 in
+  check_float "manhattan" 7.0 (Geom.Point.manhattan a b);
+  check_float "euclidean" 5.0 (Geom.Point.euclidean a b);
+  check_float "sq_euclidean" 25.0 (Geom.Point.sq_euclidean a b);
+  let s = Geom.Point.add a b in
+  check_float "add x" 5.0 s.x;
+  check_float "sub y" 4.0 (Geom.Point.sub b a).y;
+  check_float "scale" 2.0 (Geom.Point.scale 2.0 a).x
+
+let test_rect_basics () =
+  let r = Geom.Rect.make ~xl:0.0 ~yl:0.0 ~xh:4.0 ~yh:2.0 in
+  check_float "width" 4.0 (Geom.Rect.width r);
+  check_float "height" 2.0 (Geom.Rect.height r);
+  check_float "area" 8.0 (Geom.Rect.area r);
+  check_float "half perimeter" 6.0 (Geom.Rect.half_perimeter r);
+  let c = Geom.Rect.center r in
+  check_float "center x" 2.0 c.x;
+  Alcotest.(check bool) "contains center" true (Geom.Rect.contains r c);
+  Alcotest.(check bool) "not contains outside" false
+    (Geom.Rect.contains r (Geom.Point.make 5.0 1.0))
+
+let test_rect_overlap () =
+  let a = Geom.Rect.make ~xl:0.0 ~yl:0.0 ~xh:2.0 ~yh:2.0 in
+  let b = Geom.Rect.make ~xl:1.0 ~yl:1.0 ~xh:3.0 ~yh:3.0 in
+  let c = Geom.Rect.make ~xl:5.0 ~yl:5.0 ~xh:6.0 ~yh:6.0 in
+  check_float "overlap" 1.0 (Geom.Rect.overlap_area a b);
+  check_float "disjoint" 0.0 (Geom.Rect.overlap_area a c);
+  Alcotest.(check bool) "intersects" true (Geom.Rect.intersects a b);
+  Alcotest.(check bool) "no intersect" false (Geom.Rect.intersects a c);
+  (* Touching rectangles do not overlap. *)
+  let d = Geom.Rect.make ~xl:2.0 ~yl:0.0 ~xh:4.0 ~yh:2.0 in
+  check_float "abutting" 0.0 (Geom.Rect.overlap_area a d)
+
+let test_rect_union_bbox () =
+  let a = Geom.Rect.make ~xl:0.0 ~yl:0.0 ~xh:1.0 ~yh:1.0 in
+  let b = Geom.Rect.make ~xl:2.0 ~yl:3.0 ~xh:4.0 ~yh:5.0 in
+  let u = Geom.Rect.union a b in
+  check_float "union xh" 4.0 u.xh;
+  check_float "union yl" 0.0 u.yl;
+  let bb =
+    Geom.Rect.bbox_of_points
+      [ Geom.Point.make 1.0 5.0; Geom.Point.make (-2.0) 0.5; Geom.Point.make 3.0 2.0 ]
+  in
+  check_float "bbox xl" (-2.0) bb.xl;
+  check_float "bbox yh" 5.0 bb.yh
+
+let test_rect_clamp () =
+  let r = Geom.Rect.make ~xl:0.0 ~yl:0.0 ~xh:10.0 ~yh:10.0 in
+  let p = Geom.Rect.clamp r (Geom.Point.make (-5.0) 20.0) in
+  check_float "clamp x" 0.0 p.x;
+  check_float "clamp y" 10.0 p.y
+
+let test_bbox_empty () =
+  Alcotest.check_raises "empty bbox" (Invalid_argument "Rect.bbox_of_points: empty") (fun () ->
+      ignore (Geom.Rect.bbox_of_points []))
+
+let q_manhattan_triangle =
+  qtest "manhattan triangle inequality" QCheck.(triple point_arb point_arb point_arb)
+    (fun (a, b, c) ->
+      Geom.Point.manhattan a c <= Geom.Point.manhattan a b +. Geom.Point.manhattan b c +. 1e-9)
+
+let q_euclid_le_manhattan =
+  qtest "euclidean <= manhattan" QCheck.(pair point_arb point_arb) (fun (a, b) ->
+      Geom.Point.euclidean a b <= Geom.Point.manhattan a b +. 1e-9)
+
+let q_sq_euclidean =
+  qtest "sq_euclidean = euclidean^2" QCheck.(pair point_arb point_arb) (fun (a, b) ->
+      let e = Geom.Point.euclidean a b in
+      Float.abs (Geom.Point.sq_euclidean a b -. (e *. e)) < 1e-6)
+
+let rect_arb =
+  QCheck.make
+    QCheck.Gen.(
+      map
+        (fun (x, y, w, h) -> Geom.Rect.of_corner_size ~x ~y ~w ~h)
+        (quad (float_bound_inclusive 50.0) (float_bound_inclusive 50.0)
+           (float_bound_inclusive 20.0) (float_bound_inclusive 20.0)))
+
+let q_overlap_symmetric =
+  qtest "overlap symmetric" QCheck.(pair rect_arb rect_arb) (fun (a, b) ->
+      Float.abs (Geom.Rect.overlap_area a b -. Geom.Rect.overlap_area b a) < 1e-9)
+
+let q_overlap_bounded =
+  qtest "overlap <= min area" QCheck.(pair rect_arb rect_arb) (fun (a, b) ->
+      Geom.Rect.overlap_area a b <= Float.min (Geom.Rect.area a) (Geom.Rect.area b) +. 1e-9)
+
+let q_self_overlap =
+  qtest "self overlap = area" rect_arb (fun r ->
+      Float.abs (Geom.Rect.overlap_area r r -. Geom.Rect.area r) < 1e-9)
+
+let q_clamp_inside =
+  qtest "clamp lands inside" QCheck.(pair rect_arb point_arb) (fun (r, p) ->
+      Geom.Rect.contains r (Geom.Rect.clamp r p))
+
+let suite =
+  [
+    ("point ops", `Quick, test_point_ops);
+    ("rect basics", `Quick, test_rect_basics);
+    ("rect overlap", `Quick, test_rect_overlap);
+    ("rect union/bbox", `Quick, test_rect_union_bbox);
+    ("rect clamp", `Quick, test_rect_clamp);
+    ("bbox empty raises", `Quick, test_bbox_empty);
+    q_manhattan_triangle;
+    q_euclid_le_manhattan;
+    q_sq_euclidean;
+    q_overlap_symmetric;
+    q_overlap_bounded;
+    q_self_overlap;
+    q_clamp_inside;
+  ]

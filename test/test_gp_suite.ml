@@ -1,0 +1,400 @@
+(* Tests for the gp library: WA wirelength, density grid, electrostatic
+   force, Nesterov, the global placement loop, legalizer and detailed
+   placement. *)
+
+open Netlist
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ---------------- Wirelength ---------------- *)
+
+let spread_design () =
+  let d = Lazy.force Helpers.small_generated in
+  let rng = Util.Rng.create 17 in
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        d.x.(c.id) <- 2.0 +. Util.Rng.float rng (Geom.Rect.width d.die -. 4.0);
+        d.y.(c.id) <- 2.0 +. Util.Rng.float rng (Geom.Rect.height d.die -. 4.0)
+      end)
+    d.cells;
+  d
+
+let test_wa_approaches_hpwl () =
+  let d = spread_design () in
+  let n = Design.num_cells d in
+  let hpwl = Design.total_hpwl d in
+  let wa gamma =
+    let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+    Gp.Wirelength.wa_wirelength_grad d ~gamma ~gx ~gy
+  in
+  let w_tight = wa 0.01 and w_loose = wa 10.0 in
+  Alcotest.(check bool) "gamma->0 converges to hpwl" true
+    (Float.abs (w_tight -. hpwl) /. hpwl < 0.01);
+  Alcotest.(check bool) "wa underestimates" true (w_loose <= hpwl +. 1e-6);
+  Alcotest.(check bool) "tight closer than loose" true
+    (Float.abs (w_tight -. hpwl) <= Float.abs (w_loose -. hpwl))
+
+let test_wa_gradient_finite_diff () =
+  let d = spread_design () in
+  let n = Design.num_cells d in
+  let gamma = 2.0 in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  let _ = Gp.Wirelength.wa_wirelength_grad d ~gamma ~gx ~gy in
+  let value () =
+    let tx = Array.make n 0.0 and ty = Array.make n 0.0 in
+    Gp.Wirelength.wa_wirelength_grad d ~gamma ~gx:tx ~gy:ty
+  in
+  let h = 1e-4 in
+  let rng = Util.Rng.create 23 in
+  for _ = 1 to 10 do
+    let id = Util.Rng.int rng n in
+    if d.cells.(id).movable then begin
+      let x0 = d.x.(id) in
+      d.x.(id) <- x0 +. h;
+      let fp = value () in
+      d.x.(id) <- x0 -. h;
+      let fm = value () in
+      d.x.(id) <- x0;
+      let num = (fp -. fm) /. (2.0 *. h) in
+      Alcotest.(check bool)
+        (Printf.sprintf "grad x cell %d (%g vs %g)" id num gx.(id))
+        true
+        (Float.abs (num -. gx.(id)) < 1e-3 *. (1.0 +. Float.abs num))
+    end
+  done
+
+let test_weighted_wl_scales () =
+  let d = Helpers.chain_design () in
+  let base = Gp.Wirelength.weighted_hpwl d in
+  d.nets.(0).weight <- 3.0;
+  let weighted = Gp.Wirelength.weighted_hpwl d in
+  check_float "weight multiplies" (base +. (2.0 *. Design.net_hpwl d d.nets.(0))) weighted;
+  Design.reset_net_weights d
+
+let test_wa_respects_net_weights () =
+  let d = Helpers.chain_design () in
+  let n = Design.num_cells d in
+  let grad_norm () =
+    let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+    ignore (Gp.Wirelength.wa_wirelength_grad d ~gamma:1.0 ~gx ~gy);
+    Array.fold_left (fun a v -> a +. Float.abs v) 0.0 gx
+  in
+  let g1 = grad_norm () in
+  Array.iter (fun (net : Design.net) -> net.weight <- 2.0) d.nets;
+  let g2 = grad_norm () in
+  Design.reset_net_weights d;
+  check_float "gradient scales with weights" (2.0 *. g1) g2
+
+(* ---------------- Density ---------------- *)
+
+let test_density_mass_conservation () =
+  let d = spread_design () in
+  let grid = Gp.Densitygrid.create d ~bins_x:32 ~bins_y:32 in
+  Gp.Densitygrid.update grid d;
+  let total = Array.fold_left ( +. ) 0.0 grid.Gp.Densitygrid.density in
+  let expect = Design.movable_area d in
+  Alcotest.(check bool)
+    (Printf.sprintf "mass %.2f ~ area %.2f" total expect)
+    true
+    (Float.abs (total -. expect) < 0.02 *. expect)
+
+let test_density_fixed_blockages () =
+  let d = Lazy.force Helpers.small_generated in
+  let grid = Gp.Densitygrid.create d ~bins_x:32 ~bins_y:32 in
+  let fixed_total = Array.fold_left ( +. ) 0.0 grid.Gp.Densitygrid.fixed in
+  (* Boundary pads hang half-off the die, so expectation uses the
+     die-clipped area of each fixed cell. *)
+  let expect =
+    Array.fold_left
+      (fun acc (c : Design.cell) ->
+        if c.movable then acc
+        else acc +. Geom.Rect.overlap_area d.die (Design.cell_rect d c.id))
+      0.0 d.cells
+  in
+  Alcotest.(check bool) "fixed mass" true (Float.abs (fixed_total -. expect) < 0.05 *. expect +. 1.0)
+
+let test_overflow_extremes () =
+  let d = spread_design () in
+  let grid = Gp.Densitygrid.create d ~bins_x:32 ~bins_y:32 in
+  (* Everything stacked in one corner: overflow near 1. *)
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        d.x.(c.id) <- 2.0;
+        d.y.(c.id) <- 2.0
+      end)
+    d.cells;
+  Gp.Densitygrid.update grid d;
+  let ovf_stacked =
+    Gp.Densitygrid.overflow grid ~target_density:1.0 ~movable_area:(Design.movable_area d)
+  in
+  Alcotest.(check bool) "stacked overflow high" true (ovf_stacked > 0.5);
+  (* Spread again: overflow must drop. *)
+  let d2 = spread_design () in
+  Gp.Densitygrid.update grid d2;
+  let ovf_spread =
+    Gp.Densitygrid.overflow grid ~target_density:1.0 ~movable_area:(Design.movable_area d2)
+  in
+  Alcotest.(check bool) "spread much lower" true (ovf_spread < ovf_stacked /. 2.0)
+
+let test_electro_force_spreads () =
+  (* Cells stacked at the centre: the field at the stack points outward,
+     i.e. following -gradient increases distance from the stack. *)
+  let d = spread_design () in
+  let ctr = Geom.Rect.center d.die in
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        d.x.(c.id) <- ctr.Geom.Point.x +. 3.0;
+        d.y.(c.id) <- ctr.Geom.Point.y
+      end)
+    d.cells;
+  let grid = Gp.Densitygrid.create d ~bins_x:32 ~bins_y:32 in
+  Gp.Densitygrid.update grid d;
+  let el = Gp.Electro.create grid in
+  Gp.Electro.solve el ~target_density:1.0;
+  let n = Design.num_cells d in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  Gp.Electro.add_grad el d ~gx ~gy;
+  (* Descending the gradient moves the cell away from the overfull spot:
+     probe a test cell shifted right of the stack. *)
+  let id = List.hd (Design.movable_ids d) in
+  d.x.(id) <- ctr.Geom.Point.x +. 8.0;
+  Gp.Densitygrid.update grid d;
+  Gp.Electro.solve el ~target_density:1.0;
+  Array.fill gx 0 n 0.0;
+  Array.fill gy 0 n 0.0;
+  Gp.Electro.add_grad el d ~gx ~gy;
+  Alcotest.(check bool) "pushed right (descent increases x)" true (gx.(id) < 0.0)
+
+let test_electro_energy_decreases_with_spreading () =
+  let d = spread_design () in
+  let grid = Gp.Densitygrid.create d ~bins_x:32 ~bins_y:32 in
+  let el = Gp.Electro.create grid in
+  let energy_at placement =
+    placement ();
+    Gp.Densitygrid.update grid d;
+    Gp.Electro.solve el ~target_density:1.0;
+    el.Gp.Electro.energy
+  in
+  let ctr = Geom.Rect.center d.die in
+  let stacked =
+    energy_at (fun () ->
+        Array.iter
+          (fun (c : Design.cell) ->
+            if c.movable then begin
+              d.x.(c.id) <- ctr.Geom.Point.x;
+              d.y.(c.id) <- ctr.Geom.Point.y
+            end)
+          d.cells)
+  in
+  let spread =
+    energy_at (fun () ->
+        let rng = Util.Rng.create 31 in
+        Array.iter
+          (fun (c : Design.cell) ->
+            if c.movable then begin
+              d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
+              d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
+            end)
+          d.cells)
+  in
+  Alcotest.(check bool) "stacked energy higher" true (stacked > spread)
+
+(* ---------------- Nesterov ---------------- *)
+
+let test_nesterov_quadratic_bowl () =
+  (* f(x) = 0.5 * ||x - c||^2, gradient x - c. *)
+  let target = [| 3.0; -2.0; 7.0 |] in
+  let opt = Gp.Nesterov.create [| 0.0; 0.0; 0.0 |] in
+  for _ = 1 to 200 do
+    let v = Gp.Nesterov.reference opt in
+    let g = Array.mapi (fun i vi -> vi -. target.(i)) v in
+    Gp.Nesterov.step opt ~g ~fallback_step:0.1 ~max_step:1.0 ~clamp:(fun _ -> ())
+  done;
+  let u = Gp.Nesterov.iterate opt in
+  Array.iteri
+    (fun i v -> Alcotest.(check bool) "converged" true (Float.abs (v -. target.(i)) < 1e-3))
+    u
+
+let test_nesterov_respects_clamp () =
+  let opt = Gp.Nesterov.create [| 0.5 |] in
+  let clamp v = v.(0) <- Float.max 0.0 (Float.min 1.0 v.(0)) in
+  for _ = 1 to 50 do
+    let v = Gp.Nesterov.reference opt in
+    (* gradient pushing hard out of the box *)
+    let g = [| -100.0 *. (1.0 +. v.(0)) |] in
+    Gp.Nesterov.step opt ~g ~fallback_step:0.5 ~max_step:10.0 ~clamp
+  done;
+  let u = Gp.Nesterov.iterate opt in
+  Alcotest.(check bool) "stays in box" true (u.(0) >= 0.0 && u.(0) <= 1.0)
+
+(* ---------------- Globalplace ---------------- *)
+
+let gp_test_params =
+  { Gp.Globalplace.default_params with max_iters = 260; min_iters = 80 }
+
+let test_globalplace_reduces_overflow () =
+  let d = Helpers.small_calibrated () in
+  let r = Gp.Globalplace.run ~params:gp_test_params d in
+  Alcotest.(check bool) "ran iterations" true (r.iters > 10);
+  Alcotest.(check bool) "overflow shrank" true (r.final_overflow < 0.35);
+  (* All movable cells inside the die. *)
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        let rect = Design.cell_rect d c.id in
+        Alcotest.(check bool) "in die" true
+          (rect.xl >= d.die.xl -. 1e-6 && rect.xh <= d.die.xh +. 1e-6)
+      end)
+    d.cells
+
+let test_globalplace_deterministic () =
+  let d1 = Helpers.small_calibrated () in
+  let d2 = Helpers.small_calibrated () in
+  let r1 = Gp.Globalplace.run ~params:gp_test_params d1 in
+  let r2 = Gp.Globalplace.run ~params:gp_test_params d2 in
+  check_float "same hpwl" r1.final_hpwl r2.final_hpwl;
+  Alcotest.(check int) "same iters" r1.iters r2.iters
+
+let test_globalplace_hooks_fire () =
+  let d = Helpers.small_calibrated () in
+  let rounds = ref 0 and grads = ref 0 in
+  let hooks =
+    {
+      Gp.Globalplace.on_round = (fun ~iter:_ ~overflow:_ -> incr rounds);
+      extra_grad = (fun ~iter:_ ~wl_norm ~gx:_ ~gy:_ ->
+          incr grads;
+          Alcotest.(check bool) "wl_norm positive" true (wl_norm > 0.0));
+    }
+  in
+  let params = { gp_test_params with timing_start = 50; round_every = 10 } in
+  ignore (Gp.Globalplace.run ~params ~hooks d);
+  Alcotest.(check bool) "rounds fired" true (!rounds >= 3);
+  Alcotest.(check bool) "grads every iter after start" true (!grads > !rounds)
+
+let test_globalplace_trace_monotone_iters () =
+  let d = Helpers.small_calibrated () in
+  let r = Gp.Globalplace.run ~params:gp_test_params d in
+  let rec increasing = function
+    | (a : Gp.Globalplace.trace_point) :: (b :: _ as rest) -> a.iter < b.iter && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "trace chronological" true (increasing r.trace);
+  Alcotest.(check bool) "trace nonempty" true (r.trace <> [])
+
+(* ---------------- Legalize ---------------- *)
+
+let test_legalize_produces_legal () =
+  let d = Helpers.small_calibrated () in
+  ignore (Gp.Globalplace.run ~params:gp_test_params d);
+  let disp = Gp.Legalize.run d in
+  Alcotest.(check bool) "legal" true (Gp.Legalize.is_legal d);
+  Alcotest.(check bool) "displacement sane" true (disp >= 0.0);
+  (* no overlap with blockages *)
+  Array.iter
+    (fun (c : Design.cell) ->
+      if (not c.movable) && c.role = Design.Blockage then begin
+        let b = Design.cell_rect d c.id in
+        Array.iter
+          (fun (m : Design.cell) ->
+            if m.movable then
+              Alcotest.(check bool) "clear of blockage" true
+                (Geom.Rect.overlap_area b (Design.cell_rect d m.id) < 1e-6))
+          d.cells
+      end)
+    d.cells
+
+let test_legalize_from_stack () =
+  (* Even a fully stacked placement legalises. *)
+  let d = Helpers.small_calibrated () in
+  let ctr = Geom.Rect.center d.die in
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        d.x.(c.id) <- ctr.Geom.Point.x;
+        d.y.(c.id) <- ctr.Geom.Point.y
+      end)
+    d.cells;
+  ignore (Gp.Legalize.run d);
+  Alcotest.(check bool) "legal from stack" true (Gp.Legalize.is_legal d)
+
+let test_legalize_deterministic () =
+  let run () =
+    let d = Helpers.small_calibrated () in
+    ignore (Gp.Globalplace.run ~params:gp_test_params d);
+    ignore (Gp.Legalize.run d);
+    Design.total_hpwl d
+  in
+  check_float "same result" (run ()) (run ())
+
+let test_legalize_is_legal_detects_overlap () =
+  let d = Helpers.chain_design () in
+  (* Put u1 and u2 in the same row at overlapping x. *)
+  d.x.(1) <- 10.0;
+  d.y.(1) <- 10.5;
+  d.x.(3) <- 10.2;
+  d.y.(3) <- 10.5;
+  d.x.(2) <- 50.0;
+  d.y.(2) <- 20.5;
+  Alcotest.(check bool) "overlap detected" false (Gp.Legalize.is_legal d)
+
+(* ---------------- Detailed ---------------- *)
+
+let test_detailed_improves_or_keeps () =
+  let d = Helpers.small_calibrated () in
+  ignore (Gp.Globalplace.run ~params:gp_test_params d);
+  ignore (Gp.Legalize.run d);
+  let before = Design.total_hpwl d in
+  let swaps = Gp.Detailed.run d in
+  let after = Design.total_hpwl d in
+  Alcotest.(check bool) "hpwl not worse" true (after <= before +. 1e-6);
+  Alcotest.(check bool) "legality preserved" true (Gp.Legalize.is_legal d);
+  Alcotest.(check bool) "swap count sane" true (swaps >= 0)
+
+let suite =
+  [
+    ("wa approaches hpwl", `Quick, test_wa_approaches_hpwl);
+    ("wa gradient finite-diff", `Quick, test_wa_gradient_finite_diff);
+    ("weighted hpwl scales", `Quick, test_weighted_wl_scales);
+    ("wa respects net weights", `Quick, test_wa_respects_net_weights);
+    ("density mass conservation", `Quick, test_density_mass_conservation);
+    ("density fixed blockages", `Quick, test_density_fixed_blockages);
+    ("overflow extremes", `Quick, test_overflow_extremes);
+    ("electro force direction", `Quick, test_electro_force_spreads);
+    ("electro energy vs spreading", `Quick, test_electro_energy_decreases_with_spreading);
+    ("nesterov quadratic bowl", `Quick, test_nesterov_quadratic_bowl);
+    ("nesterov clamp", `Quick, test_nesterov_respects_clamp);
+    ("globalplace reduces overflow", `Slow, test_globalplace_reduces_overflow);
+    ("globalplace deterministic", `Slow, test_globalplace_deterministic);
+    ("globalplace hooks", `Slow, test_globalplace_hooks_fire);
+    ("globalplace trace", `Slow, test_globalplace_trace_monotone_iters);
+    ("legalize produces legal", `Slow, test_legalize_produces_legal);
+    ("legalize from stack", `Quick, test_legalize_from_stack);
+    ("legalize deterministic", `Slow, test_legalize_deterministic);
+    ("is_legal detects overlap", `Quick, test_legalize_is_legal_detects_overlap);
+    ("detailed placement", `Slow, test_detailed_improves_or_keeps);
+  ]
+
+(* Parallel WA gradient must agree with the sequential one (within FP
+   reassociation tolerance). *)
+let test_wa_parallel_equivalence () =
+  let d = spread_design () in
+  let n = Design.num_cells d in
+  let run () =
+    let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+    let v = Gp.Wirelength.wa_wirelength_grad d ~gamma:2.0 ~gx ~gy in
+    (v, gx, gy)
+  in
+  let v_seq, gx_seq, _ = run () in
+  Util.Parallel.set_num_domains 4;
+  let v_par, gx_par, _ = run () in
+  Util.Parallel.set_num_domains 1;
+  Alcotest.(check bool) "value agrees" true
+    (Float.abs (v_seq -. v_par) < 1e-6 *. (1.0 +. Float.abs v_seq));
+  let max_diff = ref 0.0 in
+  Array.iteri (fun i v -> max_diff := Float.max !max_diff (Float.abs (v -. gx_par.(i)))) gx_seq;
+  Alcotest.(check bool) "gradients agree" true (!max_diff < 1e-9)
+
+let suite = suite @ [ ("wa gradient parallel equivalence", `Quick, test_wa_parallel_equivalence) ]

@@ -1,0 +1,19 @@
+(* Test entry point: every library's suite under one Alcotest runner.
+   `dune runtest` runs the quick tests and the slow integration ones. *)
+
+let () =
+  Alcotest.run "efficient-tdp"
+    [
+      ("util", Test_util_suite.suite);
+      ("geom", Test_geom_suite.suite);
+      ("numerics", Test_numerics_suite.suite);
+      ("netlist", Test_netlist_suite.suite);
+      ("rctree", Test_rctree_suite.suite);
+      ("sta", Test_sta_suite.suite);
+      ("gp", Test_gp_suite.suite);
+      ("tdp", Test_tdp_suite.suite);
+      ("workloads", Test_workloads_suite.suite);
+      ("extensions", Test_extensions_suite.suite);
+      ("fuzz", Test_fuzz_suite.suite);
+      ("properties", Test_properties_suite.suite);
+    ]

@@ -1,0 +1,246 @@
+(* Tests for the netlist library: Libcell, Design, Builder, Io. *)
+
+open Netlist
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ---------------- Libcell ---------------- *)
+
+let test_libcell_lookup () =
+  let inv = Libcell.find_in_library "INV_X1" in
+  Alcotest.(check string) "name" "INV_X1" inv.lname;
+  Alcotest.(check bool) "not ff" false inv.is_ff;
+  Alcotest.(check bool) "dff is ff" true Libcell.dff.is_ff;
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Libcell.find_in_library: unknown cell NOPE_X9") (fun () ->
+      ignore (Libcell.find_in_library "NOPE_X9"))
+
+let test_libcell_pins () =
+  let nand = Libcell.find_in_library "NAND2_X1" in
+  Alcotest.(check int) "inputs" 2 (List.length (Libcell.inputs nand));
+  Alcotest.(check int) "outputs" 1 (List.length (Libcell.outputs nand));
+  let a1 = Libcell.find_pin nand "a1" in
+  Alcotest.(check bool) "input kind" true (a1.kind = Libcell.Input);
+  Alcotest.(check bool) "cap positive" true (a1.cap > 0.0);
+  let o = Libcell.find_pin nand "o" in
+  check_float "output cap 0" 0.0 o.cap;
+  Alcotest.check_raises "missing pin"
+    (Invalid_argument "Libcell.find_pin: NAND2_X1 has no pin zz") (fun () ->
+      ignore (Libcell.find_pin nand "zz"))
+
+let test_libcell_pin_offsets_inside () =
+  Array.iter
+    (fun (lc : Libcell.t) ->
+      Array.iter
+        (fun (p : Libcell.lib_pin) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s.%s inside" lc.lname p.pname)
+            true
+            (Float.abs p.off_x <= (lc.width /. 2.0) +. 1e-9
+            && Float.abs p.off_y <= (lc.height /. 2.0) +. 1e-9))
+        lc.pins)
+    Libcell.default_library
+
+let test_library_sane () =
+  Array.iter
+    (fun (lc : Libcell.t) ->
+      Alcotest.(check bool) (lc.lname ^ " width>0") true (lc.width > 0.0);
+      Alcotest.(check bool) (lc.lname ^ " drive>0") true (lc.drive_res > 0.0);
+      Alcotest.(check bool)
+        (lc.lname ^ " has output")
+        true
+        (List.length (Libcell.outputs lc) = 1))
+    Libcell.default_library
+
+(* ---------------- Builder / Design ---------------- *)
+
+let test_build_counts () =
+  let d = Helpers.chain_design () in
+  Alcotest.(check int) "cells" 5 (Design.num_cells d);
+  Alcotest.(check int) "nets" 4 (Design.num_nets d);
+  (* pi(1) + inv(2) + dff(2) + inv(2) + po(1) *)
+  Alcotest.(check int) "pins" 8 (Design.num_pins d);
+  Alcotest.(check int) "movable" 3 (Design.num_movable d)
+
+let test_net_structure () =
+  let d = Helpers.chain_design () in
+  Array.iter
+    (fun (n : Design.net) ->
+      Alcotest.(check bool) (n.nname ^ " has driver") true (n.driver >= 0);
+      Alcotest.(check bool) (n.nname ^ " has sinks") true (Array.length n.sinks >= 1);
+      Alcotest.(check bool)
+        (n.nname ^ " driver is output pin")
+        true
+        (d.pins.(n.driver).dir = Design.Out);
+      Array.iter
+        (fun s -> Alcotest.(check bool) "sink is input pin" true (d.pins.(s).dir = Design.In))
+        n.sinks)
+    d.nets
+
+let test_double_driver_rejected () =
+  let b = Helpers.fresh_builder () in
+  let u1 = Builder.add_logic b ~cname:"u1" ~lib:Helpers.inv ~x:0.0 ~y:0.0 () in
+  let u2 = Builder.add_logic b ~cname:"u2" ~lib:Helpers.inv ~x:1.0 ~y:0.0 () in
+  let n = Builder.add_net b ~nname:"n" in
+  Builder.connect_by_name b ~net:n ~cell:u1 ~pin_name:"o";
+  Alcotest.(check bool) "second driver rejected" true
+    (try
+       Builder.connect_by_name b ~net:n ~cell:u2 ~pin_name:"o";
+       false
+     with Invalid_argument _ -> true)
+
+let test_reconnect_rejected () =
+  let b = Helpers.fresh_builder () in
+  let u1 = Builder.add_logic b ~cname:"u1" ~lib:Helpers.inv ~x:0.0 ~y:0.0 () in
+  let n1 = Builder.add_net b ~nname:"n1" in
+  let n2 = Builder.add_net b ~nname:"n2" in
+  Builder.connect_by_name b ~net:n1 ~cell:u1 ~pin_name:"a1";
+  Alcotest.(check bool) "pin reconnect rejected" true
+    (try
+       Builder.connect_by_name b ~net:n2 ~cell:u1 ~pin_name:"a1";
+       false
+     with Invalid_argument _ -> true)
+
+let test_undriven_net_rejected () =
+  let b = Helpers.fresh_builder () in
+  let u1 = Builder.add_logic b ~cname:"u1" ~lib:Helpers.inv ~x:0.0 ~y:0.0 () in
+  let n = Builder.add_net b ~nname:"dangling" in
+  Builder.connect_by_name b ~net:n ~cell:u1 ~pin_name:"a1";
+  Alcotest.(check bool) "undriven rejected" true
+    (try
+       ignore (Builder.finish b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_hpwl_hand_computed () =
+  let d = Helpers.chain_design () in
+  (* Net n1: pi pin at (0,50); u1.a1 at 30-0.5, 50 = (29.5, 50). *)
+  let n1 = d.nets.(0) in
+  check_float "n1 hpwl" 29.5 (Design.net_hpwl d n1);
+  Alcotest.(check bool) "total = sum" true
+    (Float.abs
+       (Design.total_hpwl d
+       -. Array.fold_left (fun acc n -> acc +. Design.net_hpwl d n) 0.0 d.nets)
+    < 1e-9)
+
+let test_pin_positions () =
+  let d = Helpers.chain_design () in
+  (* u1 is cell 1 at (30,50); its input a1 offset is (-w/2, 0) = (-0.5, 0). *)
+  let u1 = d.cells.(1) in
+  let a1 =
+    Array.to_list u1.cell_pins |> List.map (fun p -> d.pins.(p))
+    |> List.find (fun (p : Design.pin) -> p.pin_name = "a1")
+  in
+  check_float "pin x" 29.5 (Design.pin_x d a1);
+  check_float "pin y" 50.0 (Design.pin_y d a1)
+
+let test_snapshot_restore () =
+  let d = Helpers.chain_design () in
+  let snap = Design.snapshot d in
+  let h0 = Design.total_hpwl d in
+  d.x.(1) <- 5.0;
+  d.y.(1) <- 5.0;
+  Alcotest.(check bool) "changed" true (Design.total_hpwl d <> h0);
+  Design.restore d snap;
+  check_float "restored" h0 (Design.total_hpwl d)
+
+let test_clamp_movable () =
+  let d = Helpers.chain_design () in
+  d.x.(1) <- -50.0;
+  d.y.(1) <- 500.0;
+  Design.clamp_movable d;
+  let r = Design.cell_rect d 1 in
+  Alcotest.(check bool) "inside die" true
+    (r.xl >= d.die.xl -. 1e-9 && r.xh <= d.die.xh +. 1e-9 && r.yh <= d.die.yh +. 1e-9)
+
+let test_reset_net_weights () =
+  let d = Helpers.chain_design () in
+  d.nets.(0).weight <- 7.0;
+  Design.reset_net_weights d;
+  check_float "reset" 1.0 d.nets.(0).weight
+
+let test_cell_rect () =
+  let d = Helpers.chain_design () in
+  let r = Design.cell_rect d 1 in
+  check_float "w" Helpers.inv.Libcell.width (Geom.Rect.width r);
+  check_float "centered" 30.0 (Geom.Rect.center r).x
+
+(* ---------------- Io ---------------- *)
+
+let test_io_roundtrip () =
+  let d = Lazy.force Helpers.small_generated in
+  let path = Filename.temp_file "tdp_design" ".txt" in
+  Io.save_file path d;
+  let d2 = Io.load_file path in
+  Sys.remove path;
+  Alcotest.(check int) "cells" (Design.num_cells d) (Design.num_cells d2);
+  Alcotest.(check int) "nets" (Design.num_nets d) (Design.num_nets d2);
+  Alcotest.(check int) "pins" (Design.num_pins d) (Design.num_pins d2);
+  check_float "hpwl preserved" (Design.total_hpwl d) (Design.total_hpwl d2);
+  check_float "clock" d.clock_period d2.clock_period;
+  (* Net-by-net structural identity. *)
+  Array.iteri
+    (fun i (n : Design.net) ->
+      let n2 = d2.nets.(i) in
+      Alcotest.(check int) "degree" (Design.net_degree n) (Design.net_degree n2);
+      Alcotest.(check int) "driver owner" d.pins.(n.driver).owner d2.pins.(n2.driver).owner)
+    d.nets
+
+let test_io_roundtrip_twice_identical () =
+  let d = Helpers.chain_design () in
+  let buf1 = Buffer.create 1024 in
+  let buf2 = Buffer.create 1024 in
+  let to_string d =
+    let path = Filename.temp_file "tdp_d" ".txt" in
+    Io.save_file path d;
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  Buffer.add_string buf1 (to_string d);
+  let d2 = (fun () ->
+      let path = Filename.temp_file "tdp_d" ".txt" in
+      Io.save_file path d;
+      let x = Io.load_file path in
+      Sys.remove path;
+      x) ()
+  in
+  Buffer.add_string buf2 (to_string d2);
+  Alcotest.(check string) "save(load(save)) = save" (Buffer.contents buf1) (Buffer.contents buf2)
+
+let test_io_parse_error () =
+  let path = Filename.temp_file "tdp_bad" ".txt" in
+  let oc = open_out path in
+  output_string oc "design x\nbogus record here\nend\n";
+  close_out oc;
+  Alcotest.(check bool) "parse error raised" true
+    (try
+       ignore (Io.load_file path);
+       false
+     with Io.Parse_error _ -> true);
+  Sys.remove path
+
+let suite =
+  [
+    ("libcell lookup", `Quick, test_libcell_lookup);
+    ("libcell pins", `Quick, test_libcell_pins);
+    ("libcell pin offsets", `Quick, test_libcell_pin_offsets_inside);
+    ("library sanity", `Quick, test_library_sane);
+    ("builder counts", `Quick, test_build_counts);
+    ("net structure", `Quick, test_net_structure);
+    ("double driver rejected", `Quick, test_double_driver_rejected);
+    ("pin reconnect rejected", `Quick, test_reconnect_rejected);
+    ("undriven net rejected", `Quick, test_undriven_net_rejected);
+    ("hpwl hand computed", `Quick, test_hpwl_hand_computed);
+    ("pin positions", `Quick, test_pin_positions);
+    ("snapshot/restore", `Quick, test_snapshot_restore);
+    ("clamp movable", `Quick, test_clamp_movable);
+    ("reset net weights", `Quick, test_reset_net_weights);
+    ("cell rect", `Quick, test_cell_rect);
+    ("io roundtrip generated design", `Quick, test_io_roundtrip);
+    ("io roundtrip stable", `Quick, test_io_roundtrip_twice_identical);
+    ("io parse error", `Quick, test_io_parse_error);
+  ]

@@ -1,0 +1,212 @@
+(* Unit + property tests for the numerics library: FFT, DCT, Poisson. *)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let max_abs_diff a b =
+  let m = ref 0.0 in
+  Array.iteri (fun i v -> m := Float.max !m (Float.abs (v -. b.(i)))) a;
+  !m
+
+let random_array rng n = Array.init n (fun _ -> Util.Rng.float_range rng (-5.0) 5.0)
+
+(* ---------------- FFT ---------------- *)
+
+let test_fft_roundtrip () =
+  let rng = Util.Rng.create 1 in
+  List.iter
+    (fun n ->
+      let re = random_array rng n and im = random_array rng n in
+      let re0 = Array.copy re and im0 = Array.copy im in
+      Numerics.Fft.forward re im;
+      Numerics.Fft.inverse re im;
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip n=%d" n)
+        true
+        (max_abs_diff re re0 < 1e-10 && max_abs_diff im im0 < 1e-10))
+    [ 1; 2; 4; 8; 64; 256 ]
+
+let test_fft_delta () =
+  (* FFT of a delta at 0 is the all-ones spectrum. *)
+  let n = 16 in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  re.(0) <- 1.0;
+  Numerics.Fft.forward re im;
+  Array.iter (fun v -> Alcotest.(check (float 1e-12)) "flat re" 1.0 v) re;
+  Array.iter (fun v -> Alcotest.(check (float 1e-12)) "flat im" 0.0 v) im
+
+let test_fft_constant () =
+  (* FFT of a constant is a delta of height n at frequency 0. *)
+  let n = 8 in
+  let re = Array.make n 1.0 and im = Array.make n 0.0 in
+  Numerics.Fft.forward re im;
+  Alcotest.(check (float 1e-12)) "dc" 8.0 re.(0);
+  for k = 1 to n - 1 do
+    Alcotest.(check (float 1e-10)) "zero elsewhere" 0.0 (Float.abs re.(k) +. Float.abs im.(k))
+  done
+
+let test_fft_parseval () =
+  let rng = Util.Rng.create 2 in
+  let n = 64 in
+  let re = random_array rng n and im = Array.make n 0.0 in
+  let time_energy = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 re in
+  let re' = Array.copy re and im' = Array.copy im in
+  Numerics.Fft.forward re' im';
+  let freq_energy =
+    ref 0.0
+  in
+  for i = 0 to n - 1 do
+    freq_energy := !freq_energy +. (re'.(i) *. re'.(i)) +. (im'.(i) *. im'.(i))
+  done;
+  Alcotest.(check bool) "parseval" true
+    (Float.abs ((!freq_energy /. float_of_int n) -. time_energy) < 1e-8 *. (1.0 +. time_energy))
+
+let test_fft_bad_size () =
+  Alcotest.check_raises "not power of two" (Invalid_argument "Fft: size must be a power of two")
+    (fun () -> Numerics.Fft.forward (Array.make 3 0.0) (Array.make 3 0.0))
+
+let test_fft_linearity () =
+  let rng = Util.Rng.create 3 in
+  let n = 32 in
+  let a = random_array rng n and b = random_array rng n in
+  let sum = Array.init n (fun i -> a.(i) +. (2.0 *. b.(i))) in
+  let fa = (Array.copy a, Array.make n 0.0) in
+  let fb = (Array.copy b, Array.make n 0.0) in
+  let fs = (Array.copy sum, Array.make n 0.0) in
+  Numerics.Fft.forward (fst fa) (snd fa);
+  Numerics.Fft.forward (fst fb) (snd fb);
+  Numerics.Fft.forward (fst fs) (snd fs);
+  let expect_re = Array.init n (fun i -> (fst fa).(i) +. (2.0 *. (fst fb).(i))) in
+  Alcotest.(check bool) "linear" true (max_abs_diff (fst fs) expect_re < 1e-9)
+
+(* ---------------- DCT ---------------- *)
+
+let naive_dct2 x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc :=
+          !acc
+          +. x.(i)
+             *. cos (Float.pi *. float_of_int k *. ((2.0 *. float_of_int i) +. 1.0)
+                     /. (2.0 *. float_of_int n))
+      done;
+      !acc)
+
+let test_dct_vs_naive () =
+  let rng = Util.Rng.create 4 in
+  List.iter
+    (fun n ->
+      let x = random_array rng n in
+      Alcotest.(check bool)
+        (Printf.sprintf "dct==naive n=%d" n)
+        true
+        (max_abs_diff (Numerics.Dct.dct2 x) (naive_dct2 x) < 1e-9))
+    [ 2; 4; 8; 16; 32 ]
+
+let test_dct_roundtrip () =
+  let rng = Util.Rng.create 5 in
+  List.iter
+    (fun n ->
+      let x = random_array rng n in
+      let back = Numerics.Dct.idct2 (Numerics.Dct.dct2 x) in
+      Alcotest.(check bool) (Printf.sprintf "idct(dct)=id n=%d" n) true (max_abs_diff back x < 1e-9))
+    [ 2; 8; 64; 128 ]
+
+let test_dct2d_roundtrip () =
+  let rng = Util.Rng.create 6 in
+  let rows = 16 and cols = 8 in
+  let g = random_array rng (rows * cols) in
+  let back = Numerics.Dct.idct2_2d (Numerics.Dct.dct2_2d g ~rows ~cols) ~rows ~cols in
+  Alcotest.(check bool) "2d roundtrip" true (max_abs_diff back g < 1e-9)
+
+let q_dct_roundtrip =
+  qtest "dct roundtrip (random)" QCheck.(list_of_size (QCheck.Gen.return 16) (float_bound_inclusive 10.0))
+    (fun l ->
+      let x = Array.of_list l in
+      max_abs_diff (Numerics.Dct.idct2 (Numerics.Dct.dct2 x)) x < 1e-8)
+
+(* ---------------- Poisson ---------------- *)
+
+let zero_mean rng n =
+  let a = random_array rng n in
+  let m = Util.Stats.mean a in
+  Array.map (fun v -> v -. m) a
+
+let discrete_laplacian psi ~rows ~cols r c =
+  let at r c =
+    let r = max 0 (min (rows - 1) r) and c = max 0 (min (cols - 1) c) in
+    psi.((r * cols) + c)
+  in
+  at (r - 1) c +. at (r + 1) c +. at r (c - 1) +. at r (c + 1) -. (4.0 *. at r c)
+
+let test_poisson_residual () =
+  let rng = Util.Rng.create 7 in
+  let rows = 32 and cols = 32 in
+  let rho = zero_mean rng (rows * cols) in
+  let p = Numerics.Poisson.create ~rows ~cols in
+  let psi = Numerics.Poisson.solve p rho in
+  (* Interior: discrete laplacian of psi must equal -rho exactly (the
+     solver inverts the discrete operator). *)
+  let bad = ref 0.0 in
+  for r = 1 to rows - 2 do
+    for c = 1 to cols - 2 do
+      bad :=
+        Float.max !bad
+          (Float.abs (discrete_laplacian psi ~rows ~cols r c +. rho.((r * cols) + c)))
+    done
+  done;
+  Alcotest.(check bool) "interior residual" true (!bad < 1e-9)
+
+let test_poisson_uniform_field () =
+  (* Uniform charge = zero after DC removal: flat potential, zero field. *)
+  let rows = 16 and cols = 16 in
+  let rho = Array.make (rows * cols) 1.0 in
+  let p = Numerics.Poisson.create ~rows ~cols in
+  let psi = Numerics.Poisson.solve p rho in
+  let ex, ey = Numerics.Poisson.field p psi in
+  Alcotest.(check bool) "zero field" true
+    (Array.for_all (fun v -> Float.abs v < 1e-9) ex
+    && Array.for_all (fun v -> Float.abs v < 1e-9) ey)
+
+let test_poisson_energy_nonneg () =
+  let rng = Util.Rng.create 8 in
+  for _ = 1 to 10 do
+    let rows = 16 and cols = 16 in
+    let rho = zero_mean rng (rows * cols) in
+    let p = Numerics.Poisson.create ~rows ~cols in
+    let psi = Numerics.Poisson.solve p rho in
+    (* The operator inverse is positive semidefinite on zero-mean charge. *)
+    Alcotest.(check bool) "energy >= 0" true (Numerics.Poisson.energy rho psi >= -1e-9)
+  done
+
+let test_poisson_field_points_downhill () =
+  (* A positive blob at the centre: the field at a point right of centre
+     points further right (away from the charge). *)
+  let rows = 32 and cols = 32 in
+  let rho = Array.make (rows * cols) (-0.01) in
+  rho.((16 * cols) + 16) <- 10.0;
+  let p = Numerics.Poisson.create ~rows ~cols in
+  let psi = Numerics.Poisson.solve p rho in
+  let ex, _ = Numerics.Poisson.field p psi in
+  Alcotest.(check bool) "pushes right of blob" true (ex.((16 * cols) + 20) > 0.0);
+  Alcotest.(check bool) "pushes left of blob" true (ex.((16 * cols) + 12) < 0.0)
+
+let suite =
+  [
+    ("fft roundtrip", `Quick, test_fft_roundtrip);
+    ("fft delta", `Quick, test_fft_delta);
+    ("fft constant", `Quick, test_fft_constant);
+    ("fft parseval", `Quick, test_fft_parseval);
+    ("fft bad size", `Quick, test_fft_bad_size);
+    ("fft linearity", `Quick, test_fft_linearity);
+    ("dct vs naive", `Quick, test_dct_vs_naive);
+    ("dct roundtrip", `Quick, test_dct_roundtrip);
+    ("dct 2d roundtrip", `Quick, test_dct2d_roundtrip);
+    q_dct_roundtrip;
+    ("poisson residual", `Quick, test_poisson_residual);
+    ("poisson uniform -> zero field", `Quick, test_poisson_uniform_field);
+    ("poisson energy nonneg", `Quick, test_poisson_energy_nonneg);
+    ("poisson field direction", `Quick, test_poisson_field_points_downhill);
+  ]

@@ -1,0 +1,318 @@
+(* Tests for rctree: Steiner topologies and Elmore delay. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let points_gen =
+  QCheck.Gen.(
+    list_size (2 -- 12)
+      (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+
+let points_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map (fun (x, y) -> Printf.sprintf "(%g,%g)" x y) l))
+    points_gen
+
+let split pts =
+  let xs = Array.of_list (List.map fst pts) and ys = Array.of_list (List.map snd pts) in
+  (xs, ys)
+
+(* ---------------- Steiner ---------------- *)
+
+let test_star_two_points () =
+  let xs = [| 0.0; 3.0 |] and ys = [| 0.0; 4.0 |] in
+  let t = Rctree.Steiner.star ~xs ~ys in
+  Alcotest.(check int) "nodes" 2 (Rctree.Steiner.num_nodes t);
+  check_float "length" 7.0 (Rctree.Steiner.total_length t)
+
+let test_star_lengths () =
+  let xs = [| 0.0; 1.0; 2.0 |] and ys = [| 0.0; 1.0; 0.0 |] in
+  let t = Rctree.Steiner.star ~xs ~ys in
+  check_float "star total" (2.0 +. 2.0) (Rctree.Steiner.total_length t);
+  Alcotest.(check int) "root parent" (-1) t.parent.(0)
+
+let test_steiner_two_points_is_direct () =
+  let xs = [| 0.0; 10.0 |] and ys = [| 5.0; 7.0 |] in
+  let t = Rctree.Steiner.steiner ~xs ~ys in
+  check_float "direct length" 12.0 (Rctree.Steiner.total_length t)
+
+let test_steiner_l_shape () =
+  (* Three corners of an L: the Steiner tree should cost the HPWL, not
+     the star (which revisits the trunk). *)
+  let xs = [| 0.0; 10.0; 0.0 |] and ys = [| 0.0; 0.0; 10.0 |] in
+  let t = Rctree.Steiner.steiner ~xs ~ys in
+  check_float "L cost" 20.0 (Rctree.Steiner.total_length t);
+  let star = Rctree.Steiner.star ~xs ~ys in
+  check_float "star same here" 20.0 (Rctree.Steiner.total_length star)
+
+let test_steiner_cross_saves () =
+  (* Four arms of a plus sign rooted at an arm tip: a Steiner point at the
+     centre beats the MST. *)
+  let xs = [| 0.0; 20.0; 10.0; 10.0 |] and ys = [| 10.0; 10.0; 0.0; 20.0 |] in
+  let t = Rctree.Steiner.steiner ~xs ~ys in
+  let mst = Rctree.Steiner.rmst_length ~xs ~ys in
+  Alcotest.(check bool) "steiner <= mst" true
+    (Rctree.Steiner.total_length t <= mst +. 1e-9);
+  check_float "steiner is 40" 40.0 (Rctree.Steiner.total_length t)
+
+let test_tree_is_connected () =
+  let rng = Util.Rng.create 3 in
+  for _ = 1 to 20 do
+    let n = 2 + Util.Rng.int rng 10 in
+    let xs = Array.init n (fun _ -> Util.Rng.float rng 50.0) in
+    let ys = Array.init n (fun _ -> Util.Rng.float rng 50.0) in
+    let t = Rctree.Steiner.steiner ~xs ~ys in
+    (* every node reaches the root by parent pointers *)
+    for v = 0 to Rctree.Steiner.num_nodes t - 1 do
+      let rec walk u steps =
+        Alcotest.(check bool) "no cycle" true (steps < 1000);
+        if t.parent.(u) >= 0 then walk t.parent.(u) (steps + 1)
+      in
+      walk v 0
+    done;
+    (* every terminal appears exactly once *)
+    let seen = Array.make n 0 in
+    Array.iter (fun term -> if term >= 0 then seen.(term) <- seen.(term) + 1) t.terminal;
+    Alcotest.(check bool) "terminals covered once" true (Array.for_all (fun c -> c = 1) seen)
+  done
+
+let q_steiner_le_mst =
+  qtest "steiner <= rmst" points_arb (fun pts ->
+      let xs, ys = split pts in
+      Rctree.Steiner.steiner ~xs ~ys |> Rctree.Steiner.total_length
+      <= Rctree.Steiner.rmst_length ~xs ~ys +. 1e-6)
+
+let q_steiner_ge_bbox =
+  qtest "steiner >= max bbox extent" points_arb (fun pts ->
+      let xs, ys = split pts in
+      let w = Util.Stats.max_elt xs -. Util.Stats.min_elt xs in
+      let h = Util.Stats.max_elt ys -. Util.Stats.min_elt ys in
+      Rctree.Steiner.steiner ~xs ~ys |> Rctree.Steiner.total_length >= Float.max w h -. 1e-6)
+
+let q_star_ge_steiner =
+  qtest "star >= steiner" points_arb (fun pts ->
+      let xs, ys = split pts in
+      Rctree.Steiner.star ~xs ~ys |> Rctree.Steiner.total_length
+      >= (Rctree.Steiner.steiner ~xs ~ys |> Rctree.Steiner.total_length) -. 1e-6)
+
+(* ---------------- Elmore ---------------- *)
+
+let test_elmore_single_wire () =
+  (* driver at 0, one sink at distance 10; r=2, c=3, sink cap 5.
+     delay = r*L * (c*L/2 + Cs) = 20 * (15 + 5) = 400.
+     total cap = c*L + Cs = 35. *)
+  let xs = [| 0.0; 10.0 |] and ys = [| 0.0; 0.0 |] in
+  let t = Rctree.Steiner.star ~xs ~ys in
+  let res = Rctree.Elmore.compute t ~r:2.0 ~c:3.0 ~term_cap:(fun _ -> 5.0) in
+  check_float "total cap" 35.0 res.total_cap;
+  check_float "delay" 400.0 (Rctree.Elmore.terminal_delay t res 1)
+
+let test_elmore_star_two_sinks () =
+  (* Two sinks at distances 10 and 20 on opposite sides; r=1, c=1,
+     caps 2 each. Sink1: r*10*(c*10/2+2) = 10*7 = 70.
+     Sink2: 20*(10+2) = 240. Total cap = 30 + 4 = 34. *)
+  let xs = [| 0.0; 10.0; -20.0 |] and ys = [| 0.0; 0.0; 0.0 |] in
+  let t = Rctree.Steiner.star ~xs ~ys in
+  let res = Rctree.Elmore.compute t ~r:1.0 ~c:1.0 ~term_cap:(fun _ -> 2.0) in
+  check_float "cap" 34.0 res.total_cap;
+  check_float "near sink" 70.0 (Rctree.Elmore.terminal_delay t res 1);
+  check_float "far sink" 240.0 (Rctree.Elmore.terminal_delay t res 2)
+
+let test_elmore_chain_through_steiner () =
+  (* Collinear root-mid-far: steiner builds a chain; the far sink's delay
+     includes the mid segment's resistance times everything downstream. *)
+  let xs = [| 0.0; 10.0; 20.0 |] and ys = [| 0.0; 0.0; 0.0 |] in
+  let t = Rctree.Steiner.steiner ~xs ~ys in
+  check_float "chain length" 20.0 (Rctree.Steiner.total_length t);
+  let res = Rctree.Elmore.compute t ~r:1.0 ~c:1.0 ~term_cap:(fun _ -> 0.0) in
+  (* seg1 (0..10): r=10, downstream cap = 10(seg1/2=5... ) exact:
+     delay(mid) = 10*(5 + 10) = 150 (downstream of seg1: seg2 cap 10)
+     delay(far) = 150 + 10*(5+0) = 200. *)
+  check_float "mid" 150.0 (Rctree.Elmore.terminal_delay t res 1);
+  check_float "far" 200.0 (Rctree.Elmore.terminal_delay t res 2)
+
+let test_elmore_monotone_in_distance () =
+  let rng = Util.Rng.create 5 in
+  for _ = 1 to 50 do
+    let d1 = 1.0 +. Util.Rng.float rng 50.0 in
+    let d2 = d1 +. 1.0 +. Util.Rng.float rng 50.0 in
+    let delay d =
+      let xs = [| 0.0; d |] and ys = [| 0.0; 0.0 |] in
+      let t = Rctree.Steiner.star ~xs ~ys in
+      let res = Rctree.Elmore.compute t ~r:0.5 ~c:0.7 ~term_cap:(fun _ -> 1.0) in
+      Rctree.Elmore.terminal_delay t res 1
+    in
+    Alcotest.(check bool) "longer wire slower" true (delay d2 > delay d1)
+  done
+
+let test_elmore_quadratic_growth () =
+  (* With zero sink cap, doubling the wire length quadruples the delay —
+     the quadratic property motivating the paper's loss (Eq. 7/8). *)
+  let delay d =
+    let xs = [| 0.0; d |] and ys = [| 0.0; 0.0 |] in
+    let t = Rctree.Steiner.star ~xs ~ys in
+    let res = Rctree.Elmore.compute t ~r:1.0 ~c:1.0 ~term_cap:(fun _ -> 0.0) in
+    Rctree.Elmore.terminal_delay t res 1
+  in
+  check_float "4x" 4.0 (delay 20.0 /. delay 10.0)
+
+let q_elmore_caps =
+  qtest "total cap = wirecap + sink caps" points_arb (fun pts ->
+      let xs, ys = split pts in
+      let t = Rctree.Steiner.steiner ~xs ~ys in
+      let res = Rctree.Elmore.compute t ~r:1.0 ~c:2.0 ~term_cap:(fun _ -> 3.0) in
+      let expected =
+        (2.0 *. Rctree.Steiner.total_length t) +. (3.0 *. float_of_int (Array.length xs - 1))
+      in
+      Float.abs (res.total_cap -. expected) < 1e-6 *. (1.0 +. expected))
+
+let q_elmore_nonneg =
+  qtest "delays nonnegative" points_arb (fun pts ->
+      let xs, ys = split pts in
+      let t = Rctree.Steiner.steiner ~xs ~ys in
+      let res = Rctree.Elmore.compute t ~r:1.0 ~c:1.0 ~term_cap:(fun _ -> 1.0) in
+      Array.for_all (fun d -> d >= -1e-9) res.sink_delay)
+
+let suite =
+  [
+    ("star two points", `Quick, test_star_two_points);
+    ("star lengths", `Quick, test_star_lengths);
+    ("steiner two points direct", `Quick, test_steiner_two_points_is_direct);
+    ("steiner L shape", `Quick, test_steiner_l_shape);
+    ("steiner cross uses steiner point", `Quick, test_steiner_cross_saves);
+    ("tree connected, terminals once", `Quick, test_tree_is_connected);
+    q_steiner_le_mst;
+    q_steiner_ge_bbox;
+    q_star_ge_steiner;
+    ("elmore single wire", `Quick, test_elmore_single_wire);
+    ("elmore two-sink star", `Quick, test_elmore_star_two_sinks);
+    ("elmore chain", `Quick, test_elmore_chain_through_steiner);
+    ("elmore monotone", `Quick, test_elmore_monotone_in_distance);
+    ("elmore quadratic", `Quick, test_elmore_quadratic_growth);
+    q_elmore_caps;
+    q_elmore_nonneg;
+  ]
+
+(* ---------------- Van Ginneken buffering ---------------- *)
+
+let test_buffering_hand_computed () =
+  (* Collinear chain root(0,0) - mid(20,0) - far(40,0); r=c=1; loads 0;
+     far sink required time 0; mid is a zero-load pass-through.
+     Unbuffered: q(root) = -40*(40/2) = -800.
+     One buffer (in_cap 1.8, intrinsic 16, drive 5) at mid:
+       q(mid)  = 0 - 20*(10+0) - (16 + 5*20) = -316, cap 1.8
+       q(root) = -316 - 20*(10+1.8) = -552.  *)
+  let xs = [| 0.0; 20.0; 40.0 |] and ys = [| 0.0; 0.0; 0.0 |] in
+  let tree = Rctree.Steiner.steiner ~xs ~ys in
+  let term_req i = if i = 2 then 0.0 else Float.infinity in
+  let term_cap _ = 0.0 in
+  let r =
+    Rctree.Buffering.estimate tree ~r:1.0 ~c:1.0 ~drive_res:0.0 ~term_req ~term_cap ()
+  in
+  check_float "unbuffered" (-800.0) r.unbuffered_q;
+  check_float "buffered" (-552.0) r.best_q;
+  Alcotest.(check int) "one buffer" 1 r.buffers_used
+
+let test_buffering_never_hurts () =
+  let rng = Util.Rng.create 9 in
+  for _ = 1 to 30 do
+    let n = 2 + Util.Rng.int rng 6 in
+    let xs = Array.init n (fun _ -> Util.Rng.float rng 80.0) in
+    let ys = Array.init n (fun _ -> Util.Rng.float rng 80.0) in
+    let tree = Rctree.Steiner.steiner ~xs ~ys in
+    let r =
+      Rctree.Buffering.estimate tree ~r:0.06 ~c:0.5 ~drive_res:8.0
+        ~term_req:(fun _ -> 0.0)
+        ~term_cap:(fun _ -> 1.5)
+        ()
+    in
+    Alcotest.(check bool) "buffering >= unbuffered" true (r.best_q >= r.unbuffered_q -. 1e-9);
+    Alcotest.(check bool) "finite" true (Float.is_finite r.best_q)
+  done
+
+let test_buffering_prune () =
+  let open Rctree.Buffering in
+  let cands =
+    [
+      { cap = 1.0; q = 5.0; buffers = 0 };
+      { cap = 2.0; q = 4.0; buffers = 1 }; (* dominated: more cap, less q *)
+      { cap = 3.0; q = 9.0; buffers = 1 };
+      { cap = 4.0; q = 9.0; buffers = 2 }; (* dominated: more cap, equal q *)
+    ]
+  in
+  let kept = prune cands in
+  Alcotest.(check int) "two survivors" 2 (List.length kept);
+  Alcotest.(check bool) "caps ascend, q ascends" true
+    (match kept with
+    | [ a; b ] -> a.cap < b.cap && a.q < b.q
+    | _ -> false)
+
+let test_buffering_short_wire_needs_none () =
+  (* Tiny net: a buffer's own delay outweighs any wire saving. *)
+  let xs = [| 0.0; 2.0 |] and ys = [| 0.0; 0.0 |] in
+  let tree = Rctree.Steiner.steiner ~xs ~ys in
+  let r =
+    Rctree.Buffering.estimate tree ~r:0.06 ~c:0.5 ~drive_res:8.0
+      ~term_req:(fun _ -> 0.0)
+      ~term_cap:(fun _ -> 1.5)
+      ()
+  in
+  Alcotest.(check int) "no buffers" 0 r.buffers_used;
+  check_float "equal to unbuffered" r.unbuffered_q r.best_q
+
+let suite =
+  suite
+  @ [
+      ("buffering hand computed", `Quick, test_buffering_hand_computed);
+      ("buffering never hurts", `Quick, test_buffering_never_hurts);
+      ("buffering prune", `Quick, test_buffering_prune);
+      ("buffering short wire", `Quick, test_buffering_short_wire_needs_none);
+    ]
+
+(* Exhaustive check: on a chain, the DP must match brute force over all
+   2^m buffer placements at the intermediate nodes. *)
+let test_buffering_matches_brute_force () =
+  let rng = Util.Rng.create 77 in
+  let buf = Rctree.Buffering.default_buffer in
+  for _ = 1 to 15 do
+    let m = 1 + Util.Rng.int rng 4 in
+    (* Collinear increasing points: root, m intermediates, final sink. *)
+    let pos = Array.make (m + 2) 0.0 in
+    for i = 1 to m + 1 do
+      pos.(i) <- pos.(i - 1) +. 3.0 +. Util.Rng.float rng 25.0
+    done;
+    let xs = Array.copy pos and ys = Array.make (m + 2) 0.0 in
+    let r = 0.3 and c = 0.4 in
+    let sink_cap = 1.5 in
+    let tree = Rctree.Steiner.steiner ~xs ~ys in
+    let dp =
+      Rctree.Buffering.estimate tree ~r ~c ~drive_res:0.0
+        ~term_req:(fun i -> if i = m + 1 then 0.0 else Float.infinity)
+        ~term_cap:(fun i -> if i = m + 1 then sink_cap else 0.0)
+        ()
+    in
+    (* Brute force: subset of buffered intermediate nodes (indices 1..m). *)
+    let best = ref Float.neg_infinity in
+    for mask = 0 to (1 lsl m) - 1 do
+      (* Walk from the sink back to the root. *)
+      let q = ref 0.0 and cap = ref sink_cap in
+      for i = m + 1 downto 1 do
+        let len = pos.(i) -. pos.(i - 1) in
+        q := !q -. (r *. len *. ((c *. len /. 2.0) +. !cap));
+        cap := !cap +. (c *. len);
+        if i - 1 >= 1 && mask land (1 lsl (i - 2)) <> 0 then begin
+          q := !q -. (buf.Rctree.Buffering.intrinsic +. (buf.Rctree.Buffering.drive *. !cap));
+          cap := buf.Rctree.Buffering.in_cap
+        end
+      done;
+      if !q > !best then best := !q
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "dp %.3f == brute %.3f (m=%d)" dp.best_q !best m)
+      true
+      (Float.abs (dp.best_q -. !best) < 1e-6 *. (1.0 +. Float.abs !best))
+  done
+
+let suite = suite @ [ ("buffering matches brute force", `Quick, test_buffering_matches_brute_force) ]

@@ -1,0 +1,346 @@
+(* Tests for the static timing engine: graph construction, delay model
+   (hand-computed oracles), propagation, slack/TNS/WNS, and both path
+   extraction commands. *)
+
+open Netlist
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* Hand-computed arrivals for Helpers.chain_design (see the derivation in
+   the commit history of this test): r=0.1 c=0.2, clock 500. *)
+let chain_ff_d_arrival = 136.004465
+
+let chain_po_arrival = 160.443425
+
+let test_graph_shape () =
+  let d = Helpers.chain_design () in
+  let g = Sta.Graph.build d in
+  (* net arcs: 4 nets with 1 sink each; cell arcs: u1, u2 (1 in x 1 out);
+     FF contributes no internal arc. *)
+  Alcotest.(check int) "arcs" 6 g.Sta.Graph.num_arcs;
+  Alcotest.(check int) "endpoints" 2 (Array.length g.Sta.Graph.endpoints);
+  let n_start = Array.fold_left (fun a b -> if b then a + 1 else a) 0 g.Sta.Graph.is_startpoint in
+  Alcotest.(check int) "startpoints (pi, ff.q)" 2 n_start
+
+let test_topo_order () =
+  let d = Lazy.force Helpers.small_generated in
+  let g = Sta.Graph.build d in
+  let pos = Array.make (Sta.Graph.num_pins g) 0 in
+  Array.iteri (fun i p -> pos.(p) <- i) g.Sta.Graph.topo;
+  for a = 0 to g.Sta.Graph.num_arcs - 1 do
+    Alcotest.(check bool) "from before to" true (pos.(g.Sta.Graph.arc_from.(a)) < pos.(g.Sta.Graph.arc_to.(a)))
+  done
+
+let test_combinational_loop_detected () =
+  let b = Helpers.fresh_builder () in
+  let u1 = Builder.add_logic b ~cname:"u1" ~lib:Helpers.inv ~x:10.0 ~y:10.0 () in
+  let u2 = Builder.add_logic b ~cname:"u2" ~lib:Helpers.inv ~x:20.0 ~y:10.0 () in
+  let n1 = Builder.add_net b ~nname:"n1" in
+  Builder.connect_by_name b ~net:n1 ~cell:u1 ~pin_name:"o";
+  Builder.connect_by_name b ~net:n1 ~cell:u2 ~pin_name:"a1";
+  let n2 = Builder.add_net b ~nname:"n2" in
+  Builder.connect_by_name b ~net:n2 ~cell:u2 ~pin_name:"o";
+  Builder.connect_by_name b ~net:n2 ~cell:u1 ~pin_name:"a1";
+  let d = Builder.finish b in
+  Alcotest.check_raises "loop" Sta.Graph.Combinational_loop (fun () ->
+      ignore (Sta.Graph.build d))
+
+let test_chain_arrivals_exact () =
+  let d = Helpers.chain_design () in
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  let g = Sta.Timer.graph timer in
+  let arr = Sta.Timer.arrivals timer in
+  (* ff.d is the input pin of cell 2 (the DFF). *)
+  let ff = d.cells.(2) in
+  let dpin =
+    Array.to_list ff.cell_pins |> List.find (fun p -> d.pins.(p).pin_name = "d")
+  in
+  check_float "ff.d arrival" chain_ff_d_arrival arr.(dpin);
+  let po = d.cells.(4) in
+  check_float "po arrival" chain_po_arrival arr.(po.cell_pins.(0));
+  (* Slacks: req(ff.d) = 500 - 25, req(po) = 500. *)
+  check_float "ff.d slack" (475.0 -. chain_ff_d_arrival) (Sta.Timer.endpoint_slack timer dpin);
+  check_float "po slack" (500.0 -. chain_po_arrival)
+    (Sta.Timer.endpoint_slack timer po.cell_pins.(0));
+  ignore g
+
+let test_chain_no_violation () =
+  let d = Helpers.chain_design () in
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  check_float "wns 0" 0.0 (Sta.Timer.wns timer);
+  check_float "tns 0" 0.0 (Sta.Timer.tns timer);
+  Alcotest.(check int) "no failing" 0 (Sta.Timer.num_failing_endpoints timer)
+
+let test_chain_violation_with_tight_clock () =
+  let d = Helpers.chain_design () in
+  d.clock_period <- 150.0;
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  (* req(ff.d) = 125 < arr 136.004; req(po) = 150 < 160.443. *)
+  Alcotest.(check int) "both fail" 2 (Sta.Timer.num_failing_endpoints timer);
+  check_float "wns" (125.0 -. chain_ff_d_arrival) (Sta.Timer.wns timer);
+  check_float "tns"
+    ((125.0 -. chain_ff_d_arrival) +. (150.0 -. chain_po_arrival))
+    (Sta.Timer.tns timer)
+
+let test_timing_moves_with_placement () =
+  let d = Helpers.chain_design () in
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  let ff = d.cells.(2) in
+  let dpin = Array.to_list ff.cell_pins |> List.find (fun p -> d.pins.(p).pin_name = "d") in
+  let arr0 = (Sta.Timer.arrivals timer).(dpin) in
+  (* Pull u1 next to the FF: the d arrival must improve. *)
+  d.x.(1) <- 55.0;
+  Sta.Timer.invalidate timer;
+  Sta.Timer.update timer;
+  let arr1 = (Sta.Timer.arrivals timer).(dpin) in
+  Alcotest.(check bool) "arrival moved" true (arr1 <> arr0)
+
+let test_diamond_worst_branch () =
+  let d = Helpers.diamond_design () in
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  match Sta.Timer.critical_path timer with
+  | None -> Alcotest.fail "no path"
+  | Some p ->
+      (* The far branch (ub at y=95) must be the critical one. *)
+      let names =
+        Array.to_list p.pins |> List.map (fun pid -> d.cells.(d.pins.(pid).owner).cname)
+      in
+      Alcotest.(check bool) "goes through ub" true (List.mem "ub" names);
+      Alcotest.(check bool) "valid" true (Sta.Paths.is_valid (Sta.Timer.graph timer) p)
+
+let test_diamond_k_worst () =
+  let d = Helpers.diamond_design () in
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  let g = Sta.Timer.graph timer in
+  let ep = g.Sta.Graph.endpoints.(0) in
+  let paths = Sta.Paths.k_worst g (Sta.Timer.arrivals timer) ~endpoint:ep ~k:5 in
+  (* Exactly two distinct pi->po paths exist. *)
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  (match paths with
+  | [ p1; p2 ] ->
+      Alcotest.(check bool) "sorted worst first" true (p1.arrival >= p2.arrival);
+      Alcotest.(check bool) "distinct" true (p1.pins <> p2.pins);
+      List.iter
+        (fun (p : Sta.Paths.path) ->
+          Alcotest.(check bool) "valid" true (Sta.Paths.is_valid g p))
+        paths
+  | _ -> Alcotest.fail "expected 2");
+  (* k=1 returns the worst one, equal to critical_path. *)
+  match Sta.Paths.k_worst g (Sta.Timer.arrivals timer) ~endpoint:ep ~k:1 with
+  | [ p ] -> check_float "worst = arr at endpoint" (Sta.Timer.arrivals timer).(ep) p.arrival
+  | _ -> Alcotest.fail "expected 1"
+
+let with_generated_timer f =
+  let d = Lazy.force Helpers.small_generated in
+  (* Spread cells a bit so distances are nontrivial (deterministic). *)
+  let rng = Util.Rng.create 5 in
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
+        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
+      end)
+    d.cells;
+  Design.clamp_movable d;
+  d.clock_period <- 400.0;
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  f d timer
+
+let test_generated_paths_valid () =
+  with_generated_timer (fun _d timer ->
+      let g = Sta.Timer.graph timer in
+      let arr = Sta.Timer.arrivals timer in
+      Array.iter
+        (fun ep ->
+          if Float.is_finite arr.(ep) then begin
+            let paths = Sta.Paths.k_worst g arr ~endpoint:ep ~k:4 in
+            Alcotest.(check bool) "at least one" true (List.length paths >= 1);
+            let prev = ref Float.infinity in
+            List.iter
+              (fun (p : Sta.Paths.path) ->
+                Alcotest.(check bool) "valid" true (Sta.Paths.is_valid g p);
+                Alcotest.(check bool) "sorted" true (p.arrival <= !prev +. 1e-9);
+                prev := p.arrival)
+              paths;
+            (* worst path arrival equals the endpoint's propagated arrival *)
+            match paths with
+            | p :: _ ->
+                Alcotest.(check bool) "worst = arr" true (Float.abs (p.arrival -. arr.(ep)) < 1e-6)
+            | [] -> ()
+          end)
+        g.Sta.Graph.endpoints)
+
+let test_generated_wns_tns_consistent () =
+  with_generated_timer (fun _d timer ->
+      let g = Sta.Timer.graph timer in
+      let slacks =
+        Array.to_list g.Sta.Graph.endpoints
+        |> List.map (fun e -> Sta.Timer.endpoint_slack timer e)
+        |> List.filter Float.is_finite
+      in
+      let wns = List.fold_left Float.min 0.0 slacks in
+      let tns = List.fold_left (fun acc s -> if s < 0.0 then acc +. s else acc) 0.0 slacks in
+      check_float "wns" wns (Sta.Timer.wns timer);
+      check_float "tns" tns (Sta.Timer.tns timer);
+      Alcotest.(check bool) "wns >= tns" true (Sta.Timer.wns timer >= Sta.Timer.tns timer))
+
+let test_failing_endpoints_sorted () =
+  with_generated_timer (fun _d timer ->
+      let failing = Sta.Timer.failing_endpoints timer in
+      let slacks = List.map (fun e -> Sta.Timer.endpoint_slack timer e) failing in
+      Alcotest.(check bool) "all negative" true (List.for_all (fun s -> s < 0.0) slacks);
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-12 && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "worst first" true (sorted slacks))
+
+let test_report_timing_endpoint_coverage () =
+  with_generated_timer (fun _d timer ->
+      let n = Sta.Timer.num_failing_endpoints timer in
+      if n > 0 then begin
+        let paths = Sta.Timer.report_timing_endpoint timer ~n ~k:1 in
+        Alcotest.(check int) "n paths" n (List.length paths);
+        let eps = List.sort_uniq compare (List.map (fun (p : Sta.Paths.path) -> p.endpoint) paths) in
+        Alcotest.(check int) "full endpoint coverage" n (List.length eps)
+      end)
+
+let test_report_timing_global_topn () =
+  with_generated_timer (fun _d timer ->
+      let n = Sta.Timer.num_failing_endpoints timer in
+      if n > 1 then begin
+        let paths = Sta.Timer.report_timing timer ~n in
+        Alcotest.(check int) "n paths returned" n (List.length paths);
+        (* globally sorted by slack, worst first *)
+        let rec sorted = function
+          | (a : Sta.Paths.path) :: (b :: _ as rest) -> a.slack <= b.slack +. 1e-9 && sorted rest
+          | _ -> true
+        in
+        Alcotest.(check bool) "sorted" true (sorted paths);
+        (* the single worst path overall must be first *)
+        let wns = Sta.Timer.wns timer in
+        match paths with
+        | p :: _ -> Alcotest.(check bool) "head is wns path" true (Float.abs (p.slack -. wns) < 1e-6)
+        | [] -> ()
+      end)
+
+let test_report_stats () =
+  with_generated_timer (fun _d timer ->
+      let n = Sta.Timer.num_failing_endpoints timer in
+      if n > 0 then begin
+        let paths = Sta.Timer.report_timing_endpoint timer ~n ~k:2 in
+        let s = Sta.Timer.stats_of_paths timer paths ~elapsed:0.5 in
+        Alcotest.(check int) "paths counted" (List.length paths) s.Sta.Report.num_paths;
+        Alcotest.(check bool) "endpoints <= n" true (s.Sta.Report.num_endpoints <= n);
+        Alcotest.(check bool) "pairs > 0" true (s.Sta.Report.num_pin_pairs > 0);
+        check_float "elapsed" 0.5 s.Sta.Report.elapsed
+      end)
+
+let test_invalidate_refresh () =
+  let d = Helpers.chain_design () in
+  let timer = Sta.Timer.create d in
+  let tns0 = Sta.Timer.tns timer in
+  (* ensure implicit update happened *)
+  check_float "tns idempotent" tns0 (Sta.Timer.tns timer);
+  d.clock_period <- 100.0;
+  (* required times are baked into the graph at build; a new timer sees
+     the new constraint *)
+  let timer2 = Sta.Timer.create d in
+  Alcotest.(check bool) "tighter clock fails" true (Sta.Timer.tns timer2 < 0.0)
+
+let test_star_vs_steiner_topology () =
+  with_generated_timer (fun d _ ->
+      let t_star = Sta.Timer.create ~topology:Sta.Delay.Star d in
+      let t_st = Sta.Timer.create ~topology:Sta.Delay.Steiner_tree d in
+      Sta.Timer.update t_star;
+      Sta.Timer.update t_st;
+      (* Steiner trees are never longer than stars, so Steiner arrival at
+         any endpoint cannot exceed... (not strictly true for delays, but
+         TNS should not be dramatically worse; here we just check both
+         run and produce finite, same-sign summaries) *)
+      Alcotest.(check bool) "both finite" true
+        (Float.is_finite (Sta.Timer.tns t_star) && Float.is_finite (Sta.Timer.tns t_st));
+      Alcotest.(check bool) "star at least as pessimistic in total" true
+        (Sta.Timer.tns t_star <= Sta.Timer.tns t_st +. 1e-6))
+
+let test_incremental_equals_full () =
+  with_generated_timer (fun d timer ->
+      (* Move a handful of cells, re-time incrementally, compare against a
+         fresh full timer: arrivals/slacks must agree exactly. *)
+      let rng = Util.Rng.create 77 in
+      let moved = ref [] in
+      for _ = 1 to 8 do
+        let id = Util.Rng.int rng (Design.num_cells d) in
+        if d.cells.(id).movable then begin
+          d.x.(id) <- Util.Rng.float rng (Geom.Rect.width d.die);
+          d.y.(id) <- Util.Rng.float rng (Geom.Rect.height d.die);
+          moved := id :: !moved
+        end
+      done;
+      Design.clamp_movable d;
+      Sta.Timer.update_moved timer ~cells:!moved;
+      let fresh = Sta.Timer.create d in
+      Sta.Timer.update fresh;
+      let arr_inc = Sta.Timer.arrivals timer and arr_full = Sta.Timer.arrivals fresh in
+      let bad = ref 0 in
+      Array.iteri
+        (fun i v ->
+          let w = arr_full.(i) in
+          let same =
+            (Float.is_finite v && Float.is_finite w && Float.abs (v -. w) < 1e-9)
+            || v = w (* covers the +-inf cases *)
+          in
+          if not same then incr bad)
+        arr_inc;
+      Alcotest.(check int) "arrivals identical" 0 !bad;
+      check_float "tns identical" (Sta.Timer.tns fresh) (Sta.Timer.tns timer);
+      check_float "wns identical" (Sta.Timer.wns fresh) (Sta.Timer.wns timer))
+
+let test_incremental_noop_move () =
+  with_generated_timer (fun _d timer ->
+      let tns0 = Sta.Timer.tns timer in
+      Sta.Timer.update_moved timer ~cells:[];
+      check_float "empty move set is a no-op" tns0 (Sta.Timer.tns timer))
+
+let suite =
+  [
+    ("graph shape", `Quick, test_graph_shape);
+    ("incremental == full re-time", `Quick, test_incremental_equals_full);
+    ("incremental no-op", `Quick, test_incremental_noop_move);
+    ("topological order", `Quick, test_topo_order);
+    ("combinational loop detected", `Quick, test_combinational_loop_detected);
+    ("chain arrivals exact", `Quick, test_chain_arrivals_exact);
+    ("chain no violation", `Quick, test_chain_no_violation);
+    ("chain violation tight clock", `Quick, test_chain_violation_with_tight_clock);
+    ("timing moves with placement", `Quick, test_timing_moves_with_placement);
+    ("diamond worst branch", `Quick, test_diamond_worst_branch);
+    ("diamond k-worst", `Quick, test_diamond_k_worst);
+    ("generated paths valid", `Quick, test_generated_paths_valid);
+    ("generated wns/tns consistent", `Quick, test_generated_wns_tns_consistent);
+    ("failing endpoints sorted", `Quick, test_failing_endpoints_sorted);
+    ("report_timing_endpoint coverage", `Quick, test_report_timing_endpoint_coverage);
+    ("report_timing global top-n", `Quick, test_report_timing_global_topn);
+    ("report stats", `Quick, test_report_stats);
+    ("timer refresh semantics", `Quick, test_invalidate_refresh);
+    ("star vs steiner topology", `Quick, test_star_vs_steiner_topology);
+  ]
+
+(* Parallel delay kernel must agree exactly with the sequential one. *)
+let test_parallel_delay_equivalence () =
+  with_generated_timer (fun d timer ->
+      let tns_seq = Sta.Timer.tns timer in
+      Util.Parallel.set_num_domains 4;
+      let timer_par = Sta.Timer.create d in
+      Sta.Timer.update timer_par;
+      let tns_par = Sta.Timer.tns timer_par in
+      Util.Parallel.set_num_domains 1;
+      check_float "parallel == sequential" tns_seq tns_par)
+
+let suite = suite @ [ ("parallel delay kernel", `Quick, test_parallel_delay_equivalence) ]
