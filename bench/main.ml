@@ -5,12 +5,17 @@
       dune exec bench/main.exe                      -- everything
       dune exec bench/main.exe -- table1 fig5       -- selected sections
       dune exec bench/main.exe -- --scale 1.0 all   -- bigger designs
+      dune exec bench/main.exe -- --json BENCH_results.json table2
 
     Sections: table1 table2 table3 table4 fig3 fig4 fig5 micro all.
     Default design scale is 0.5 (full bench in minutes); 1.0 doubles the
-    design sizes at ~4x the runtime. *)
+    design sizes at ~4x the runtime. [--json FILE] additionally dumps
+    every flow result the run produced (runtime, breakdown, tns/wns,
+    hpwl, curve) as one machine-readable JSON document. *)
 
 let scale = ref 0.5
+
+let json_out : string option ref = ref None
 
 (* ------------------------------------------------------------------ *)
 (* Design and flow-result caches: Table IV reuses Table II's runs, the
@@ -729,12 +734,40 @@ let stats_section () =
   Printf.printf "Efficient-TDP best or tied in %d/%d (design, seed) pairs\n\n" !wins !total
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable dump of every flow result this invocation ran (the
+   BENCH_*.json convention: per-flow runtime, breakdown, tns/wns/hpwl). *)
+
+let dump_json path =
+  let entries =
+    Hashtbl.fold (fun (dname, label) r acc -> ((dname, label), r) :: acc) flow_results []
+    |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+    |> List.map (fun ((_, label), r) ->
+           match Tdp.Flow.result_to_json r with
+           | Obs.Json.Obj fields -> Obs.Json.Obj (("label", Obs.Json.String label) :: fields)
+           | j -> j)
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.String "bench-results-v1");
+        ("scale", Obs.Json.Float !scale);
+        ("results", Obs.Json.List entries);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %d flow results to %s\n" (List.length entries) path
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse acc = function
     | "--scale" :: v :: rest ->
         scale := float_of_string v;
+        parse acc rest
+    | "--json" :: v :: rest ->
+        json_out := Some v;
         parse acc rest
     | x :: rest -> parse (x :: acc) rest
     | [] -> List.rev acc
@@ -763,4 +796,5 @@ let () =
       | "stats" -> stats_section ()
       | other -> Printf.printf "unknown section %s (skipped)\n" other)
     sections;
+  (match !json_out with Some path -> dump_json path | None -> ());
   Printf.printf "total bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -3,7 +3,13 @@
     Examples:
       place -d sb18 --flow efficient
       place --design-file my.design --flow dp4 --out placed.design
-      place -d sb4 --flow efficient --loss linear --paths-per-endpoint 10 *)
+      place -d sb4 --flow efficient --loss linear --paths-per-endpoint 10
+      place -d sb4 --flow efficient --trace-out run.jsonl --report-json report.json
+
+    Reporting goes through Obs.Log (level from OBS_LEVEL or --log-level);
+    --trace-out streams the full span tree plus the final metric snapshot
+    as JSONL (summarise with trace_report), --report-json writes the
+    structured result. *)
 
 open Cmdliner
 
@@ -25,33 +31,56 @@ let make_method flow loss k =
   | "noextract" -> Tdp.Flow.Dp4_in_ours
   | s -> failwith ("unknown flow: " ^ s)
 
-let run design file scale flow loss k out curve =
+let run design file scale flow loss k out curve trace_out report_json log_level =
+  (match log_level with Some l -> Obs.Log.set_level l | None -> ());
   let d =
     match file with
     | Some path -> Netlist.Io.load_file path
     | None -> Workloads.Suite.load ~scale design
   in
-  Printf.printf "design %s: %d cells, %d nets, clock %.1f ps\n%!" d.name
+  Obs.Log.info "design %s: %d cells, %d nets, clock %.1f ps" d.name
     (Netlist.Design.num_cells d) (Netlist.Design.num_nets d) d.clock_period;
   let meth = make_method flow loss k in
-  Printf.printf "flow: %s\n%!" (Tdp.Flow.method_name meth);
-  let r = Tdp.Flow.run meth d in
-  Printf.printf "global placement  : %s\n" (Format.asprintf "%a" Evalkit.Metrics.pp r.metrics_gp);
-  Printf.printf "after legalization: %s\n" (Format.asprintf "%a" Evalkit.Metrics.pp r.metrics);
-  Printf.printf "runtime: %.2f s\n" r.runtime;
-  Printf.printf "breakdown:\n";
-  List.iter (fun (n, s) -> Printf.printf "  %-16s %8.3f s\n" n s) r.breakdown;
+  Obs.Log.info "flow: %s" (Tdp.Flow.method_name meth);
+  let sinks = match trace_out with Some path -> [ Obs.Sink.jsonl path ] | None -> [] in
+  let ctx = Obs.Ctx.create ~sinks () in
+  Obs.Ctx.set_default ctx;
+  let r = Tdp.Flow.run ~obs:ctx meth d in
+  Obs.Log.info "global placement  : %s" (Format.asprintf "%a" Evalkit.Metrics.pp r.metrics_gp);
+  Obs.Log.info "after legalization: %s" (Format.asprintf "%a" Evalkit.Metrics.pp r.metrics);
+  Obs.Log.info "runtime: %.2f s" r.runtime;
+  Obs.Log.info "breakdown:";
+  List.iter (fun (n, s) -> Obs.Log.info "  %-16s %8.3f s" n s) r.breakdown;
   if curve then begin
-    Printf.printf "timing-phase curve (iter hpwl overflow tns wns):\n";
+    Obs.Log.info "timing-phase curve (iter hpwl overflow tns wns):";
     List.iter
       (fun (c : Tdp.Flow.curve_point) ->
-        Printf.printf "  %4d %12.1f %6.3f %12.1f %10.1f\n" c.iter c.hpwl c.overflow c.tns c.wns)
+        Obs.Log.info "  %4d %12.1f %6.3f %12.1f %10.1f" c.iter c.hpwl c.overflow c.tns c.wns)
       r.curve
   end;
+  (match report_json with
+  | Some path ->
+      let report =
+        match Tdp.Flow.result_to_json r with
+        | Obs.Json.Obj fields ->
+            Obs.Json.Obj (fields @ [ ("metrics_registry", Obs.Ctx.metrics_json ctx) ])
+        | j -> j
+      in
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string report);
+      output_char oc '\n';
+      close_out oc;
+      Obs.Log.info "wrote structured report to %s" path
+  | None -> ());
+  (* Flushes the metric snapshot into the trace and closes the file. *)
+  Obs.Ctx.close ctx;
+  (match trace_out with
+  | Some path -> Obs.Log.info "wrote trace to %s (summarise with: trace_report %s)" path path
+  | None -> ());
   match out with
   | Some path ->
       Netlist.Io.save_file path d;
-      Printf.printf "wrote placed design to %s\n" path
+      Obs.Log.info "wrote placed design to %s" path
   | None -> ()
 
 let design = Arg.(value & opt string "sb18" & info [ "d"; "design" ] ~docv:"NAME" ~doc:"Suite design name.")
@@ -75,9 +104,27 @@ let out = Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
 
 let curve = Arg.(value & flag & info [ "curve" ] ~doc:"Print the timing-phase metric curve.")
 
+let trace_out =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE" ~doc:"Write the span/metric trace as JSONL.")
+
+let report_json =
+  Arg.(value & opt (some string) None
+       & info [ "report-json" ] ~docv:"FILE" ~doc:"Write the structured run report as JSON.")
+
+let log_level =
+  let levels =
+    List.map (fun l -> (Obs.Log.to_string l, l)) Obs.Log.[ Quiet; Error; Warn; Info; Debug ]
+  in
+  Arg.(value & opt (some (enum levels)) None
+       & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"quiet | error | warn | info | debug (default: \\$OBS_LEVEL or info).")
+
 let cmd =
   let doc = "timing-driven global placement (Efficient-TDP and baselines)" in
   Cmd.v (Cmd.info "place" ~doc)
-    Term.(const run $ design $ file $ scale $ flow $ loss $ k $ out $ curve)
+    Term.(
+      const run $ design $ file $ scale $ flow $ loss $ k $ out $ curve $ trace_out $ report_json
+      $ log_level)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,162 @@
+(** Summarise a JSONL trace produced by [place --trace-out] into a
+    Fig. 4-style component table: per span name, invocation count, total
+    and self wall time (total minus the time spent in child spans), plus
+    the recorded counters and gauges.
+
+    Usage: trace_report run.jsonl [--top N] *)
+
+open Cmdliner
+
+type span_rec = { id : int; parent : int; name : string; dur : float }
+
+type name_stat = {
+  mutable count : int;
+  mutable total : float;
+  mutable self : float;
+  mutable dmax : float;
+}
+
+let mem_str k j = Option.bind (Obs.Json.member k j) Obs.Json.to_string_opt
+let mem_int k j = Option.bind (Obs.Json.member k j) Obs.Json.to_int
+let mem_float k j = Option.bind (Obs.Json.member k j) Obs.Json.to_float
+
+let parse_line lineno line =
+  match Obs.Json.parse line with
+  | Ok j -> Some j
+  | Error e ->
+      Obs.Log.warn "line %d: unparseable JSON (%s), skipped" lineno e;
+      None
+
+let load path =
+  let ic = open_in path in
+  let spans = ref [] and metrics = ref [] in
+  (try
+     let lineno = ref 0 in
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then
+         match parse_line !lineno line with
+         | None -> ()
+         | Some j -> (
+             match mem_str "type" j with
+             | Some "span" ->
+                 let geti k = match mem_int k j with Some v -> v | None -> -1 in
+                 let getf k = match mem_float k j with Some v -> v | None -> 0.0 in
+                 let name = match mem_str "name" j with Some s -> s | None -> "?" in
+                 spans :=
+                   { id = geti "id"; parent = geti "parent"; name; dur = getf "dur" } :: !spans
+             | Some "metric" -> metrics := j :: !metrics
+             | _ -> Obs.Log.warn "line %d: unknown record type, skipped" !lineno)
+     done
+   with End_of_file -> close_in ic);
+  (List.rev !spans, List.rev !metrics)
+
+let summarize spans =
+  (* Self time: subtract each span's duration from its parent's credit.
+     Spans are streamed in completion order, so both id->name and the
+     child-time accumulation are resolved after a full pass. *)
+  let child_time = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      if s.parent >= 0 then
+        let r =
+          match Hashtbl.find_opt child_time s.parent with
+          | Some r -> r
+          | None ->
+              let r = ref 0.0 in
+              Hashtbl.add child_time s.parent r;
+              r
+        in
+        r := !r +. s.dur)
+    spans;
+  let stats = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let st =
+        match Hashtbl.find_opt stats s.name with
+        | Some st -> st
+        | None ->
+            let st = { count = 0; total = 0.0; self = 0.0; dmax = 0.0 } in
+            Hashtbl.add stats s.name st;
+            st
+      in
+      let children = match Hashtbl.find_opt child_time s.id with Some r -> !r | None -> 0.0 in
+      st.count <- st.count + 1;
+      st.total <- st.total +. s.dur;
+      st.self <- st.self +. Float.max 0.0 (s.dur -. children);
+      st.dmax <- Float.max st.dmax s.dur)
+    spans;
+  Hashtbl.fold (fun name st acc -> (name, st) :: acc) stats []
+  |> List.sort (fun (_, a) (_, b) -> compare b.total a.total)
+
+let print_spans spans top =
+  let rows = summarize spans in
+  let wall = List.fold_left (fun acc s -> if s.parent < 0 then acc +. s.dur else acc) 0.0 spans in
+  let tbl =
+    Util.Tablefmt.create ~title:"Span summary (component breakdown)"
+      ~headers:[ "span"; "count"; "total s"; "self s"; "max s"; "% wall" ]
+      ~aligns:[ Left; Right; Right; Right; Right; Right ]
+  in
+  let shown = if top > 0 then List.filteri (fun i _ -> i < top) rows else rows in
+  List.iter
+    (fun (name, st) ->
+      Util.Tablefmt.add_row tbl
+        [
+          name;
+          string_of_int st.count;
+          Util.Tablefmt.fmt_float ~prec:3 st.total;
+          Util.Tablefmt.fmt_float ~prec:3 st.self;
+          Util.Tablefmt.fmt_float ~prec:3 st.dmax;
+          (if wall > 0.0 then Util.Tablefmt.fmt_float ~prec:1 (100.0 *. st.total /. wall) else "-");
+        ])
+    shown;
+  Util.Tablefmt.print tbl;
+  if top > 0 && List.length rows > top then
+    Printf.printf "(%d more span names; raise --top to see them)\n" (List.length rows - top);
+  Printf.printf "spans: %d   root wall time: %.3f s\n" (List.length spans) wall
+
+let print_metrics metrics =
+  if metrics <> [] then begin
+    let tbl =
+      Util.Tablefmt.create ~title:"Metrics" ~headers:[ "name"; "kind"; "value" ]
+        ~aligns:[ Left; Left; Right ]
+    in
+    List.iter
+      (fun j ->
+        let name = match mem_str "name" j with Some s -> s | None -> "?" in
+        let kind = match mem_str "kind" j with Some s -> s | None -> "?" in
+        let value =
+          match kind with
+          | "counter" | "gauge" -> (
+              match mem_float "value" j with
+              | Some v -> Util.Tablefmt.fmt_float ~prec:3 v
+              | None -> "-")
+          | "histogram" -> (
+              match (mem_float "count" j, mem_float "p50" j, mem_float "p99" j) with
+              | Some n, Some p50, Some p99 ->
+                  Printf.sprintf "n=%.0f p50=%.3g p99=%.3g" n p50 p99
+              | _ -> "-")
+          | _ -> "-"
+        in
+        Util.Tablefmt.add_row tbl [ name; kind; value ])
+      metrics;
+    Util.Tablefmt.print tbl
+  end
+
+let run path top =
+  let spans, metrics = load path in
+  if spans = [] && metrics = [] then Obs.Log.warn "%s: no span or metric records found" path;
+  print_spans spans top;
+  print_metrics metrics
+
+let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.jsonl" ~doc:"Trace file.")
+
+let top =
+  Arg.(value & opt int 0 & info [ "top" ] ~docv:"N" ~doc:"Show only the N hottest span names.")
+
+let cmd =
+  let doc = "summarise a place --trace-out JSONL trace" in
+  Cmd.v (Cmd.info "trace_report" ~doc) Term.(const run $ path $ top)
+
+let () = exit (Cmd.eval cmd)

@@ -110,10 +110,8 @@ type result = {
   final_overflow : float;
 }
 
-let run ?(params = default_params) ?(hooks = no_hooks) ?stats (d : Design.t) =
-  let tick name f =
-    match stats with Some ts -> Util.Timerstat.time ts name f | None -> f ()
-  in
+let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) (d : Design.t) =
+  let tick name f = Obs.Ctx.span obs name f in
   let bins_x = if params.bins_x > 0 then params.bins_x else auto_bins d in
   let bins_y = if params.bins_y > 0 then params.bins_y else bins_x in
   let grid = Densitygrid.create d ~bins_x ~bins_y in
@@ -124,7 +122,7 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?stats (d : Design.t) =
   let movable_area = Design.movable_area d in
   let bin_w = grid.Densitygrid.bin_w and bin_h = grid.Densitygrid.bin_h in
   initial_spread d ~sigma_bins:params.noise_sigma ~bin_w ~bin_h ~seed:params.seed;
-  let opt = Nesterov.create (pack d movable) in
+  let opt = Nesterov.create ~obs (pack d movable) in
   (* Per-cell preconditioner data. *)
   let pin_count = Array.make (Design.num_cells d) 0 in
   Array.iter
@@ -151,6 +149,10 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?stats (d : Design.t) =
       movable
   in
   while (not !stop) && !iter < params.max_iters do
+    (* One [gp_iter] span per iteration (the journalled replacement for the
+       write-only trace_point list): iter/overflow/gamma/lambda always,
+       hpwl whenever this iteration computes it. *)
+    Obs.Ctx.span obs "gp_iter" (fun () ->
     (* Materialise the reference point; all evaluation happens there. *)
     unpack d movable (Nesterov.reference opt);
     let overflow =
@@ -216,19 +218,32 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?stats (d : Design.t) =
        the placement (observed as HPWL divergence in the timing phase). *)
     if overflow < params.stop_overflow then converged_once := true;
     if not !converged_once then lambda := !lambda *. params.lambda_mult;
+    Obs.Ctx.span_attrs obs
+      [
+        ("iter", Obs.Json.Int !iter);
+        ("overflow", Obs.Json.Float overflow);
+        ("gamma", Obs.Json.Float gamma);
+        ("lambda", Obs.Json.Float !lambda);
+      ];
     if !iter mod 10 = 0 || overflow < params.stop_overflow then begin
       unpack d movable (Nesterov.iterate opt);
       let hpwl = Design.total_hpwl d in
       trace := { iter = !iter; hpwl; overflow; gamma; lambda = !lambda } :: !trace;
-      if params.verbose then
-        Printf.eprintf "[gp %s] iter %4d hpwl %.3e ovf %.3f\n%!" d.name !iter hpwl overflow
+      Obs.Ctx.span_attrs obs [ ("hpwl", Obs.Json.Float hpwl) ];
+      if params.verbose || Obs.Log.enabled Obs.Log.Debug then
+        Obs.Log.emit Obs.Log.Debug
+          (Printf.sprintf "[gp %s] iter %4d hpwl %.3e ovf %.3f" d.name !iter hpwl overflow)
     end;
+    Obs.Ctx.count obs "gp.iters";
     if overflow < params.stop_overflow && !iter >= params.min_iters then stop := true;
-    incr iter
+    incr iter)
   done;
   unpack d movable (Nesterov.iterate opt);
   Design.clamp_movable d;
   let final_hpwl = Design.total_hpwl d in
+  Obs.Ctx.gauge obs "gp.final_hpwl" final_hpwl;
+  Obs.Ctx.gauge obs "gp.final_overflow" !last_overflow;
+  Obs.Ctx.gauge obs "gp.iterations" (float_of_int !iter);
   {
     trace = List.rev !trace;
     iters = !iter;

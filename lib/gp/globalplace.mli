@@ -60,6 +60,9 @@ type result = {
 }
 
 (** Runs global placement in place (re-initialises movable positions from
-    [params.seed]). [stats] receives a per-component runtime breakdown. *)
-val run :
-  ?params:params -> ?hooks:hooks -> ?stats:Util.Timerstat.t -> Netlist.Design.t -> result
+    [params.seed]). [obs] receives one [gp_iter] span per iteration
+    (attributes: iter / overflow / gamma / lambda, plus hpwl whenever the
+    iteration computes it) with [density] / [wl_grad] / [optimizer] child
+    spans, iteration counters, and final hpwl/overflow gauges.
+    Observation-only: results are identical with or without a context. *)
+val run : ?params:params -> ?hooks:hooks -> ?obs:Obs.Ctx.t -> Netlist.Design.t -> result

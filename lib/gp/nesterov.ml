@@ -13,18 +13,20 @@ type t = {
   v : float array;
   prev_v : float array;
   prev_g : float array;
+  obs : Obs.Ctx.t;
   mutable a : float;
   mutable have_prev : bool;
   mutable last_step : float;
 }
 
-let create x0 =
+let create ?(obs = Obs.Ctx.null) x0 =
   {
     dim = Array.length x0;
     u = Array.copy x0;
     v = Array.copy x0;
     prev_v = Array.copy x0;
     prev_g = Array.make (Array.length x0) 0.0;
+    obs;
     a = 1.0;
     have_prev = false;
     last_step = 0.0;
@@ -34,6 +36,8 @@ let create x0 =
 let reference t = t.v
 
 let iterate t = t.u
+
+let last_step t = t.last_step
 
 (* ||a - b||_2 *)
 let dist2 a b =
@@ -48,14 +52,31 @@ let dist2 a b =
     [fallback_step] is used before a Lipschitz estimate exists;
     [max_step] bounds the step length; [clamp] projects a candidate
     iterate into the feasible box (applied to [u]). *)
+(* Step lengths span several decades across designs and phases; these
+   bounds (10 µ-units .. ~1.3e3) keep the histogram informative. *)
+let step_len_bounds = Array.init 28 (fun i -> 1e-5 *. (2.0 ** float_of_int i))
+
 let step t ~g ~fallback_step ~max_step ~clamp =
+  let fallback_used = ref false in
   let alpha =
-    if not t.have_prev then fallback_step
+    if not t.have_prev then begin
+      fallback_used := true;
+      fallback_step
+    end
     else begin
       let dv = dist2 t.v t.prev_v and dg = dist2 g t.prev_g in
-      if dg < 1e-30 then fallback_step else Float.min max_step (dv /. dg)
+      if dg < 1e-30 then begin
+        fallback_used := true;
+        fallback_step
+      end
+      else Float.min max_step (dv /. dg)
     end
   in
+  if Obs.Ctx.enabled t.obs then begin
+    Obs.Ctx.count t.obs "nesterov.steps";
+    if !fallback_used then Obs.Ctx.count t.obs "nesterov.fallback_steps";
+    Obs.Ctx.observe t.obs ~bounds:step_len_bounds "nesterov.step_len" alpha
+  end;
   t.last_step <- alpha;
   Array.blit t.v 0 t.prev_v 0 t.dim;
   Array.blit g 0 t.prev_g 0 t.dim;

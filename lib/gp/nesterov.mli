@@ -5,7 +5,13 @@
 
 type t
 
-val create : float array -> t
+(** [obs] receives step counters ([nesterov.steps],
+    [nesterov.fallback_steps]) and a step-length histogram
+    ([nesterov.step_len]). *)
+val create : ?obs:Obs.Ctx.t -> float array -> t
+
+(** Length of the most recent step (0 before the first). *)
+val last_step : t -> float
 
 (** Where the next gradient must be evaluated. *)
 val reference : t -> float array

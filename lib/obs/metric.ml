@@ -1,0 +1,138 @@
+(** Typed metrics: monotonic counters, last-value gauges, and fixed-bucket
+    histograms with quantile estimates (linear interpolation inside the
+    bucket, clamped to the observed min/max at the tails). *)
+
+type histogram = {
+  bounds : float array; (* strictly increasing bucket upper bounds *)
+  counts : int array; (* length = Array.length bounds + 1 (overflow) *)
+  mutable sum : float;
+  mutable n : int;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+type m = Counter of float ref | Gauge of float ref | Histogram of histogram
+
+type registry = (string, m) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 32
+
+(* 1 µs .. ~8 s in doubling steps — covers span durations and most scalar
+   observations; callers with different ranges pass ~bounds. *)
+let default_bounds = Array.init 24 (fun i -> 1e-6 *. (2.0 ** float_of_int i))
+
+let histogram_create bounds =
+  let nb = Array.length bounds in
+  for i = 1 to nb - 1 do
+    if bounds.(i) <= bounds.(i - 1) then invalid_arg "Metric: bounds must be increasing"
+  done;
+  {
+    bounds;
+    counts = Array.make (nb + 1) 0;
+    sum = 0.0;
+    n = 0;
+    vmin = Float.infinity;
+    vmax = Float.neg_infinity;
+  }
+
+let histogram_observe h v =
+  let nb = Array.length h.bounds in
+  let rec bucket i = if i >= nb then nb else if v <= h.bounds.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.n <- h.n + 1;
+  if v < h.vmin then h.vmin <- v;
+  if v > h.vmax then h.vmax <- v
+
+let mean h = if h.n = 0 then Float.nan else h.sum /. float_of_int h.n
+
+(** Quantile estimate for [q] in [0, 1]: walk the cumulative bucket counts
+    to the target rank, then interpolate linearly between the containing
+    bucket's bounds (using the observed min/max for the open ends). *)
+let quantile h q =
+  if h.n = 0 then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int h.n in
+    let nb = Array.length h.bounds in
+    let rec walk i cum =
+      if i > nb then h.vmax
+      else begin
+        let c = h.counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= target then begin
+          let lo = if i = 0 then h.vmin else Float.max h.vmin h.bounds.(i - 1) in
+          let hi = if i = nb then h.vmax else Float.min h.vmax h.bounds.(i) in
+          let frac = Float.max 0.0 (Float.min 1.0 ((target -. cum) /. float_of_int c)) in
+          lo +. (frac *. (hi -. lo))
+        end
+        else walk (i + 1) cum'
+      end
+    in
+    walk 0 0.0
+  end
+
+(* ---- registry operations ---- *)
+
+let kind_mismatch name = invalid_arg (Printf.sprintf "Metric %S registered with another kind" name)
+
+let incr (reg : registry) ?(by = 1.0) name =
+  match Hashtbl.find_opt reg name with
+  | Some (Counter r) -> r := !r +. by
+  | Some _ -> kind_mismatch name
+  | None -> Hashtbl.add reg name (Counter (ref by))
+
+let set_gauge (reg : registry) name v =
+  match Hashtbl.find_opt reg name with
+  | Some (Gauge r) -> r := v
+  | Some _ -> kind_mismatch name
+  | None -> Hashtbl.add reg name (Gauge (ref v))
+
+let observe (reg : registry) ?(bounds = default_bounds) name v =
+  match Hashtbl.find_opt reg name with
+  | Some (Histogram h) -> histogram_observe h v
+  | Some _ -> kind_mismatch name
+  | None ->
+      let h = histogram_create bounds in
+      histogram_observe h v;
+      Hashtbl.add reg name (Histogram h)
+
+let find (reg : registry) name = Hashtbl.find_opt reg name
+
+(** Stable (name-sorted) snapshot of the registry. *)
+let snapshot (reg : registry) =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) reg []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** One JSONL-ready record per metric; every record carries
+    ["type"] = "metric" so trace lines stay self-describing. *)
+let to_json ~name (m : m) : Json.t =
+  let base = [ ("type", Json.String "metric"); ("name", Json.String name) ] in
+  match m with
+  | Counter r -> Json.Obj (base @ [ ("kind", Json.String "counter"); ("value", Json.Float !r) ])
+  | Gauge r -> Json.Obj (base @ [ ("kind", Json.String "gauge"); ("value", Json.Float !r) ])
+  | Histogram h ->
+      let buckets =
+        List.init
+          (Array.length h.counts)
+          (fun i ->
+            let le =
+              if i < Array.length h.bounds then Json.Float h.bounds.(i) else Json.String "inf"
+            in
+            Json.List [ le; Json.Int h.counts.(i) ])
+      in
+      Json.Obj
+        (base
+        @ [
+            ("kind", Json.String "histogram");
+            ("count", Json.Int h.n);
+            ("sum", Json.Float h.sum);
+            ("min", Json.Float h.vmin);
+            ("max", Json.Float h.vmax);
+            ("mean", Json.Float (mean h));
+            ("p50", Json.Float (quantile h 0.5));
+            ("p90", Json.Float (quantile h 0.9));
+            ("p99", Json.Float (quantile h 0.99));
+            ("buckets", Json.List buckets);
+          ])

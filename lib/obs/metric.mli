@@ -1,0 +1,47 @@
+(** Typed metrics: monotonic counters, last-value gauges, and fixed-bucket
+    histograms with quantile estimates. *)
+
+type histogram = {
+  bounds : float array; (* strictly increasing bucket upper bounds *)
+  counts : int array; (* length = Array.length bounds + 1 (overflow) *)
+  mutable sum : float;
+  mutable n : int;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+type m = Counter of float ref | Gauge of float ref | Histogram of histogram
+
+type registry
+
+val create_registry : unit -> registry
+
+(** 1 µs .. ~8 s in doubling steps. *)
+val default_bounds : float array
+
+val histogram_create : float array -> histogram
+
+val histogram_observe : histogram -> float -> unit
+
+val mean : histogram -> float
+
+(** Quantile estimate for [q] in [0, 1]: linear interpolation inside the
+    containing bucket, clamped to the observed min/max at the open ends.
+    NaN on an empty histogram. *)
+val quantile : histogram -> float -> float
+
+(** Add [by] (default 1) to a counter, creating it on first use. Raises
+    [Invalid_argument] if the name is registered with another kind. *)
+val incr : registry -> ?by:float -> string -> unit
+
+val set_gauge : registry -> string -> float -> unit
+
+val observe : registry -> ?bounds:float array -> string -> float -> unit
+
+val find : registry -> string -> m option
+
+(** Name-sorted snapshot. *)
+val snapshot : registry -> (string * m) list
+
+(** One JSONL-ready record ([type] = "metric"). *)
+val to_json : name:string -> m -> Json.t

@@ -1,0 +1,44 @@
+(** Pluggable trace consumers. A sink receives every completed span as it
+    ends and the final metric snapshot at flush time; contexts may carry
+    any number of sinks (none = observation fully off). *)
+
+type t = {
+  on_span : Span.t -> unit; (* called once per span, at span end *)
+  on_metrics : (string * Metric.m) list -> unit; (* called at flush *)
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+let null = { on_span = ignore; on_metrics = ignore; flush = ignore; close = ignore }
+
+(** JSONL trace writer: one self-describing JSON object per line —
+    span records as spans complete, metric records at flush. *)
+let jsonl path =
+  let oc = open_out path in
+  let write_line j =
+    output_string oc (Json.to_string j);
+    output_char oc '\n'
+  in
+  {
+    on_span = (fun s -> write_line (Span.to_json s));
+    on_metrics = (fun ms -> List.iter (fun (name, m) -> write_line (Metric.to_json ~name m)) ms);
+    flush = (fun () -> flush oc);
+    close = (fun () -> close_out oc);
+  }
+
+(** Collect spans (and the metric snapshot) into memory — handy in tests
+    and for post-run inspection without touching the filesystem. *)
+let memory () =
+  let spans = ref [] in
+  let metrics = ref [] in
+  let sink =
+    {
+      on_span = (fun s -> spans := s :: !spans);
+      on_metrics = (fun ms -> metrics := ms);
+      flush = ignore;
+      close = ignore;
+    }
+  in
+  let get_spans () = List.rev !spans in
+  let get_metrics () = !metrics in
+  (sink, get_spans, get_metrics)

@@ -1,0 +1,18 @@
+(** Pluggable trace consumers: completed spans arrive as they end, the
+    metric snapshot arrives at flush. *)
+
+type t = {
+  on_span : Span.t -> unit;
+  on_metrics : (string * Metric.m) list -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+val null : t
+
+(** JSONL trace writer: one self-describing JSON object per line. *)
+val jsonl : string -> t
+
+(** In-memory collector; returns [(sink, get_spans, get_metrics)] where
+    [get_spans] lists spans in completion order. *)
+val memory : unit -> t * (unit -> Span.t list) * (unit -> (string * Metric.m) list)

@@ -1,0 +1,29 @@
+(** One completed (or in-flight) trace span. Times are seconds relative to
+    the owning context's creation, so trace files carry small stable
+    numbers instead of epoch timestamps. [parent = -1] marks a root. *)
+
+type t = {
+  id : int;
+  parent : int;
+  name : string;
+  start : float;
+  mutable dur : float; (* filled at span end *)
+  mutable attrs : (string * Json.t) list; (* newest last *)
+}
+
+let make ~id ~parent ~name ~start ~attrs = { id; parent; name; start; dur = 0.0; attrs }
+
+let add_attrs s kvs = s.attrs <- s.attrs @ kvs
+
+let to_json (s : t) : Json.t =
+  let base =
+    [
+      ("type", Json.String "span");
+      ("id", Json.Int s.id);
+      ("parent", Json.Int s.parent);
+      ("name", Json.String s.name);
+      ("t0", Json.Float s.start);
+      ("dur", Json.Float s.dur);
+    ]
+  in
+  Json.Obj (if s.attrs = [] then base else base @ [ ("attrs", Json.Obj s.attrs) ])

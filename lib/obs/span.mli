@@ -1,0 +1,19 @@
+(** One trace span. Times are seconds relative to the owning context's
+    creation; [parent = -1] marks a root span. *)
+
+type t = {
+  id : int;
+  parent : int;
+  name : string;
+  start : float;
+  mutable dur : float; (* filled at span end *)
+  mutable attrs : (string * Json.t) list; (* newest last *)
+}
+
+val make :
+  id:int -> parent:int -> name:string -> start:float -> attrs:(string * Json.t) list -> t
+
+val add_attrs : t -> (string * Json.t) list -> unit
+
+(** JSONL-ready record ([type] = "span"). *)
+val to_json : t -> Json.t

@@ -14,38 +14,41 @@ let create graph =
   let np = Graph.num_pins graph in
   { arr = Array.make np 0.0; req = Array.make np 0.0; slack = Array.make np 0.0 }
 
-let update t (graph : Graph.t) =
+let update ?(obs = Obs.Ctx.null) t (graph : Graph.t) =
   let np = Graph.num_pins graph in
   let arr = t.arr and req = t.req in
   (* Forward: arrival times in topological order. *)
-  for p = 0 to np - 1 do
-    arr.(p) <- (if graph.is_startpoint.(p) then graph.start_arrival.(p) else Float.neg_infinity)
-  done;
-  Array.iter
-    (fun p ->
-      for i = graph.in_start.(p) to graph.in_start.(p + 1) - 1 do
-        let a = graph.in_arc.(i) in
-        let cand = arr.(graph.arc_from.(a)) +. graph.arc_delay.(a) in
-        if cand > arr.(p) then arr.(p) <- cand
+  Obs.Ctx.span obs "sta.arrival" (fun () ->
+      for p = 0 to np - 1 do
+        arr.(p) <-
+          (if graph.is_startpoint.(p) then graph.start_arrival.(p) else Float.neg_infinity)
+      done;
+      Array.iter
+        (fun p ->
+          for i = graph.in_start.(p) to graph.in_start.(p + 1) - 1 do
+            let a = graph.in_arc.(i) in
+            let cand = arr.(graph.arc_from.(a)) +. graph.arc_delay.(a) in
+            if cand > arr.(p) then arr.(p) <- cand
+          done)
+        graph.topo);
+  (* Backward: required times in reverse topological order, then slacks. *)
+  Obs.Ctx.span obs "sta.required" (fun () ->
+      for p = 0 to np - 1 do
+        req.(p) <- (if graph.is_endpoint.(p) then graph.end_required.(p) else Float.infinity)
+      done;
+      for i = Array.length graph.topo - 1 downto 0 do
+        let p = graph.topo.(i) in
+        for j = graph.out_start.(p) to graph.out_start.(p + 1) - 1 do
+          let a = graph.out_arc.(j) in
+          let cand = req.(graph.arc_to.(a)) -. graph.arc_delay.(a) in
+          if cand < req.(p) then req.(p) <- cand
+        done
+      done;
+      for p = 0 to np - 1 do
+        t.slack.(p) <-
+          (if Float.is_finite arr.(p) && Float.is_finite req.(p) then req.(p) -. arr.(p)
+           else Float.infinity)
       done)
-    graph.topo;
-  (* Backward: required times in reverse topological order. *)
-  for p = 0 to np - 1 do
-    req.(p) <- (if graph.is_endpoint.(p) then graph.end_required.(p) else Float.infinity)
-  done;
-  for i = Array.length graph.topo - 1 downto 0 do
-    let p = graph.topo.(i) in
-    for j = graph.out_start.(p) to graph.out_start.(p + 1) - 1 do
-      let a = graph.out_arc.(j) in
-      let cand = req.(graph.arc_to.(a)) -. graph.arc_delay.(a) in
-      if cand < req.(p) then req.(p) <- cand
-    done
-  done;
-  for p = 0 to np - 1 do
-    t.slack.(p) <-
-      (if Float.is_finite arr.(p) && Float.is_finite req.(p) then req.(p) -. arr.(p)
-       else Float.infinity)
-  done
 
 (** Slack at an endpoint pin (infinite when the endpoint is unreachable). *)
 let endpoint_slack t (graph : Graph.t) p =

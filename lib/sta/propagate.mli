@@ -11,8 +11,9 @@ type t = {
 val create : Graph.t -> t
 
 (** Forward arrivals, backward required times, slacks; call after the arc
-    delays were refreshed. *)
-val update : t -> Graph.t -> unit
+    delays were refreshed. [obs] wraps the sweeps in [sta.arrival] /
+    [sta.required] spans. *)
+val update : ?obs:Obs.Ctx.t -> t -> Graph.t -> unit
 
 (** Slack at an endpoint pin (infinite when unreachable). *)
 val endpoint_slack : t -> Graph.t -> int -> float

@@ -15,11 +15,12 @@ type t = {
   delay : Delay.t;
   prop : Propagate.t;
   early : Early.t;
+  obs : Obs.Ctx.t;
   mutable up_to_date : bool;
   mutable early_up_to_date : bool;
 }
 
-let create ?(topology = Delay.Steiner_tree) design =
+let create ?(topology = Delay.Steiner_tree) ?(obs = Obs.Ctx.null) design =
   let graph = Graph.build design in
   {
     design;
@@ -27,6 +28,7 @@ let create ?(topology = Delay.Steiner_tree) design =
     delay = Delay.create graph ~topology;
     prop = Propagate.create graph;
     early = Early.create graph;
+    obs;
     up_to_date = false;
     early_up_to_date = false;
   }
@@ -38,10 +40,13 @@ let arrivals t = t.prop.Propagate.arr
 let slacks t = t.prop.Propagate.slack
 
 (** Full re-time from the current placement: delays, slews, arrivals,
-    required times, slacks. *)
+    required times, slacks. One [sta.update] span per round, with
+    [sta.delay] / [sta.arrival] / [sta.required] child spans. *)
 let update t =
-  Delay.update t.delay;
-  Propagate.update t.prop t.graph;
+  Obs.Ctx.span t.obs "sta.update" (fun () ->
+      Obs.Ctx.span t.obs "sta.delay" (fun () -> Delay.update t.delay);
+      Propagate.update ~obs:t.obs t.prop t.graph;
+      Obs.Ctx.count t.obs "sta.full_updates");
   t.up_to_date <- true;
   t.early_up_to_date <- false
 
@@ -59,8 +64,10 @@ let invalidate t =
 let update_moved t ~cells =
   if not t.up_to_date then update t
   else begin
-    Delay.update_moved t.delay ~cells;
-    Propagate.update t.prop t.graph;
+    Obs.Ctx.span t.obs "sta.update" (fun () ->
+        Obs.Ctx.span t.obs "sta.delay" (fun () -> Delay.update_moved t.delay ~cells);
+        Propagate.update ~obs:t.obs t.prop t.graph;
+        Obs.Ctx.count t.obs "sta.incremental_updates");
     t.early_up_to_date <- false
   end
 

@@ -11,8 +11,10 @@
 type t
 
 (** Builds the timing graph; [topology] picks the wire model (default
-    Steiner trees, matching the evaluation kit). *)
-val create : ?topology:Delay.topology -> Netlist.Design.t -> t
+    Steiner trees, matching the evaluation kit). [obs] receives a
+    [sta.update] span per re-time (children [sta.delay] / [sta.arrival] /
+    [sta.required]) plus full/incremental update counters. *)
+val create : ?topology:Delay.topology -> ?obs:Obs.Ctx.t -> Netlist.Design.t -> t
 
 val graph : t -> Graph.t
 

@@ -23,42 +23,50 @@ type t = {
   timer : Sta.Timer.t;
   attract : Pin_attract.t;
   config : Config.t;
+  obs : Obs.Ctx.t;
   mutable relax : float; (* multiplies beta: ratchets down once timing is
                             met so wirelength can recover, back up if
                             violations return *)
   mutable rounds : round_stats list; (* newest first *)
 }
 
-let create design ~(config : Config.t) ~topology =
+let create ?(obs = Obs.Ctx.null) design ~(config : Config.t) ~topology =
   {
-    timer = Sta.Timer.create ~topology design;
+    timer = Sta.Timer.create ~topology ~obs design;
     attract = Pin_attract.create design ~loss:config.loss;
     config;
+    obs;
     relax = 1.0;
     rounds = [];
   }
 
-(** One timing round at placement iteration [iter]. Returns the stats. *)
+(** One timing round at placement iteration [iter]. Returns the stats.
+    Emits [sta] / [extraction] spans and per-round counters (failing
+    endpoints visited, paths extracted, pair-weight updates). *)
 let round t ~iter =
   let cfg = t.config in
   let t0 = Unix.gettimeofday () in
-  Sta.Timer.invalidate t.timer;
-  Sta.Timer.update t.timer;
-  let tns = Sta.Timer.tns t.timer and wns = Sta.Timer.wns t.timer in
-  let failing = Sta.Timer.failing_endpoints t.timer in
+  let tns, wns, failing =
+    Obs.Ctx.span t.obs "sta" (fun () ->
+        Sta.Timer.invalidate t.timer;
+        Sta.Timer.update t.timer;
+        (Sta.Timer.tns t.timer, Sta.Timer.wns t.timer, Sta.Timer.failing_endpoints t.timer))
+  in
   let n = List.length failing in
   let t1 = Unix.gettimeofday () in
   let paths =
-    if n = 0 then []
-    else
-      match cfg.extraction with
-      | Config.Endpoint_based { k } -> Sta.Timer.report_timing_endpoint t.timer ~n ~k
-      | Config.Global_topn { mult } -> Sta.Timer.report_timing t.timer ~n:(n * mult)
+    Obs.Ctx.span t.obs "extraction" (fun () ->
+        if n = 0 then []
+        else
+          match cfg.extraction with
+          | Config.Endpoint_based { k } -> Sta.Timer.report_timing_endpoint t.timer ~n ~k
+          | Config.Global_topn { mult } -> Sta.Timer.report_timing t.timer ~n:(n * mult))
   in
   let t2 = Unix.gettimeofday () in
   if n = 0 then t.relax <- Float.max 0.15 (t.relax *. 0.7)
   else t.relax <- Float.min 1.0 (t.relax *. 1.3);
   let graph = Sta.Timer.graph t.timer in
+  let updates_before = Pin_attract.num_updates t.attract in
   Pin_attract.update_from_paths t.attract graph ~w0:cfg.w0 ~w1:cfg.w1 ~wns
     ~stale_decay:cfg.stale_decay paths;
   let stats =
@@ -73,6 +81,17 @@ let round t ~iter =
       extract_time = t2 -. t1;
     }
   in
+  if Obs.Ctx.enabled t.obs then begin
+    Obs.Ctx.count t.obs "extraction.rounds";
+    Obs.Ctx.count t.obs ~by:(float_of_int n) "extraction.endpoints_visited";
+    Obs.Ctx.count t.obs ~by:(float_of_int stats.num_paths) "extraction.paths";
+    Obs.Ctx.count t.obs
+      ~by:(float_of_int (Pin_attract.num_updates t.attract - updates_before))
+      "extraction.pair_updates";
+    Obs.Ctx.gauge t.obs "extraction.num_pairs" (float_of_int stats.num_pairs);
+    Obs.Ctx.gauge t.obs "extraction.tns" tns;
+    Obs.Ctx.gauge t.obs "extraction.wns" wns
+  end;
   t.rounds <- stats :: t.rounds;
   stats
 

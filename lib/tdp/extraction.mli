@@ -16,7 +16,11 @@ type round_stats = {
 
 type t
 
-val create : Netlist.Design.t -> config:Config.t -> topology:Sta.Delay.topology -> t
+(** [obs] is shared with the internal timer: each round emits [sta] and
+    [extraction] spans plus counters (rounds, endpoints visited, paths
+    extracted, pair-weight updates) and tns/wns/|P| gauges. *)
+val create :
+  ?obs:Obs.Ctx.t -> Netlist.Design.t -> config:Config.t -> topology:Sta.Delay.topology -> t
 
 (** One timing round at placement iteration [iter]. *)
 val round : t -> iter:int -> round_stats

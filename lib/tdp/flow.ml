@@ -84,9 +84,19 @@ let timing_gp_params ~seed (cfg : Config.t) =
     max_iters = cfg.timing_start + cfg.extra_iters;
   }
 
-let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) (meth : method_) (d : Design.t) =
+let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : method_)
+    (d : Design.t) =
+  (* Default: a private context so [result.breakdown] is populated even
+     when the caller doesn't care about tracing. An explicitly disabled
+     context ([Obs.Ctx.null]) turns all observation off — breakdown comes
+     back empty, placement results are identical either way. *)
+  let obs = match obs with Some c -> c | None -> Obs.Ctx.create () in
+  (* The breakdown is rebuilt from span aggregation (the Timerstat shape:
+     per-name total seconds, largest first). *)
+  let agg = Obs.Agg.create () in
+  let agg_sink = Obs.Agg.sink agg in
+  Obs.Ctx.add_sink obs agg_sink;
   let t_start = Unix.gettimeofday () in
-  let stats = Util.Timerstat.create () in
   Design.reset_net_weights d;
   let curve = ref [] in
   (* Checkpoint the best placement seen at any timing round (by the flow
@@ -117,7 +127,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) (meth : metho
           {
             Gp.Globalplace.on_round =
               (fun ~iter ~overflow ->
-                let tns, wns = Util.Timerstat.time stats "sta+weighting" (fun () -> Net_weighting.round nw) in
+                let tns, wns = Obs.Ctx.span obs "sta+weighting" (fun () -> Net_weighting.round nw) in
                 push_curve ~iter ~overflow ~tns ~wns);
             extra_grad = (fun ~iter:_ ~wl_norm:_ ~gx:_ ~gy:_ -> ());
           }
@@ -129,11 +139,11 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) (meth : metho
           {
             Gp.Globalplace.on_round =
               (fun ~iter ~overflow ->
-                let tns, wns = Util.Timerstat.time stats "sta+backprop" (fun () -> Diff_timing.round dt) in
+                let tns, wns = Obs.Ctx.span obs "sta+backprop" (fun () -> Diff_timing.round dt) in
                 push_curve ~iter ~overflow ~tns ~wns);
             extra_grad =
               (fun ~iter:_ ~wl_norm ~gx ~gy ->
-                Util.Timerstat.time stats "timing_grad" (fun () ->
+                Obs.Ctx.span obs "timing_grad" (fun () ->
                     add_normalized ~mult:0.4 ~wl_norm ~gx ~gy (fun ~gx ~gy ->
                         Diff_timing.add_grad dt ~mult:1.0 ~gx ~gy)));
           }
@@ -145,11 +155,11 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) (meth : metho
           {
             Gp.Globalplace.on_round =
               (fun ~iter ~overflow ->
-                let tns, wns = Util.Timerstat.time stats "sta+anchors" (fun () -> Distribution.round ds) in
+                let tns, wns = Obs.Ctx.span obs "sta+anchors" (fun () -> Distribution.round ds) in
                 push_curve ~iter ~overflow ~tns ~wns);
             extra_grad =
               (fun ~iter:_ ~wl_norm ~gx ~gy ->
-                Util.Timerstat.time stats "timing_grad" (fun () ->
+                Obs.Ctx.span obs "timing_grad" (fun () ->
                     add_normalized ~mult:0.3 ~wl_norm ~gx ~gy (fun ~gx ~gy ->
                         Distribution.add_grad ds ~mult:1.0 ~gx ~gy)));
           }
@@ -164,20 +174,18 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) (meth : metho
           {
             Gp.Globalplace.on_round =
               (fun ~iter ~overflow ->
-                let tns, wns =
-                  Util.Timerstat.time stats "sta+weighting" (fun () -> Pin_level.round pl)
-                in
+                let tns, wns = Obs.Ctx.span obs "sta+weighting" (fun () -> Pin_level.round pl) in
                 push_curve ~iter ~overflow ~tns ~wns);
             extra_grad =
               (fun ~iter:_ ~wl_norm ~gx ~gy ->
-                Util.Timerstat.time stats "pp_grad" (fun () ->
+                Obs.Ctx.span obs "pp_grad" (fun () ->
                     add_normalized ~mult:cfg_default.beta ~wl_norm ~gx ~gy (fun ~gx ~gy ->
                         Pin_level.add_grad_raw pl ~gx ~gy)));
           }
         in
         (timing_gp_params ~seed cfg_default, hooks)
     | Efficient cfg ->
-        let ex = Extraction.create d ~config:cfg ~topology in
+        let ex = Extraction.create ~obs d ~config:cfg ~topology in
         extraction_state := Some ex;
         let last_iter = cfg.timing_start + cfg.extra_iters in
         (* Anneal beta over the final iterations: the timing fixes are
@@ -195,15 +203,16 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) (meth : metho
           {
             Gp.Globalplace.on_round =
               (fun ~iter ~overflow ->
+                (* [Extraction.round] emits its own [sta] / [extraction]
+                   child spans, so the breakdown keeps both the combined
+                   and the per-component entries. *)
                 let r =
-                  Util.Timerstat.time stats "sta+extraction" (fun () -> Extraction.round ex ~iter)
+                  Obs.Ctx.span obs "sta+extraction" (fun () -> Extraction.round ex ~iter)
                 in
-                Util.Timerstat.add stats "sta" r.Extraction.sta_time;
-                Util.Timerstat.add stats "extraction" r.Extraction.extract_time;
                 push_curve ~iter ~overflow ~tns:r.Extraction.tns ~wns:r.Extraction.wns);
             extra_grad =
               (fun ~iter ~wl_norm ~gx ~gy ->
-                Util.Timerstat.time stats "pp_grad" (fun () ->
+                Obs.Ctx.span obs "pp_grad" (fun () ->
                     add_normalized
                       ~mult:(Extraction.effective_beta ex *. cooldown iter)
                       ~wl_norm ~gx ~gy
@@ -212,29 +221,45 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) (meth : metho
         in
         (timing_gp_params ~seed cfg, hooks)
   in
-  let _gp = Gp.Globalplace.run ~params:gp_params ~hooks ~stats d in
-  (* Keep the better of (final iterate, best checkpoint) under the common
-     evaluation model. *)
-  let metrics_gp =
-    let final_m = Evalkit.Metrics.evaluate d in
-    match !best_snap with
-    | None -> final_m
-    | Some snap ->
-        let final_pos = Design.snapshot d in
-        Design.restore d snap;
-        let snap_m = Evalkit.Metrics.evaluate d in
-        if snap_m.Evalkit.Metrics.tns > final_m.Evalkit.Metrics.tns then snap_m
-        else begin
-          Design.restore d final_pos;
-          final_m
-        end
+  let metrics_gp, metrics =
+    Obs.Ctx.span obs "flow"
+      ~attrs:
+        [
+          ("method", Obs.Json.String (method_name meth));
+          ("design", Obs.Json.String d.name);
+          ("seed", Obs.Json.Int seed);
+        ]
+      (fun () ->
+        let _gp = Gp.Globalplace.run ~params:gp_params ~hooks ~obs d in
+        (* Keep the better of (final iterate, best checkpoint) under the
+           common evaluation model. *)
+        let metrics_gp =
+          Obs.Ctx.span obs "evaluate" (fun () ->
+              let final_m = Evalkit.Metrics.evaluate d in
+              match !best_snap with
+              | None -> final_m
+              | Some snap ->
+                  let final_pos = Design.snapshot d in
+                  Design.restore d snap;
+                  let snap_m = Evalkit.Metrics.evaluate d in
+                  if snap_m.Evalkit.Metrics.tns > final_m.Evalkit.Metrics.tns then snap_m
+                  else begin
+                    Design.restore d final_pos;
+                    final_m
+                  end)
+        in
+        if legalize then begin
+          Obs.Ctx.span obs "legalize" (fun () -> ignore (Gp.Legalize.run d));
+          ignore (Obs.Ctx.span obs "detailed" (fun () -> Gp.Detailed.run d))
+        end;
+        let metrics = Obs.Ctx.span obs "evaluate" (fun () -> Evalkit.Metrics.evaluate d) in
+        Obs.Ctx.gauge obs "flow.hpwl" metrics.Evalkit.Metrics.hpwl;
+        Obs.Ctx.gauge obs "flow.tns" metrics.Evalkit.Metrics.tns;
+        Obs.Ctx.gauge obs "flow.wns" metrics.Evalkit.Metrics.wns;
+        (metrics_gp, metrics))
   in
-  if legalize then begin
-    Util.Timerstat.time stats "legalize" (fun () -> ignore (Gp.Legalize.run d));
-    ignore (Util.Timerstat.time stats "detailed" (fun () -> Gp.Detailed.run d))
-  end;
-  let metrics = Evalkit.Metrics.evaluate d in
   let runtime = Unix.gettimeofday () -. t_start in
+  Obs.Ctx.remove_sink obs agg_sink;
   {
     name = method_name meth;
     design = d.name;
@@ -242,7 +267,57 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) (meth : metho
     metrics_gp;
     runtime;
     curve = List.rev !curve;
-    breakdown = Util.Timerstat.to_list stats;
+    breakdown = Obs.Agg.to_breakdown agg;
     extraction_rounds =
       (match !extraction_state with None -> [] | Some ex -> Extraction.rounds ex);
   }
+
+(* ---- structured (JSON) result serialisation, shared by the [place]
+   binary's --report-json and the bench harness's --json output ---- *)
+
+let metrics_to_json (m : Evalkit.Metrics.t) =
+  Obs.Json.Obj
+    [
+      ("hpwl", Obs.Json.Float m.Evalkit.Metrics.hpwl);
+      ("tns", Obs.Json.Float m.Evalkit.Metrics.tns);
+      ("wns", Obs.Json.Float m.Evalkit.Metrics.wns);
+      ("num_failing", Obs.Json.Int m.Evalkit.Metrics.num_failing);
+      ("num_endpoints", Obs.Json.Int m.Evalkit.Metrics.num_endpoints);
+    ]
+
+let curve_point_to_json (c : curve_point) =
+  Obs.Json.Obj
+    [
+      ("iter", Obs.Json.Int c.iter);
+      ("hpwl", Obs.Json.Float c.hpwl);
+      ("overflow", Obs.Json.Float c.overflow);
+      ("tns", Obs.Json.Float c.tns);
+      ("wns", Obs.Json.Float c.wns);
+    ]
+
+let round_stats_to_json (r : Extraction.round_stats) =
+  Obs.Json.Obj
+    [
+      ("iter", Obs.Json.Int r.Extraction.iter);
+      ("tns", Obs.Json.Float r.Extraction.tns);
+      ("wns", Obs.Json.Float r.Extraction.wns);
+      ("num_failing", Obs.Json.Int r.Extraction.num_failing);
+      ("num_paths", Obs.Json.Int r.Extraction.num_paths);
+      ("num_pairs", Obs.Json.Int r.Extraction.num_pairs);
+      ("sta_time", Obs.Json.Float r.Extraction.sta_time);
+      ("extract_time", Obs.Json.Float r.Extraction.extract_time);
+    ]
+
+let result_to_json (r : result) =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String r.name);
+      ("design", Obs.Json.String r.design);
+      ("runtime", Obs.Json.Float r.runtime);
+      ("metrics", metrics_to_json r.metrics);
+      ("metrics_gp", metrics_to_json r.metrics_gp);
+      ("curve", Obs.Json.List (List.map curve_point_to_json r.curve));
+      ( "breakdown",
+        Obs.Json.Obj (List.map (fun (n, s) -> (n, Obs.Json.Float s)) r.breakdown) );
+      ("extraction_rounds", Obs.Json.List (List.map round_stats_to_json r.extraction_rounds));
+    ]

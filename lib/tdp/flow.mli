@@ -31,11 +31,30 @@ val flow_topology : Sta.Delay.topology
 
 (** Runs the flow in place: re-initialises the placement from [seed],
     optimises, keeps the best timing checkpoint, legalises (unless
-    [legalize:false]) and scores with the common evaluation kit. *)
+    [legalize:false]) and scores with the common evaluation kit.
+
+    [obs] is the observability context the whole pipeline reports
+    through: a [flow] root span (with gp / sta / extraction descendants),
+    counters and gauges. When omitted, a private context is created so
+    [result.breakdown] stays populated; pass [Obs.Ctx.null] to switch
+    observation off entirely (breakdown comes back empty). Placement
+    results are bit-identical in every case — observability is
+    observation-only. *)
 val run :
   ?seed:int ->
   ?legalize:bool ->
   ?topology:Sta.Delay.topology ->
+  ?obs:Obs.Ctx.t ->
   method_ ->
   Netlist.Design.t ->
   result
+
+(** Structured serialisations (the [place --report-json] / bench [--json]
+    payloads). *)
+val metrics_to_json : Evalkit.Metrics.t -> Obs.Json.t
+
+val curve_point_to_json : curve_point -> Obs.Json.t
+
+val round_stats_to_json : Extraction.round_stats -> Obs.Json.t
+
+val result_to_json : result -> Obs.Json.t

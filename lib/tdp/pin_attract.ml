@@ -21,11 +21,14 @@ type t = {
   design : Design.t;
   loss : Config.loss_kind;
   pairs : (int * int, pair) Hashtbl.t;
+  mutable updates : int; (* cumulative Eq. 9 weight writes (fresh + increments) *)
 }
 
-let create design ~loss = { design; loss; pairs = Hashtbl.create 4096 }
+let create design ~loss = { design; loss; pairs = Hashtbl.create 4096; updates = 0 }
 
 let num_pairs t = Hashtbl.length t.pairs
+
+let num_updates t = t.updates
 
 let clear t = Hashtbl.reset t.pairs
 
@@ -50,6 +53,7 @@ let update_from_path t (graph : Sta.Graph.t) ~w0 ~w1 ~wns (path : Sta.Paths.path
           let i = graph.Sta.Graph.arc_from.(a) and j = graph.Sta.Graph.arc_to.(a) in
           let p, fresh = find_or_add t ~w0 i j in
           p.touched <- true;
+          t.updates <- t.updates + 1;
           if not fresh then p.weight <- p.weight +. (w1 *. ratio)
         end)
       path.arcs

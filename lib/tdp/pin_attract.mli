@@ -10,6 +10,10 @@ val create : Netlist.Design.t -> loss:Config.loss_kind -> t
 
 val num_pairs : t -> int
 
+(** Cumulative count of Eq. 9 pair-weight writes (fresh insertions plus
+    increments) across all rounds — an extraction-volume counter. *)
+val num_updates : t -> int
+
 val clear : t -> unit
 
 (** Fold one extraction round into P: Eq. 9 along every path (w0 on first

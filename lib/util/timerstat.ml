@@ -19,12 +19,11 @@ let add t name seconds =
   let r = cell t name in
   r := !r +. seconds
 
-(** Run [f ()], charging its wall-clock time to [name]. *)
+(** Run [f ()], charging its wall-clock time to [name] on every exit —
+    including exceptions, so a failing phase cannot corrupt a breakdown. *)
 let time t name f =
   let t0 = Unix.gettimeofday () in
-  let result = f () in
-  add t name (Unix.gettimeofday () -. t0);
-  result
+  Fun.protect ~finally:(fun () -> add t name (Unix.gettimeofday () -. t0)) f
 
 let get t name = match Hashtbl.find_opt t.tbl name with Some r -> !r | None -> 0.0
 

@@ -5,6 +5,7 @@ let () =
   Alcotest.run "efficient-tdp"
     [
       ("util", Test_util_suite.suite);
+      ("obs", Test_obs_suite.suite);
       ("geom", Test_geom_suite.suite);
       ("numerics", Test_numerics_suite.suite);
       ("netlist", Test_netlist_suite.suite);

@@ -1,0 +1,242 @@
+(* lib/obs: spans, metrics, sinks, JSON, and the observation-only
+   guarantee (tracing must not change placement results). *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------------- Json ---------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.Obj
+      [
+        ("i", Obs.Json.Int 42);
+        ("neg", Obs.Json.Int (-7));
+        ("s", Obs.Json.String "a \"quoted\"\nline\t\\slash");
+        ("b", Obs.Json.Bool true);
+        ("nil", Obs.Json.Null);
+        ("l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Bool false; Obs.Json.String "" ]);
+        ("o", Obs.Json.Obj [ ("nested", Obs.Json.List []) ]);
+      ]
+  in
+  let v' = Obs.Json.parse_exn (Obs.Json.to_string v) in
+  Alcotest.(check bool) "roundtrip equal" true (v = v')
+
+let test_json_floats () =
+  let j = Obs.Json.parse_exn "{\"a\": 1.5, \"b\": -2.25e2, \"c\": 3}" in
+  let get k = Option.bind (Obs.Json.member k j) Obs.Json.to_float in
+  Alcotest.(check (option (float 1e-9))) "a" (Some 1.5) (get "a");
+  Alcotest.(check (option (float 1e-9))) "b" (Some (-225.0)) (get "b");
+  Alcotest.(check (option (float 1e-9))) "c (int coerces)" (Some 3.0) (get "c");
+  (* Non-finite floats must emit as null, keeping every line parseable. *)
+  Alcotest.(check string) "nan -> null" "null" (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  Alcotest.(check bool)
+    "trailing garbage rejected" true
+    (match Obs.Json.parse "{} x" with Error _ -> true | Ok _ -> false)
+
+(* ---------------- Spans ---------------- *)
+
+(* A hand-cranked clock makes span durations exact. *)
+let manual_ctx sinks =
+  let now = ref 0.0 in
+  let ctx = Obs.Ctx.create ~clock:(fun () -> !now) ~sinks () in
+  (ctx, fun dt -> now := !now +. dt)
+
+let test_span_nesting () =
+  let sink, get_spans, _ = Obs.Sink.memory () in
+  let ctx, tick = manual_ctx [ sink ] in
+  Obs.Ctx.span ctx "outer" (fun () ->
+      tick 1.0;
+      Obs.Ctx.span ctx "inner" (fun () -> tick 0.25);
+      Obs.Ctx.span ctx "inner" (fun () -> tick 0.5);
+      tick 1.0);
+  match get_spans () with
+  | [ i1; i2; o ] ->
+      (* Children complete (and reach the sink) before their parent. *)
+      Alcotest.(check string) "first child" "inner" i1.Obs.Span.name;
+      Alcotest.(check string) "second child" "inner" i2.Obs.Span.name;
+      Alcotest.(check string) "parent last" "outer" o.Obs.Span.name;
+      Alcotest.(check int) "i1 parented" o.Obs.Span.id i1.Obs.Span.parent;
+      Alcotest.(check int) "i2 parented" o.Obs.Span.id i2.Obs.Span.parent;
+      Alcotest.(check int) "outer is root" (-1) o.Obs.Span.parent;
+      check_float "i1 dur" 0.25 i1.Obs.Span.dur;
+      check_float "i2 dur" 0.5 i2.Obs.Span.dur;
+      check_float "outer dur" 2.75 o.Obs.Span.dur;
+      check_float "i1 start" 1.0 i1.Obs.Span.start
+  | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+let test_span_exception_safety () =
+  let sink, get_spans, _ = Obs.Sink.memory () in
+  let ctx, tick = manual_ctx [ sink ] in
+  (try
+     Obs.Ctx.span ctx "boom" (fun () ->
+         tick 0.125;
+         failwith "expected")
+   with Failure _ -> ());
+  (match get_spans () with
+  | [ s ] ->
+      Alcotest.(check string) "span delivered" "boom" s.Obs.Span.name;
+      check_float "dur recorded" 0.125 s.Obs.Span.dur
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans));
+  (* The stack unwound: the next span is a root again. *)
+  Obs.Ctx.span ctx "after" (fun () -> ());
+  match get_spans () with
+  | [ _; after ] -> Alcotest.(check int) "root after exception" (-1) after.Obs.Span.parent
+  | _ -> Alcotest.fail "expected 2 spans"
+
+let test_span_attrs () =
+  let sink, get_spans, _ = Obs.Sink.memory () in
+  let ctx, _ = manual_ctx [ sink ] in
+  Obs.Ctx.span ctx ~attrs:[ ("k", Obs.Json.Int 1) ] "s" (fun () ->
+      Obs.Ctx.span_attrs ctx [ ("hpwl", Obs.Json.Float 2.5) ]);
+  match get_spans () with
+  | [ s ] ->
+      Alcotest.(check int) "two attrs" 2 (List.length s.Obs.Span.attrs);
+      Alcotest.(check bool) "late attr present" true (List.mem_assoc "hpwl" s.Obs.Span.attrs)
+  | _ -> Alcotest.fail "expected 1 span"
+
+(* ---------------- Aggregator (self time) ---------------- *)
+
+let test_agg_self_time () =
+  let agg = Obs.Agg.create () in
+  let ctx, tick = manual_ctx [ Obs.Agg.sink agg ] in
+  Obs.Ctx.span ctx "outer" (fun () ->
+      tick 1.0;
+      Obs.Ctx.span ctx "inner" (fun () -> tick 3.0);
+      tick 0.5);
+  let outer = Option.get (Obs.Agg.get agg "outer") in
+  let inner = Option.get (Obs.Agg.get agg "inner") in
+  check_float "outer total" 4.5 outer.Obs.Agg.total;
+  check_float "outer self excludes child" 1.5 outer.Obs.Agg.self;
+  check_float "inner total" 3.0 inner.Obs.Agg.total;
+  check_float "inner self" 3.0 inner.Obs.Agg.self;
+  match Obs.Agg.to_breakdown agg with
+  | [ (n1, t1); (n2, t2) ] ->
+      Alcotest.(check string) "largest first" "outer" n1;
+      Alcotest.(check string) "then inner" "inner" n2;
+      check_float "t1" 4.5 t1;
+      check_float "t2" 3.0 t2
+  | _ -> Alcotest.fail "expected 2 breakdown rows"
+
+(* ---------------- Metrics ---------------- *)
+
+let test_counter_gauge () =
+  let ctx, _ = manual_ctx [] in
+  Obs.Ctx.count ctx "c";
+  Obs.Ctx.count ctx ~by:2.5 "c";
+  Obs.Ctx.gauge ctx "g" 7.0;
+  Obs.Ctx.gauge ctx "g" 9.0;
+  (match Obs.Ctx.metric ctx "c" with
+  | Some (Obs.Metric.Counter r) -> check_float "counter sums" 3.5 !r
+  | _ -> Alcotest.fail "counter missing");
+  (match Obs.Ctx.metric ctx "g" with
+  | Some (Obs.Metric.Gauge r) -> check_float "gauge keeps last" 9.0 !r
+  | _ -> Alcotest.fail "gauge missing");
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Metric \"c\" registered with another kind") (fun () ->
+      Obs.Ctx.gauge ctx "c" 1.0)
+
+let test_histogram_quantiles () =
+  let h = Obs.Metric.histogram_create [| 1.0; 2.0; 4.0 |] in
+  List.iter (Obs.Metric.histogram_observe h) [ 0.5; 1.5; 3.0; 8.0 ];
+  Alcotest.(check (array int)) "bucket counts" [| 1; 1; 1; 1 |] h.Obs.Metric.counts;
+  check_float "mean" 3.25 (Obs.Metric.mean h);
+  (* q=0 / q=1 clamp to the observed extremes; interior quantiles
+     interpolate linearly inside the containing bucket. *)
+  check_float "q0 = vmin" 0.5 (Obs.Metric.quantile h 0.0);
+  check_float "q1 = vmax" 8.0 (Obs.Metric.quantile h 1.0);
+  check_float "q0.5 = second bucket top" 2.0 (Obs.Metric.quantile h 0.5);
+  check_float "q0.25 = first bucket top" 1.0 (Obs.Metric.quantile h 0.25);
+  Alcotest.(check bool) "empty histogram -> nan" true
+    (Float.is_nan (Obs.Metric.quantile (Obs.Metric.histogram_create [| 1.0 |]) 0.5))
+
+(* ---------------- JSONL sink ---------------- *)
+
+let test_jsonl_sink () =
+  let path = Filename.temp_file "obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let ctx, tick = manual_ctx [ Obs.Sink.jsonl path ] in
+      Obs.Ctx.span ctx "a" (fun () ->
+          tick 1.0;
+          Obs.Ctx.span ctx ~attrs:[ ("k", Obs.Json.String "v") ] "b" (fun () -> tick 2.0));
+      Obs.Ctx.count ctx "events";
+      Obs.Ctx.observe ctx "lat" 0.5;
+      Obs.Ctx.close ctx;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let records = List.rev_map Obs.Json.parse_exn !lines in
+      let typ j = Option.bind (Obs.Json.member "type" j) Obs.Json.to_string_opt in
+      let spans = List.filter (fun j -> typ j = Some "span") records in
+      let metrics = List.filter (fun j -> typ j = Some "metric") records in
+      Alcotest.(check int) "2 span lines" 2 (List.length spans);
+      Alcotest.(check int) "2 metric lines" 2 (List.length metrics);
+      let b = List.find (fun j -> Option.bind (Obs.Json.member "name" j) Obs.Json.to_string_opt = Some "b") spans in
+      Alcotest.(check (option (float 1e-9))) "b dur serialized" (Some 2.0)
+        (Option.bind (Obs.Json.member "dur" b) Obs.Json.to_float);
+      Alcotest.(check bool) "b carries attrs" true (Obs.Json.member "attrs" b <> None))
+
+(* ---------------- Disabled context ---------------- *)
+
+let test_null_ctx_noop () =
+  let ctx = Obs.Ctx.null in
+  Alcotest.(check bool) "disabled" false (Obs.Ctx.enabled ctx);
+  let sink, get_spans, _ = Obs.Sink.memory () in
+  Obs.Ctx.add_sink ctx sink;
+  let r = Obs.Ctx.span ctx "s" (fun () -> 41 + 1) in
+  Alcotest.(check int) "body still runs" 42 r;
+  Obs.Ctx.count ctx "c";
+  Obs.Ctx.gauge ctx "g" 1.0;
+  Obs.Ctx.observe ctx "h" 1.0;
+  Obs.Ctx.span_attrs ctx [ ("k", Obs.Json.Null) ];
+  Obs.Ctx.flush ctx;
+  Alcotest.(check int) "no spans captured" 0 (List.length (get_spans ()));
+  Alcotest.(check bool) "no metrics" true (Obs.Ctx.metric ctx "c" = None);
+  Alcotest.(check bool) "snapshot empty" true (Obs.Ctx.metrics_json ctx = Obs.Json.List [])
+
+(* ---------------- Observation-only flows ---------------- *)
+
+let flow_cfg = { Tdp.Config.default with timing_start = 120; extra_iters = 180 }
+
+let test_flow_identical_with_tracing () =
+  (* Same design, same seed, tracing off vs on: placements must be
+     bit-identical — observability is observation-only. *)
+  let d_off = Helpers.small_calibrated () in
+  let d_on = Helpers.small_calibrated () in
+  let r_off = Tdp.Flow.run ~obs:Obs.Ctx.null (Tdp.Flow.Efficient flow_cfg) d_off in
+  let sink, get_spans, _ = Obs.Sink.memory () in
+  let ctx = Obs.Ctx.create ~sinks:[ sink ] () in
+  let r_on = Tdp.Flow.run ~obs:ctx (Tdp.Flow.Efficient flow_cfg) d_on in
+  Alcotest.(check (array (float 0.0))) "x identical" d_off.Netlist.Design.x d_on.Netlist.Design.x;
+  Alcotest.(check (array (float 0.0))) "y identical" d_off.Netlist.Design.y d_on.Netlist.Design.y;
+  check_float "tns identical" r_off.metrics.tns r_on.metrics.tns;
+  check_float "hpwl identical" r_off.metrics.hpwl r_on.metrics.hpwl;
+  (* The traced run actually observed the pipeline... *)
+  let names = List.map (fun s -> s.Obs.Span.name) (get_spans ()) in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " span present") true (List.mem n names))
+    [ "flow"; "gp_iter"; "sta"; "extraction"; "sta+extraction"; "legalize" ];
+  (* ...and the null run still reports a breakdown through its private
+     context, while an explicit null context yields none. *)
+  Alcotest.(check bool) "null ctx -> empty breakdown" true (r_off.breakdown = []);
+  Alcotest.(check bool) "traced run has breakdown" true (List.mem_assoc "sta" r_on.breakdown)
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json floats + errors" `Quick test_json_floats;
+    Alcotest.test_case "span nesting + durations" `Quick test_span_nesting;
+    Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
+    Alcotest.test_case "span attrs" `Quick test_span_attrs;
+    Alcotest.test_case "aggregator self time" `Quick test_agg_self_time;
+    Alcotest.test_case "counters + gauges" `Quick test_counter_gauge;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "jsonl sink" `Quick test_jsonl_sink;
+    Alcotest.test_case "null context no-op" `Quick test_null_ctx_noop;
+    Alcotest.test_case "tracing leaves placement identical" `Slow test_flow_identical_with_tracing;
+  ]

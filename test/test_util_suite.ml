@@ -261,6 +261,13 @@ let test_timerstat () =
   Util.Timerstat.reset ts;
   check_float "reset" 0.0 (Util.Timerstat.total ts)
 
+let test_timerstat_exception () =
+  (* [time] must record the elapsed time even when the body raises. *)
+  let ts = Util.Timerstat.create () in
+  (try Util.Timerstat.time ts "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  Alcotest.(check bool) "recorded despite raise" true (Util.Timerstat.get ts "boom" >= 0.0);
+  Alcotest.(check int) "exactly one entry" 1 (List.length (Util.Timerstat.to_list ts))
+
 (* ---------------- Parallel ---------------- *)
 
 let test_parallel_for () =
@@ -310,6 +317,7 @@ let suite =
     ("tablefmt arity", `Quick, test_tablefmt_arity);
     ("tablefmt fmt_float", `Quick, test_tablefmt_fmt_float);
     ("timerstat", `Quick, test_timerstat);
+    ("timerstat exception", `Quick, test_timerstat_exception);
     ("parallel for", `Quick, test_parallel_for);
     ("parallel sum", `Quick, test_parallel_sum);
   ]
