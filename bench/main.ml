@@ -6,16 +6,23 @@
       dune exec bench/main.exe -- table1 fig5       -- selected sections
       dune exec bench/main.exe -- --scale 1.0 all   -- bigger designs
       dune exec bench/main.exe -- --json BENCH_results.json table2
+      dune exec bench/main.exe -- -domains 4 table2 -- parallel kernels
+      dune exec bench/main.exe -- scaling           -- domain-scaling sweep
 
-    Sections: table1 table2 table3 table4 fig3 fig4 fig5 micro all.
+    Sections: table1 table2 table3 table4 fig3 fig4 fig5 micro scaling all.
     Default design scale is 0.5 (full bench in minutes); 1.0 doubles the
     design sizes at ~4x the runtime. [--json FILE] additionally dumps
     every flow result the run produced (runtime, breakdown, tns/wns,
-    hpwl, curve) as one machine-readable JSON document. *)
+    hpwl, curve) as one machine-readable JSON document. [-domains N] runs
+    the flows with N parallel domains; the [scaling] section instead
+    sweeps each hot kernel over 1/2/4 domains and writes
+    BENCH_parallel.json. *)
 
 let scale = ref 0.5
 
 let json_out : string option ref = ref None
+
+let domains = ref 1
 
 (* ------------------------------------------------------------------ *)
 (* Design and flow-result caches: Table IV reuses Table II's runs, the
@@ -530,6 +537,121 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Domain-scaling sweep: each parallel hot kernel at 1/2/4 domains.      *)
+(* Writes BENCH_parallel.json (schema bench-parallel-v1).                *)
+
+(* ns/op of [f]: one warm-up call, then repeat until ~0.3 s elapsed. *)
+let time_ns f =
+  f ();
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < 0.3 do
+    f ();
+    incr reps;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  !elapsed /. float_of_int !reps *. 1e9
+
+let scaling () =
+  let dname = "sb18" in
+  let d = design dname in
+  ignore (run_flow dname Tdp.Flow.Vanilla);
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  let gx = Array.make (Netlist.Design.num_cells d) 0.0 in
+  let gy = Array.make (Netlist.Design.num_cells d) 0.0 in
+  let grid = Gp.Densitygrid.create d ~bins_x:64 ~bins_y:64 in
+  let electro = Gp.Electro.create grid in
+  let n_ep = max 1 (min 64 (Array.length (Sta.Timer.graph timer).Sta.Graph.endpoints)) in
+  let kernels =
+    [
+      ("density.update", Netlist.Design.num_cells d, fun () -> Gp.Densitygrid.update grid d);
+      ( "electro.solve",
+        64 * 64,
+        fun () ->
+          Gp.Densitygrid.update grid d;
+          Gp.Electro.solve electro ~target_density:1.0 );
+      ( "wirelength.grad",
+        Netlist.Design.num_nets d,
+        fun () ->
+          Array.fill gx 0 (Array.length gx) 0.0;
+          Array.fill gy 0 (Array.length gy) 0.0;
+          ignore (Gp.Wirelength.wa_wirelength_grad d ~gamma:2.0 ~gx ~gy) );
+      ( "sta.update",
+        Sta.Graph.num_pins (Sta.Timer.graph timer),
+        fun () ->
+          Sta.Timer.invalidate timer;
+          Sta.Timer.update timer );
+      ( "extract.endpoints",
+        n_ep,
+        fun () ->
+          ignore (Sta.Timer.report_timing_endpoint timer ~n:n_ep ~k:5 ~failing_only:false) );
+    ]
+  in
+  let sweep = [ 1; 2; 4 ] in
+  let host_cores = Domain.recommended_domain_count () in
+  Printf.printf "SCALING: parallel kernels on %s, host reports %d core(s)\n" dname host_cores;
+  let t =
+    Util.Tablefmt.create
+      ~title:"domain scaling of the parallel hot kernels (speedup vs 1 domain)"
+      ~headers:[ "Kernel"; "n"; "Domains"; "ns/op"; "Speedup" ]
+      ~aligns:[ Left; Right; Right; Right; Right ]
+  in
+  let saved = !Util.Parallel.num_domains in
+  let results = ref [] in
+  List.iter
+    (fun (kname, n, f) ->
+      let base = ref 0.0 in
+      List.iter
+        (fun dn ->
+          Util.Parallel.set_num_domains dn;
+          let ns = time_ns f in
+          if dn = 1 then base := ns;
+          let speedup = !base /. Float.max 1e-9 ns in
+          results := (kname, n, dn, ns, speedup) :: !results;
+          Util.Tablefmt.add_row t
+            [
+              kname;
+              string_of_int n;
+              string_of_int dn;
+              Printf.sprintf "%.0f" ns;
+              Printf.sprintf "%.2fx" speedup;
+            ])
+        sweep)
+    kernels;
+  Util.Parallel.set_num_domains saved;
+  Util.Tablefmt.print t;
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.String "bench-parallel-v1");
+        ("design", Obs.Json.String dname);
+        ("scale", Obs.Json.Float !scale);
+        ("host_cores", Obs.Json.Int host_cores);
+        ( "results",
+          Obs.Json.List
+            (List.rev_map
+               (fun (kname, n, dn, ns, speedup) ->
+                 Obs.Json.Obj
+                   [
+                     ("kernel", Obs.Json.String kname);
+                     ("n", Obs.Json.Int n);
+                     ("domains", Obs.Json.Int dn);
+                     ("ns_per_op", Obs.Json.Float ns);
+                     ("speedup", Obs.Json.Float speedup);
+                   ])
+               !results) );
+      ]
+  in
+  let path = "BENCH_parallel.json" in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %d scaling points to %s\n\n" (List.length !results) path
+
+(* ------------------------------------------------------------------ *)
 (* Extension ablations beyond the paper: design decisions DESIGN.md      *)
 (* calls out, plus hold / congestion / buffer-candidate side metrics.    *)
 
@@ -769,15 +891,23 @@ let () =
     | "--json" :: v :: rest ->
         json_out := Some v;
         parse acc rest
+    | "-domains" :: v :: rest ->
+        domains := int_of_string v;
+        parse acc rest
     | x :: rest -> parse (x :: acc) rest
     | [] -> List.rev acc
   in
   let sections = parse [] args in
   let sections =
     if sections = [] || List.mem "all" sections then
-      [ "table1"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "micro"; "ext"; "stats" ]
+      [
+        "table1"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "micro"; "scaling"; "ext";
+        "stats";
+      ]
     else sections
   in
+  Util.Parallel.set_num_domains !domains;
+  Obs.Log.info "parallel: %d domain(s)" !Util.Parallel.num_domains;
   let t0 = Unix.gettimeofday () in
   Printf.printf "Efficient-TDP benchmark harness (scale %.2f)\n" !scale;
   Printf.printf "sections: %s\n\n%!" (String.concat " " sections);
@@ -792,6 +922,7 @@ let () =
       | "fig4" -> fig4 ()
       | "fig5" -> fig5 ()
       | "micro" -> micro ()
+      | "scaling" -> scaling ()
       | "ext" -> ext ()
       | "stats" -> stats_section ()
       | other -> Printf.printf "unknown section %s (skipped)\n" other)

@@ -31,8 +31,27 @@ let make_method flow loss k =
   | "noextract" -> Tdp.Flow.Dp4_in_ours
   | s -> failwith ("unknown flow: " ^ s)
 
-let run design file scale flow loss k out curve trace_out report_json log_level =
+(* Feed per-kernel wall time and chunk imbalance (max/mean chunk time) of
+   every named parallel call into the metric registry as histograms. *)
+let install_parallel_instrument ctx =
+  Util.Parallel.set_instrument
+    (Some
+       (fun (s : Util.Parallel.stats) ->
+         Obs.Ctx.observe ctx ("par." ^ s.kernel ^ ".ms") (s.total_s *. 1e3);
+         if s.chunks > 1 then begin
+           let mx = Array.fold_left Float.max 0.0 s.chunk_s in
+           let mean =
+             Array.fold_left ( +. ) 0.0 s.chunk_s /. float_of_int s.chunks
+           in
+           Obs.Ctx.observe ctx
+             ("par." ^ s.kernel ^ ".imbalance")
+             (mx /. Float.max 1e-9 mean)
+         end))
+
+let run design file scale flow loss k domains out curve trace_out report_json log_level =
   (match log_level with Some l -> Obs.Log.set_level l | None -> ());
+  Util.Parallel.set_num_domains domains;
+  Obs.Log.info "parallel: %d domain(s)" !Util.Parallel.num_domains;
   let d =
     match file with
     | Some path -> Netlist.Io.load_file path
@@ -45,6 +64,7 @@ let run design file scale flow loss k out curve trace_out report_json log_level 
   let sinks = match trace_out with Some path -> [ Obs.Sink.jsonl path ] | None -> [] in
   let ctx = Obs.Ctx.create ~sinks () in
   Obs.Ctx.set_default ctx;
+  install_parallel_instrument ctx;
   let r = Tdp.Flow.run ~obs:ctx meth d in
   Obs.Log.info "global placement  : %s" (Format.asprintf "%a" Evalkit.Metrics.pp r.metrics_gp);
   Obs.Log.info "after legalization: %s" (Format.asprintf "%a" Evalkit.Metrics.pp r.metrics);
@@ -100,6 +120,12 @@ let loss =
 let k =
   Arg.(value & opt int 1 & info [ "paths-per-endpoint" ] ~docv:"K" ~doc:"Critical paths per endpoint.")
 
+let domains =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Parallel domains for the hot kernels (1 = sequential; results are \
+                 deterministic per fixed N).")
+
 let out = Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Save the placed design.")
 
 let curve = Arg.(value & flag & info [ "curve" ] ~doc:"Print the timing-phase metric curve.")
@@ -124,7 +150,7 @@ let cmd =
   let doc = "timing-driven global placement (Efficient-TDP and baselines)" in
   Cmd.v (Cmd.info "place" ~doc)
     Term.(
-      const run $ design $ file $ scale $ flow $ loss $ k $ out $ curve $ trace_out $ report_json
-      $ log_level)
+      const run $ design $ file $ scale $ flow $ loss $ k $ domains $ out $ curve $ trace_out
+      $ report_json $ log_level)
 
 let () = exit (Cmd.eval cmd)

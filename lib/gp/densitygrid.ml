@@ -14,6 +14,7 @@ type t = {
   die : Geom.Rect.t;
   density : float array; (* movable area per bin, row-major [by * bins_x + bx] *)
   fixed : float array; (* fixed (blockage) area per bin, computed once *)
+  mutable scratch : float array array; (* per-domain accumulation grids, grown on demand *)
 }
 
 let create (d : Design.t) ~bins_x ~bins_y =
@@ -29,6 +30,7 @@ let create (d : Design.t) ~bins_x ~bins_y =
       die;
       density = Array.make (bins_x * bins_y) 0.0;
       fixed = Array.make (bins_x * bins_y) 0.0;
+      scratch = [||];
     }
   in
   (* Fixed density from blockages and fixed logic (pads are on the
@@ -63,36 +65,61 @@ let bin_area t = t.bin_w *. t.bin_h
 (* Effective (inflated) extent of a movable cell in one dimension. *)
 let inflate size bin = if size < bin then (bin, size /. bin) else (size, 1.0)
 
-(** Accumulate movable-cell density from the current placement. *)
-let update t (d : Design.t) =
-  Array.fill t.density 0 (Array.length t.density) 0.0;
+(* Deposit one movable cell's (inflated) area into an accumulation grid. *)
+let deposit t (d : Design.t) (acc : float array) (c : Design.cell) =
   let die = t.die in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        let ew, sx = inflate c.w t.bin_w in
-        let eh, sy = inflate c.h t.bin_h in
-        let scale = sx *. sy in
-        let xl = d.x.(c.id) -. (ew /. 2.0) and xh = d.x.(c.id) +. (ew /. 2.0) in
-        let yl = d.y.(c.id) -. (eh /. 2.0) and yh = d.y.(c.id) +. (eh /. 2.0) in
-        let bxl = max 0 (int_of_float (floor ((xl -. die.xl) /. t.bin_w))) in
-        let bxh = min (t.bins_x - 1) (int_of_float (floor ((xh -. die.xl) /. t.bin_w))) in
-        let byl = max 0 (int_of_float (floor ((yl -. die.yl) /. t.bin_h))) in
-        let byh = min (t.bins_y - 1) (int_of_float (floor ((yh -. die.yl) /. t.bin_h))) in
-        for by = byl to byh do
-          let b_yl = die.yl +. (float_of_int by *. t.bin_h) in
-          let oy = Float.min yh (b_yl +. t.bin_h) -. Float.max yl b_yl in
-          if oy > 0.0 then
-            for bx = bxl to bxh do
-              let b_xl = die.xl +. (float_of_int bx *. t.bin_w) in
-              let ox = Float.min xh (b_xl +. t.bin_w) -. Float.max xl b_xl in
-              if ox > 0.0 then
-                t.density.((by * t.bins_x) + bx) <-
-                  t.density.((by * t.bins_x) + bx) +. (ox *. oy *. scale)
-            done
-        done
-      end)
-    d.cells
+  let ew, sx = inflate c.w t.bin_w in
+  let eh, sy = inflate c.h t.bin_h in
+  let scale = sx *. sy in
+  let xl = d.x.(c.id) -. (ew /. 2.0) and xh = d.x.(c.id) +. (ew /. 2.0) in
+  let yl = d.y.(c.id) -. (eh /. 2.0) and yh = d.y.(c.id) +. (eh /. 2.0) in
+  let bxl = max 0 (int_of_float (floor ((xl -. die.xl) /. t.bin_w))) in
+  let bxh = min (t.bins_x - 1) (int_of_float (floor ((xh -. die.xl) /. t.bin_w))) in
+  let byl = max 0 (int_of_float (floor ((yl -. die.yl) /. t.bin_h))) in
+  let byh = min (t.bins_y - 1) (int_of_float (floor ((yh -. die.yl) /. t.bin_h))) in
+  for by = byl to byh do
+    let b_yl = die.yl +. (float_of_int by *. t.bin_h) in
+    let oy = Float.min yh (b_yl +. t.bin_h) -. Float.max yl b_yl in
+    if oy > 0.0 then
+      for bx = bxl to bxh do
+        let b_xl = die.xl +. (float_of_int bx *. t.bin_w) in
+        let ox = Float.min xh (b_xl +. t.bin_w) -. Float.max xl b_xl in
+        if ox > 0.0 then
+          acc.((by * t.bins_x) + bx) <- acc.((by * t.bins_x) + bx) +. (ox *. oy *. scale)
+      done
+  done
+
+(** Accumulate movable-cell density from the current placement. Parallel
+    over cells with per-domain accumulation grids merged in chunk order
+    (cells overlap bins, so direct accumulation would race). *)
+let update t (d : Design.t) =
+  let nbins = Array.length t.density in
+  Array.fill t.density 0 nbins 0.0;
+  let ncells = Array.length d.cells in
+  let nchunks = Util.Parallel.chunk_count ~n:ncells in
+  if nchunks = 1 then
+    Array.iter (fun (c : Design.cell) -> if c.movable then deposit t d t.density c) d.cells
+  else begin
+    if Array.length t.scratch < nchunks then
+      t.scratch <- Array.init nchunks (fun _ -> Array.make nbins 0.0);
+    for k = 0 to nchunks - 1 do
+      Array.fill t.scratch.(k) 0 nbins 0.0
+    done;
+    Util.Parallel.for_chunks ~grain:64 ~name:"density.bins" ~n:ncells (fun ~chunk ~lo ~hi ->
+        let acc = t.scratch.(chunk) in
+        for i = lo to hi - 1 do
+          let c = d.cells.(i) in
+          if c.movable then deposit t d acc c
+        done);
+    (* Merge per-domain grids; each bin sums its chunk contributions in
+       chunk order, so bins are independent and the result deterministic. *)
+    Util.Parallel.for_ ~name:"density.merge" nbins (fun b ->
+        let acc = ref 0.0 in
+        for k = 0 to nchunks - 1 do
+          acc := !acc +. t.scratch.(k).(b)
+        done;
+        t.density.(b) <- !acc)
+  end
 
 (** Density overflow: fraction of movable area sitting above the per-bin
     capacity [target_density * bin_area - fixed]. The standard global
@@ -101,12 +128,12 @@ let overflow t ~target_density ~movable_area =
   if movable_area <= 0.0 then 0.0
   else begin
     let ba = bin_area t in
-    let acc = ref 0.0 in
-    for i = 0 to Array.length t.density - 1 do
-      let cap = Float.max 0.0 ((target_density *. ba) -. t.fixed.(i)) in
-      acc := !acc +. Float.max 0.0 (t.density.(i) -. cap)
-    done;
-    !acc /. movable_area
+    let over =
+      Util.Parallel.sum ~name:"density.overflow" (Array.length t.density) (fun i ->
+          let cap = Float.max 0.0 ((target_density *. ba) -. t.fixed.(i)) in
+          Float.max 0.0 (t.density.(i) -. cap))
+    in
+    over /. movable_area
   end
 
 (** Charge density for the Poisson solve: total occupied area density

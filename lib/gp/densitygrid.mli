@@ -10,6 +10,7 @@ type t = {
   die : Geom.Rect.t;
   density : float array; (* movable area per bin, row-major [by*bins_x+bx] *)
   fixed : float array; (* fixed (blockage/pad) area per bin, set once *)
+  mutable scratch : float array array; (* per-domain accumulation grids *)
 }
 
 (** Precomputes the fixed-density layer from non-movable cells. *)

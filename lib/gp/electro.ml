@@ -61,8 +61,10 @@ let sample t (field : float array) px py =
 let add_grad t (d : Design.t) ~gx ~gy =
   let g = t.grid in
   let inv_w = 1.0 /. g.Densitygrid.bin_w and inv_h = 1.0 /. g.Densitygrid.bin_h in
-  Array.iter
-    (fun (c : Design.cell) ->
+  (* Pure gather: each cell reads the field and writes only its own
+     gradient slot, so the loop is safely data-parallel. *)
+  Util.Parallel.for_ ~grain:256 ~name:"electro.grad" (Array.length d.cells) (fun i ->
+      let c = d.cells.(i) in
       if c.movable then begin
         let q = c.w *. c.h in
         let fx = sample t t.ex d.x.(c.id) d.y.(c.id) *. inv_w in
@@ -70,4 +72,3 @@ let add_grad t (d : Design.t) ~gx ~gy =
         gx.(c.id) <- gx.(c.id) -. (q *. fx);
         gy.(c.id) <- gy.(c.id) -. (q *. fy)
       end)
-    d.cells

@@ -73,26 +73,25 @@ let wa_wirelength_grad (d : Design.t) ~gamma ~gx ~gy =
   else begin
     let nc = Design.num_cells d in
     let bufs =
-      Array.init nchunks (fun _ -> (Array.make nc 0.0, Array.make nc 0.0, ref 0.0))
+      Util.Parallel.iter_chunks_scratch ~name:"wl.grad" ~n:nnets
+        ~scratch:(fun () -> (Array.make nc 0.0, Array.make nc 0.0, ref 0.0))
+        (fun ~scratch:(bx, by, bt) ~chunk:_ ~lo ~hi ->
+          for i = lo to hi - 1 do
+            let net = d.nets.(i) in
+            let pids = Array.of_list (Design.net_pins net) in
+            let w = net.weight in
+            let ex = wa_one_dim d pids ~coord:(fun p -> Design.pin_x d p) ~gamma ~w ~grad:bx in
+            let ey = wa_one_dim d pids ~coord:(fun p -> Design.pin_y d p) ~gamma ~w ~grad:by in
+            bt := !bt +. (w *. (ex +. ey))
+          done)
     in
-    Util.Parallel.for_chunks ~n:nnets (fun ~chunk ~lo ~hi ->
-        let bx, by, bt = bufs.(chunk) in
-        for i = lo to hi - 1 do
-          let net = d.nets.(i) in
-          let pids = Array.of_list (Design.net_pins net) in
-          let w = net.weight in
-          let ex = wa_one_dim d pids ~coord:(fun p -> Design.pin_x d p) ~gamma ~w ~grad:bx in
-          let ey = wa_one_dim d pids ~coord:(fun p -> Design.pin_y d p) ~gamma ~w ~grad:by in
-          bt := !bt +. (w *. (ex +. ey))
-        done);
     let total = ref 0.0 in
-    Array.iter
-      (fun (bx, by, bt) ->
-        total := !total +. !bt;
-        for c = 0 to nc - 1 do
-          gx.(c) <- gx.(c) +. bx.(c);
-          gy.(c) <- gy.(c) +. by.(c)
-        done)
-      bufs;
+    Array.iter (fun (_, _, bt) -> total := !total +. !bt) bufs;
+    Util.Parallel.for_ ~name:"wl.grad.merge" nc (fun c ->
+        Array.iter
+          (fun (bx, by, _) ->
+            gx.(c) <- gx.(c) +. bx.(c);
+            gy.(c) <- gy.(c) +. by.(c))
+          bufs);
     !total
   end

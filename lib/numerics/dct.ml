@@ -5,8 +5,9 @@
       forward:  X_k = sum_{n<N} x_n cos(pi k (2n+1) / (2N))
       inverse reconstructs x exactly from X (normalisation built in). *)
 
-(* Scratch buffers are allocated per call; grids are small and transforms
-   run a few times per placement iteration, so this is not a bottleneck. *)
+(* 1D scratch buffers are allocated per call (and per domain chunk in the
+   2D passes); grids are small and transforms run a few times per
+   placement iteration, so this is not a bottleneck. *)
 
 let dct2 x =
   let n = Array.length x in
@@ -48,30 +49,38 @@ let idct2 coeffs =
   Fft.inverse re im;
   Array.sub re 0 n
 
-(* ---- 2D separable transforms on row-major [rows x cols] grids ---- *)
+(* ---- 2D separable transforms on row-major [rows x cols] grids ----
+
+   Rows (resp. columns) are independent 1D transforms, so both passes
+   fan out across domains with a per-domain line buffer — the FFT-heavy
+   half of the ePlace density pipeline. Each line's transform is computed
+   identically to the sequential path, so results are bitwise equal at
+   any domain count. *)
 
 let map_rows f grid ~rows ~cols =
   let out = Array.make (rows * cols) 0.0 in
-  let row = Array.make cols 0.0 in
-  for r = 0 to rows - 1 do
-    Array.blit grid (r * cols) row 0 cols;
-    let t = f row in
-    Array.blit t 0 out (r * cols) cols
-  done;
+  Util.Parallel.for_chunks ~grain:8 ~name:"dct.rows" ~n:rows (fun ~chunk:_ ~lo ~hi ->
+      let row = Array.make cols 0.0 in
+      for r = lo to hi - 1 do
+        Array.blit grid (r * cols) row 0 cols;
+        let t = f row in
+        Array.blit t 0 out (r * cols) cols
+      done);
   out
 
 let map_cols f grid ~rows ~cols =
   let out = Array.make (rows * cols) 0.0 in
-  let col = Array.make rows 0.0 in
-  for c = 0 to cols - 1 do
-    for r = 0 to rows - 1 do
-      col.(r) <- grid.((r * cols) + c)
-    done;
-    let t = f col in
-    for r = 0 to rows - 1 do
-      out.((r * cols) + c) <- t.(r)
-    done
-  done;
+  Util.Parallel.for_chunks ~grain:8 ~name:"dct.cols" ~n:cols (fun ~chunk:_ ~lo ~hi ->
+      let col = Array.make rows 0.0 in
+      for c = lo to hi - 1 do
+        for r = 0 to rows - 1 do
+          col.(r) <- grid.((r * cols) + c)
+        done;
+        let t = f col in
+        for r = 0 to rows - 1 do
+          out.((r * cols) + c) <- t.(r)
+        done
+      done);
   out
 
 (** 2D DCT-II: rows then columns. *)

@@ -37,9 +37,8 @@ let create ~rows ~cols =
 let solve t rho =
   assert (Array.length rho = t.rows * t.cols);
   let coeffs = Dct.dct2_2d rho ~rows:t.rows ~cols:t.cols in
-  for i = 0 to (t.rows * t.cols) - 1 do
-    coeffs.(i) <- coeffs.(i) *. t.inv_freq_sq.(i)
-  done;
+  Util.Parallel.for_ ~name:"poisson.scale" (t.rows * t.cols) (fun i ->
+      coeffs.(i) <- coeffs.(i) *. t.inv_freq_sq.(i));
   Dct.idct2_2d coeffs ~rows:t.rows ~cols:t.cols
 
 (** Electric field (ex, ey) = -grad(psi), central differences in grid
@@ -49,28 +48,26 @@ let field t psi =
   let rows = t.rows and cols = t.cols in
   let ex = Array.make (rows * cols) 0.0 and ey = Array.make (rows * cols) 0.0 in
   let at r c = psi.((r * cols) + c) in
-  for r = 0 to rows - 1 do
-    for c = 0 to cols - 1 do
-      let dpsi_dx =
-        if c = 0 then at r 1 -. at r 0
-        else if c = cols - 1 then at r (cols - 1) -. at r (cols - 2)
-        else (at r (c + 1) -. at r (c - 1)) /. 2.0
-      in
-      let dpsi_dy =
-        if r = 0 then at 1 c -. at 0 c
-        else if r = rows - 1 then at (rows - 1) c -. at (rows - 2) c
-        else (at (r + 1) c -. at (r - 1) c) /. 2.0
-      in
-      ex.((r * cols) + c) <- -.dpsi_dx;
-      ey.((r * cols) + c) <- -.dpsi_dy
-    done
-  done;
+  (* Each grid point only reads psi and writes its own slot: parallel
+     over rows. *)
+  Util.Parallel.for_ ~grain:16 ~name:"poisson.field" rows (fun r ->
+      for c = 0 to cols - 1 do
+        let dpsi_dx =
+          if c = 0 then at r 1 -. at r 0
+          else if c = cols - 1 then at r (cols - 1) -. at r (cols - 2)
+          else (at r (c + 1) -. at r (c - 1)) /. 2.0
+        in
+        let dpsi_dy =
+          if r = 0 then at 1 c -. at 0 c
+          else if r = rows - 1 then at (rows - 1) c -. at (rows - 2) c
+          else (at (r + 1) c -. at (r - 1) c) /. 2.0
+        in
+        ex.((r * cols) + c) <- -.dpsi_dx;
+        ey.((r * cols) + c) <- -.dpsi_dy
+      done);
   (ex, ey)
 
-(** System energy 0.5 * sum(rho * psi); the ePlace density penalty. *)
+(** System energy 0.5 * sum(rho * psi); the ePlace density penalty.
+    Deterministic chunked reduction (see [Util.Parallel.sum]). *)
 let energy rho psi =
-  let acc = ref 0.0 in
-  for i = 0 to Array.length rho - 1 do
-    acc := !acc +. (rho.(i) *. psi.(i))
-  done;
-  0.5 *. !acc
+  0.5 *. Util.Parallel.sum ~name:"poisson.energy" (Array.length rho) (fun i -> rho.(i) *. psi.(i))

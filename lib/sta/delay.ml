@@ -136,7 +136,8 @@ let update t =
      unique to a net), so the loop is safely data-parallel — this is the
      paper's GPU-accelerated timing kernel on CPU domains. *)
   let nets = d.nets in
-  Util.Parallel.for_ (Array.length nets) (fun i -> update_net t firsts nets.(i));
+  Util.Parallel.for_ ~grain:128 ~name:"sta.delay.nets" (Array.length nets) (fun i ->
+      update_net t firsts nets.(i));
   (* Pass 2: cell arcs — slews at inputs are now final. *)
   for a = 0 to graph.Graph.num_arcs - 1 do
     if not graph.Graph.arc_is_net.(a) then begin

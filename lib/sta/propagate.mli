@@ -6,13 +6,16 @@ type t = {
   arr : float array;
   req : float array;
   slack : float array;
+  levels : int array array; (* pins bucketed by topological depth, built once *)
 }
 
 val create : Graph.t -> t
 
 (** Forward arrivals, backward required times, slacks; call after the arc
-    delays were refreshed. [obs] wraps the sweeps in [sta.arrival] /
-    [sta.required] spans. *)
+    delays were refreshed. Levelized: each depth level fans out across
+    [Util.Parallel] domains (max/min are exact, so results are bitwise
+    equal to the sequential sweep). [obs] wraps the sweeps in
+    [sta.arrival] / [sta.required] spans. *)
 val update : ?obs:Obs.Ctx.t -> t -> Graph.t -> unit
 
 (** Slack at an endpoint pin (infinite when unreachable). *)

@@ -96,29 +96,52 @@ let loss_value t =
       acc +. (p.weight *. q))
     t.pairs 0.0
 
-(** Add beta * d(PP)/d(cell position) into [gx]/[gy] (cell-indexed).
-    Pin offsets are rigid, so pin gradients add directly to their cells. *)
-let add_grad t ~beta ~gx ~gy =
+(* Gradient contribution of one pair into the given accumulators. *)
+let add_pair_grad t ~beta ~gx ~gy (p : pair) =
   let d = t.design in
-  Hashtbl.iter
-    (fun _ p ->
-      let pi = d.pins.(p.pin_i) and pj = d.pins.(p.pin_j) in
-      let dx = Design.pin_x d pi -. Design.pin_x d pj in
-      let dy = Design.pin_y d pi -. Design.pin_y d pj in
-      let gx_i, gy_i =
-        match t.loss with
-        | Config.Quadratic -> (2.0 *. dx, 2.0 *. dy)
-        | Config.Linear ->
-            let dist = Float.max 1e-9 (Float.hypot dx dy) in
-            (dx /. dist, dy /. dist)
-        | Config.Hpwl_like ->
-            let sgn v = if v > 0.0 then 1.0 else if v < 0.0 then -1.0 else 0.0 in
-            (sgn dx, sgn dy)
-      in
-      let s = beta *. p.weight in
-      let ci = pi.owner and cj = pj.owner in
-      gx.(ci) <- gx.(ci) +. (s *. gx_i);
-      gy.(ci) <- gy.(ci) +. (s *. gy_i);
-      gx.(cj) <- gx.(cj) -. (s *. gx_i);
-      gy.(cj) <- gy.(cj) -. (s *. gy_i))
-    t.pairs
+  let pi = d.pins.(p.pin_i) and pj = d.pins.(p.pin_j) in
+  let dx = Design.pin_x d pi -. Design.pin_x d pj in
+  let dy = Design.pin_y d pi -. Design.pin_y d pj in
+  let gx_i, gy_i =
+    match t.loss with
+    | Config.Quadratic -> (2.0 *. dx, 2.0 *. dy)
+    | Config.Linear ->
+        let dist = Float.max 1e-9 (Float.hypot dx dy) in
+        (dx /. dist, dy /. dist)
+    | Config.Hpwl_like ->
+        let sgn v = if v > 0.0 then 1.0 else if v < 0.0 then -1.0 else 0.0 in
+        (sgn dx, sgn dy)
+  in
+  let s = beta *. p.weight in
+  let ci = pi.owner and cj = pj.owner in
+  gx.(ci) <- gx.(ci) +. (s *. gx_i);
+  gy.(ci) <- gy.(ci) +. (s *. gy_i);
+  gx.(cj) <- gx.(cj) -. (s *. gx_i);
+  gy.(cj) <- gy.(cj) -. (s *. gy_i)
+
+(** Add beta * d(PP)/d(cell position) into [gx]/[gy] (cell-indexed).
+    Pin offsets are rigid, so pin gradients add directly to their cells.
+    Pairs share cells, so the parallel path accumulates into per-domain
+    buffers merged in chunk order (see [Util.Parallel]). *)
+let add_grad t ~beta ~gx ~gy =
+  let pairs = Array.of_seq (Hashtbl.to_seq_values t.pairs) in
+  let npairs = Array.length pairs in
+  let nchunks = Util.Parallel.chunk_count ~n:npairs in
+  if nchunks = 1 then Array.iter (fun p -> add_pair_grad t ~beta ~gx ~gy p) pairs
+  else begin
+    let nc = Array.length t.design.cells in
+    let bufs =
+      Util.Parallel.iter_chunks_scratch ~grain:256 ~name:"pp.grad" ~n:npairs
+        ~scratch:(fun () -> (Array.make nc 0.0, Array.make nc 0.0))
+        (fun ~scratch:(bx, by) ~chunk:_ ~lo ~hi ->
+          for i = lo to hi - 1 do
+            add_pair_grad t ~beta ~gx:bx ~gy:by pairs.(i)
+          done)
+    in
+    Util.Parallel.for_ ~name:"pp.grad.merge" nc (fun c ->
+        Array.iter
+          (fun (bx, by) ->
+            gx.(c) <- gx.(c) +. bx.(c);
+            gy.(c) <- gy.(c) +. by.(c))
+          bufs)
+  end

@@ -1,22 +1,98 @@
 (** Data-parallel loops over OCaml 5 domains — the CPU stand-in for the
-    paper's CUDA kernels. Defaults to sequential ([num_domains] = 1) so
-    results are reproducible unless a flow opts in. *)
+    paper's CUDA kernels — backed by a persistent worker pool.
+
+    {2 Pool lifecycle}
+
+    [num_domains - 1] workers are spawned lazily on the first dispatching
+    call and parked on a condition variable between calls, so per-call
+    cost is a broadcast + barrier, not a [Domain.spawn]. The pool only
+    grows (to the largest worker count requested so far); lowering
+    [num_domains] leaves the extra workers parked. For a fixed domain
+    count every worker is spawned at most once per process ({!spawned}
+    counts them, which the tests assert). Workers are joined via an
+    [at_exit] hook.
+
+    {2 Determinism contract}
+
+    For a fixed [num_domains] = d, every reduction ({!sum},
+    {!map_reduce}) partitions [0, n) into exactly d fixed contiguous
+    chunks (ceil(n/d) each), folds each chunk left-to-right, and combines
+    the per-chunk results in chunk order — whether the call dispatched to
+    the pool or ran inline below its [grain] threshold. Results therefore
+    depend only on (n, d), never on scheduling, core count, or the grain.
+    Different d generally associate floats differently; bitwise
+    reproducibility holds per fixed d.
+
+    {2 Nesting}
+
+    Kernel bodies must not call a dispatching entry point (the barrier
+    would deadlock): a nested dispatch raises [Invalid_argument]. Nested
+    calls that stay below their grain run inline and are fine. *)
 
 val num_domains : int ref
 
+(** Set the domain count (clamped to [1, 128]). 1 = sequential. *)
 val set_num_domains : int -> unit
 
-(** [for_ n f] runs [f i] for all [0 <= i < n]; chunked across domains
-    when enabled and [n] is large. [f] must only write to disjoint
-    locations per index. *)
-val for_ : int -> (int -> unit) -> unit
+(** Total pool workers spawned so far in this process. *)
+val spawned : unit -> int
 
-(** Parallel sum of [f i] over [0 <= i < n]. *)
-val sum : int -> (int -> float) -> float
+(** Join all pool workers (also installed as an [at_exit] hook). The pool
+    respawns lazily if another parallel call follows. *)
+val shutdown : unit -> unit
+
+(** [for_ n f] runs [f i] for all [0 <= i < n]; chunked across domains
+    when enabled and [n >= grain] (default 1024). [f] must only write to
+    disjoint locations per index. *)
+val for_ : ?grain:int -> ?name:string -> int -> (int -> unit) -> unit
+
+(** Deterministic chunked sum of [f i] over [0 <= i < n] (see the
+    determinism contract above). [grain] defaults to 1024. *)
+val sum : ?grain:int -> ?name:string -> int -> (int -> float) -> float
+
+(** [map_reduce n ~init ~map ~combine] folds [combine acc (map i)] over
+    each fixed chunk starting from [init], then combines the per-chunk
+    results in chunk order starting from [init] — [init] must be neutral
+    for [combine]. Deterministic per the contract. [grain] default 256. *)
+val map_reduce :
+  ?grain:int -> ?name:string -> int -> init:'a -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> 'a
 
 (** Split [0, n) into one contiguous chunk per domain; [f ~chunk ~lo ~hi]
-    runs once per chunk ([chunk] indexes per-domain buffers). *)
-val for_chunks : n:int -> (chunk:int -> lo:int -> hi:int -> unit) -> unit
+    runs once per non-empty chunk ([chunk] indexes per-domain buffers).
+    The partition is the same whether the call dispatches ([n >= grain],
+    default 256) or runs inline. *)
+val for_chunks :
+  ?grain:int -> ?name:string -> n:int -> (chunk:int -> lo:int -> hi:int -> unit) -> unit
 
-(** Number of chunks {!for_chunks} uses for size [n]. *)
+(** Number of chunks {!for_chunks} uses for size [n] — [num_domains]
+    when parallel (even for small [n]: determinism), 1 when sequential. *)
 val chunk_count : n:int -> int
+
+(** [iter_chunks_scratch ~n ~scratch f] allocates one scratch buffer per
+    chunk with [scratch ()], runs [f ~scratch ~chunk ~lo ~hi] per chunk
+    ({!for_chunks} semantics), and returns the buffers in chunk order for
+    the caller to merge — the accumulate-then-merge pattern for kernels
+    whose writes are not disjoint per index. *)
+val iter_chunks_scratch :
+  ?grain:int ->
+  ?name:string ->
+  n:int ->
+  scratch:(unit -> 'b) ->
+  (scratch:'b -> chunk:int -> lo:int -> hi:int -> unit) ->
+  'b array
+
+(** {2 Instrumentation} *)
+
+(** Per-call kernel stats delivered to the installed hook. *)
+type stats = {
+  kernel : string;
+  n : int;
+  chunks : int;
+  total_s : float; (* wall time of the whole call *)
+  chunk_s : float array; (* per-chunk wall time, length [chunks] *)
+}
+
+(** Install (or clear) the observer called after every *named* parallel
+    call — the obs layer wires this to span/histogram sinks without util
+    depending on obs. Adds two clock reads per chunk when installed. *)
+val set_instrument : (stats -> unit) option -> unit

@@ -2,6 +2,14 @@
 
 open Netlist
 
+(* Run [f] with the parallel runtime at [n] domains, restoring the
+   previous (possibly PARALLEL_DOMAINS-driven) count afterwards even if
+   [f] raises. *)
+let with_domains n f =
+  let saved = !Util.Parallel.num_domains in
+  Util.Parallel.set_num_domains n;
+  Fun.protect ~finally:(fun () -> Util.Parallel.set_num_domains saved) f
+
 let die100 = Geom.Rect.make ~xl:0.0 ~yl:0.0 ~xh:100.0 ~yh:100.0
 
 let inv = Libcell.find_in_library "INV_X1"

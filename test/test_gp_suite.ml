@@ -387,10 +387,8 @@ let test_wa_parallel_equivalence () =
     let v = Gp.Wirelength.wa_wirelength_grad d ~gamma:2.0 ~gx ~gy in
     (v, gx, gy)
   in
-  let v_seq, gx_seq, _ = run () in
-  Util.Parallel.set_num_domains 4;
-  let v_par, gx_par, _ = run () in
-  Util.Parallel.set_num_domains 1;
+  let v_seq, gx_seq, _ = Helpers.with_domains 1 run in
+  let v_par, gx_par, _ = Helpers.with_domains 4 run in
   Alcotest.(check bool) "value agrees" true
     (Float.abs (v_seq -. v_par) < 1e-6 *. (1.0 +. Float.abs v_seq));
   let max_diff = ref 0.0 in

@@ -1,10 +1,24 @@
 (* Test entry point: every library's suite under one Alcotest runner.
-   `dune runtest` runs the quick tests and the slow integration ones. *)
+   `dune runtest` runs the quick tests and the slow integration ones.
+
+   PARALLEL_DOMAINS=N runs the whole suite with N parallel domains (CI
+   uses 4 to exercise the pool under every kernel); tests that pin a
+   specific count do so via [Helpers.with_domains], which restores this
+   baseline. *)
 
 let () =
+  (match Sys.getenv_opt "PARALLEL_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n ->
+          Util.Parallel.set_num_domains n;
+          Printf.eprintf "[test] PARALLEL_DOMAINS=%d\n%!" !Util.Parallel.num_domains
+      | None -> Printf.eprintf "[test] ignoring malformed PARALLEL_DOMAINS=%S\n%!" s)
+  | None -> ());
   Alcotest.run "efficient-tdp"
     [
       ("util", Test_util_suite.suite);
+      ("parallel", Test_parallel_suite.suite);
       ("obs", Test_obs_suite.suite);
       ("geom", Test_geom_suite.suite);
       ("numerics", Test_numerics_suite.suite);

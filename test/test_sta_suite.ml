@@ -335,12 +335,13 @@ let suite =
 (* Parallel delay kernel must agree exactly with the sequential one. *)
 let test_parallel_delay_equivalence () =
   with_generated_timer (fun d timer ->
-      let tns_seq = Sta.Timer.tns timer in
-      Util.Parallel.set_num_domains 4;
-      let timer_par = Sta.Timer.create d in
-      Sta.Timer.update timer_par;
-      let tns_par = Sta.Timer.tns timer_par in
-      Util.Parallel.set_num_domains 1;
+      let tns_seq = Helpers.with_domains 1 (fun () -> Sta.Timer.tns timer) in
+      let tns_par =
+        Helpers.with_domains 4 (fun () ->
+            let timer_par = Sta.Timer.create d in
+            Sta.Timer.update timer_par;
+            Sta.Timer.tns timer_par)
+      in
       check_float "parallel == sequential" tns_seq tns_par)
 
 let suite = suite @ [ ("parallel delay kernel", `Quick, test_parallel_delay_equivalence) ]

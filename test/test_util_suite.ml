@@ -273,15 +273,13 @@ let test_timerstat_exception () =
 let test_parallel_for () =
   let n = 5000 in
   let a = Array.make n 0 in
-  Util.Parallel.set_num_domains 4;
-  Util.Parallel.for_ n (fun i -> a.(i) <- i);
-  Util.Parallel.set_num_domains 1;
+  Helpers.with_domains 4 (fun () -> Util.Parallel.for_ n (fun i -> a.(i) <- i));
   Alcotest.(check bool) "all written" true (Array.for_all Fun.id (Array.mapi (fun i v -> v = i) a))
 
 let test_parallel_sum () =
-  Util.Parallel.set_num_domains 4;
-  let s = Util.Parallel.sum 10_000 (fun i -> float_of_int i) in
-  Util.Parallel.set_num_domains 1;
+  let s =
+    Helpers.with_domains 4 (fun () -> Util.Parallel.sum 10_000 (fun i -> float_of_int i))
+  in
   check_float "gauss sum" (float_of_int (10_000 * 9_999 / 2)) s
 
 let suite =
