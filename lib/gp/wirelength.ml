@@ -10,6 +10,12 @@
 
 open Netlist
 
+(* Test-only fault injection: when set, applied to every per-pin WA
+   gradient contribution before it accumulates. The oracle suite flips it
+   on to prove the finite-difference gradient gate can fail; it must stay
+   [None] outside those tests. *)
+let grad_fault : (float -> float) option ref = ref None
+
 (** Exact weighted HPWL (net weights applied) — the objective value. *)
 let weighted_hpwl (d : Design.t) =
   Array.fold_left (fun acc n -> acc +. (n.Design.weight *. Design.net_hpwl d n)) 0.0 d.nets
@@ -43,7 +49,9 @@ let wa_one_dim (d : Design.t) (pids : int array) ~coord ~gamma ~w ~grad =
       let gmax = ea.(i) *. (1.0 +. ((xs.(i) -. wa_max) /. gamma)) /. !s_max in
       let gmin = eb.(i) *. (1.0 -. ((xs.(i) -. wa_min) /. gamma)) /. !s_min in
       let cell = d.pins.(pids.(i)).owner in
-      grad.(cell) <- grad.(cell) +. (w *. (gmax -. gmin))
+      let contrib = w *. (gmax -. gmin) in
+      let contrib = match !grad_fault with None -> contrib | Some f -> f contrib in
+      grad.(cell) <- grad.(cell) +. contrib
     done;
     wa_max -. wa_min
   end

@@ -2,6 +2,11 @@
     approximation with analytic gradients — the DREAMPlace wirelength
     objective. WA underestimates HPWL and converges to it as gamma -> 0. *)
 
+(** Test-only fault injection applied to every per-pin WA gradient
+    contribution; used by the oracle suite to prove its finite-difference
+    gradient gate is not vacuous. Must stay [None] outside those tests. *)
+val grad_fault : (float -> float) option ref
+
 (** Exact net-weighted HPWL. *)
 val weighted_hpwl : Netlist.Design.t -> float
 

@@ -1,0 +1,62 @@
+(** Tolerance and comparison helpers shared by every differential harness
+    in [lib/oracle]. Checks return [Ok ()] / [Error msg] with the first
+    mismatch localised. *)
+
+let float_eq ?(rtol = 1e-9) ?(atol = 0.0) a b =
+  if a = b then true (* covers equal infinities and -0.0 = 0.0 *)
+  else if Float.is_nan a || Float.is_nan b then false
+  else Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let check_float ?rtol ?atol ~what a b =
+  if float_eq ?rtol ?atol a b then Ok ()
+  else Error (Printf.sprintf "%s: %.17g <> %.17g (delta %.3g)" what a b (a -. b))
+
+let first_mismatch eq a b =
+  let n = Array.length a in
+  let rec go i = if i >= n then None else if eq a.(i) b.(i) then go (i + 1) else Some i in
+  go 0
+
+let check_array_with eq ~what a b =
+  if Array.length a <> Array.length b then
+    Error (Printf.sprintf "%s: length %d <> %d" what (Array.length a) (Array.length b))
+  else
+    match first_mismatch eq a b with
+    | None -> Ok ()
+    | Some i ->
+        Error (Printf.sprintf "%s: index %d: %.17g <> %.17g (delta %.3g)" what i a.(i) b.(i) (a.(i) -. b.(i)))
+
+let check_array ?rtol ?atol ~what a b = check_array_with (float_eq ?rtol ?atol) ~what a b
+
+let check_array_exact ~what a b =
+  check_array_with (fun x y -> x = y && not (Float.is_nan x) && not (Float.is_nan y)) ~what a b
+
+let check_int ~what a b =
+  if a = b then Ok () else Error (Printf.sprintf "%s: %d <> %d" what a b)
+
+let check_bool ~what b = if b then Ok () else Error what
+
+let ( let* ) = Result.bind
+
+let all checks =
+  List.fold_left (fun acc c -> match acc with Error _ -> acc | Ok () -> c) (Ok ()) checks
+
+let check_path ~what (p : Sta.Paths.path) (q : Sta.Paths.path) =
+  let* () = check_int ~what:(what ^ ".endpoint") p.endpoint q.endpoint in
+  let* () =
+    if p.pins = q.pins then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s.pins: [%s] <> [%s]" what
+           (String.concat ";" (Array.to_list (Array.map string_of_int p.pins)))
+           (String.concat ";" (Array.to_list (Array.map string_of_int q.pins))))
+  in
+  let* () = check_bool ~what:(what ^ ".arcs differ") (p.arcs = q.arcs) in
+  let* () = check_float ~rtol:1e-9 ~what:(what ^ ".arrival") p.arrival q.arrival in
+  check_float ~rtol:1e-9 ~atol:1e-9 ~what:(what ^ ".slack") p.slack q.slack
+
+let check_paths ~what a b =
+  let* () = check_int ~what:(what ^ ".count") (List.length a) (List.length b) in
+  all
+    (List.mapi
+       (fun i (p, q) -> check_path ~what:(Printf.sprintf "%s[%d]" what i) p q)
+       (List.combine a b))

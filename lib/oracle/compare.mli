@@ -1,0 +1,39 @@
+(** Tolerance and comparison helpers shared by every differential
+    harness in [lib/oracle]. All checks return [Ok ()] or [Error msg]
+    with the first mismatch localised, so suites can chain them and fuzz
+    counterexamples carry a readable reason. *)
+
+(** [float_eq ~rtol ~atol a b]: equal bit patterns, or within
+    [atol + rtol * max(|a|,|b|)]. Infinities compare equal to themselves;
+    NaN never compares equal. Defaults: rtol 1e-9, atol 0. *)
+val float_eq : ?rtol:float -> ?atol:float -> float -> float -> bool
+
+val check_float : ?rtol:float -> ?atol:float -> what:string -> float -> float -> (unit, string) result
+
+(** Element-wise {!check_float} plus a length check; the error names the
+    first offending index. *)
+val check_array :
+  ?rtol:float -> ?atol:float -> what:string -> float array -> float array -> (unit, string) result
+
+(** Exact equality ([=] on floats: infinities equal, -0.0 = 0.0, NaN
+    rejected) — the gate for kernels whose parallel and sequential forms
+    must agree bit-for-bit. *)
+val check_array_exact : what:string -> float array -> float array -> (unit, string) result
+
+val check_int : what:string -> int -> int -> (unit, string) result
+
+val check_bool : what:string -> bool -> (unit, string) result
+
+(** Two paths are identical: same endpoint, pins, arcs, and (to 1e-9
+    relative) arrival/slack. *)
+val check_path : what:string -> Sta.Paths.path -> Sta.Paths.path -> (unit, string) result
+
+(** Element-wise {!check_path} plus a length check. *)
+val check_paths :
+  what:string -> Sta.Paths.path list -> Sta.Paths.path list -> (unit, string) result
+
+(** Run checks left to right, stopping at the first [Error]. *)
+val all : (unit, string) result list -> (unit, string) result
+
+(** [let*] syntax for chaining checks. *)
+val ( let* ) : ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result

@@ -1,0 +1,242 @@
+(** Seeded shrinking fuzzer (see the interface). *)
+
+type prop = { name : string; check : Netlist.Design.t -> (unit, string) result }
+
+type failure = {
+  prop_name : string;
+  params : Workloads.Genparams.t;
+  message : string;
+  dump : string option;
+}
+
+let params_to_string (p : Workloads.Genparams.t) =
+  Printf.sprintf
+    "seed=%d comb=%d ff=%d in=%d out=%d levels=%d hub_prob=%g macros=%d util=%g"
+    p.seed p.num_comb p.num_ff p.num_inputs p.num_outputs p.levels p.fanout_hub_prob
+    p.num_macros p.utilization
+
+let check_params prop (p : Workloads.Genparams.t) =
+  match prop.check (Workloads.Generate.generate p) with
+  | r -> r
+  | exception e -> Error (Printf.sprintf "exception: %s" (Printexc.to_string e))
+
+(* Same small ranges as the integration fuzz suite. *)
+let random_params rng =
+  {
+    Workloads.Genparams.default with
+    name = "oracle-fuzz";
+    seed = Util.Rng.int rng 1_000_000;
+    num_comb = 40 + Util.Rng.int rng 260;
+    num_ff = 8 + Util.Rng.int rng 60;
+    num_inputs = 4 + Util.Rng.int rng 20;
+    num_outputs = 4 + Util.Rng.int rng 20;
+    levels = 2 + Util.Rng.int rng 8;
+    num_macros = Util.Rng.int rng 4;
+    fanout_hub_prob = Util.Rng.float rng 0.1;
+  }
+
+(* Shrink candidates: each size knob halved toward its floor, probability
+   knobs zeroed. Order matters — the big knobs first, so the netlist
+   shrinks fastest. *)
+let halve ~floor v = if v > floor then Some (floor + ((v - floor) / 2)) else None
+
+let candidates (p : Workloads.Genparams.t) =
+  List.filter_map
+    (fun c -> c)
+    [
+      Option.map (fun v -> { p with Workloads.Genparams.num_comb = v }) (halve ~floor:40 p.num_comb);
+      Option.map (fun v -> { p with Workloads.Genparams.num_ff = v }) (halve ~floor:8 p.num_ff);
+      Option.map (fun v -> { p with Workloads.Genparams.levels = v }) (halve ~floor:2 p.levels);
+      Option.map (fun v -> { p with Workloads.Genparams.num_inputs = v }) (halve ~floor:4 p.num_inputs);
+      Option.map (fun v -> { p with Workloads.Genparams.num_outputs = v }) (halve ~floor:4 p.num_outputs);
+      Option.map (fun v -> { p with Workloads.Genparams.num_macros = v }) (halve ~floor:0 p.num_macros);
+      (if p.fanout_hub_prob > 0.0 then Some { p with Workloads.Genparams.fanout_hub_prob = 0.0 }
+       else None);
+    ]
+
+let shrink prop (p0 : Workloads.Genparams.t) =
+  let message = ref (match check_params prop p0 with Error m -> m | Ok () -> "not failing") in
+  let cur = ref p0 in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    List.iter
+      (fun cand ->
+        if not !improved then
+          match check_params prop cand with
+          | Error m ->
+              cur := cand;
+              message := m;
+              improved := true
+          | Ok () -> ())
+      (candidates !cur)
+  done;
+  (!cur, !message)
+
+(* ------------------------------------------------------------------ *)
+(* The standard battery.                                               *)
+
+let tighten d =
+  (* A tight clock so timing properties exercise violated paths. *)
+  d.Netlist.Design.clock_period <- 200.0;
+  d
+
+let timed_timer d =
+  let d = tighten d in
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  timer
+
+open Compare
+
+let prop_sta_full =
+  {
+    name = "sta-full-vs-dfs";
+    check =
+      (fun d ->
+        let timer = timed_timer d in
+        let graph = Sta.Timer.graph timer in
+        let* () =
+          check_array_exact ~what:"arrivals" (Sta.Timer.arrivals timer) (Ref_sta.arrivals graph)
+        in
+        let slack = Ref_sta.slacks graph in
+        let* () = check_array_exact ~what:"slacks" (Sta.Timer.slacks timer) slack in
+        let* () =
+          check_float ~rtol:0.0 ~what:"wns" (Sta.Timer.wns timer) (Ref_sta.wns graph ~slack)
+        in
+        check_float ~rtol:0.0 ~what:"tns" (Sta.Timer.tns timer) (Ref_sta.tns graph ~slack));
+  }
+
+let prop_incremental_sta =
+  {
+    name = "sta-incremental-walk";
+    check =
+      (fun d ->
+        let d = tighten d in
+        let timer = Sta.Timer.create d in
+        Sta.Timer.update timer;
+        let rng = Util.Rng.create (Netlist.Design.num_cells d) in
+        let movable = Array.of_list (Netlist.Design.movable_ids d) in
+        let steps = ref (Ok ()) in
+        for _ = 1 to 8 do
+          if !steps = Ok () then begin
+            let moved = ref [] in
+            for _ = 1 to 1 + Util.Rng.int rng 4 do
+              let c = Util.Rng.choose rng movable in
+              d.Netlist.Design.x.(c) <-
+                d.Netlist.Design.x.(c) +. Util.Rng.float_range rng (-30.0) 30.0;
+              d.Netlist.Design.y.(c) <-
+                d.Netlist.Design.y.(c) +. Util.Rng.float_range rng (-30.0) 30.0;
+              moved := c :: !moved
+            done;
+            Netlist.Design.clamp_movable d;
+            Sta.Timer.update_moved timer ~cells:!moved;
+            steps := Ref_sta.check_incremental timer
+          end
+        done;
+        !steps);
+  }
+
+let prop_paths =
+  {
+    name = "paths-vs-exhaustive";
+    check =
+      (fun d ->
+        let timer = timed_timer d in
+        let graph = Sta.Timer.graph timer in
+        let arr = Sta.Timer.arrivals timer in
+        match Sta.Timer.failing_endpoints timer with
+        | [] -> Ok ()
+        | ep :: _ ->
+            let got = Sta.Paths.k_worst graph arr ~endpoint:ep ~k:5 in
+            let want = Ref_paths.k_worst graph ~endpoint:ep ~k:5 in
+            check_paths ~what:(Printf.sprintf "k_worst endpoint %d" ep) got want);
+  }
+
+let prop_elmore =
+  {
+    name = "elmore-vs-naive";
+    check =
+      (fun d ->
+        let checks = ref [] in
+        Array.iter
+          (fun (n : Netlist.Design.net) ->
+            if Netlist.Design.net_degree n >= 2 && List.length !checks < 12 then begin
+              let pids = Array.of_list (Netlist.Design.net_pins n) in
+              let xs = Array.map (fun pid -> Netlist.Design.pin_x d d.Netlist.Design.pins.(pid)) pids in
+              let ys = Array.map (fun pid -> Netlist.Design.pin_y d d.Netlist.Design.pins.(pid)) pids in
+              let tree = Rctree.Steiner.steiner ~xs ~ys in
+              let term_cap i = d.Netlist.Design.pins.(pids.(i)).Netlist.Design.cap in
+              checks :=
+                Ref_elmore.check tree ~r:d.Netlist.Design.r_per_unit
+                  ~c:d.Netlist.Design.c_per_unit ~term_cap
+                :: !checks
+            end)
+          d.Netlist.Design.nets;
+        all !checks);
+  }
+
+let prop_wa_grad =
+  {
+    name = "wa-grad-fd";
+    check =
+      (fun d ->
+        let movable = Netlist.Design.movable_ids d in
+        let cells = List.filteri (fun i _ -> i < 4) movable in
+        Ref_place.wa_fd_check d ~gamma:8.0 ~cells);
+  }
+
+let prop_density =
+  {
+    name = "density-direct";
+    check =
+      (fun d ->
+        let grid = Gp.Densitygrid.create d ~bins_x:16 ~bins_y:16 in
+        Gp.Densitygrid.update grid d;
+        let* () =
+          check_array ~rtol:1e-9 ~atol:1e-9 ~what:"density grid"
+            grid.Gp.Densitygrid.density (Ref_place.density_direct d grid)
+        in
+        Metamorphic.density_mass d grid);
+  }
+
+let default_props =
+  [ prop_sta_full; prop_incremental_sta; prop_paths; prop_elmore; prop_wa_grad; prop_density ]
+
+(* ------------------------------------------------------------------ *)
+
+let mkdir_p dir =
+  (* Parents first; EEXIST is fine. *)
+  let rec go dir =
+    if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+      go (Filename.dirname dir);
+      try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let dump_failure ~dump_dir prop_name (p : Workloads.Genparams.t) message =
+  mkdir_p dump_dir;
+  let base = Filename.concat dump_dir (Printf.sprintf "%s-seed%d" prop_name p.seed) in
+  Netlist.Io.save_file (base ^ ".design") (Workloads.Generate.generate p);
+  let oc = open_out (base ^ ".txt") in
+  Printf.fprintf oc "prop: %s\nparams: %s\nmessage: %s\n" prop_name (params_to_string p) message;
+  close_out oc;
+  base ^ ".design"
+
+let run ?dump_dir ?(iters = 10) ~seed props =
+  let rng = Util.Rng.create seed in
+  let failures = ref [] in
+  for _ = 1 to iters do
+    let p = random_params rng in
+    List.iter
+      (fun prop ->
+        match check_params prop p with
+        | Ok () -> ()
+        | Error _ ->
+            let small, message = shrink prop p in
+            let dump = Option.map (fun dir -> dump_failure ~dump_dir:dir prop.name small message) dump_dir in
+            failures := { prop_name = prop.name; params = small; message; dump } :: !failures)
+      props
+  done;
+  List.rev !failures

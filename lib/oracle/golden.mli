@@ -1,0 +1,40 @@
+(** Golden-regression harness: snapshot [Tdp.Flow.run] metrics for a
+    fixed matrix of (design, method) cases into JSON files and compare
+    later runs against them under a per-field tolerance policy (integers
+    exact, floats to a small relative tolerance, runtimes ignored).
+    Snapshots always run single-domain so the goldens are bit-stable
+    regardless of the host. [bin/golden.exe] is the CLI over this. *)
+
+type entry = {
+  design : string; (* Workloads.Suite short name *)
+  scale : float; (* suite scale factor *)
+  method_ : Tdp.Flow.method_;
+}
+
+(** The committed matrix: two small suite designs, vanilla and the
+    paper's flow. *)
+val default_entries : entry list
+
+(** Stable file stem of an entry, e.g. ["sb1-vanilla"]. *)
+val entry_name : entry -> string
+
+(** Run the flow for one entry (domains pinned to 1 for the duration) and
+    return the comparable subset of the result as JSON: final and
+    raw-GP metrics, curve length, extraction round count. *)
+val snapshot : entry -> Obs.Json.t
+
+(** Relative tolerance applied to float fields on [check] (1e-6). *)
+val float_rtol : float
+
+(** Structural comparison under the tolerance policy; [path] prefixes
+    mismatch messages. Exposed for tests. *)
+val compare_json : path:string -> golden:Obs.Json.t -> got:Obs.Json.t -> string list
+
+(** Re-run every entry and diff against [dir]/<name>.json. [Ok] when all
+    match; [Error] carries one message per mismatching field or missing
+    file. *)
+val check : dir:string -> entry list -> (unit, string list) result
+
+(** Write (or overwrite) [dir]/<name>.json for every entry. Returns the
+    files written. *)
+val regen : dir:string -> entry list -> string list

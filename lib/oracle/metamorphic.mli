@@ -1,0 +1,56 @@
+(** Metamorphic properties: relations that must hold between related
+    inputs or between production outputs and independently recomputed
+    aggregates, without any reference implementation of the full kernel.
+    Each check returns [Ok ()] or a diagnostic [Error]. *)
+
+(** Uniform translation of every cell leaves exact HPWL and the WA smooth
+    wirelength unchanged. Restores the placement before returning. *)
+val wirelength_translation :
+  ?rtol:float -> Netlist.Design.t -> gamma:float -> dx:float -> dy:float -> (unit, string) result
+
+(** WA bracketing: [0 <= WA <= HPWL] — the smooth objective underestimates
+    the exact one (per net and hence globally, net weights positive). *)
+val wa_bounds : Netlist.Design.t -> gamma:float -> (unit, string) result
+
+(** The axis-transpose of a design: x and y swapped everywhere — die,
+    cell sizes, pin offsets, placement. Shares the net structure with the
+    original; the placement arrays are fresh. *)
+val transpose_design : Netlist.Design.t -> Netlist.Design.t
+
+(** Axis-swap invariance: exact HPWL and the WA smooth wirelength of
+    {!transpose_design} must equal the original's, and the
+    [bins] x [bins] density grids must be transposes of each other. *)
+val transpose_consistent :
+  ?rtol:float -> Netlist.Design.t -> gamma:float -> bins:int -> (unit, string) result
+
+(** Total accumulated density equals the independently-clipped inflated
+    area of the movable cells (computed against the die rectangle, not
+    bin-by-bin). Call after [Gp.Densitygrid.update]. *)
+val density_mass :
+  ?rtol:float -> Netlist.Design.t -> Gp.Densitygrid.t -> (unit, string) result
+
+(** Wire lengthening can only slow Elmore: scaling every tree edge by
+    [lambda >= 1] must not decrease any sink delay, the total cap or the
+    total wirelength. *)
+val elmore_monotone :
+  lambda:float ->
+  Rctree.Steiner.t -> r:float -> c:float -> term_cap:(int -> float) -> (unit, string) result
+
+(** WNS/TNS of an updated timer must equal the aggregates recomputed
+    directly from its slack array: WNS = min(0, min endpoint slack), TNS =
+    sum of negative finite endpoint slacks, and WNS <= 0, TNS <= 0,
+    TNS <= WNS. *)
+val tns_wns_consistent : Sta.Timer.t -> (unit, string) result
+
+(** Eq. 9 accumulation: replays [paths] through an independent weight
+    table (w0 on a pair's first path, += w1 * slack / wns on every further
+    path; net arcs only) and compares it against the pair set [attract]
+    holds after [Tdp.Pin_attract.update_from_paths] with the same
+    arguments and no prior state. *)
+val eq9_accumulation :
+  ?rtol:float ->
+  Sta.Graph.t ->
+  Tdp.Pin_attract.t ->
+  w0:float -> w1:float -> wns:float ->
+  Sta.Paths.path list ->
+  (unit, string) result

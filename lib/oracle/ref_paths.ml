@@ -1,0 +1,74 @@
+(** Exhaustive reference path enumeration (see the interface). The walk
+    mirrors the production completion rule exactly: a path terminates at
+    the first startpoint pin reached walking backward (startpoints are
+    never extended through, even when they have in-arcs), and backward
+    walks that dead-end on a non-startpoint source are not paths. *)
+
+exception Too_many_paths
+
+let make_path (graph : Sta.Graph.t) ~endpoint ~start_pin ~suffix ~arrival =
+  (* [suffix] holds the arc ids from [start_pin] to [endpoint] in forward
+     order (built by consing while walking backward). *)
+  let arcs = Array.of_list suffix in
+  let npins = Array.length arcs + 1 in
+  let pins = Array.make npins start_pin in
+  Array.iteri (fun i a -> pins.(i + 1) <- graph.Sta.Graph.arc_to.(a)) arcs;
+  {
+    Sta.Paths.endpoint;
+    arrival;
+    slack = graph.Sta.Graph.end_required.(endpoint) -. arrival;
+    pins;
+    arcs;
+  }
+
+let all_paths ?(cap = 200_000) (graph : Sta.Graph.t) ~endpoint =
+  let out = ref [] and count = ref 0 in
+  (* [dsum] accumulates arc delays endpoint-first, matching the rounding
+     of the production best-first walk, so tied paths carry bitwise-equal
+     arrivals in both implementations and order identically. *)
+  let rec walk v suffix dsum =
+    if graph.Sta.Graph.is_startpoint.(v) then begin
+      if !count >= cap then raise Too_many_paths;
+      incr count;
+      let arrival = graph.Sta.Graph.start_arrival.(v) +. dsum in
+      out := make_path graph ~endpoint ~start_pin:v ~suffix ~arrival :: !out
+    end
+    else
+      for i = graph.Sta.Graph.in_start.(v) to graph.Sta.Graph.in_start.(v + 1) - 1 do
+        let a = graph.Sta.Graph.in_arc.(i) in
+        walk graph.Sta.Graph.arc_from.(a) (a :: suffix) (dsum +. graph.Sta.Graph.arc_delay.(a))
+      done
+  in
+  walk endpoint [] 0.0;
+  List.sort Sta.Paths.compare_worst !out
+
+let rec take n = function [] -> [] | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let k_worst ?cap graph ~endpoint ~k = take k (all_paths ?cap graph ~endpoint)
+
+let endpoints_by_slack (graph : Sta.Graph.t) ~slack =
+  Array.to_list graph.Sta.Graph.endpoints
+  |> List.sort (fun a b ->
+         let c = compare slack.(a) slack.(b) in
+         if c <> 0 then c else compare a b)
+
+let failing_endpoints graph ~slack =
+  endpoints_by_slack graph ~slack
+  |> List.filter (fun p -> Float.is_finite slack.(p) && slack.(p) < 0.0)
+
+let worst_endpoints graph ~slack ~n ~failing_only =
+  let eps =
+    if failing_only then failing_endpoints graph ~slack else endpoints_by_slack graph ~slack
+  in
+  take n eps
+
+let report_timing_endpoint ?cap ?(failing_only = true) graph ~slack ~n ~k =
+  worst_endpoints graph ~slack ~n ~failing_only
+  |> List.concat_map (fun e -> k_worst ?cap graph ~endpoint:e ~k)
+
+let report_timing ?cap ?(failing_only = true) graph ~slack ~n =
+  let pool =
+    worst_endpoints graph ~slack ~n ~failing_only
+    |> List.concat_map (fun e -> k_worst ?cap graph ~endpoint:e ~k:n)
+  in
+  take n (List.sort Sta.Paths.compare_by_slack pool)

@@ -1,0 +1,39 @@
+(** Exhaustive reference path enumeration — the ground truth for
+    [Sta.Paths.k_worst] and for both extraction commands of
+    [Sta.Report]. Plain backward DFS over in-arcs, no pruning, no
+    implicit representation; exponential in the worst case and guarded by
+    [cap]. *)
+
+exception Too_many_paths
+
+(** Every complete startpoint-to-[endpoint] path, worst first in the
+    production total order ([Sta.Paths.compare_worst]). Raises
+    {!Too_many_paths} past [cap] (default 200_000) enumerated paths. *)
+val all_paths : ?cap:int -> Sta.Graph.t -> endpoint:int -> Sta.Paths.path list
+
+(** Prefix of {!all_paths} — what [Sta.Paths.k_worst] must return. *)
+val k_worst : ?cap:int -> Sta.Graph.t -> endpoint:int -> k:int -> Sta.Paths.path list
+
+(** All endpoints ordered worst slack first, ties by pin id, from the
+    caller's slack array — the reference endpoint ranking. *)
+val endpoints_by_slack : Sta.Graph.t -> slack:float array -> int list
+
+(** Endpoints with finite negative slack, same order. *)
+val failing_endpoints : Sta.Graph.t -> slack:float array -> int list
+
+(** Reference [report_timing_endpoint]: the [k] worst paths of each of
+    the [n] worst endpoints, endpoint-major, exhaustively enumerated. *)
+val report_timing_endpoint :
+  ?cap:int ->
+  ?failing_only:bool ->
+  Sta.Graph.t ->
+  slack:float array ->
+  n:int ->
+  k:int ->
+  Sta.Paths.path list
+
+(** Reference pooled [report_timing]: up to [n] paths from each of the
+    [n] worst endpoints, globally worst [n] in
+    [Sta.Paths.compare_by_slack] order. *)
+val report_timing :
+  ?cap:int -> ?failing_only:bool -> Sta.Graph.t -> slack:float array -> n:int -> Sta.Paths.path list

@@ -1,0 +1,190 @@
+(** Brute-force placement-objective references (see the interface). *)
+
+open Netlist
+
+let points_hpwl ~xs ~ys =
+  let n = Array.length xs in
+  if n <= 1 then 0.0
+  else begin
+    let xmin = ref xs.(0) and xmax = ref xs.(0) and ymin = ref ys.(0) and ymax = ref ys.(0) in
+    for i = 1 to n - 1 do
+      if xs.(i) < !xmin then xmin := xs.(i);
+      if xs.(i) > !xmax then xmax := xs.(i);
+      if ys.(i) < !ymin then ymin := ys.(i);
+      if ys.(i) > !ymax then ymax := ys.(i)
+    done;
+    !xmax -. !xmin +. (!ymax -. !ymin)
+  end
+
+let points_hpwl_pairwise ~xs ~ys =
+  let n = Array.length xs in
+  if n <= 1 then 0.0
+  else begin
+    (* Width/height as the max absolute difference over all pairs. *)
+    let w = ref 0.0 and h = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if Float.abs (xs.(i) -. xs.(j)) > !w then w := Float.abs (xs.(i) -. xs.(j));
+        if Float.abs (ys.(i) -. ys.(j)) > !h then h := Float.abs (ys.(i) -. ys.(j))
+      done
+    done;
+    !w +. !h
+  end
+
+let net_points (d : Design.t) (n : Design.net) =
+  let pids = Array.of_list (Design.net_pins n) in
+  let xs = Array.map (fun pid -> Design.pin_x d d.pins.(pid)) pids in
+  let ys = Array.map (fun pid -> Design.pin_y d d.pins.(pid)) pids in
+  (xs, ys)
+
+let hpwl_direct (d : Design.t) =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (n : Design.net) ->
+      let xs, ys = net_points d n in
+      acc := !acc +. (n.weight *. points_hpwl_pairwise ~xs ~ys))
+    d.nets;
+  !acc
+
+(* WA extent straight from the definition, shifted by max/min for
+   stability (an independent derivation, not the production loop). *)
+let wa_extent ~gamma coords =
+  let n = Array.length coords in
+  if n <= 1 then 0.0
+  else begin
+    let cmax = Array.fold_left Float.max Float.neg_infinity coords in
+    let cmin = Array.fold_left Float.min Float.infinity coords in
+    let num_max = ref 0.0 and den_max = ref 0.0 in
+    let num_min = ref 0.0 and den_min = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let a = exp ((x -. cmax) /. gamma) in
+        let b = exp ((cmin -. x) /. gamma) in
+        num_max := !num_max +. (x *. a);
+        den_max := !den_max +. a;
+        num_min := !num_min +. (x *. b);
+        den_min := !den_min +. b)
+      coords;
+    (!num_max /. !den_max) -. (!num_min /. !den_min)
+  end
+
+let wa_value (d : Design.t) ~gamma =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (n : Design.net) ->
+      let xs, ys = net_points d n in
+      acc := !acc +. (n.weight *. (wa_extent ~gamma xs +. wa_extent ~gamma ys)))
+    d.nets;
+  !acc
+
+open Compare
+
+(* Central finite difference of [value ()] w.r.t. one coordinate cell. *)
+let fd_of (coord : float array) cell ~h ~value =
+  let saved = coord.(cell) in
+  coord.(cell) <- saved +. h;
+  let plus = value () in
+  coord.(cell) <- saved -. h;
+  let minus = value () in
+  coord.(cell) <- saved;
+  (plus -. minus) /. (2.0 *. h)
+
+let fd_check_cells (d : Design.t) ~cells ~h ~rtol ~value ~gx ~gy ~what =
+  let scale =
+    (* Tolerance floor: FD noise is absolute in the value's magnitude. *)
+    1e-6 *. (1.0 +. Float.abs (value ())) /. h
+  in
+  all
+    (List.concat_map
+       (fun cell ->
+         let fx = fd_of d.x cell ~h ~value in
+         let fy = fd_of d.y cell ~h ~value in
+         [
+           check_float ~rtol ~atol:(scale *. rtol) ~what:(Printf.sprintf "%s d/dx cell %d" what cell)
+             gx.(cell) fx;
+           check_float ~rtol ~atol:(scale *. rtol) ~what:(Printf.sprintf "%s d/dy cell %d" what cell)
+             gy.(cell) fy;
+         ])
+       cells)
+
+(* h = 0.05: small enough that the O(h^2/gamma^2) truncation sits well
+   under rtol, large enough that the value difference dominates double
+   roundoff on designs of this size. *)
+let wa_fd_check ?(h = 0.05) ?(rtol = 1e-4) (d : Design.t) ~gamma ~cells =
+  let nc = Design.num_cells d in
+  let gx = Array.make nc 0.0 and gy = Array.make nc 0.0 in
+  ignore (Gp.Wirelength.wa_wirelength_grad d ~gamma ~gx ~gy);
+  fd_check_cells d ~cells ~h ~rtol ~value:(fun () -> wa_value d ~gamma) ~gx ~gy ~what:"wa"
+
+let pin_attract_fd_check ?(h = 0.25) ?(rtol = 1e-4) (d : Design.t) attract ~cells =
+  let nc = Design.num_cells d in
+  let gx = Array.make nc 0.0 and gy = Array.make nc 0.0 in
+  Tdp.Pin_attract.add_grad attract ~beta:1.0 ~gx ~gy;
+  fd_check_cells d ~cells ~h ~rtol
+    ~value:(fun () -> Tdp.Pin_attract.loss_value attract)
+    ~gx ~gy ~what:"pin_attract"
+
+(* Inflation rule restated from the ePlace smoothing definition: cells
+   thinner than a bin stretch to bin size, density scaled to keep area. *)
+let density_direct (d : Design.t) (grid : Gp.Densitygrid.t) =
+  let bins_x = grid.Gp.Densitygrid.bins_x and bins_y = grid.Gp.Densitygrid.bins_y in
+  let bin_w = grid.Gp.Densitygrid.bin_w and bin_h = grid.Gp.Densitygrid.bin_h in
+  let die = grid.Gp.Densitygrid.die in
+  let out = Array.make (bins_x * bins_y) 0.0 in
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        let ew = Float.max c.w bin_w and eh = Float.max c.h bin_h in
+        let scale = c.w *. c.h /. (ew *. eh) in
+        let xl = d.x.(c.id) -. (ew /. 2.0) and xh = d.x.(c.id) +. (ew /. 2.0) in
+        let yl = d.y.(c.id) -. (eh /. 2.0) and yh = d.y.(c.id) +. (eh /. 2.0) in
+        for by = 0 to bins_y - 1 do
+          for bx = 0 to bins_x - 1 do
+            let b_xl = die.Geom.Rect.xl +. (float_of_int bx *. bin_w) in
+            let b_yl = die.Geom.Rect.yl +. (float_of_int by *. bin_h) in
+            let ox = Float.min xh (b_xl +. bin_w) -. Float.max xl b_xl in
+            let oy = Float.min yh (b_yl +. bin_h) -. Float.max yl b_yl in
+            if ox > 0.0 && oy > 0.0 then
+              out.((by * bins_x) + bx) <- out.((by * bins_x) + bx) +. (ox *. oy *. scale)
+          done
+        done
+      end)
+    d.cells;
+  out
+
+let bilinear ~field ~bins_x ~bins_y ~die ~bin_w ~bin_h px py =
+  let fx = ((px -. die.Geom.Rect.xl) /. bin_w) -. 0.5 in
+  let fy = ((py -. die.Geom.Rect.yl) /. bin_h) -. 0.5 in
+  let bx = int_of_float (floor fx) and by = int_of_float (floor fy) in
+  let tx = fx -. float_of_int bx and ty = fy -. float_of_int by in
+  let clampx v = max 0 (min (bins_x - 1) v) in
+  let clampy v = max 0 (min (bins_y - 1) v) in
+  let at bx by = field.((clampy by * bins_x) + clampx bx) in
+  let v00 = at bx by and v10 = at (bx + 1) by and v01 = at bx (by + 1) and v11 = at (bx + 1) (by + 1) in
+  ((v00 *. (1.0 -. tx)) +. (v10 *. tx)) *. (1.0 -. ty)
+  +. (((v01 *. (1.0 -. tx)) +. (v11 *. tx)) *. ty)
+
+let electro_grad_expected (e : Gp.Electro.t) (d : Design.t) =
+  let g = e.Gp.Electro.grid in
+  let bins_x = g.Gp.Densitygrid.bins_x and bins_y = g.Gp.Densitygrid.bins_y in
+  let bin_w = g.Gp.Densitygrid.bin_w and bin_h = g.Gp.Densitygrid.bin_h in
+  let die = g.Gp.Densitygrid.die in
+  let nc = Design.num_cells d in
+  let gx = Array.make nc 0.0 and gy = Array.make nc 0.0 in
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        let q = c.w *. c.h in
+        let fx =
+          bilinear ~field:e.Gp.Electro.ex ~bins_x ~bins_y ~die ~bin_w ~bin_h d.x.(c.id) d.y.(c.id)
+          /. bin_w
+        in
+        let fy =
+          bilinear ~field:e.Gp.Electro.ey ~bins_x ~bins_y ~die ~bin_w ~bin_h d.x.(c.id) d.y.(c.id)
+          /. bin_h
+        in
+        gx.(c.id) <- -.(q *. fx);
+        gy.(c.id) <- -.(q *. fy)
+      end)
+    d.cells;
+  (gx, gy)

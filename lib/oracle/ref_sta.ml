@@ -1,0 +1,102 @@
+(** From-scratch reference static timing (see the interface). The
+    recursions mirror [Sta.Propagate.update]'s per-pin combining
+    expressions exactly — same candidates, same [>] / [<] updates — so
+    agreement is expected to be bit-for-bit, not merely approximate. *)
+
+let arrivals (graph : Sta.Graph.t) =
+  let np = Sta.Graph.num_pins graph in
+  let arr = Array.make np Float.neg_infinity in
+  let visited = Array.make np false in
+  let rec go p =
+    if not visited.(p) then begin
+      visited.(p) <- true;
+      let a =
+        ref
+          (if graph.Sta.Graph.is_startpoint.(p) then graph.Sta.Graph.start_arrival.(p)
+           else Float.neg_infinity)
+      in
+      for j = graph.Sta.Graph.in_start.(p) to graph.Sta.Graph.in_start.(p + 1) - 1 do
+        let a_id = graph.Sta.Graph.in_arc.(j) in
+        let u = graph.Sta.Graph.arc_from.(a_id) in
+        go u;
+        let cand = arr.(u) +. graph.Sta.Graph.arc_delay.(a_id) in
+        if cand > !a then a := cand
+      done;
+      arr.(p) <- !a
+    end
+  in
+  for p = 0 to np - 1 do
+    go p
+  done;
+  arr
+
+let required (graph : Sta.Graph.t) =
+  let np = Sta.Graph.num_pins graph in
+  let req = Array.make np Float.infinity in
+  let visited = Array.make np false in
+  let rec go p =
+    if not visited.(p) then begin
+      visited.(p) <- true;
+      let r =
+        ref
+          (if graph.Sta.Graph.is_endpoint.(p) then graph.Sta.Graph.end_required.(p)
+           else Float.infinity)
+      in
+      for j = graph.Sta.Graph.out_start.(p) to graph.Sta.Graph.out_start.(p + 1) - 1 do
+        let a_id = graph.Sta.Graph.out_arc.(j) in
+        let q = graph.Sta.Graph.arc_to.(a_id) in
+        go q;
+        let cand = req.(q) -. graph.Sta.Graph.arc_delay.(a_id) in
+        if cand < !r then r := cand
+      done;
+      req.(p) <- !r
+    end
+  in
+  for p = 0 to np - 1 do
+    go p
+  done;
+  req
+
+let slacks (graph : Sta.Graph.t) =
+  let arr = arrivals graph and req = required graph in
+  Array.init (Sta.Graph.num_pins graph) (fun p ->
+      if Float.is_finite arr.(p) && Float.is_finite req.(p) then req.(p) -. arr.(p)
+      else Float.infinity)
+
+let wns (graph : Sta.Graph.t) ~slack =
+  Array.fold_left
+    (fun acc p ->
+      let s = slack.(p) in
+      if Float.is_finite s then Float.min acc s else acc)
+    0.0 graph.Sta.Graph.endpoints
+  |> Float.min 0.0
+
+let tns (graph : Sta.Graph.t) ~slack =
+  Array.fold_left
+    (fun acc p ->
+      let s = slack.(p) in
+      if Float.is_finite s && s < 0.0 then acc +. s else acc)
+    0.0 graph.Sta.Graph.endpoints
+
+open Compare
+
+let check_against (prop : Sta.Propagate.t) (graph : Sta.Graph.t) =
+  let arr = arrivals graph in
+  let req = required graph in
+  let slack = slacks graph in
+  let* () = check_array_exact ~what:"arrivals" prop.Sta.Propagate.arr arr in
+  let* () = check_array_exact ~what:"required" prop.Sta.Propagate.req req in
+  let* () = check_array_exact ~what:"slacks" prop.Sta.Propagate.slack slack in
+  let* () = check_float ~rtol:0.0 ~what:"wns" (Sta.Propagate.wns prop graph) (wns graph ~slack) in
+  check_float ~rtol:0.0 ~what:"tns" (Sta.Propagate.tns prop graph) (tns graph ~slack)
+
+let check_incremental ?(topology = Sta.Delay.Steiner_tree) (timer : Sta.Timer.t) =
+  let design = (Sta.Timer.graph timer).Sta.Graph.design in
+  let fresh = Sta.Timer.create ~topology design in
+  Sta.Timer.update fresh;
+  let* () =
+    check_array_exact ~what:"arrivals" (Sta.Timer.arrivals timer) (Sta.Timer.arrivals fresh)
+  in
+  let* () = check_array_exact ~what:"slacks" (Sta.Timer.slacks timer) (Sta.Timer.slacks fresh) in
+  let* () = check_float ~rtol:0.0 ~what:"wns" (Sta.Timer.wns timer) (Sta.Timer.wns fresh) in
+  check_float ~rtol:0.0 ~what:"tns" (Sta.Timer.tns timer) (Sta.Timer.tns fresh)

@@ -1,0 +1,37 @@
+(** From-scratch reference static timing: memoized recursive DFS over the
+    timing graph (no levelization, no domains, no scratch reuse) reading
+    the graph's current arc delays. The oracle for
+    [Sta.Propagate.update]'s levelized parallel sweeps, and — combined
+    with a fresh production re-time — for [Sta.Timer.update_moved].
+
+    Max/min over identical candidate expressions are exact, so every
+    value here must equal the production value bit-for-bit. *)
+
+(** Arrival times by backward recursion: startpoints seed
+    [start_arrival], non-startpoint sources stay -inf, everything else is
+    the max over in-arcs. *)
+val arrivals : Sta.Graph.t -> float array
+
+(** Required times by forward recursion: endpoints seed [end_required],
+    sinks with no out-arcs stay +inf, everything else is the min over
+    out-arcs. *)
+val required : Sta.Graph.t -> float array
+
+(** Slack per pin: req - arr where both are finite, +inf otherwise. *)
+val slacks : Sta.Graph.t -> float array
+
+(** Worst negative endpoint slack (0 when met). *)
+val wns : Sta.Graph.t -> slack:float array -> float
+
+(** Sum of negative endpoint slacks. *)
+val tns : Sta.Graph.t -> slack:float array -> float
+
+(** Compare a production propagation state against this reference:
+    arrivals, required times, slacks element-wise exact, plus WNS/TNS. *)
+val check_against : Sta.Propagate.t -> Sta.Graph.t -> (unit, string) result
+
+(** Differential gate for incremental timing: compare the [timer]'s
+    current state against a freshly built, fully re-timed timer on the
+    same design and [topology] (default Steiner, matching
+    [Sta.Timer.create]) — exact equality of arrivals, slacks, WNS, TNS. *)
+val check_incremental : ?topology:Sta.Delay.topology -> Sta.Timer.t -> (unit, string) result

@@ -16,6 +16,13 @@ type result = {
   sink_delay : float array; (* per tree NODE, delay from root *)
 }
 
+(* Test-only fault injection: when set, the function is applied to every
+   computed node delay before [compute] returns. The oracle suite uses it
+   to prove its differential gates can fail (a sign or constant fault here
+   must trip the naive-Elmore comparison); it must stay [None] outside
+   those tests. *)
+let fault : (float -> float) option ref = ref None
+
 (** [compute tree ~r ~c ~term_cap] where [term_cap i] is the load of the
     caller terminal [i] (the root terminal's value is ignored — a driver
     pin contributes no load to its own net). *)
@@ -78,6 +85,12 @@ let compute (tree : Steiner.t) ~r ~c ~term_cap =
       delay.(v) <- delay.(p) +. (rseg *. ((c *. len /. 2.0) +. down_cap.(v)))
     end
   done;
+  (match !fault with
+  | None -> ()
+  | Some f ->
+      for v = 0 to n - 1 do
+        delay.(v) <- f delay.(v)
+      done);
   let total_wirelen = Steiner.total_length tree in
   { total_cap = down_cap.(order.(0)); total_wirelen; sink_delay = delay }
 

@@ -11,6 +11,11 @@ type result = {
   sink_delay : float array; (* per tree NODE, delay from root *)
 }
 
+(** Test-only fault injection applied to every node delay computed by
+    {!compute}; used by the oracle suite to prove its differential gates
+    are not vacuous. Must stay [None] outside those tests. *)
+val fault : (float -> float) option ref
+
 (** [compute tree ~r ~c ~term_cap] where [term_cap i] is the load of
     caller terminal [i] (the root terminal's value is ignored). *)
 val compute : Steiner.t -> r:float -> c:float -> term_cap:(int -> float) -> result

@@ -38,6 +38,43 @@ let make_path (graph : Graph.t) ~endpoint ~arrival ~start_pin ~suffix =
     arcs;
   }
 
+(* Lexicographic comparison of pin-id arrays — the structural tie-break
+   that makes path orderings total (and therefore reproducible across
+   domain counts and heap layouts). *)
+let compare_pins (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la || i >= lb then compare la lb
+    else
+      let c = compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(** Total order "worst first": larger arrival first, ties broken on
+    endpoint pin id, then pins lexicographically. Two paths compare equal
+    only when they are the same path. *)
+let compare_worst p q =
+  let c = compare q.arrival p.arrival in
+  if c <> 0 then c
+  else
+    let c = compare p.endpoint q.endpoint in
+    if c <> 0 then c else compare_pins p.pins q.pins
+
+(** Total order "most violating first": smaller slack first, same
+    structural tie-break. Used by the pooled report command so goldens
+    and n*k extraction are reproducible under slack ties. *)
+let compare_by_slack p q =
+  let c = compare p.slack q.slack in
+  if c <> 0 then c
+  else
+    let c = compare p.endpoint q.endpoint in
+    if c <> 0 then c else compare_pins p.pins q.pins
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
 (** [k_worst graph arr ~endpoint ~k] returns up to [k] complete paths into
     [endpoint], worst (largest arrival) first. [arr] must hold the current
     arrival times. Returns [] when the endpoint is unreachable. *)
@@ -50,14 +87,33 @@ let k_worst (graph : Graph.t) (arr : float array) ~endpoint ~k =
     Util.Dheap.push pq (-.arr.(endpoint)) (endpoint, 0.0, Nil);
     let out = ref [] in
     let count = ref 0 in
-    while !count < k && not (Util.Dheap.is_empty pq) do
+    (* Arrival of the k-th completed path. Completion bounds pop in
+       non-increasing order, so once a popped bound drops below this no
+       remaining path can tie the k-th worst. Until then every tied
+       completion is collected, which makes the returned k-subset
+       canonical under [compare_worst] even when more than k paths share
+       the boundary arrival bitwise (symmetric reconvergent fanin). The
+       bound arr(v) + D is exact only in real arithmetic — float
+       re-association wobbles it by ~n ulps relative to the completed
+       arrival — so the cut-off carries a relative slop well above that
+       noise; over-collected near-ties are sorted out by the final
+       truncation. *)
+    let kth = ref Float.neg_infinity in
+    let cutoff = ref Float.neg_infinity in
+    let stop = ref false in
+    while (not !stop) && not (Util.Dheap.is_empty pq) do
       let neg_bound, (v, sfx_delay, sfx) = Util.Dheap.pop pq in
       let bound = -.neg_bound in
-      if graph.is_startpoint.(v) || graph.in_start.(v) = graph.in_start.(v + 1) then begin
+      if !count >= k && bound < !cutoff then stop := true
+      else if graph.is_startpoint.(v) || graph.in_start.(v) = graph.in_start.(v + 1) then begin
         (* Complete path: v has no predecessors to extend through. *)
         if graph.is_startpoint.(v) then begin
           out := make_path graph ~endpoint ~arrival:bound ~start_pin:v ~suffix:sfx :: !out;
-          incr count
+          incr count;
+          if !count = k then begin
+            kth := bound;
+            cutoff := !kth -. (1e-9 *. (1.0 +. Float.abs !kth))
+          end
         end
         (* Non-startpoint sources (dangling pins) are not real paths. *)
       end
@@ -71,7 +127,10 @@ let k_worst (graph : Graph.t) (arr : float array) ~endpoint ~k =
           end
         done
     done;
-    List.rev !out
+    (* Pop order among equal completion bounds depends on heap internals;
+       canonicalise with the structural tie-break, then truncate the
+       over-collected boundary ties back to k. *)
+    take k (List.stable_sort compare_worst (List.rev !out))
   end
 
 (** The single worst path into [endpoint] by following worst-arrival

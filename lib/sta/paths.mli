@@ -11,8 +11,19 @@ type path = {
   arcs : int array; (* arcs.(i) connects pins.(i) -> pins.(i+1) *)
 }
 
+(** Total order "worst first": larger arrival first, ties broken on the
+    endpoint pin id and then on the pin sequence lexicographically, so
+    equal-arrival paths order reproducibly (across runs and domain
+    counts). Equal only for identical paths. *)
+val compare_worst : path -> path -> int
+
+(** Total order "most violating first": smaller slack first, same
+    structural tie-break as {!compare_worst}. *)
+val compare_by_slack : path -> path -> int
+
 (** Up to [k] complete paths into [endpoint], worst (largest arrival)
-    first; [] when unreachable. [arr] must hold current arrivals. *)
+    first ({!compare_worst} order); [] when unreachable. [arr] must hold
+    current arrivals. *)
 val k_worst : Graph.t -> float array -> endpoint:int -> k:int -> path list
 
 (** The single worst path into [endpoint]. *)

@@ -116,12 +116,19 @@ let tns t (graph : Graph.t) =
       if Float.is_finite s && s < 0.0 then acc +. s else acc)
     0.0 graph.endpoints
 
-(** Endpoints with negative slack, worst first. *)
+(* Worst slack first; equal slacks order by pin id, so endpoint rankings
+   (and everything derived from them — extraction, goldens) are total
+   orders, reproducible across runs and domain counts. *)
+let compare_endpoint_slack t a b =
+  let c = compare t.slack.(a) t.slack.(b) in
+  if c <> 0 then c else compare a b
+
+(** Endpoints with negative slack, worst first (ties by pin id). *)
 let failing_endpoints t (graph : Graph.t) =
   Array.to_list graph.endpoints
   |> List.filter (fun p -> Float.is_finite t.slack.(p) && t.slack.(p) < 0.0)
-  |> List.sort (fun a b -> compare t.slack.(a) t.slack.(b))
+  |> List.sort (compare_endpoint_slack t)
 
-(** All endpoints sorted by slack, worst first. *)
+(** All endpoints sorted by slack, worst first (ties by pin id). *)
 let endpoints_by_slack t (graph : Graph.t) =
-  Array.to_list graph.endpoints |> List.sort (fun a b -> compare t.slack.(a) t.slack.(b))
+  Array.to_list graph.endpoints |> List.sort (compare_endpoint_slack t)

@@ -70,9 +70,8 @@ let report_timing ?(failing_only = true) ?(cap = 4_000_000) (prop : Propagate.t)
         end)
       eps
   in
-  let sorted =
-    List.sort (fun (a : Paths.path) (b : Paths.path) -> compare a.slack b.slack) candidates
-  in
+  (* Total order (slack, endpoint, pins): reproducible under slack ties. *)
+  let sorted = List.sort Paths.compare_by_slack candidates in
   List.filteri (fun i _ -> i < n) sorted
 
 (** The paper's extraction: k worst paths for each of the n worst

@@ -30,6 +30,11 @@ let num_pairs t = Hashtbl.length t.pairs
 
 let num_updates t = t.updates
 
+(** Fold over the current pair set (order unspecified) — the inspection
+    hook used by diagnostics and the Eq. 9 oracle tests. *)
+let fold_pairs t ~init ~f =
+  Hashtbl.fold (fun _ p acc -> f acc ~pin_i:p.pin_i ~pin_j:p.pin_j ~weight:p.weight) t.pairs init
+
 let clear t = Hashtbl.reset t.pairs
 
 let find_or_add t ~w0 i j =

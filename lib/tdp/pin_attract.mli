@@ -14,6 +14,11 @@ val num_pairs : t -> int
     increments) across all rounds — an extraction-volume counter. *)
 val num_updates : t -> int
 
+(** Fold over the current pair set with its Eq. 9 weights (order
+    unspecified); inspection hook for diagnostics and the oracle tests. *)
+val fold_pairs :
+  t -> init:'a -> f:('a -> pin_i:int -> pin_j:int -> weight:float -> 'a) -> 'a
+
 val clear : t -> unit
 
 (** Fold one extraction round into P: Eq. 9 along every path (w0 on first
