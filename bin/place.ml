@@ -9,7 +9,12 @@
     Reporting goes through Obs.Log (level from OBS_LEVEL or --log-level);
     --trace-out streams the full span tree plus the final metric snapshot
     as JSONL (summarise with trace_report), --report-json writes the
-    structured result. *)
+    structured result (with an "error" object instead of metrics when the
+    run fails).
+
+    Exit codes: 0 success, 2 config error, 3 invalid design, 4 diverged
+    (rollback budget exhausted), 5 legalization infeasible; 1 is reserved
+    for unexpected exceptions, 124/125 for cmdliner usage errors. *)
 
 open Cmdliner
 
@@ -17,7 +22,7 @@ let parse_loss = function
   | "quadratic" -> Tdp.Config.Quadratic
   | "linear" -> Tdp.Config.Linear
   | "hpwl" -> Tdp.Config.Hpwl_like
-  | s -> failwith ("unknown loss: " ^ s)
+  | s -> Util.Errors.config_error ~what:"loss" ("unknown loss " ^ s ^ " (known: quadratic linear hpwl)")
 
 let make_method flow loss k =
   let cfg = Tdp.Config.with_loss (parse_loss loss) Tdp.Config.default in
@@ -29,7 +34,29 @@ let make_method flow loss k =
   | "dist" -> Tdp.Flow.Dist_tdp
   | "efficient" -> Tdp.Flow.Efficient cfg
   | "noextract" -> Tdp.Flow.Dp4_in_ours
-  | s -> failwith ("unknown flow: " ^ s)
+  | s ->
+      Util.Errors.config_error ~what:"flow"
+        ("unknown flow " ^ s ^ " (known: vanilla dp4 diff dist efficient noextract)")
+
+(* Install fault injectors on the pipeline's test-only hooks. Spec syntax
+   (also accepted via the FAULT_INJECT environment variable):
+     site=kind@start[+count][,site=kind@start[+count]...]
+   with site in {wl_grad, elmore} and kind in {nan, inf, -inf, huge}. *)
+let install_faults spec_str =
+  match Util.Fault.parse spec_str with
+  | Error msg -> Util.Errors.config_error ~what:"fault-inject" msg
+  | Ok clauses ->
+      List.iter
+        (fun (site, spec) ->
+          let inj = Util.Fault.injector spec in
+          (match site with
+          | "wl_grad" -> Gp.Wirelength.grad_fault := Some inj
+          | "elmore" -> Rctree.Elmore.fault := Some inj
+          | s ->
+              Util.Errors.config_error ~what:"fault-inject"
+                ("unknown site " ^ s ^ " (known: wl_grad elmore)"));
+          Obs.Log.warn "fault injection active: %s=%s" site (Util.Fault.spec_to_string spec))
+        clauses
 
 (* Feed per-kernel wall time and chunk imbalance (max/mean chunk time) of
    every named parallel call into the metric registry as histograms. *)
@@ -48,23 +75,61 @@ let install_parallel_instrument ctx =
              (mx /. Float.max 1e-9 mean)
          end))
 
-let run design file scale flow loss k domains out curve trace_out report_json log_level =
+let error_to_json e =
+  Obs.Json.Obj
+    (("kind", Obs.Json.String (Util.Errors.kind e))
+    :: ("message", Obs.Json.String (Util.Errors.message e))
+    :: List.map (fun (k, v) -> (k, Obs.Json.String v)) (Util.Errors.fields e))
+
+(* On failure the report is still written (when requested): an [error]
+   object plus whatever metrics had accumulated — so a harness can see
+   e.g. guard.nan_detected / guard.rollbacks counts of a diverged run. *)
+let write_error_report path ctx e =
+  let report =
+    Obs.Json.Obj
+      [ ("error", error_to_json e); ("metrics_registry", Obs.Ctx.metrics_json ctx) ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Obs.Log.info "wrote structured report to %s" path
+
+let run design file scale flow loss k domains fault_inject out curve trace_out report_json
+    log_level =
   (match log_level with Some l -> Obs.Log.set_level l | None -> ());
   Util.Parallel.set_num_domains domains;
   Obs.Log.info "parallel: %d domain(s)" !Util.Parallel.num_domains;
+  let sinks = match trace_out with Some path -> [ Obs.Sink.jsonl path ] | None -> [] in
+  let ctx = Obs.Ctx.create ~sinks () in
+  Obs.Ctx.set_default ctx;
+  install_parallel_instrument ctx;
+  let on_error e =
+    Obs.Log.error "%s" (Util.Errors.message e);
+    (match report_json with Some path -> write_error_report path ctx e | None -> ());
+    Obs.Ctx.close ctx;
+    exit (Util.Errors.exit_code e)
+  in
+  try
+  (match fault_inject with
+  | Some s -> install_faults s
+  | None -> (
+      match Sys.getenv_opt "FAULT_INJECT" with
+      | Some s when String.trim s <> "" -> install_faults s
+      | _ -> ()));
   let d =
     match file with
-    | Some path -> Netlist.Io.load_file path
+    | Some path -> (
+        try Netlist.Io.load_file path
+        with Netlist.Io.Parse_error (line, msg) ->
+          Util.Errors.invalid_design ~design:path
+            [ Printf.sprintf "parse error at line %d: %s" line msg ])
     | None -> Workloads.Suite.load ~scale design
   in
   Obs.Log.info "design %s: %d cells, %d nets, clock %.1f ps" d.name
     (Netlist.Design.num_cells d) (Netlist.Design.num_nets d) d.clock_period;
   let meth = make_method flow loss k in
   Obs.Log.info "flow: %s" (Tdp.Flow.method_name meth);
-  let sinks = match trace_out with Some path -> [ Obs.Sink.jsonl path ] | None -> [] in
-  let ctx = Obs.Ctx.create ~sinks () in
-  Obs.Ctx.set_default ctx;
-  install_parallel_instrument ctx;
   let r = Tdp.Flow.run ~obs:ctx meth d in
   Obs.Log.info "global placement  : %s" (Format.asprintf "%a" Evalkit.Metrics.pp r.metrics_gp);
   Obs.Log.info "after legalization: %s" (Format.asprintf "%a" Evalkit.Metrics.pp r.metrics);
@@ -83,7 +148,9 @@ let run design file scale flow loss k domains out curve trace_out report_json lo
       let report =
         match Tdp.Flow.result_to_json r with
         | Obs.Json.Obj fields ->
-            Obs.Json.Obj (fields @ [ ("metrics_registry", Obs.Ctx.metrics_json ctx) ])
+            Obs.Json.Obj
+              (fields
+              @ [ ("error", Obs.Json.Null); ("metrics_registry", Obs.Ctx.metrics_json ctx) ])
         | j -> j
       in
       let oc = open_out path in
@@ -97,11 +164,12 @@ let run design file scale flow loss k domains out curve trace_out report_json lo
   (match trace_out with
   | Some path -> Obs.Log.info "wrote trace to %s (summarise with: trace_report %s)" path path
   | None -> ());
-  match out with
+  (match out with
   | Some path ->
       Netlist.Io.save_file path d;
       Obs.Log.info "wrote placed design to %s" path
-  | None -> ()
+  | None -> ())
+  with Util.Errors.Error e -> on_error e
 
 let design = Arg.(value & opt string "sb18" & info [ "d"; "design" ] ~docv:"NAME" ~doc:"Suite design name.")
 
@@ -125,6 +193,13 @@ let domains =
        & info [ "domains" ] ~docv:"N"
            ~doc:"Parallel domains for the hot kernels (1 = sequential; results are \
                  deterministic per fixed N).")
+
+let fault_inject =
+  Arg.(value & opt (some string) None
+       & info [ "fault-inject" ] ~docv:"SPEC"
+           ~doc:"Robustness-test fault injection: site=kind\\@start[+count],... with site in \
+                 {wl_grad, elmore} and kind in {nan, inf, -inf, huge}. Defaults to \
+                 \\$FAULT_INJECT.")
 
 let out = Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Save the placed design.")
 
@@ -150,7 +225,7 @@ let cmd =
   let doc = "timing-driven global placement (Efficient-TDP and baselines)" in
   Cmd.v (Cmd.info "place" ~doc)
     Term.(
-      const run $ design $ file $ scale $ flow $ loss $ k $ domains $ out $ curve $ trace_out
-      $ report_json $ log_level)
+      const run $ design $ file $ scale $ flow $ loss $ k $ domains $ fault_inject $ out
+      $ curve $ trace_out $ report_json $ log_level)
 
 let () = exit (Cmd.eval cmd)

@@ -23,6 +23,8 @@ type params = {
   seed : int;
   timing_start : int; (* iteration at which hooks begin to fire *)
   round_every : int; (* hook cadence (the paper's m) *)
+  max_recoveries : int; (* consecutive divergence rollbacks before a hard
+                           [Util.Errors.Diverged] failure *)
   verbose : bool;
 }
 
@@ -40,6 +42,7 @@ let default_params =
     seed = 1;
     timing_start = max_int; (* vanilla: hooks never fire *)
     round_every = 15;
+    max_recoveries = 5;
     verbose = false;
   }
 
@@ -118,11 +121,11 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) (d 
   let electro = Electro.create grid in
   let movable = Array.of_list (Design.movable_ids d) in
   let nm = Array.length movable in
-  if nm = 0 then invalid_arg "Globalplace.run: no movable cells";
+  if nm = 0 then Util.Errors.invalid_design ~design:d.Design.name [ "no movable cells" ];
   let movable_area = Design.movable_area d in
   let bin_w = grid.Densitygrid.bin_w and bin_h = grid.Densitygrid.bin_h in
   initial_spread d ~sigma_bins:params.noise_sigma ~bin_w ~bin_h ~seed:params.seed;
-  let opt = Nesterov.create ~obs (pack d movable) in
+  let opt = ref (Nesterov.create ~obs (pack d movable)) in
   (* Per-cell preconditioner data. *)
   let pin_count = Array.make (Design.num_cells d) 0 in
   Array.iter
@@ -137,6 +140,36 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) (d 
   let stop = ref false in
   let converged_once = ref false in
   let last_overflow = ref 1.0 in
+  (* ---- divergence guard state ----
+     [last_good] is the most recent placement verified finite end-to-end
+     (the HPWL sum touches every coordinate, so a finite HPWL proves the
+     whole iterate finite) together with the density multiplier at that
+     point. On detecting a non-finite gradient or iterate the design and
+     optimizer roll back there and the step bounds back off; exhausting
+     [max_recoveries] consecutive rollbacks without an intervening
+     verified checkpoint is a hard structured failure. *)
+  let last_good = ref (Design.snapshot d, 0.0) in
+  let consecutive_recoveries = ref 0 in
+  let just_recovered = ref false in
+  let backoff = ref 1.0 in
+  let recover ~what =
+    Obs.Ctx.count obs "guard.nan_detected";
+    if !consecutive_recoveries >= params.max_recoveries then
+      Util.Errors.diverged ~stage:"globalplace" ~recoveries:!consecutive_recoveries
+        (Printf.sprintf "non-finite %s at iteration %d; %d consecutive rollbacks exhausted"
+           what !iter !consecutive_recoveries);
+    incr consecutive_recoveries;
+    just_recovered := true;
+    let snap, lam = !last_good in
+    Design.restore d snap;
+    Design.clamp_movable d;
+    lambda := lam;
+    opt := Nesterov.create ~obs (pack d movable);
+    backoff := Float.max 1e-3 (!backoff *. 0.5);
+    Obs.Ctx.count obs "guard.rollbacks";
+    Obs.Log.warn "[gp %s] non-finite %s at iter %d: rolled back (recovery %d/%d, backoff %.3g)"
+      d.name what !iter !consecutive_recoveries params.max_recoveries !backoff
+  in
   let clamp vec =
     (* Project each candidate position so the cell stays on the die. *)
     Array.iteri
@@ -153,8 +186,9 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) (d 
        write-only trace_point list): iter/overflow/gamma/lambda always,
        hpwl whenever this iteration computes it. *)
     Obs.Ctx.span obs "gp_iter" (fun () ->
+    just_recovered := false;
     (* Materialise the reference point; all evaluation happens there. *)
-    unpack d movable (Nesterov.reference opt);
+    unpack d movable (Nesterov.reference !opt);
     let overflow =
       tick "density" (fun () ->
           Densitygrid.update grid d;
@@ -203,15 +237,27 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) (d 
         gvec.(i) <- gx.(id) /. p;
         gvec.(nm + i) <- gy.(id) /. p)
       movable;
-    (* Express step bounds as average cell displacement in bin widths. *)
-    let mean_g =
-      let acc = ref 0.0 in
-      Array.iter (fun v -> acc := !acc +. Float.abs v) gvec;
-      Float.max 1e-30 (!acc /. float_of_int (2 * nm))
-    in
-    let fallback_step = 0.25 *. bin_w /. mean_g in
-    let max_step = 25.0 *. bin_w /. mean_g in
-    tick "optimizer" (fun () -> Nesterov.step opt ~g:gvec ~fallback_step ~max_step ~clamp);
+    (* Guard: a non-finite gradient (density/FFT blowup, timing-force
+       NaN, injected fault) must never reach the optimizer — it would
+       poison u/v/prev_g and every later iterate. *)
+    if not (Util.Guard.all_finite gvec) then recover ~what:"gradient"
+    else begin
+      (* Express step bounds as average cell displacement in bin widths;
+         [backoff] shrinks them after a rollback and relaxes back to 1
+         as verified checkpoints accumulate. *)
+      let mean_g =
+        let acc = ref 0.0 in
+        Array.iter (fun v -> acc := !acc +. Float.abs v) gvec;
+        Float.max 1e-30 (!acc /. float_of_int (2 * nm))
+      in
+      let fallback_step = 0.25 *. bin_w /. mean_g *. !backoff in
+      let max_step = 25.0 *. bin_w /. mean_g *. !backoff in
+      tick "optimizer" (fun () -> Nesterov.step !opt ~g:gvec ~fallback_step ~max_step ~clamp);
+      (* Cheap sampled probe of the fresh iterate (the periodic HPWL
+         checkpoint below is the exhaustive pass). *)
+      if not (Util.Guard.sampled_finite ~offset:!iter (Nesterov.iterate !opt)) then
+        recover ~what:"iterate"
+    end;
     (* The density multiplier grows until the overflow target is first
        reached, then latches: timing forces perturb the density, and
        resuming the exponential growth would let lambda run away and shred
@@ -225,22 +271,48 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) (d 
         ("gamma", Obs.Json.Float gamma);
         ("lambda", Obs.Json.Float !lambda);
       ];
-    if !iter mod 10 = 0 || overflow < params.stop_overflow then begin
-      unpack d movable (Nesterov.iterate opt);
+    if (not !just_recovered) && (!iter mod 10 = 0 || overflow < params.stop_overflow) then begin
+      unpack d movable (Nesterov.iterate !opt);
       let hpwl = Design.total_hpwl d in
-      trace := { iter = !iter; hpwl; overflow; gamma; lambda = !lambda } :: !trace;
-      Obs.Ctx.span_attrs obs [ ("hpwl", Obs.Json.Float hpwl) ];
-      if params.verbose || Obs.Log.enabled Obs.Log.Debug then
-        Obs.Log.emit Obs.Log.Debug
-          (Printf.sprintf "[gp %s] iter %4d hpwl %.3e ovf %.3f" d.name !iter hpwl overflow)
+      if Util.Guard.is_finite hpwl then begin
+        (* Verified checkpoint: HPWL touched every coordinate and came
+           back finite, so this placement is safe to roll back to. *)
+        last_good := (Design.snapshot d, !lambda);
+        consecutive_recoveries := 0;
+        backoff := Float.min 1.0 (!backoff *. 1.25);
+        trace := { iter = !iter; hpwl; overflow; gamma; lambda = !lambda } :: !trace;
+        Obs.Ctx.span_attrs obs [ ("hpwl", Obs.Json.Float hpwl) ];
+        if params.verbose || Obs.Log.enabled Obs.Log.Debug then
+          Obs.Log.emit Obs.Log.Debug
+            (Printf.sprintf "[gp %s] iter %4d hpwl %.3e ovf %.3f" d.name !iter hpwl overflow)
+      end
+      else recover ~what:"iterate (checkpoint hpwl)"
     end;
     Obs.Ctx.count obs "gp.iters";
     if overflow < params.stop_overflow && !iter >= params.min_iters then stop := true;
     incr iter)
   done;
-  unpack d movable (Nesterov.iterate opt);
+  unpack d movable (Nesterov.iterate !opt);
   Design.clamp_movable d;
-  let final_hpwl = Design.total_hpwl d in
+  let final_hpwl =
+    let h = Design.total_hpwl d in
+    if Util.Guard.is_finite h then h
+    else begin
+      (* Last line of defence: a NaN slipped past every sampled probe
+         between checkpoints. Hand back the last verified placement
+         rather than a poisoned one. *)
+      Obs.Ctx.count obs "guard.nan_detected";
+      Obs.Ctx.count obs "guard.rollbacks";
+      Design.restore d (fst !last_good);
+      Design.clamp_movable d;
+      let h' = Design.total_hpwl d in
+      if not (Util.Guard.is_finite h') then
+        Util.Errors.diverged ~stage:"globalplace" ~recoveries:!consecutive_recoveries
+          "final iterate non-finite and no finite checkpoint to roll back to";
+      Obs.Log.warn "[gp %s] final iterate non-finite: restored last good checkpoint" d.name;
+      h'
+    end
+  in
   Obs.Ctx.gauge obs "gp.final_hpwl" final_hpwl;
   Obs.Ctx.gauge obs "gp.final_overflow" !last_overflow;
   Obs.Ctx.gauge obs "gp.iterations" (float_of_int !iter);

@@ -21,6 +21,8 @@ type params = {
   seed : int;
   timing_start : int; (* iteration at which hooks begin to fire *)
   round_every : int; (* hook cadence (the paper's m) *)
+  max_recoveries : int; (* consecutive divergence rollbacks before a hard
+                           [Util.Errors.Diverged] failure *)
   verbose : bool;
 }
 
@@ -64,5 +66,13 @@ type result = {
     (attributes: iter / overflow / gamma / lambda, plus hpwl whenever the
     iteration computes it) with [density] / [wl_grad] / [optimizer] child
     spans, iteration counters, and final hpwl/overflow gauges.
-    Observation-only: results are identical with or without a context. *)
+    Observation-only: results are identical with or without a context.
+
+    Divergence guard: every iteration the gradient is checked finite (and
+    the fresh iterate sample-probed); on detection the run counts
+    [guard.nan_detected], rolls back to the last HPWL-verified checkpoint
+    ([guard.rollbacks]) with backed-off step bounds, and raises
+    [Util.Errors.Error (Diverged _)] after [params.max_recoveries]
+    consecutive rollbacks. Raises [Util.Errors.Error (Invalid_design _)]
+    when the design has no movable cells. *)
 val run : ?params:params -> ?hooks:hooks -> ?obs:Obs.Ctx.t -> Netlist.Design.t -> result

@@ -94,11 +94,12 @@ let build_rows (d : Design.t) =
       { row_y; segments = Array.of_list (List.rev !segments) })
 
 (** Legalise in place; returns total Manhattan displacement.
-    Raises [Failure] when some cell cannot be placed anywhere. *)
+    Raises [Util.Errors.Error (Infeasible _)] when some cell cannot be
+    placed anywhere. *)
 let run (d : Design.t) =
   let rows = build_rows d in
   let nrows = Array.length rows in
-  if nrows = 0 then failwith "Legalize.run: die has no rows";
+  if nrows = 0 then Util.Errors.infeasible ~stage:"legalize" "die has no rows";
   let order =
     Design.movable_ids d
     |> List.sort (fun a b -> compare (d.x.(a) -. (d.cells.(a).w /. 2.0)) (d.x.(b) -. (d.cells.(b).w /. 2.0)))
@@ -147,7 +148,9 @@ let run (d : Design.t) =
         if (!best <> None && row_floor > !best_cost) || !radius > nrows then searching := false
       done;
       match !best with
-      | None -> failwith (Printf.sprintf "Legalize.run: no room for cell %s" c.cname)
+      | None ->
+          Util.Errors.infeasible ~stage:"legalize"
+            (Printf.sprintf "no room for cell %s anywhere on the die" c.cname)
       | Some (seg, stack, _x_final, k) ->
           seg.clusters <- stack;
           seg.used <- seg.used +. w;

@@ -4,7 +4,8 @@
     fragment rows into independent segments. *)
 
 (** Legalise in place; returns the total displacement charged during row
-    assignment. Raises [Failure] when a cell fits nowhere. *)
+    assignment. Raises [Util.Errors.Error (Infeasible _)] when a cell
+    fits nowhere or the die holds no rows. *)
 val run : Netlist.Design.t -> float
 
 (** No two movable cells overlap and every movable cell sits in a row. *)

@@ -65,7 +65,11 @@ let step t ~g ~fallback_step ~max_step ~clamp =
     end
     else begin
       let dv = dist2 t.v t.prev_v and dg = dist2 g t.prev_g in
-      if dg < 1e-30 then begin
+      (* A NaN anywhere in [g] (or a poisoned iterate) makes dv/dg NaN;
+         every comparison against NaN is false, so the old [dg < 1e-30]
+         test alone let a NaN step through and poison u/v/prev_g forever.
+         Any non-finite norm means the BB estimate is meaningless. *)
+      if (not (Float.is_finite dv)) || (not (Float.is_finite dg)) || dg < 1e-30 then begin
         fallback_used := true;
         fallback_step
       end

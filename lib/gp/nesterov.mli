@@ -20,7 +20,10 @@ val reference : t -> float array
 val iterate : t -> float array
 
 (** One step given gradient [g] at [reference t]. [clamp] projects a
-    candidate iterate into the feasible box (mutates its argument). *)
+    candidate iterate into the feasible box (mutates its argument).
+    Falls back to [fallback_step] whenever the BB norms are non-finite
+    (a NaN gradient must not produce a NaN step); detecting and rolling
+    back the poisoned iterate itself is the caller's job. *)
 val step :
   t ->
   g:float array ->

@@ -114,12 +114,14 @@ let connect b ~net:nid ~pin:pid =
   let net = Util.Gvec.get b.nets nid in
   let pin = Util.Gvec.get b.pins pid in
   if pin.Design.net >= 0 then
-    invalid_arg (Printf.sprintf "Builder.connect: pin %d already connected" pid);
+    Util.Errors.invalid_design ~design:b.name
+      [ Printf.sprintf "pin %d connected to two nets" pid ];
   pin.Design.net <- nid;
   match pin.Design.dir with
   | Design.Out ->
       if net.Design.driver >= 0 then
-        invalid_arg (Printf.sprintf "Builder.connect: net %d already driven" nid);
+        Util.Errors.invalid_design ~design:b.name
+          [ Printf.sprintf "net %s has two drivers" net.Design.nname ];
       net.Design.driver <- pid
   | Design.In -> Util.Gvec.set b.sink_lists nid (pid :: Util.Gvec.get b.sink_lists nid)
 
@@ -155,14 +157,16 @@ let pin_of_cell b ~cell ~pin_name =
     at least one sink. *)
 let finish b =
   let nets = Util.Gvec.to_array b.nets in
+  let problems = ref [] in
   Array.iteri
     (fun i (n : Design.net) ->
       n.sinks <- Array.of_list (List.rev (Util.Gvec.get b.sink_lists i));
       if n.driver < 0 then
-        invalid_arg (Printf.sprintf "Builder.finish: net %s has no driver" n.nname);
+        problems := Printf.sprintf "net %s has no driver" n.nname :: !problems;
       if Array.length n.sinks = 0 then
-        invalid_arg (Printf.sprintf "Builder.finish: net %s has no sinks" n.nname))
+        problems := Printf.sprintf "net %s has no sinks" n.nname :: !problems)
     nets;
+  if !problems <> [] then Util.Errors.invalid_design ~design:b.name (List.rev !problems);
   {
     Design.name = b.name;
     die = b.die;

@@ -35,7 +35,8 @@ val add_blockage : t -> cname:string -> x:float -> y:float -> w:float -> h:float
 val add_net : t -> nname:string -> int
 
 (** Connect a pin to a net; output pins become the driver (at most one),
-    input pins become sinks. Raises [Invalid_argument] on double driver or
+    input pins become sinks. Raises [Util.Errors.Error (Invalid_design _)]
+    on double driver or
     reconnection. *)
 val connect : t -> net:int -> pin:int -> unit
 

@@ -143,3 +143,96 @@ let clamp_movable t =
     t.cells
 
 let reset_net_weights t = Array.iter (fun n -> n.weight <- 1.0) t.nets
+
+(* ---- validation ------------------------------------------------------ *)
+
+(* Cap the problem list: a design with a million NaN coordinates should
+   produce one summarising line per check, not a million. *)
+let max_reported = 20
+
+(** Structural and numeric sanity. [placed] additionally requires every
+    movable cell inside the die (checked after legalization, not at flow
+    entry — incoming placements may be arbitrary; the flow re-spreads
+    them). Returns the list of problems, empty when the design is sane. *)
+let validate ?(placed = false) t =
+  let problems = ref [] in
+  let count = ref 0 in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr count;
+        if !count <= max_reported then problems := s :: !problems
+        else if !count = max_reported + 1 then problems := "... further problems elided" :: !problems)
+      fmt
+  in
+  let fin v = Float.is_finite v in
+  let die = t.die in
+  if not (fin die.xl && fin die.yl && fin die.xh && fin die.yh) then
+    add "die has non-finite bounds"
+  else begin
+    if die.xh <= die.xl || die.yh <= die.yl then add "die has non-positive extent";
+    if not (fin t.row_height) || t.row_height <= 0.0 then
+      add "row height %g is not positive and finite" t.row_height
+    else if die.yh -. die.yl < t.row_height then
+      add "die height %g holds no full row (row height %g)" (die.yh -. die.yl) t.row_height
+  end;
+  if not (fin t.clock_period) || t.clock_period <= 0.0 then
+    add "clock period %g is not positive and finite" t.clock_period;
+  if not (fin t.input_delay && fin t.output_delay) then add "non-finite IO delay";
+  if not (fin t.r_per_unit) || t.r_per_unit < 0.0 then add "wire resistance %g invalid" t.r_per_unit;
+  if not (fin t.c_per_unit) || t.c_per_unit < 0.0 then add "wire capacitance %g invalid" t.c_per_unit;
+  Array.iter
+    (fun c ->
+      if not (fin t.x.(c.id) && fin t.y.(c.id)) then
+        add "cell %s has non-finite coordinates" c.cname;
+      if not (fin c.w && fin c.h) || c.w < 0.0 || c.h < 0.0 then
+        add "cell %s has invalid size %gx%g" c.cname c.w c.h
+      else if c.movable && (c.w <= 0.0 || c.h <= 0.0) then
+        add "movable cell %s has zero area" c.cname
+      else if placed && c.movable && fin t.x.(c.id) && fin t.y.(c.id) then begin
+        (* Movable cells only: pads and macros legitimately sit on (or
+           beyond) the die periphery and are never moved by the flow. *)
+        let tol = 1e-6 in
+        if
+          t.x.(c.id) -. (c.w /. 2.0) < die.xl -. tol
+          || t.x.(c.id) +. (c.w /. 2.0) > die.xh +. tol
+          || t.y.(c.id) -. (c.h /. 2.0) < die.yl -. tol
+          || t.y.(c.id) +. (c.h /. 2.0) > die.yh +. tol
+        then add "movable cell %s placed outside the die" c.cname
+      end)
+    t.cells;
+  Array.iter
+    (fun p ->
+      if p.owner < 0 || p.owner >= num_cells t then add "pin %d has no owner cell" p.pid
+      else begin
+        let c = t.cells.(p.owner) in
+        let tol = 1e-6 in
+        if not (fin p.off_x && fin p.off_y) then
+          add "pin %s/%s has non-finite offset" c.cname p.pin_name
+        else if
+          Float.abs p.off_x > (c.w /. 2.0) +. tol || Float.abs p.off_y > (c.h /. 2.0) +. tol
+        then
+          add "pin %s/%s offset (%g, %g) outside cell bounds %gx%g" c.cname p.pin_name p.off_x
+            p.off_y c.w c.h;
+        if not (fin p.cap) || p.cap < 0.0 then
+          add "pin %s/%s has invalid capacitance %g" c.cname p.pin_name p.cap
+      end)
+    t.pins;
+  Array.iter
+    (fun n ->
+      if n.driver < 0 then add "net %s has no driver" n.nname;
+      if Array.length n.sinks = 0 then add "net %s has no sinks" n.nname;
+      if not (fin n.weight) || n.weight < 0.0 then add "net %s has invalid weight %g" n.nname n.weight;
+      Array.iter
+        (fun pid ->
+          if pid < 0 || pid >= num_pins t then add "net %s references missing pin %d" n.nname pid)
+        n.sinks)
+    t.nets;
+  List.rev !problems
+
+(** [validate], raising [Util.Errors.Error (Invalid_design _)] on any
+    problem. *)
+let validate_exn ?placed t =
+  match validate ?placed t with
+  | [] -> ()
+  | problems -> Util.Errors.invalid_design ~design:t.name problems

@@ -104,3 +104,16 @@ val restore : t -> float array * float array -> unit
 val clamp_movable : t -> unit
 
 val reset_net_weights : t -> unit
+
+(** Structural and numeric sanity: finite coordinates/constraints, pin
+    offsets inside cell bounds, driven nonempty nets, positive clock
+    period and row height. [placed] (default false) additionally requires
+    every movable cell inside the die (pads and fixed macros may sit on
+    the periphery) — used after legalization; flow entry skips it because
+    incoming placements may be arbitrary. Returns the problem list
+    (capped), empty when sane. *)
+val validate : ?placed:bool -> t -> string list
+
+(** [validate], raising [Util.Errors.Error (Invalid_design _)] on any
+    problem. *)
+val validate_exn : ?placed:bool -> t -> unit

@@ -100,7 +100,14 @@ let load ic =
     | Some v -> v
     | None -> fail 0 ("missing header record: " ^ k)
   in
-  let fl s = float_of_string s in
+  (* [float_of_string] would raise a bare [Failure] on junk; report it as
+     a parse error instead. "nan"/"inf" parse fine here — the numeric
+     sanity gate is [Design.validate], not the reader. *)
+  let fl s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> fail 0 ("bad number: " ^ s)
+  in
   let name = List.hd (get "design") in
   let die =
     match get "die" with
@@ -143,7 +150,11 @@ let load ic =
             (fun spec ->
               match String.index_opt spec ':' with
               | Some i ->
-                  let cell = int_of_string (String.sub spec 0 i) in
+                  let cell =
+                    match int_of_string_opt (String.sub spec 0 i) with
+                    | Some c when c >= 0 && c < Builder.num_cells b -> c
+                    | _ -> fail 0 ("bad cell index in pin spec: " ^ spec)
+                  in
                   let pin_name = String.sub spec (i + 1) (String.length spec - i - 1) in
                   Builder.connect_by_name b ~net:nid ~cell ~pin_name
               | None -> fail 0 ("bad pin spec: " ^ spec))

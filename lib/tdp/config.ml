@@ -57,3 +57,26 @@ let default =
   }
 
 let with_loss loss t = { t with loss; beta = beta_for loss }
+
+(** Range-check a configuration; returns the first problem found. *)
+let validate t =
+  let fin v = Float.is_finite v in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if not (fin t.beta) || t.beta < 0.0 then err "beta %g must be finite and >= 0" t.beta
+  else if t.m <= 0 then err "m (round cadence) %d must be positive" t.m
+  else if not (fin t.w0) || t.w0 < 0.0 then err "w0 %g must be finite and >= 0" t.w0
+  else if not (fin t.w1) || t.w1 < 0.0 then err "w1 %g must be finite and >= 0" t.w1
+  else if t.timing_start < 0 then err "timing_start %d must be >= 0" t.timing_start
+  else if t.extra_iters < 0 then err "extra_iters %d must be >= 0" t.extra_iters
+  else if not (fin t.stale_decay) || t.stale_decay <= 0.0 || t.stale_decay > 1.0 then
+    err "stale_decay %g must be in (0, 1]" t.stale_decay
+  else if t.cooldown_iters < 0 then err "cooldown_iters %d must be >= 0" t.cooldown_iters
+  else
+    match t.extraction with
+    | Endpoint_based { k } when k <= 0 -> err "paths-per-endpoint k %d must be positive" k
+    | Global_topn { mult } when mult <= 0 -> err "report_timing multiplier %d must be positive" mult
+    | Endpoint_based _ | Global_topn _ -> Ok ()
+
+(** [validate], raising [Util.Errors.Error (Config_error _)]. *)
+let validate_exn t =
+  match validate t with Ok () -> () | Error detail -> Util.Errors.config_error ~what:"tdp-config" detail

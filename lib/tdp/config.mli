@@ -32,3 +32,9 @@ val default : t
 
 (** Switch the loss kind, adjusting beta accordingly. *)
 val with_loss : loss_kind -> t -> t
+
+(** Range-check a configuration; [Error] carries the first problem. *)
+val validate : t -> (unit, string) result
+
+(** [validate], raising [Util.Errors.Error (Config_error _)]. *)
+val validate_exn : t -> unit

@@ -53,22 +53,36 @@ let round t ~iter =
         (Sta.Timer.tns t.timer, Sta.Timer.wns t.timer, Sta.Timer.failing_endpoints t.timer))
   in
   let n = List.length failing in
+  (* A poisoned timing graph (NaN/Inf arrival times, e.g. from corrupt
+     wire parasitics) would push non-finite slack ratios into the pair
+     weights and from there into the gradient. Skip the whole update for
+     this round — the previous pair set keeps pulling, and the next clean
+     STA round resumes normally. *)
+  let timing_ok = Float.is_finite tns && Float.is_finite wns in
+  if not timing_ok then begin
+    Obs.Ctx.count t.obs "guard.nan_detected";
+    Obs.Log.warn "[extraction] non-finite timing at iter %d (tns=%g wns=%g): round skipped"
+      iter tns wns
+  end;
   let t1 = Unix.gettimeofday () in
   let paths =
     Obs.Ctx.span t.obs "extraction" (fun () ->
-        if n = 0 then []
+        if n = 0 || not timing_ok then []
         else
           match cfg.extraction with
           | Config.Endpoint_based { k } -> Sta.Timer.report_timing_endpoint t.timer ~n ~k
           | Config.Global_topn { mult } -> Sta.Timer.report_timing t.timer ~n:(n * mult))
   in
   let t2 = Unix.gettimeofday () in
-  if n = 0 then t.relax <- Float.max 0.15 (t.relax *. 0.7)
-  else t.relax <- Float.min 1.0 (t.relax *. 1.3);
+  if timing_ok then begin
+    if n = 0 then t.relax <- Float.max 0.15 (t.relax *. 0.7)
+    else t.relax <- Float.min 1.0 (t.relax *. 1.3)
+  end;
   let graph = Sta.Timer.graph t.timer in
   let updates_before = Pin_attract.num_updates t.attract in
-  Pin_attract.update_from_paths t.attract graph ~w0:cfg.w0 ~w1:cfg.w1 ~wns
-    ~stale_decay:cfg.stale_decay paths;
+  if timing_ok then
+    Pin_attract.update_from_paths t.attract graph ~w0:cfg.w0 ~w1:cfg.w1 ~wns
+      ~stale_decay:cfg.stale_decay paths;
   let stats =
     {
       iter;

@@ -56,7 +56,7 @@ let flow_topology = Sta.Delay.Steiner_tree
    placement gradient's, then add it. Keeps every timing force a fixed
    fraction of the wirelength+density force regardless of design scale —
    the role of the paper's beta, made scale-free (DESIGN.md). *)
-let add_normalized ~mult ~wl_norm ~gx ~gy fill =
+let add_normalized ~obs ~mult ~wl_norm ~gx ~gy fill =
   let n = Array.length gx in
   let tx = Array.make n 0.0 and ty = Array.make n 0.0 in
   fill ~gx:tx ~gy:ty;
@@ -64,12 +64,38 @@ let add_normalized ~mult ~wl_norm ~gx ~gy fill =
   for i = 0 to n - 1 do
     aux := !aux +. Float.abs tx.(i) +. Float.abs ty.(i)
   done;
-  if !aux > 1e-30 then begin
+  (* A poisoned timing force (NaN/Inf in the auxiliary gradient, or a
+     non-finite wirelength norm) would infect the whole iterate through
+     the += below; drop the force for this iteration instead and let the
+     placement gradient stand alone. *)
+  if not (Float.is_finite !aux && Float.is_finite wl_norm) then
+    Obs.Ctx.count obs "guard.nan_detected"
+  else if !aux > 1e-30 then begin
     let s = mult *. wl_norm /. !aux in
     for i = 0 to n - 1 do
       gx.(i) <- gx.(i) +. (s *. tx.(i));
       gy.(i) <- gy.(i) +. (s *. ty.(i))
     done
+  end
+
+(* ---- best-checkpoint acceptance (pure; exposed for tests) ----
+   [key] is the timing score (TNS + 0.1*WNS, larger better). A strictly
+   better key always wins; within the eps band of the best key seen, a
+   smaller HPWL wins the tie — but the recorded best key must never
+   ratchet *down*: accepting a key eps below the current best and then
+   another eps below that would let chained eps-sized regressions walk
+   the "best" checkpoint arbitrarily far from the true maximum. Non-finite
+   metrics (a poisoned timing round) are never checkpointed. *)
+type checkpoint_decision = New_best | Tie_better_hpwl | Keep
+
+let checkpoint_decision ~best_key ~best_hpwl ~key ~hpwl =
+  if not (Float.is_finite key && Float.is_finite hpwl) then Keep
+  else if not (Float.is_finite best_key) then New_best (* first checkpoint *)
+  else begin
+    let eps = 1e-9 +. (1e-4 *. Float.abs best_key) in
+    if key > best_key +. eps then New_best
+    else if key >= best_key -. eps && hpwl < best_hpwl then Tie_better_hpwl
+    else Keep
   end
 
 let base_gp_params ~seed =
@@ -97,6 +123,11 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : 
   let agg_sink = Obs.Agg.sink agg in
   Obs.Ctx.add_sink obs agg_sink;
   let t_start = Unix.gettimeofday () in
+  (* Reject malformed inputs up front with a structured error rather than
+     letting NaN coordinates or dangling pins surface as divergence deep
+     inside the optimiser. *)
+  Design.validate_exn d;
+  (match meth with Efficient cfg -> Config.validate_exn cfg | _ -> ());
   Design.reset_net_weights d;
   let curve = ref [] in
   (* Checkpoint the best placement seen at any timing round (by the flow
@@ -108,12 +139,19 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : 
   let push_curve ~iter ~overflow ~tns ~wns =
     let key = tns +. (0.1 *. wns) in
     let hpwl = Design.total_hpwl d in
-    let eps = 1e-9 +. (1e-4 *. Float.abs !best_key) in
-    if key > !best_key +. eps || (key > !best_key -. eps && hpwl < !best_hpwl) then begin
-      best_key := key;
-      best_hpwl := hpwl;
-      best_snap := Some (Design.snapshot d)
-    end;
+    (match checkpoint_decision ~best_key:!best_key ~best_hpwl:!best_hpwl ~key ~hpwl with
+    | New_best ->
+        best_key := key;
+        best_hpwl := hpwl;
+        best_snap := Some (Design.snapshot d)
+    | Tie_better_hpwl ->
+        (* Accept the placement, but never let an eps-sized key regression
+           lower the bar for the next round (satellite fix: the old code
+           overwrote [best_key] here, letting ties ratchet it down). *)
+        best_key := Float.max !best_key key;
+        best_hpwl := hpwl;
+        best_snap := Some (Design.snapshot d)
+    | Keep -> ());
     curve := { iter; hpwl; overflow; tns; wns } :: !curve
   in
   let cfg_default = Config.default in
@@ -144,7 +182,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : 
             extra_grad =
               (fun ~iter:_ ~wl_norm ~gx ~gy ->
                 Obs.Ctx.span obs "timing_grad" (fun () ->
-                    add_normalized ~mult:0.4 ~wl_norm ~gx ~gy (fun ~gx ~gy ->
+                    add_normalized ~obs ~mult:0.4 ~wl_norm ~gx ~gy (fun ~gx ~gy ->
                         Diff_timing.add_grad dt ~mult:1.0 ~gx ~gy)));
           }
         in
@@ -160,7 +198,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : 
             extra_grad =
               (fun ~iter:_ ~wl_norm ~gx ~gy ->
                 Obs.Ctx.span obs "timing_grad" (fun () ->
-                    add_normalized ~mult:0.3 ~wl_norm ~gx ~gy (fun ~gx ~gy ->
+                    add_normalized ~obs ~mult:0.3 ~wl_norm ~gx ~gy (fun ~gx ~gy ->
                         Distribution.add_grad ds ~mult:1.0 ~gx ~gy)));
           }
         in
@@ -179,7 +217,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : 
             extra_grad =
               (fun ~iter:_ ~wl_norm ~gx ~gy ->
                 Obs.Ctx.span obs "pp_grad" (fun () ->
-                    add_normalized ~mult:cfg_default.beta ~wl_norm ~gx ~gy (fun ~gx ~gy ->
+                    add_normalized ~obs ~mult:cfg_default.beta ~wl_norm ~gx ~gy (fun ~gx ~gy ->
                         Pin_level.add_grad_raw pl ~gx ~gy)));
           }
         in
@@ -213,7 +251,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : 
             extra_grad =
               (fun ~iter ~wl_norm ~gx ~gy ->
                 Obs.Ctx.span obs "pp_grad" (fun () ->
-                    add_normalized
+                    add_normalized ~obs
                       ~mult:(Extraction.effective_beta ex *. cooldown iter)
                       ~wl_norm ~gx ~gy
                       (fun ~gx ~gy -> Extraction.add_grad_raw ex ~gx ~gy)));
@@ -250,7 +288,11 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : 
         in
         if legalize then begin
           Obs.Ctx.span obs "legalize" (fun () -> ignore (Gp.Legalize.run d));
-          ignore (Obs.Ctx.span obs "detailed" (fun () -> Gp.Detailed.run d))
+          ignore (Obs.Ctx.span obs "detailed" (fun () -> Gp.Detailed.run d));
+          (* The legalizer guarantees in-die, on-row, overlap-free cells;
+             re-validate so any violation is a structured error at the
+             flow boundary, not a silent bad result. *)
+          Design.validate_exn ~placed:true d
         end;
         let metrics = Obs.Ctx.span obs "evaluate" (fun () -> Evalkit.Metrics.evaluate d) in
         Obs.Ctx.gauge obs "flow.hpwl" metrics.Evalkit.Metrics.hpwl;

@@ -29,6 +29,17 @@ type result = {
 (** Timing topology used inside flows (evaluation always uses Steiner). *)
 val flow_topology : Sta.Delay.topology
 
+(** Best-checkpoint acceptance rule (pure; exposed for unit tests).
+    [key] is the timing score (larger better). A strictly better key wins
+    outright; within the eps band of [best_key], a smaller HPWL wins the
+    tie — in which case the caller must keep [max best_key key] as the new
+    best key so eps-sized regressions cannot ratchet the bar down.
+    Non-finite [key]/[hpwl] always yield [Keep]. *)
+type checkpoint_decision = New_best | Tie_better_hpwl | Keep
+
+val checkpoint_decision :
+  best_key:float -> best_hpwl:float -> key:float -> hpwl:float -> checkpoint_decision
+
 (** Runs the flow in place: re-initialises the placement from [seed],
     optimises, keeps the best timing checkpoint, legalises (unless
     [legalize:false]) and scores with the common evaluation kit.
@@ -39,7 +50,12 @@ val flow_topology : Sta.Delay.topology
     [result.breakdown] stays populated; pass [Obs.Ctx.null] to switch
     observation off entirely (breakdown comes back empty). Placement
     results are bit-identical in every case — observability is
-    observation-only. *)
+    observation-only.
+
+    Raises [Util.Errors.Error]: [Invalid_design] if the input fails
+    [Netlist.Design.validate] (also re-checked with [~placed:true] after
+    legalization), [Config_error] for an out-of-range [Efficient] config,
+    and [Diverged] if the placement engine exhausts its rollback budget. *)
 val run :
   ?seed:int ->
   ?legalize:bool ->

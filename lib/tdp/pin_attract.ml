@@ -50,7 +50,12 @@ let find_or_add t ~w0 i j =
     (cell-arc pin pairs live on the same cell: their distance is fixed).
     [wns] must be the current worst negative slack (< 0). *)
 let update_from_path t (graph : Sta.Graph.t) ~w0 ~w1 ~wns (path : Sta.Paths.path) =
-  if path.slack < 0.0 && wns < 0.0 then begin
+  (* Both comparisons are false for NaN slack/wns, and wns < 0 excludes
+     the wns = 0 boundary (no violation => no update, and no 0/0). The
+     explicit finiteness check additionally rejects inf/-inf operands
+     (ratio would be NaN or Inf) so a poisoned path can never write a
+     non-finite weight. *)
+  if path.slack < 0.0 && wns < 0.0 && Float.is_finite (path.slack /. wns) then begin
     let ratio = path.slack /. wns in
     Array.iter
       (fun a ->

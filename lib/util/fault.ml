@@ -1,0 +1,98 @@
+(** Fault injection for robustness tests.
+
+    The pipeline's test-only hooks ([Rctree.Elmore.fault],
+    [Gp.Wirelength.grad_fault]) are [float -> float] transforms applied
+    to every computed value at their site. This module builds such
+    transforms that corrupt a *window* of calls — NaN, infinity, or a
+    huge-but-finite value — so tests and the CI robustness job can prove
+    the divergence guards fire and recovery converges.
+
+    Spec strings (the [FAULT_INJECT] env var / [--fault-inject] flag):
+
+      site=kind@start          corrupt every call from [start] on
+      site=kind@start+count    corrupt calls [start, start+count)
+
+    with kind one of [nan], [inf], [-inf], [huge] (1e30) and sites
+    resolved by the installer (the binary / test knows which hook each
+    site name maps to). Multiple comma-separated clauses are allowed. *)
+
+type kind = Nan | Pos_inf | Neg_inf | Huge
+
+type spec = { kind : kind; start : int; count : int (* < 0 = unbounded *) }
+
+let kind_to_string = function
+  | Nan -> "nan"
+  | Pos_inf -> "inf"
+  | Neg_inf -> "-inf"
+  | Huge -> "huge"
+
+let kind_of_string = function
+  | "nan" -> Some Nan
+  | "inf" -> Some Pos_inf
+  | "-inf" -> Some Neg_inf
+  | "huge" -> Some Huge
+  | _ -> None
+
+let corrupt kind _v =
+  match kind with
+  | Nan -> Float.nan
+  | Pos_inf -> Float.infinity
+  | Neg_inf -> Float.neg_infinity
+  | Huge -> 1e30
+
+(** A stateful transform corrupting calls in the spec's window. The call
+    counter is atomic: injection sites run inside parallel kernels, so
+    under >1 domain the *set* of corrupted calls is deterministic in size
+    but not in which array elements they land on — guards must catch the
+    corruption wherever it lands. *)
+let injector spec =
+  let calls = Atomic.make 0 in
+  fun v ->
+    let n = Atomic.fetch_and_add calls 1 in
+    if n >= spec.start && (spec.count < 0 || n < spec.start + spec.count) then
+      corrupt spec.kind v
+    else v
+
+let spec_to_string s =
+  if s.count < 0 then Printf.sprintf "%s@%d" (kind_to_string s.kind) s.start
+  else Printf.sprintf "%s@%d+%d" (kind_to_string s.kind) s.start s.count
+
+let parse_spec str =
+  match String.index_opt str '@' with
+  | None -> Error (Printf.sprintf "bad fault spec %S: expected kind@start[+count]" str)
+  | Some i -> (
+      let kind_s = String.sub str 0 i in
+      let rest = String.sub str (i + 1) (String.length str - i - 1) in
+      match kind_of_string kind_s with
+      | None -> Error (Printf.sprintf "unknown fault kind %S (nan|inf|-inf|huge)" kind_s)
+      | Some kind -> (
+          let start_s, count_s =
+            match String.index_opt rest '+' with
+            | None -> (rest, None)
+            | Some j ->
+                ( String.sub rest 0 j,
+                  Some (String.sub rest (j + 1) (String.length rest - j - 1)) )
+          in
+          match (int_of_string_opt start_s, Option.map int_of_string_opt count_s) with
+          | Some start, None when start >= 0 -> Ok { kind; start; count = -1 }
+          | Some start, Some (Some count) when start >= 0 && count > 0 ->
+              Ok { kind; start; count }
+          | _ -> Error (Printf.sprintf "bad fault window in %S" str)))
+
+(** Parse a comma-separated [site=spec] list. *)
+let parse str =
+  let clauses = String.split_on_char ',' str |> List.map String.trim in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go acc rest
+    | clause :: rest -> (
+        match String.index_opt clause '=' with
+        | None -> Error (Printf.sprintf "bad fault clause %S: expected site=kind@start[+count]" clause)
+        | Some i -> (
+            let site = String.sub clause 0 i in
+            let spec_s = String.sub clause (i + 1) (String.length clause - i - 1) in
+            match parse_spec spec_s with
+            | Error _ as e -> e
+            | Ok spec -> go ((site, spec) :: acc) rest))
+  in
+  go [] clauses

@@ -1,0 +1,25 @@
+(** Fault injection for robustness tests: builds [float -> float]
+    transforms (for the pipeline's test-only hooks) that corrupt a window
+    of calls with NaN/Inf/huge values, and parses [FAULT_INJECT]-style
+    spec strings ([site=kind@start+count], comma-separated). *)
+
+type kind = Nan | Pos_inf | Neg_inf | Huge
+
+type spec = { kind : kind; start : int; count : int (* < 0 = unbounded *) }
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> kind option
+
+val spec_to_string : spec -> string
+
+(** Stateful transform corrupting calls [start, start+count) (all calls
+    from [start] when [count < 0]); atomic counter, safe under parallel
+    kernels. *)
+val injector : spec -> float -> float
+
+(** Parse one [kind@start[+count]] spec. *)
+val parse_spec : string -> (spec, string) result
+
+(** Parse a comma-separated [site=spec] list. *)
+val parse : string -> ((string * spec) list, string) result

@@ -53,7 +53,10 @@ let names ?scale () = List.map (fun e -> e.short) (entries ?scale ())
 let find ?scale short =
   match List.find_opt (fun e -> e.short = short) (entries ?scale ()) with
   | Some e -> e
-  | None -> invalid_arg (Printf.sprintf "Suite.find: unknown design %s" short)
+  | None ->
+      Util.Errors.config_error ~what:"design"
+        (Printf.sprintf "unknown suite design %s (known: %s)" short
+           (String.concat " " (names ?scale ())))
 
 (** Generate a suite design and calibrate its clock. The calibration GP
     run is deterministic, so the resulting design (netlist + period) is a

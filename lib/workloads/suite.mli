@@ -9,7 +9,7 @@ val entries : ?scale:float -> unit -> entry list
 
 val names : ?scale:float -> unit -> string list
 
-(** Raises [Invalid_argument] for unknown names. *)
+(** Raises [Util.Errors.Error (Config_error _)] for unknown names. *)
 val find : ?scale:float -> string -> entry
 
 (** Generate a suite design; [calibrate] (default true) also sets its

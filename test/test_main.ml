@@ -29,6 +29,7 @@ let () =
       ("tdp", Test_tdp_suite.suite);
       ("workloads", Test_workloads_suite.suite);
       ("extensions", Test_extensions_suite.suite);
+      ("robustness", Test_robustness_suite.suite);
       ("oracle", Test_oracle_suite.suite);
       ("fuzz", Test_fuzz_suite.suite);
       ("properties", Test_properties_suite.suite);

@@ -87,7 +87,7 @@ let test_double_driver_rejected () =
     (try
        Builder.connect_by_name b ~net:n ~cell:u2 ~pin_name:"o";
        false
-     with Invalid_argument _ -> true)
+     with Util.Errors.Error (Util.Errors.Invalid_design _) -> true)
 
 let test_reconnect_rejected () =
   let b = Helpers.fresh_builder () in
@@ -99,7 +99,7 @@ let test_reconnect_rejected () =
     (try
        Builder.connect_by_name b ~net:n2 ~cell:u1 ~pin_name:"a1";
        false
-     with Invalid_argument _ -> true)
+     with Util.Errors.Error (Util.Errors.Invalid_design _) -> true)
 
 let test_undriven_net_rejected () =
   let b = Helpers.fresh_builder () in
@@ -110,7 +110,7 @@ let test_undriven_net_rejected () =
     (try
        ignore (Builder.finish b);
        false
-     with Invalid_argument _ -> true)
+     with Util.Errors.Error (Util.Errors.Invalid_design _) -> true)
 
 let test_hpwl_hand_computed () =
   let d = Helpers.chain_design () in

@@ -1,0 +1,460 @@
+(* Robustness suite: divergence guards, typed errors, fault-injection
+   recovery, and the [place] binary's exit-code contract.
+
+   The fault-injection hooks ([Gp.Wirelength.grad_fault],
+   [Rctree.Elmore.fault]) are process-global; every test that installs
+   one clears it in a [Fun.protect] finaliser so a failure cannot leak
+   faults into later tests. *)
+
+open Netlist
+
+(* Run [f] at 1 and 4 domains — guards must catch corruption wherever a
+   parallel kernel lands it. *)
+let at_domains f () =
+  Helpers.with_domains 1 f;
+  Helpers.with_domains 4 f
+
+let counter ctx name =
+  match Obs.Ctx.metric ctx name with
+  | Some (Obs.Metric.Counter r) -> !r
+  | _ -> 0.0
+
+let with_wl_fault spec f =
+  Gp.Wirelength.grad_fault := Some (Util.Fault.injector spec);
+  Fun.protect ~finally:(fun () -> Gp.Wirelength.grad_fault := None) f
+
+let with_elmore_fault spec f =
+  Rctree.Elmore.fault := Some (Util.Fault.injector spec);
+  Fun.protect ~finally:(fun () -> Rctree.Elmore.fault := None) f
+
+(* ---------------- Guard primitives ---------------- *)
+
+let test_guard_primitives () =
+  Alcotest.(check bool) "finite" true (Util.Guard.is_finite 1.5);
+  Alcotest.(check bool) "nan" false (Util.Guard.is_finite Float.nan);
+  Alcotest.(check bool) "inf" false (Util.Guard.is_finite Float.infinity);
+  let clean = Array.init 1000 float_of_int in
+  Alcotest.(check bool) "all_finite clean" true (Util.Guard.all_finite clean);
+  Alcotest.(check bool) "first_nonfinite clean" true
+    (Util.Guard.first_nonfinite clean = None);
+  Alcotest.(check int) "count clean" 0 (Util.Guard.count_nonfinite clean);
+  let dirty = Array.copy clean in
+  dirty.(617) <- Float.nan;
+  dirty.(800) <- Float.neg_infinity;
+  Alcotest.(check bool) "all_finite dirty" false (Util.Guard.all_finite dirty);
+  Alcotest.(check bool) "first_nonfinite dirty" true
+    (Util.Guard.first_nonfinite dirty = Some 617);
+  Alcotest.(check int) "count dirty" 2 (Util.Guard.count_nonfinite dirty);
+  Alcotest.(check bool) "empty" true (Util.Guard.all_finite [||])
+
+let test_sampled_finite () =
+  (* Short arrays are scanned in full: a single NaN is always found. *)
+  let short = Array.make 100 0.0 in
+  short.(63) <- Float.nan;
+  Alcotest.(check bool) "short full scan" false (Util.Guard.sampled_finite short);
+  (* Long arrays: a fully poisoned array is caught at any offset, and
+     rotating the offset sweeps a single offender eventually. *)
+  let long = Array.make 10_000 Float.nan in
+  Alcotest.(check bool) "long poisoned" false (Util.Guard.sampled_finite ~offset:0 long);
+  let one = Array.make 10_000 0.0 in
+  one.(4321) <- Float.nan;
+  let found = ref false in
+  for off = 0 to 200 do
+    if not (Util.Guard.sampled_finite ~offset:off one) then found := true
+  done;
+  Alcotest.(check bool) "offset sweep finds lone NaN" true !found;
+  Alcotest.(check bool) "clean long" true
+    (Util.Guard.sampled_finite ~offset:7 (Array.make 10_000 1.0))
+
+(* ---------------- Fault specs ---------------- *)
+
+let test_fault_spec_parse () =
+  (match Util.Fault.parse_spec "nan@100+5" with
+  | Ok s ->
+      Alcotest.(check bool) "kind" true (s.Util.Fault.kind = Util.Fault.Nan);
+      Alcotest.(check int) "start" 100 s.Util.Fault.start;
+      Alcotest.(check int) "count" 5 s.Util.Fault.count;
+      Alcotest.(check string) "roundtrip" "nan@100+5" (Util.Fault.spec_to_string s)
+  | Error e -> Alcotest.fail e);
+  (match Util.Fault.parse_spec "-inf@0" with
+  | Ok s ->
+      Alcotest.(check bool) "unbounded" true (s.Util.Fault.count < 0);
+      Alcotest.(check bool) "neg inf" true (s.Util.Fault.kind = Util.Fault.Neg_inf)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "bad kind" true (Result.is_error (Util.Fault.parse_spec "bogus@0"));
+  Alcotest.(check bool) "bad window" true (Result.is_error (Util.Fault.parse_spec "nan@-3"));
+  Alcotest.(check bool) "no at" true (Result.is_error (Util.Fault.parse_spec "nan"));
+  match Util.Fault.parse "wl_grad=nan@10+2, elmore=huge@0" with
+  | Ok [ ("wl_grad", s1); ("elmore", s2) ] ->
+      Alcotest.(check int) "clause 1 start" 10 s1.Util.Fault.start;
+      Alcotest.(check bool) "clause 2 kind" true (s2.Util.Fault.kind = Util.Fault.Huge)
+  | Ok _ -> Alcotest.fail "wrong clause list"
+  | Error e -> Alcotest.fail e
+
+let test_fault_injector_window () =
+  let inj = Util.Fault.injector { Util.Fault.kind = Util.Fault.Nan; start = 3; count = 2 } in
+  let out = List.init 8 (fun _ -> inj 1.0) in
+  let nans = List.filter (fun v -> Float.is_nan v) out in
+  Alcotest.(check int) "exactly the window corrupted" 2 (List.length nans);
+  Alcotest.(check bool) "calls 0-2 clean" true
+    (List.for_all (fun v -> v = 1.0) (List.filteri (fun i _ -> i < 3) out))
+
+(* ---------------- Typed errors ---------------- *)
+
+let test_error_exit_codes () =
+  let cases =
+    [
+      (Util.Errors.Config_error { what = "w"; detail = "d" }, "config_error", 2);
+      (Util.Errors.Invalid_design { design = "x"; problems = [ "p" ] }, "invalid_design", 3);
+      (Util.Errors.Diverged { stage = "gp"; detail = "d"; recoveries = 5 }, "diverged", 4);
+      (Util.Errors.Infeasible { stage = "legalize"; detail = "d" }, "infeasible", 5);
+    ]
+  in
+  List.iter
+    (fun (e, kind, code) ->
+      Alcotest.(check string) ("kind " ^ kind) kind (Util.Errors.kind e);
+      Alcotest.(check int) ("exit code " ^ kind) code (Util.Errors.exit_code e);
+      Alcotest.(check bool) ("message " ^ kind) true (String.length (Util.Errors.message e) > 0);
+      Alcotest.(check bool) ("fields " ^ kind) true (Util.Errors.fields e <> []))
+    cases;
+  (* Exit codes are pairwise distinct and avoid the reserved 0/1/124/125. *)
+  let codes = List.map (fun (e, _, _) -> Util.Errors.exit_code e) cases in
+  Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare codes));
+  List.iter
+    (fun c -> Alcotest.(check bool) "not reserved" false (List.mem c [ 0; 1; 124; 125 ]))
+    codes
+
+(* ---------------- Nesterov BB fallback (satellite regression) -------- *)
+
+(* A NaN gradient poisons prev_g; the next BB estimate is then NaN, and
+   before the fix [Float.min max_step nan = nan] made the *step* NaN too,
+   spreading the poison to every component of the iterate. With the fix
+   the step falls back to [fallback_step] and only the originally
+   poisoned component stays NaN. *)
+let test_nesterov_bb_nan_fallback () =
+  let opt = Gp.Nesterov.create [| 0.0; 0.0 |] in
+  let step g = Gp.Nesterov.step opt ~g ~fallback_step:0.1 ~max_step:1.0 ~clamp:(fun _ -> ()) in
+  step [| 1.0; 1.0 |];
+  step [| Float.nan; 1.0 |];
+  step [| 1.0; 1.0 |];
+  let u = Gp.Nesterov.iterate opt in
+  Alcotest.(check bool) "step length finite after NaN round" true
+    (Float.is_finite (Gp.Nesterov.last_step opt));
+  Alcotest.(check bool) "unpoisoned component stays finite" true (Float.is_finite u.(1))
+
+(* ---------------- GP guard + rollback ---------------- *)
+
+let gp_params =
+  { Gp.Globalplace.default_params with max_iters = 40; min_iters = 0; seed = 3 }
+
+(* A transient NaN window in the wirelength gradient: the guard must fire,
+   roll back to the last verified checkpoint, and the run must finish with
+   an entirely finite placement. *)
+let test_gp_transient_fault_recovers () =
+  let d = Workloads.Generate.generate Helpers.small_gen_params in
+  let ctx = Obs.Ctx.create () in
+  with_wl_fault
+    { Util.Fault.kind = Util.Fault.Nan; start = 2000; count = 500 }
+    (fun () ->
+      let r = Gp.Globalplace.run ~params:gp_params ~obs:ctx d in
+      Alcotest.(check bool) "guard fired" true (counter ctx "guard.nan_detected" >= 1.0);
+      Alcotest.(check bool) "rolled back" true (counter ctx "guard.rollbacks" >= 1.0);
+      Alcotest.(check bool) "final hpwl finite" true (Float.is_finite r.Gp.Globalplace.final_hpwl);
+      Alcotest.(check bool) "coordinates finite" true
+        (Util.Guard.all_finite d.Design.x && Util.Guard.all_finite d.Design.y))
+
+(* Every fault kind must be caught, not just NaN. *)
+let test_gp_fault_kinds_recover () =
+  List.iter
+    (fun kind ->
+      let d = Workloads.Generate.generate Helpers.small_gen_params in
+      let ctx = Obs.Ctx.create () in
+      with_wl_fault
+        { Util.Fault.kind; start = 2000; count = 300 }
+        (fun () ->
+          let r = Gp.Globalplace.run ~params:gp_params ~obs:ctx d in
+          Alcotest.(check bool)
+            ("finite after " ^ Util.Fault.kind_to_string kind)
+            true
+            (Float.is_finite r.Gp.Globalplace.final_hpwl)))
+    [ Util.Fault.Nan; Util.Fault.Pos_inf; Util.Fault.Neg_inf ]
+
+(* A persistent fault exhausts the consecutive-recovery budget and must
+   raise the structured [Diverged] error instead of looping forever. *)
+let test_gp_persistent_fault_diverges () =
+  let d = Workloads.Generate.generate Helpers.small_gen_params in
+  let ctx = Obs.Ctx.create () in
+  with_wl_fault
+    { Util.Fault.kind = Util.Fault.Nan; start = 0; count = -1 }
+    (fun () ->
+      match Gp.Globalplace.run ~params:gp_params ~obs:ctx d with
+      | _ -> Alcotest.fail "expected Diverged"
+      | exception Util.Errors.Error (Util.Errors.Diverged { recoveries; stage; _ }) ->
+          Alcotest.(check string) "stage" "globalplace" stage;
+          Alcotest.(check int) "budget exhausted" gp_params.Gp.Globalplace.max_recoveries
+            recoveries;
+          Alcotest.(check bool) "rollbacks counted" true
+            (counter ctx "guard.rollbacks"
+            >= float_of_int gp_params.Gp.Globalplace.max_recoveries))
+
+(* ---------------- Flow checkpoint decision (satellite) ---------------- *)
+
+let test_checkpoint_decision () =
+  let dec = Tdp.Flow.checkpoint_decision in
+  Alcotest.(check bool) "clear improvement" true
+    (dec ~best_key:(-10.0) ~best_hpwl:100.0 ~key:(-5.0) ~hpwl:120.0 = Tdp.Flow.New_best);
+  Alcotest.(check bool) "clear regression" true
+    (dec ~best_key:(-5.0) ~best_hpwl:100.0 ~key:(-10.0) ~hpwl:50.0 = Tdp.Flow.Keep);
+  Alcotest.(check bool) "tie with better hpwl" true
+    (dec ~best_key:(-5.0) ~best_hpwl:100.0 ~key:(-5.0 -. 1e-10) ~hpwl:90.0
+    = Tdp.Flow.Tie_better_hpwl);
+  Alcotest.(check bool) "tie with worse hpwl" true
+    (dec ~best_key:(-5.0) ~best_hpwl:100.0 ~key:(-5.0) ~hpwl:110.0 = Tdp.Flow.Keep);
+  Alcotest.(check bool) "first round always wins" true
+    (dec ~best_key:Float.neg_infinity ~best_hpwl:Float.infinity ~key:(-1e9) ~hpwl:1.0
+    = Tdp.Flow.New_best);
+  (* Non-finite metrics never checkpoint. *)
+  Alcotest.(check bool) "nan key" true
+    (dec ~best_key:(-5.0) ~best_hpwl:100.0 ~key:Float.nan ~hpwl:90.0 = Tdp.Flow.Keep);
+  Alcotest.(check bool) "inf hpwl" true
+    (dec ~best_key:(-5.0) ~best_hpwl:100.0 ~key:0.0 ~hpwl:Float.infinity = Tdp.Flow.Keep);
+  (* The ratchet scenario that motivated the fix: a chain of eps-sized
+     regressions each accepted as a "tie". The caller keeps
+     [max best_key key], so the bar never moves down; verify that after a
+     simulated chain the original best still decides. *)
+  let best_key = ref (-5.0) and best_hpwl = ref 100.0 in
+  for i = 1 to 50 do
+    let key = -5.0 -. (1e-4 *. 5.0 *. 0.9) (* just inside the eps band *) in
+    let hpwl = 100.0 -. float_of_int i in
+    match dec ~best_key:!best_key ~best_hpwl:!best_hpwl ~key ~hpwl with
+    | Tdp.Flow.Tie_better_hpwl ->
+        best_key := Float.max !best_key key;
+        best_hpwl := hpwl
+    | Tdp.Flow.New_best ->
+        best_key := key;
+        best_hpwl := hpwl
+    | Tdp.Flow.Keep -> ()
+  done;
+  Alcotest.(check (float 1e-12)) "best key never ratcheted down" (-5.0) !best_key
+
+(* ---------------- Pin attraction boundaries (satellite) -------------- *)
+
+let test_pin_attract_wns_boundary () =
+  let d = Helpers.chain_design () in
+  let timer = Sta.Timer.create d in
+  Sta.Timer.update timer;
+  let graph = Sta.Timer.graph timer in
+  let path =
+    match Sta.Timer.critical_path timer with
+    | Some p -> p
+    | None -> Alcotest.fail "chain design has no critical path"
+  in
+  let with_slack s = { path with Sta.Paths.slack = s } in
+  let fresh () = Tdp.Pin_attract.create d ~loss:Tdp.Config.Quadratic in
+  let update pa ~wns paths =
+    Tdp.Pin_attract.update_from_paths pa graph ~w0:10.0 ~w1:2.0 ~wns ~stale_decay:0.9 paths
+  in
+  (* wns = 0: no violation, Eq. 9 must not divide by zero or create pairs. *)
+  let pa = fresh () in
+  update pa ~wns:0.0 [ with_slack (-1.0) ];
+  Alcotest.(check int) "wns=0 creates no pairs" 0 (Tdp.Pin_attract.num_pairs pa);
+  (* Negative zero is still "no violation". *)
+  let pa = fresh () in
+  update pa ~wns:(-0.0) [ with_slack (-1.0) ];
+  Alcotest.(check int) "wns=-0 creates no pairs" 0 (Tdp.Pin_attract.num_pairs pa);
+  (* Non-finite ratio operands are rejected. *)
+  let pa = fresh () in
+  update pa ~wns:(-1.0) [ with_slack Float.neg_infinity ];
+  Alcotest.(check int) "slack=-inf rejected" 0 (Tdp.Pin_attract.num_pairs pa);
+  let pa = fresh () in
+  update pa ~wns:(-1.0) [ with_slack Float.nan ];
+  Alcotest.(check int) "slack=nan rejected" 0 (Tdp.Pin_attract.num_pairs pa);
+  (* A genuine violation still updates, and every weight stays finite. *)
+  let pa = fresh () in
+  update pa ~wns:(-2.0) [ with_slack (-1.0) ];
+  Alcotest.(check bool) "violation creates pairs" true (Tdp.Pin_attract.num_pairs pa > 0);
+  let all_finite =
+    Tdp.Pin_attract.fold_pairs pa ~init:true ~f:(fun acc ~pin_i:_ ~pin_j:_ ~weight ->
+        acc && Float.is_finite weight)
+  in
+  Alcotest.(check bool) "weights finite" true all_finite
+
+(* ---------------- Validation ---------------- *)
+
+let test_design_validate () =
+  let d = Helpers.chain_design () in
+  Alcotest.(check (list string)) "clean design" [] (Design.validate d);
+  Design.validate_exn d;
+  let saved = d.Design.x.(1) in
+  d.Design.x.(1) <- Float.nan;
+  Alcotest.(check bool) "nan coordinate detected" true (Design.validate d <> []);
+  (try
+     Design.validate_exn d;
+     Alcotest.fail "expected Invalid_design"
+   with Util.Errors.Error (Util.Errors.Invalid_design { design; problems }) ->
+     Alcotest.(check string) "design name" d.Design.name design;
+     Alcotest.(check bool) "problems listed" true (problems <> []));
+  d.Design.x.(1) <- saved;
+  Alcotest.(check (list string)) "restored design clean" [] (Design.validate d)
+
+let test_config_validate () =
+  Alcotest.(check bool) "default valid" true (Tdp.Config.validate Tdp.Config.default = Ok ());
+  let bad = { Tdp.Config.default with Tdp.Config.m = 0 } in
+  Alcotest.(check bool) "m=0 rejected" true (Result.is_error (Tdp.Config.validate bad));
+  let bad = { Tdp.Config.default with Tdp.Config.beta = Float.nan } in
+  Alcotest.(check bool) "nan beta rejected" true (Result.is_error (Tdp.Config.validate bad));
+  let bad = { Tdp.Config.default with Tdp.Config.stale_decay = 0.0 } in
+  (try
+     Tdp.Config.validate_exn bad;
+     Alcotest.fail "expected Config_error"
+   with Util.Errors.Error (Util.Errors.Config_error _) -> ())
+
+(* ---------------- Whole-flow robustness ---------------- *)
+
+let fast_cfg =
+  {
+    Tdp.Config.default with
+    Tdp.Config.timing_start = 20;
+    extra_iters = 60;
+    m = 10;
+    cooldown_iters = 0;
+  }
+
+(* The Efficient flow under a delay-model fault window: huge delays make
+   every slack wildly negative for a few rounds; the flow must survive and
+   deliver finite metrics. *)
+let test_flow_with_elmore_fault () =
+  let d = Helpers.small_calibrated () in
+  with_elmore_fault
+    { Util.Fault.kind = Util.Fault.Huge; start = 0; count = 20_000 }
+    (fun () ->
+      let r = Tdp.Flow.run ~obs:Obs.Ctx.null (Tdp.Flow.Efficient fast_cfg) d in
+      let m = r.Tdp.Flow.metrics in
+      Alcotest.(check bool) "hpwl finite" true (Float.is_finite m.Evalkit.Metrics.hpwl);
+      Alcotest.(check bool) "tns finite" true (Float.is_finite m.Evalkit.Metrics.tns);
+      Alcotest.(check bool) "coordinates finite" true
+        (Util.Guard.all_finite d.Design.x && Util.Guard.all_finite d.Design.y))
+
+(* NaN delays: Propagate filters non-finite slacks, so tns/wns stay
+   finite and the extraction guard layers never let a NaN reach the pair
+   weights. The flow completes with finite output. *)
+let test_flow_with_elmore_nan_fault () =
+  let d = Helpers.small_calibrated () in
+  with_elmore_fault
+    { Util.Fault.kind = Util.Fault.Nan; start = 0; count = 20_000 }
+    (fun () ->
+      let r = Tdp.Flow.run ~obs:Obs.Ctx.null (Tdp.Flow.Efficient fast_cfg) d in
+      Alcotest.(check bool) "hpwl finite" true
+        (Float.is_finite r.Tdp.Flow.metrics.Evalkit.Metrics.hpwl))
+
+let test_flow_rejects_invalid_design () =
+  let d = Helpers.chain_design () in
+  d.Design.x.(1) <- Float.infinity;
+  try
+    ignore (Tdp.Flow.run ~obs:Obs.Ctx.null Tdp.Flow.Vanilla d);
+    Alcotest.fail "expected Invalid_design"
+  with Util.Errors.Error (Util.Errors.Invalid_design _) -> ()
+
+(* ---------------- The place binary's exit-code contract -------------- *)
+
+(* Resolve the binary relative to the test executable so the tests work
+   both under `dune runtest` (cwd = _build/default/test) and `dune exec`
+   from anywhere. *)
+let place_exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat Filename.parent_dir_name (Filename.concat "bin" "place.exe"))
+
+let run_place args = Sys.command (place_exe ^ " " ^ args ^ " >/dev/null 2>&1")
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let tiny_design_text ~x1 =
+  Printf.sprintf
+    "design tiny\n\
+     die 0.0 0.0 100.0 100.0\n\
+     rowheight 1.0\n\
+     clock 500.0\n\
+     wire 0.1 0.2\n\
+     c pi I 0.0 50.0\n\
+     c u1 L INV_X1 M %s 50.0\n\
+     c po O 100.0 50.0\n\
+     n n1 0:p 1:a1\n\
+     n n2 1:o 2:p\n\
+     end\n"
+    x1
+
+let test_place_exit_codes () =
+  let design = Filename.temp_file "robustness_tiny" ".design" in
+  let bad_design = Filename.temp_file "robustness_bad" ".design" in
+  let report = Filename.temp_file "robustness_report" ".json" in
+  Fun.protect
+    ~finally:(fun () -> List.iter Sys.remove [ design; bad_design; report ])
+    (fun () ->
+      write_file design (tiny_design_text ~x1:"50.0");
+      write_file bad_design (tiny_design_text ~x1:"nan");
+      let base = Printf.sprintf "--design-file %s --flow vanilla --log-level quiet" design in
+      (* Success: exit 0 and a null error field in the report. *)
+      Alcotest.(check int) "success exit 0" 0
+        (run_place (Printf.sprintf "%s --report-json %s" base report));
+      Alcotest.(check bool) "success report has null error" true
+        (contains ~sub:"\"error\":null" (read_file report));
+      (* Config errors: exit 2. *)
+      Alcotest.(check int) "unknown flow exit 2" 2
+        (run_place (Printf.sprintf "--design-file %s --flow nope --log-level quiet" design));
+      Alcotest.(check int) "unknown fault site exit 2" 2
+        (run_place (base ^ " --fault-inject bogus=nan@0"));
+      Alcotest.(check int) "malformed fault spec exit 2" 2
+        (run_place (base ^ " --fault-inject wl_grad=nan"));
+      (* Invalid design: exit 3. *)
+      Alcotest.(check int) "nan coordinate exit 3" 3
+        (run_place
+           (Printf.sprintf "--design-file %s --flow vanilla --log-level quiet" bad_design));
+      (* Divergence under a persistent injected fault: exit 4, and the
+         report carries the structured error plus the guard counters. *)
+      Alcotest.(check int) "persistent fault exit 4" 4
+        (run_place (Printf.sprintf "%s --fault-inject wl_grad=nan@0 --report-json %s" base report));
+      let rpt = read_file report in
+      Alcotest.(check bool) "diverged error kind in report" true
+        (contains ~sub:"\"kind\":\"diverged\"" rpt);
+      Alcotest.(check bool) "guard counters in report" true
+        (contains ~sub:"guard.rollbacks" rpt);
+      (* The FAULT_INJECT environment variable is an alternative spelling. *)
+      Alcotest.(check int) "FAULT_INJECT env exit 4" 4
+        (Sys.command
+           (Printf.sprintf "FAULT_INJECT=wl_grad=nan@0 %s %s >/dev/null 2>&1" place_exe base)))
+
+let suite =
+  [
+    ("guard primitives", `Quick, test_guard_primitives);
+    ("guard sampled probe", `Quick, test_sampled_finite);
+    ("fault spec parsing", `Quick, test_fault_spec_parse);
+    ("fault injector window", `Quick, test_fault_injector_window);
+    ("error exit codes", `Quick, test_error_exit_codes);
+    ("nesterov BB NaN fallback", `Quick, test_nesterov_bb_nan_fallback);
+    ("gp transient fault recovers", `Quick, at_domains test_gp_transient_fault_recovers);
+    ("gp fault kinds recover", `Quick, test_gp_fault_kinds_recover);
+    ("gp persistent fault diverges", `Quick, at_domains test_gp_persistent_fault_diverges);
+    ("flow checkpoint decision", `Quick, test_checkpoint_decision);
+    ("pin attraction wns boundary", `Quick, test_pin_attract_wns_boundary);
+    ("design validation", `Quick, test_design_validate);
+    ("config validation", `Quick, test_config_validate);
+    ("flow survives elmore huge fault", `Slow, test_flow_with_elmore_fault);
+    ("flow survives elmore nan fault", `Slow, test_flow_with_elmore_nan_fault);
+    ("flow rejects invalid design", `Quick, test_flow_rejects_invalid_design);
+    ("place exit codes", `Slow, test_place_exit_codes);
+  ]

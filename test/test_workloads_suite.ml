@@ -117,7 +117,7 @@ let test_suite_entries () =
     (try
        ignore (Workloads.Suite.find "nope");
        false
-     with Invalid_argument _ -> true)
+     with Util.Errors.Error (Util.Errors.Config_error _) -> true)
 
 let test_suite_scaling () =
   let small = Workloads.Suite.find ~scale:0.25 "sb18" in
