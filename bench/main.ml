@@ -9,7 +9,8 @@
       dune exec bench/main.exe -- -domains 4 table2 -- parallel kernels
       dune exec bench/main.exe -- scaling           -- domain-scaling sweep
 
-    Sections: table1 table2 table3 table4 fig3 fig4 fig5 micro scaling all.
+    Sections: table1 table2 table3 table4 fig3 fig4 fig5 micro scaling
+    smoke all ("smoke" is the CI sentinel sweep and not part of "all").
     Default design scale is 0.5 (full bench in minutes); 1.0 doubles the
     design sizes at ~4x the runtime. [--json FILE] additionally dumps
     every flow result the run produced (runtime, breakdown, tns/wns,
@@ -39,17 +40,32 @@ let design name =
       Hashtbl.add designs name d;
       d
 
-let flow_results : (string * string, Tdp.Flow.result) Hashtbl.t = Hashtbl.create 64
+let flow_results : (string * string, (Tdp.Flow.result, Util.Errors.t) result) Hashtbl.t =
+  Hashtbl.create 64
 
-let run_flow dname meth =
-  let key = (dname, Tdp.Flow.method_name meth) in
+(* One (design, method) flow, memoised. A typed pipeline failure
+   ([Util.Errors.Error], e.g. [Diverged] after the rollback budget) is
+   caught and recorded as that entry's outcome — the sweep continues and
+   the [--json] dump serialises the error — instead of aborting the whole
+   bench run. Programmer errors still escape. *)
+let run_flow_err ?key_label dname meth =
+  let label = match key_label with Some l -> l | None -> Tdp.Flow.method_name meth in
+  let key = (dname, label) in
   match Hashtbl.find_opt flow_results key with
   | Some r -> r
   | None ->
-      Printf.printf "[run] %-18s on %s...\n%!" (Tdp.Flow.method_name meth) dname;
-      let r = Tdp.Flow.run meth (design dname) in
+      Printf.printf "[run] %-18s on %s...\n%!" label dname;
+      let r =
+        try Ok (Tdp.Flow.run meth (design dname))
+        with Util.Errors.Error e ->
+          Printf.printf "[fail] %-18s on %s: %s (recorded; sweep continues)\n%!" label dname
+            (Util.Errors.message e);
+          Error e
+      in
       Hashtbl.add flow_results key r;
       r
+
+let run_flow dname meth = run_flow_err dname meth
 
 let suite = [ "sb1"; "sb3"; "sb4"; "sb5"; "sb7"; "sb10"; "sb16"; "sb18" ]
 
@@ -165,40 +181,45 @@ let table2 () =
       Util.Tablefmt.add_row t
         (dn
         :: List.concat_map
-             (fun (r : Tdp.Flow.result) ->
-               [
-                 f2 (r.metrics.tns /. 1e3);
-                 f2 (r.metrics.wns /. 1e3);
-                 f1 (r.metrics.hpwl /. 1e3);
-               ])
+             (function
+               | Ok (r : Tdp.Flow.result) ->
+                   [
+                     f2 (r.metrics.tns /. 1e3);
+                     f2 (r.metrics.wns /. 1e3);
+                     f1 (r.metrics.hpwl /. 1e3);
+                   ]
+               | Error _ -> [ "-"; "-"; "-" ])
              rs))
     all;
   Util.Tablefmt.add_sep t;
-  (* Average ratios against Efficient-TDP (the last method). *)
-  let ours (rs : Tdp.Flow.result list) = List.nth rs (List.length rs - 1) in
+  (* Average ratios against Efficient-TDP (the last method), over the
+     (design, method) pairs where both flows succeeded. *)
+  let ours rs = List.nth rs (List.length rs - 1) in
+  let find_ok name rs =
+    List.find_map
+      (function Ok (r : Tdp.Flow.result) when r.name = name -> Some r | _ -> None)
+      rs
+  in
   Util.Tablefmt.add_row t
     ("Avg Ratio"
     :: List.concat_map
          (fun m ->
            let name = Tdp.Flow.method_name m in
-           let col f =
-             avg_ratio
-               (List.map
-                  (fun (_, rs) ->
-                    let r = List.find (fun (r : Tdp.Flow.result) -> r.name = name) rs in
-                    (f r, f (ours rs)))
-                  all)
+           let col ?floor f =
+             let pairs =
+               List.filter_map
+                 (fun (_, rs) ->
+                   match (find_ok name rs, ours rs) with
+                   | Some r, Ok (o : Tdp.Flow.result) -> Some (f r, f o)
+                   | _ -> None)
+                 all
+             in
+             if pairs = [] then Float.nan else avg_ratio ?floor pairs
            in
            [
              f2 (col (fun r -> r.metrics.tns));
              f2 (col (fun r -> r.metrics.wns));
-             Printf.sprintf "%.3f"
-               (avg_ratio ~floor:1e-3
-                  (List.map
-                     (fun (_, rs) ->
-                       let r = List.find (fun (r : Tdp.Flow.result) -> r.name = name) rs in
-                       (r.metrics.hpwl, (ours rs).metrics.hpwl))
-                     all));
+             Printf.sprintf "%.3f" (col ~floor:1e-3 (fun (r : Tdp.Flow.result) -> r.metrics.hpwl));
            ])
          methods);
   Util.Tablefmt.print t;
@@ -224,16 +245,7 @@ let table3 () =
     ]
   in
   (* Distinct cache keys per variant. *)
-  let run dn (vname, meth) =
-    let key = (dn, "t3:" ^ vname) in
-    match Hashtbl.find_opt flow_results key with
-    | Some r -> r
-    | None ->
-        Printf.printf "[run] %-24s on %s...\n%!" vname dn;
-        let r = Tdp.Flow.run meth (design dn) in
-        Hashtbl.add flow_results key r;
-        r
-  in
+  let run dn (vname, meth) = run_flow_err ~key_label:("t3:" ^ vname) dn meth in
   let t =
     Util.Tablefmt.create ~title:"TABLE III: ablation study, TNS (x10^3 ps) and WNS (x10^3 ps)"
       ~headers:("Benchmark" :: List.concat_map (fun (n, _) -> [ n ^ " TNS"; "WNS" ]) variants)
@@ -245,8 +257,11 @@ let table3 () =
       Util.Tablefmt.add_row t
         (dn
         :: List.concat_map
-             (fun (_, (r : Tdp.Flow.result)) ->
-               [ f2 (r.metrics.tns /. 1e3); f2 (r.metrics.wns /. 1e3) ])
+             (fun (_, r) ->
+               match r with
+               | Ok (r : Tdp.Flow.result) ->
+                   [ f2 (r.metrics.tns /. 1e3); f2 (r.metrics.wns /. 1e3) ]
+               | Error _ -> [ "-"; "-" ])
              rs))
     all;
   Util.Tablefmt.add_sep t;
@@ -256,12 +271,15 @@ let table3 () =
     :: List.concat_map
          (fun (vname, _) ->
            let col f =
-             avg_ratio
-               (List.map
-                  (fun (_, rs) ->
-                    let r = snd (List.find (fun (n, _) -> n = vname) rs) in
-                    (f r, f (ours_of rs)))
-                  all)
+             let pairs =
+               List.filter_map
+                 (fun (_, rs) ->
+                   match (snd (List.find (fun (n, _) -> n = vname) rs), ours_of rs) with
+                   | Ok (r : Tdp.Flow.result), Ok (o : Tdp.Flow.result) -> Some (f r, f o)
+                   | _ -> None)
+                 all
+             in
+             if pairs = [] then Float.nan else avg_ratio pairs
            in
            [
              f2 (col (fun (r : Tdp.Flow.result) -> r.metrics.tns));
@@ -284,16 +302,23 @@ let table4 () =
   let all = List.map (fun dn -> (dn, List.map (fun m -> run_flow dn m) methods)) suite in
   List.iter
     (fun (dn, rs) ->
-      Util.Tablefmt.add_row t (dn :: List.map (fun (r : Tdp.Flow.result) -> f2 r.runtime) rs))
+      Util.Tablefmt.add_row t
+        (dn
+        :: List.map
+             (function Ok (r : Tdp.Flow.result) -> f2 r.runtime | Error _ -> "-")
+             rs))
     all;
   Util.Tablefmt.add_sep t;
   let ratios i =
-    avg_ratio ~floor:1e-3
-      (List.map
-         (fun (_, rs) ->
-           ( (List.nth rs i : Tdp.Flow.result).runtime,
-             (List.nth rs 2 : Tdp.Flow.result).runtime ))
-         all)
+    let pairs =
+      List.filter_map
+        (fun (_, rs) ->
+          match (List.nth rs i, List.nth rs 2) with
+          | Ok (r : Tdp.Flow.result), Ok (o : Tdp.Flow.result) -> Some (r.runtime, o.runtime)
+          | _ -> None)
+        all
+    in
+    if pairs = [] then Float.nan else avg_ratio ~floor:1e-3 pairs
   in
   Util.Tablefmt.add_row t [ "Avg Ratio"; f2 (ratios 0); f2 (ratios 1); f2 (ratios 2) ];
   Util.Tablefmt.print t;
@@ -392,8 +417,10 @@ let fig3 () =
 
 let fig4 () =
   let dname = "sb1" in
-  let dp4 = run_flow dname Tdp.Flow.Dp4 in
-  let ours = run_flow dname (Tdp.Flow.Efficient Tdp.Config.default) in
+  match (run_flow dname Tdp.Flow.Dp4, run_flow dname (Tdp.Flow.Efficient Tdp.Config.default)) with
+  | Error _, _ | _, Error _ ->
+      Printf.printf "FIG 4 skipped: a required flow on %s failed\n\n" dname
+  | Ok dp4, Ok ours ->
   let total_dp4 = dp4.runtime in
   let t =
     Util.Tablefmt.create
@@ -445,8 +472,10 @@ let fig4 () =
 
 let fig5 () =
   let dname = "sb1" in
-  let dp4 = run_flow dname Tdp.Flow.Dp4 in
-  let ours = run_flow dname (Tdp.Flow.Efficient Tdp.Config.default) in
+  match (run_flow dname Tdp.Flow.Dp4, run_flow dname (Tdp.Flow.Efficient Tdp.Config.default)) with
+  | Error _, _ | _, Error _ ->
+      Printf.printf "FIG 5 skipped: a required flow on %s failed\n\n" dname
+  | Ok dp4, Ok ours ->
   Printf.printf "FIG 5: optimisation trajectory on %s (timing starts at iteration %d)\n" dname
     Tdp.Config.default.timing_start;
   let t =
@@ -856,6 +885,44 @@ let stats_section () =
   Printf.printf "Efficient-TDP best or tied in %d/%d (design, seed) pairs\n\n" !wins !total
 
 (* ------------------------------------------------------------------ *)
+(* Smoke sweep: the regression sentinel's CI workload — two designs x two
+   methods, small enough for a PR gate. Deliberately not part of "all";
+   pair with [--json] and [bin/bench_diff] against the committed
+   goldens/bench_baseline.json. *)
+
+let smoke () =
+  let dnames = [ "sb1"; "sb4" ] in
+  let methods = [ Tdp.Flow.Vanilla; Tdp.Flow.Efficient Tdp.Config.default ] in
+  let t =
+    Util.Tablefmt.create
+      ~title:"SMOKE: sentinel sweep (TNS x10^3 ps, WNS x10^3 ps, HPWL x10^3, sec)"
+      ~headers:[ "Benchmark"; "Method"; "TNS"; "WNS"; "HPWL"; "Runtime" ]
+      ~aligns:[ Left; Left; Right; Right; Right; Right ]
+  in
+  List.iter
+    (fun dn ->
+      List.iter
+        (fun m ->
+          match run_flow dn m with
+          | Ok (r : Tdp.Flow.result) ->
+              Util.Tablefmt.add_row t
+                [
+                  dn;
+                  r.name;
+                  f2 (r.metrics.tns /. 1e3);
+                  f2 (r.metrics.wns /. 1e3);
+                  f1 (r.metrics.hpwl /. 1e3);
+                  f2 r.runtime;
+                ]
+          | Error e ->
+              Util.Tablefmt.add_row t
+                [ dn; Tdp.Flow.method_name m; "-"; "-"; "-"; Util.Errors.kind e ])
+        methods)
+    dnames;
+  Util.Tablefmt.print t;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable dump of every flow result this invocation ran (the
    BENCH_*.json convention: per-flow runtime, breakdown, tns/wns/hpwl). *)
 
@@ -863,10 +930,29 @@ let dump_json path =
   let entries =
     Hashtbl.fold (fun (dname, label) r acc -> ((dname, label), r) :: acc) flow_results []
     |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
-    |> List.map (fun ((_, label), r) ->
-           match Tdp.Flow.result_to_json r with
-           | Obs.Json.Obj fields -> Obs.Json.Obj (("label", Obs.Json.String label) :: fields)
-           | j -> j)
+    |> List.map (fun ((dname, label), outcome) ->
+           match outcome with
+           | Ok r -> (
+               match Tdp.Flow.result_to_json r with
+               | Obs.Json.Obj fields ->
+                   Obs.Json.Obj (("label", Obs.Json.String label) :: fields)
+               | j -> j)
+           | Error e ->
+               (* Failed entry: enough identity to match against a baseline
+                  plus the structured typed error. *)
+               Obs.Json.Obj
+                 [
+                   ("label", Obs.Json.String label);
+                   ("name", Obs.Json.String label);
+                   ("design", Obs.Json.String dname);
+                   ( "error",
+                     Obs.Json.Obj
+                       (("kind", Obs.Json.String (Util.Errors.kind e))
+                       :: ("message", Obs.Json.String (Util.Errors.message e))
+                       :: List.map
+                            (fun (k, v) -> (k, Obs.Json.String v))
+                            (Util.Errors.fields e)) );
+                 ])
   in
   let doc =
     Obs.Json.Obj
@@ -913,19 +999,27 @@ let () =
   Printf.printf "sections: %s\n\n%!" (String.concat " " sections);
   List.iter
     (fun s ->
-      match s with
-      | "table1" -> table1 ()
-      | "table2" -> table2 ()
-      | "table3" -> table3 ()
-      | "table4" -> table4 ()
-      | "fig3" -> fig3 ()
-      | "fig4" -> fig4 ()
-      | "fig5" -> fig5 ()
-      | "micro" -> micro ()
-      | "scaling" -> scaling ()
-      | "ext" -> ext ()
-      | "stats" -> stats_section ()
-      | other -> Printf.printf "unknown section %s (skipped)\n" other)
+      try
+        match s with
+        | "table1" -> table1 ()
+        | "table2" -> table2 ()
+        | "table3" -> table3 ()
+        | "table4" -> table4 ()
+        | "fig3" -> fig3 ()
+        | "fig4" -> fig4 ()
+        | "fig5" -> fig5 ()
+        | "micro" -> micro ()
+        | "scaling" -> scaling ()
+        | "ext" -> ext ()
+        | "smoke" -> smoke ()
+        | "stats" -> stats_section ()
+        | other -> Printf.printf "unknown section %s (skipped)\n" other
+      with Util.Errors.Error e ->
+        (* Sections that run flows outside the memoised sweep (fig3, ext,
+           stats) can still hit a typed failure; drop the section, keep
+           the run. *)
+        Printf.printf "[fail] section %s aborted: %s (continuing)\n\n%!" s
+          (Util.Errors.message e))
     sections;
   (match !json_out with Some path -> dump_json path | None -> ());
   Printf.printf "total bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

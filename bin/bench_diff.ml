@@ -1,0 +1,99 @@
+(** Bench regression sentinel: compare two [bench-results-v1] JSON dumps
+    (written by [bench/main.exe --json]) against ratio thresholds on
+    whole-flow runtime, peak RSS, per-phase self time and HPWL.
+
+    Usage:
+      bench_diff goldens/bench_baseline.json BENCH_current.json
+      bench_diff --max-self-ratio 8 --min-phase-s 0.1 base.json cur.json
+
+    Exit codes: 0 the current run passes the gate, 1 at least one
+    threshold violation (or a baseline entry missing from the current
+    run), 2 unreadable/malformed input. *)
+
+open Cmdliner
+
+let read_json path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | s -> Obs.Json.parse s
+
+let run baseline current max_time max_rss max_self max_hpwl min_phase_s min_rss_mb quiet =
+  let th =
+    {
+      Obs.Benchcmp.max_time_ratio = max_time;
+      max_rss_ratio = max_rss;
+      max_self_ratio = max_self;
+      max_hpwl_ratio = max_hpwl;
+      min_phase_s;
+      min_rss_bytes = min_rss_mb *. 1024.0 *. 1024.0;
+    }
+  in
+  match (read_json baseline, read_json current) with
+  | Error e, _ ->
+      Printf.eprintf "bench_diff: %s: %s\n" baseline e;
+      exit 2
+  | _, Error e ->
+      Printf.eprintf "bench_diff: %s: %s\n" current e;
+      exit 2
+  | Ok b, Ok c -> (
+      match Obs.Benchcmp.compare_docs th ~baseline:b ~current:c with
+      | Error e ->
+          Printf.eprintf "bench_diff: %s\n" e;
+          exit 2
+      | Ok [] ->
+          if not quiet then
+            Printf.printf "bench_diff: PASS (%s vs %s, no threshold violations)\n" baseline
+              current;
+          exit 0
+      | Ok violations ->
+          Printf.printf "bench_diff: FAIL — %d violation(s) of %s vs %s:\n"
+            (List.length violations) current baseline;
+          List.iter
+            (fun v -> Printf.printf "  %s\n" (Obs.Benchcmp.violation_to_string v))
+            violations;
+          exit 1)
+
+let baseline =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE.json" ~doc:"Baseline dump.")
+
+let current =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"CURRENT.json" ~doc:"Current dump.")
+
+let d = Obs.Benchcmp.default_thresholds
+
+let max_time =
+  Arg.(value & opt float d.max_time_ratio
+       & info [ "max-time-ratio" ] ~docv:"R" ~doc:"Whole-flow runtime ratio limit.")
+
+let max_rss =
+  Arg.(value & opt float d.max_rss_ratio
+       & info [ "max-rss-ratio" ] ~docv:"R" ~doc:"Peak-RSS ratio limit.")
+
+let max_self =
+  Arg.(value & opt float d.max_self_ratio
+       & info [ "max-self-ratio" ] ~docv:"R" ~doc:"Per-phase self-time ratio limit.")
+
+let max_hpwl =
+  Arg.(value & opt float d.max_hpwl_ratio
+       & info [ "max-hpwl-ratio" ] ~docv:"R" ~doc:"HPWL quality-backstop ratio limit.")
+
+let min_phase_s =
+  Arg.(value & opt float d.min_phase_s
+       & info [ "min-phase-s" ] ~docv:"S"
+           ~doc:"Ignore runtime/self checks whose baseline is below S seconds.")
+
+let min_rss_mb =
+  Arg.(value & opt float (d.min_rss_bytes /. (1024.0 *. 1024.0))
+       & info [ "min-rss-mb" ] ~docv:"MB"
+           ~doc:"Ignore the RSS check when the baseline peak is below MB.")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No output on a pass.")
+
+let cmd =
+  let doc = "compare two bench JSON dumps against regression thresholds" in
+  Cmd.v (Cmd.info "bench_diff" ~doc)
+    Term.(
+      const run $ baseline $ current $ max_time $ max_rss $ max_self $ max_hpwl $ min_phase_s
+      $ min_rss_mb $ quiet)
+
+let () = exit (Cmd.eval cmd)

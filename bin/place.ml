@@ -5,12 +5,16 @@
       place --design-file my.design --flow dp4 --out placed.design
       place -d sb4 --flow efficient --loss linear --paths-per-endpoint 10
       place -d sb4 --flow efficient --trace-out run.jsonl --report-json report.json
+      place -d sb4 --heartbeat-out hb.jsonl --heartbeat-every 10
 
     Reporting goes through Obs.Log (level from OBS_LEVEL or --log-level);
     --trace-out streams the full span tree plus the final metric snapshot
-    as JSONL (summarise with trace_report), --report-json writes the
-    structured result (with an "error" object instead of metrics when the
-    run fails).
+    as JSONL (summarise with trace_report; export Chrome-trace/flamegraph
+    views with trace_report --chrome-trace / --flamegraph), --report-json
+    writes the structured result (with an "error" object instead of
+    metrics when the run fails), --heartbeat-out streams periodic
+    progress records (overflow, HPWL, TNS/WNS trend, guard counters,
+    extraction stats) as JSONL while the placement runs.
 
     Exit codes: 0 success, 2 config error, 3 invalid design, 4 diverged
     (rollback budget exhausted), 5 legalization infeasible; 1 is reserved
@@ -58,23 +62,6 @@ let install_faults spec_str =
           Obs.Log.warn "fault injection active: %s=%s" site (Util.Fault.spec_to_string spec))
         clauses
 
-(* Feed per-kernel wall time and chunk imbalance (max/mean chunk time) of
-   every named parallel call into the metric registry as histograms. *)
-let install_parallel_instrument ctx =
-  Util.Parallel.set_instrument
-    (Some
-       (fun (s : Util.Parallel.stats) ->
-         Obs.Ctx.observe ctx ("par." ^ s.kernel ^ ".ms") (s.total_s *. 1e3);
-         if s.chunks > 1 then begin
-           let mx = Array.fold_left Float.max 0.0 s.chunk_s in
-           let mean =
-             Array.fold_left ( +. ) 0.0 s.chunk_s /. float_of_int s.chunks
-           in
-           Obs.Ctx.observe ctx
-             ("par." ^ s.kernel ^ ".imbalance")
-             (mx /. Float.max 1e-9 mean)
-         end))
-
 let error_to_json e =
   Obs.Json.Obj
     (("kind", Obs.Json.String (Util.Errors.kind e))
@@ -96,17 +83,25 @@ let write_error_report path ctx e =
   Obs.Log.info "wrote structured report to %s" path
 
 let run design file scale flow loss k domains fault_inject out curve trace_out report_json
-    log_level =
+    heartbeat_out heartbeat_every log_level =
   (match log_level with Some l -> Obs.Log.set_level l | None -> ());
   Util.Parallel.set_num_domains domains;
   Obs.Log.info "parallel: %d domain(s)" !Util.Parallel.num_domains;
   let sinks = match trace_out with Some path -> [ Obs.Sink.jsonl path ] | None -> [] in
   let ctx = Obs.Ctx.create ~sinks () in
   Obs.Ctx.set_default ctx;
-  install_parallel_instrument ctx;
+  Obs.Resource.install_parallel ctx;
+  let heartbeat, heartbeat_close =
+    match heartbeat_out with
+    | Some path ->
+        let emit, close = Obs.Heartbeat.jsonl_emitter path in
+        (Some (Obs.Heartbeat.create ~every_iters:heartbeat_every ~emit ctx), close)
+    | None -> (None, fun () -> ())
+  in
   let on_error e =
     Obs.Log.error "%s" (Util.Errors.message e);
     (match report_json with Some path -> write_error_report path ctx e | None -> ());
+    heartbeat_close ();
     Obs.Ctx.close ctx;
     exit (Util.Errors.exit_code e)
   in
@@ -130,12 +125,16 @@ let run design file scale flow loss k domains fault_inject out curve trace_out r
     (Netlist.Design.num_cells d) (Netlist.Design.num_nets d) d.clock_period;
   let meth = make_method flow loss k in
   Obs.Log.info "flow: %s" (Tdp.Flow.method_name meth);
-  let r = Tdp.Flow.run ~obs:ctx meth d in
+  let r = Tdp.Flow.run ~obs:ctx ?heartbeat meth d in
   Obs.Log.info "global placement  : %s" (Format.asprintf "%a" Evalkit.Metrics.pp r.metrics_gp);
   Obs.Log.info "after legalization: %s" (Format.asprintf "%a" Evalkit.Metrics.pp r.metrics);
   Obs.Log.info "runtime: %.2f s" r.runtime;
   Obs.Log.info "breakdown:";
   List.iter (fun (n, s) -> Obs.Log.info "  %-16s %8.3f s" n s) r.breakdown;
+  Obs.Log.info "resource: peak RSS %.1f MB, %.1fM minor words, %d major GCs"
+    (float_of_int r.resource.Obs.Resource.peak_rss_bytes /. 1048576.0)
+    (r.resource.Obs.Resource.d_minor_words /. 1e6)
+    r.resource.Obs.Resource.d_major_collections;
   if curve then begin
     Obs.Log.info "timing-phase curve (iter hpwl overflow tns wns):";
     List.iter
@@ -158,6 +157,10 @@ let run design file scale flow loss k domains fault_inject out curve trace_out r
       output_char oc '\n';
       close_out oc;
       Obs.Log.info "wrote structured report to %s" path
+  | None -> ());
+  heartbeat_close ();
+  (match heartbeat_out with
+  | Some path -> Obs.Log.info "wrote heartbeats to %s" path
   | None -> ());
   (* Flushes the metric snapshot into the trace and closes the file. *)
   Obs.Ctx.close ctx;
@@ -213,6 +216,15 @@ let report_json =
   Arg.(value & opt (some string) None
        & info [ "report-json" ] ~docv:"FILE" ~doc:"Write the structured run report as JSON.")
 
+let heartbeat_out =
+  Arg.(value & opt (some string) None
+       & info [ "heartbeat-out" ] ~docv:"FILE"
+           ~doc:"Stream periodic progress records (JSONL) while placing.")
+
+let heartbeat_every =
+  Arg.(value & opt int 25
+       & info [ "heartbeat-every" ] ~docv:"N" ~doc:"Heartbeat cadence in placement iterations.")
+
 let log_level =
   let levels =
     List.map (fun l -> (Obs.Log.to_string l, l)) Obs.Log.[ Quiet; Error; Warn; Info; Debug ]
@@ -226,6 +238,6 @@ let cmd =
   Cmd.v (Cmd.info "place" ~doc)
     Term.(
       const run $ design $ file $ scale $ flow $ loss $ k $ domains $ fault_inject $ out
-      $ curve $ trace_out $ report_json $ log_level)
+      $ curve $ trace_out $ report_json $ heartbeat_out $ heartbeat_every $ log_level)
 
 let () = exit (Cmd.eval cmd)

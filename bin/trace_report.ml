@@ -1,13 +1,25 @@
 (** Summarise a JSONL trace produced by [place --trace-out] into a
     Fig. 4-style component table: per span name, invocation count, total
     and self wall time (total minus the time spent in child spans), plus
-    the recorded counters and gauges.
+    the recorded counters and gauges. Also exports the span timeline as
+    Chrome trace-event JSON (load in chrome://tracing or Perfetto) and as
+    folded stacks for flamegraph.pl.
 
-    Usage: trace_report run.jsonl [--top N] *)
+    Usage:
+      trace_report run.jsonl [--top N]
+      trace_report run.jsonl --chrome-trace run.trace.json
+      trace_report run.jsonl --flamegraph run.folded *)
 
 open Cmdliner
 
-type span_rec = { id : int; parent : int; name : string; dur : float }
+type span_rec = {
+  id : int;
+  parent : int;
+  name : string;
+  t0 : float;
+  dur : float;
+  attrs : (string * Obs.Json.t) list;
+}
 
 type name_stat = {
   mutable count : int;
@@ -44,8 +56,21 @@ let load path =
                  let geti k = match mem_int k j with Some v -> v | None -> -1 in
                  let getf k = match mem_float k j with Some v -> v | None -> 0.0 in
                  let name = match mem_str "name" j with Some s -> s | None -> "?" in
+                 let attrs =
+                   match Obs.Json.member "attrs" j with
+                   | Some (Obs.Json.Obj kvs) -> kvs
+                   | _ -> []
+                 in
                  spans :=
-                   { id = geti "id"; parent = geti "parent"; name; dur = getf "dur" } :: !spans
+                   {
+                     id = geti "id";
+                     parent = geti "parent";
+                     name;
+                     t0 = getf "t0";
+                     dur = getf "dur";
+                     attrs;
+                   }
+                   :: !spans
              | Some "metric" -> metrics := j :: !metrics
              | _ -> Obs.Log.warn "line %d: unknown record type, skipped" !lineno)
      done
@@ -144,19 +169,58 @@ let print_metrics metrics =
     Util.Tablefmt.print tbl
   end
 
-let run path top =
+(* Rebuild [Obs.Span.t] values from the replayed records so the timeline
+   exporters see exactly what a live [Sink.memory] would have. *)
+let to_spans recs =
+  List.map
+    (fun r ->
+      let s = Obs.Span.make ~id:r.id ~parent:r.parent ~name:r.name ~start:r.t0 ~attrs:r.attrs in
+      s.Obs.Span.dur <- r.dur;
+      s)
+    recs
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let run path top chrome_out flame_out =
   let spans, metrics = load path in
   if spans = [] && metrics = [] then Obs.Log.warn "%s: no span or metric records found" path;
   print_spans spans top;
-  print_metrics metrics
+  print_metrics metrics;
+  (match chrome_out with
+  | Some out ->
+      let doc = Obs.Timeline.to_chrome_trace ~process_name:"place" (to_spans spans) in
+      write_file out (Obs.Json.to_string doc ^ "\n");
+      Printf.printf "wrote Chrome trace (%d events) to %s — load in chrome://tracing or Perfetto\n"
+        (List.length spans + 1) out
+  | None -> ());
+  match flame_out with
+  | Some out ->
+      let folded = Obs.Timeline.to_folded (to_spans spans) in
+      write_file out (Obs.Timeline.folded_to_string folded);
+      Printf.printf "wrote %d folded stacks to %s — render with flamegraph.pl\n"
+        (List.length folded) out
+  | None -> ()
 
 let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.jsonl" ~doc:"Trace file.")
 
 let top =
   Arg.(value & opt int 0 & info [ "top" ] ~docv:"N" ~doc:"Show only the N hottest span names.")
 
+let chrome_out =
+  Arg.(value & opt (some string) None
+       & info [ "chrome-trace" ] ~docv:"FILE"
+           ~doc:"Export the span timeline as Chrome trace-event JSON.")
+
+let flame_out =
+  Arg.(value & opt (some string) None
+       & info [ "flamegraph" ] ~docv:"FILE"
+           ~doc:"Export folded stacks (flamegraph.pl input).")
+
 let cmd =
   let doc = "summarise a place --trace-out JSONL trace" in
-  Cmd.v (Cmd.info "trace_report" ~doc) Term.(const run $ path $ top)
+  Cmd.v (Cmd.info "trace_report" ~doc) Term.(const run $ path $ top $ chrome_out $ flame_out)
 
 let () = exit (Cmd.eval cmd)

@@ -8,16 +8,18 @@ open Netlist
 type t = {
   grid : Densitygrid.t;
   poisson : Numerics.Poisson.t;
+  obs : Obs.Ctx.t; (* for the in-kernel finiteness probe *)
   mutable psi : float array;
   mutable ex : float array; (* field, grid units *)
   mutable ey : float array;
   mutable energy : float;
 }
 
-let create grid =
+let create ?(obs = Obs.Ctx.null) grid =
   {
     grid;
     poisson = Numerics.Poisson.create ~rows:grid.Densitygrid.bins_y ~cols:grid.Densitygrid.bins_x;
+    obs;
     psi = [||];
     ex = [||];
     ey = [||];
@@ -28,7 +30,7 @@ let create grid =
     [Densitygrid.update]. *)
 let solve t ~target_density =
   let rho = Densitygrid.charge t.grid ~target_density in
-  let psi = Numerics.Poisson.solve t.poisson rho in
+  let psi = Numerics.Poisson.solve ~obs:t.obs t.poisson rho in
   let ex, ey = Numerics.Poisson.field t.poisson psi in
   t.psi <- psi;
   t.ex <- ex;

@@ -5,13 +5,14 @@
 type t = {
   grid : Densitygrid.t;
   poisson : Numerics.Poisson.t;
+  obs : Obs.Ctx.t; (* routes the in-kernel finiteness probe *)
   mutable psi : float array;
   mutable ex : float array; (* field, grid units *)
   mutable ey : float array;
   mutable energy : float;
 }
 
-val create : Densitygrid.t -> t
+val create : ?obs:Obs.Ctx.t -> Densitygrid.t -> t
 
 (** Re-solve potential/field/energy; call after [Densitygrid.update]. *)
 val solve : t -> target_density:float -> unit

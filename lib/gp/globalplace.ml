@@ -113,12 +113,13 @@ type result = {
   final_overflow : float;
 }
 
-let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) (d : Design.t) =
+let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) ?heartbeat
+    (d : Design.t) =
   let tick name f = Obs.Ctx.span obs name f in
   let bins_x = if params.bins_x > 0 then params.bins_x else auto_bins d in
   let bins_y = if params.bins_y > 0 then params.bins_y else bins_x in
   let grid = Densitygrid.create d ~bins_x ~bins_y in
-  let electro = Electro.create grid in
+  let electro = Electro.create ~obs grid in
   let movable = Array.of_list (Design.movable_ids d) in
   let nm = Array.length movable in
   if nm = 0 then Util.Errors.invalid_design ~design:d.Design.name [ "no movable cells" ];
@@ -281,6 +282,7 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) (d 
         consecutive_recoveries := 0;
         backoff := Float.min 1.0 (!backoff *. 1.25);
         trace := { iter = !iter; hpwl; overflow; gamma; lambda = !lambda } :: !trace;
+        (match heartbeat with Some hb -> Obs.Heartbeat.note_hpwl hb hpwl | None -> ());
         Obs.Ctx.span_attrs obs [ ("hpwl", Obs.Json.Float hpwl) ];
         if params.verbose || Obs.Log.enabled Obs.Log.Debug then
           Obs.Log.emit Obs.Log.Debug
@@ -289,6 +291,9 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) (d 
       else recover ~what:"iterate (checkpoint hpwl)"
     end;
     Obs.Ctx.count obs "gp.iters";
+    (* Heartbeat after the hooks and guards so the record carries this
+       iteration's timing/guard updates (cadence decided inside). *)
+    (match heartbeat with Some hb -> Obs.Heartbeat.tick hb ~iter:!iter ~overflow | None -> ());
     if overflow < params.stop_overflow && !iter >= params.min_iters then stop := true;
     incr iter)
   done;
@@ -316,6 +321,13 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) (d 
   Obs.Ctx.gauge obs "gp.final_hpwl" final_hpwl;
   Obs.Ctx.gauge obs "gp.final_overflow" !last_overflow;
   Obs.Ctx.gauge obs "gp.iterations" (float_of_int !iter);
+  (* Final heartbeat regardless of cadence: subscribers always see the
+     converged state. *)
+  (match heartbeat with
+  | Some hb ->
+      Obs.Heartbeat.note_hpwl hb final_hpwl;
+      Obs.Heartbeat.force hb ~iter:!iter ~overflow:!last_overflow
+  | None -> ());
   {
     trace = List.rev !trace;
     iters = !iter;

@@ -75,4 +75,10 @@ type result = {
     [Util.Errors.Error (Diverged _)] after [params.max_recoveries]
     consecutive rollbacks. Raises [Util.Errors.Error (Invalid_design _)]
     when the design has no movable cells. *)
-val run : ?params:params -> ?hooks:hooks -> ?obs:Obs.Ctx.t -> Netlist.Design.t -> result
+val run :
+  ?params:params ->
+  ?hooks:hooks ->
+  ?obs:Obs.Ctx.t ->
+  ?heartbeat:Obs.Heartbeat.t ->
+  Netlist.Design.t ->
+  result

@@ -31,15 +31,29 @@ let create ~rows ~cols =
   done;
   { rows; cols; inv_freq_sq = inv }
 
+(* In-kernel finiteness probe (sampled, so O(1)-ish per solve): a NaN
+   entering through the density field or produced inside the DCT pair
+   should be attributed to *this* kernel, not discovered iterations later
+   by the gradient-level guard in Globalplace. Observation-only — the
+   guard there still owns recovery. *)
+let probe obs ~what a =
+  if Obs.Ctx.enabled obs && not (Util.Guard.sampled_finite a) then begin
+    Obs.Ctx.count obs ("guard.numerics." ^ what ^ "_nonfinite");
+    Obs.Log.warn "[poisson] non-finite %s detected in spectral solve" what
+  end
+
 (** Potential psi from charge density rho (row-major [rows*cols]).
     [Dct.idct2_2d] inverts [Dct.dct2_2d] exactly, so no extra
     normalisation is needed here. *)
-let solve t rho =
+let solve ?(obs = Obs.Ctx.null) t rho =
   assert (Array.length rho = t.rows * t.cols);
+  probe obs ~what:"density" rho;
   let coeffs = Dct.dct2_2d rho ~rows:t.rows ~cols:t.cols in
   Util.Parallel.for_ ~name:"poisson.scale" (t.rows * t.cols) (fun i ->
       coeffs.(i) <- coeffs.(i) *. t.inv_freq_sq.(i));
-  Dct.idct2_2d coeffs ~rows:t.rows ~cols:t.cols
+  let psi = Dct.idct2_2d coeffs ~rows:t.rows ~cols:t.cols in
+  probe obs ~what:"psi" psi;
+  psi
 
 (** Electric field (ex, ey) = -grad(psi), central differences in grid
     units, one-sided at the boundary. [ex] varies along columns (x),

@@ -10,8 +10,11 @@ type t
 (** Grid dimensions must be powers of two. *)
 val create : rows:int -> cols:int -> t
 
-(** Potential from the (row-major) charge grid. *)
-val solve : t -> float array -> float array
+(** Potential from the (row-major) charge grid. A sampled in-kernel
+    finiteness probe on the input density field and output potential
+    counts [guard.numerics.*_nonfinite] on [obs] (observation-only; the
+    caller's guard still owns recovery). *)
+val solve : ?obs:Obs.Ctx.t -> t -> float array -> float array
 
 (** Field (ex, ey) = -grad psi by central differences, in grid units. *)
 val field : t -> float array -> float array * float array

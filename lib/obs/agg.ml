@@ -63,3 +63,11 @@ let to_breakdown t =
   stats t
   |> List.map (fun (name, st) -> (name, st.total))
   |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(** Per-name *self* seconds (total minus children), largest first — the
+    attribution the bench regression sentinel compares, since self time
+    is additive across phases where total double-counts nesting. *)
+let to_self_breakdown t =
+  stats t
+  |> List.map (fun (name, st) -> (name, st.self))
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

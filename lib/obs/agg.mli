@@ -31,3 +31,7 @@ val total : t -> string -> float
 (** Per-name total seconds, largest first — the [Util.Timerstat.to_list]
     shape that [Tdp.Flow.result.breakdown] promises. *)
 val to_breakdown : t -> (string * float) list
+
+(** Per-name self seconds (total minus children), largest first —
+    additive across phases, the regression sentinel's attribution. *)
+val to_self_breakdown : t -> (string * float) list

@@ -1,0 +1,148 @@
+(** The bench regression sentinel's comparison core: two
+    [bench-results-v1] documents (the bench harness's [--json] dump) are
+    matched entry-by-entry and checked against ratio thresholds on
+    runtime, peak RSS, per-phase self time and HPWL.
+
+    Design notes for a *gate, not a noise alarm*: every check is a ratio
+    with an absolute floor on the baseline side (sub-threshold phases and
+    heaps jitter wildly across hosts), thresholds default generous, and
+    an entry present in the baseline but missing from the current run is
+    itself a violation — silent coverage loss must not read as a pass. *)
+
+type thresholds = {
+  max_time_ratio : float; (* whole-flow runtime, current / baseline *)
+  max_rss_ratio : float; (* peak RSS, current / baseline *)
+  max_self_ratio : float; (* per-phase self seconds, current / baseline *)
+  max_hpwl_ratio : float; (* quality backstop: HPWL current / baseline *)
+  min_phase_s : float; (* ignore phases whose baseline self time is below *)
+  min_rss_bytes : float; (* ignore the RSS check below this baseline *)
+}
+
+(* Hosts differ; CI wants regressions an order of magnitude out, not
+   scheduler noise. *)
+let default_thresholds =
+  {
+    max_time_ratio = 5.0;
+    max_rss_ratio = 4.0;
+    max_self_ratio = 6.0;
+    max_hpwl_ratio = 1.5;
+    min_phase_s = 0.05;
+    min_rss_bytes = 32.0 *. 1024.0 *. 1024.0;
+  }
+
+type violation = {
+  key : string; (* "design/label" *)
+  what : string; (* e.g. "runtime", "peak_rss", "self:density", "missing" *)
+  baseline : float;
+  current : float;
+  limit : float; (* the ratio (or presence=1) that was exceeded *)
+}
+
+let violation_to_string v =
+  if v.what = "missing" then Printf.sprintf "%-28s missing from current run" v.key
+  else
+    Printf.sprintf "%-28s %-16s %12.4g -> %12.4g (%.2fx > %.2fx)" v.key v.what v.baseline
+      v.current
+      (v.current /. Float.max 1e-30 v.baseline)
+      v.limit
+
+(* ---- document access ---- *)
+
+let mem_str k j = Option.bind (Json.member k j) Json.to_string_opt
+
+let mem_float k j = Option.bind (Json.member k j) Json.to_float
+
+type entry = {
+  ekey : string;
+  runtime : float option;
+  peak_rss : float option;
+  hpwl : float option;
+  self : (string * float) list; (* per-phase self seconds *)
+  failed : bool; (* entry carries an error object *)
+}
+
+let entry_of_json j =
+  let design = Option.value ~default:"?" (mem_str "design" j) in
+  let label =
+    match mem_str "label" j with Some l -> l | None -> Option.value ~default:"?" (mem_str "name" j)
+  in
+  let self =
+    match Json.member "breakdown_self" j with
+    | Some (Json.Obj kvs) ->
+        List.filter_map (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float v)) kvs
+    | _ -> []
+  in
+  {
+    ekey = design ^ "/" ^ label;
+    runtime = mem_float "runtime" j;
+    peak_rss = Option.bind (Json.member "resource" j) (mem_float "peak_rss_bytes");
+    hpwl = Option.bind (Json.member "metrics" j) (mem_float "hpwl");
+    self;
+    failed = (match Json.member "error" j with Some Json.Null | None -> false | Some _ -> true);
+  }
+
+(** Parse a bench-results document into keyed entries. Errors on a
+    missing/mismatched schema tag or a malformed results list. *)
+let entries_of_doc (doc : Json.t) : (entry list, string) result =
+  match mem_str "schema" doc with
+  | Some "bench-results-v1" -> (
+      match Option.bind (Json.member "results" doc) Json.to_list with
+      | Some rs -> Ok (List.map entry_of_json rs)
+      | None -> Error "no \"results\" list")
+  | Some other -> Error (Printf.sprintf "unexpected schema %S (want bench-results-v1)" other)
+  | None -> Error "missing \"schema\" tag"
+
+(* ---- comparison ---- *)
+
+let check ~key ~what ~limit ~floor base cur acc =
+  match (base, cur) with
+  | Some b, Some c when b >= floor && Float.is_finite b && Float.is_finite c ->
+      if c > b *. limit then { key; what; baseline = b; current = c; limit } :: acc else acc
+  | _ -> acc
+
+(** All threshold violations of [current] against [baseline]. Entries are
+    matched by "design/label"; per-phase self times by phase name. Failed
+    baseline entries are skipped (nothing sound to compare against), a
+    baseline entry missing from the current document is reported as
+    ["missing"]. Violations come back in a stable (key-sorted) order. *)
+let compare_entries (th : thresholds) ~(baseline : entry list) ~(current : entry list) :
+    violation list =
+  let cur_tbl = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace cur_tbl e.ekey e) current;
+  let violations =
+    List.concat_map
+      (fun (b : entry) ->
+        if b.failed then []
+        else
+          match Hashtbl.find_opt cur_tbl b.ekey with
+          | None ->
+              [ { key = b.ekey; what = "missing"; baseline = 1.0; current = 0.0; limit = 1.0 } ]
+          | Some c when c.failed ->
+              [ { key = b.ekey; what = "missing"; baseline = 1.0; current = 0.0; limit = 1.0 } ]
+          | Some c ->
+              let acc =
+                check ~key:b.ekey ~what:"runtime" ~limit:th.max_time_ratio
+                  ~floor:th.min_phase_s b.runtime c.runtime []
+              in
+              let acc =
+                check ~key:b.ekey ~what:"peak_rss" ~limit:th.max_rss_ratio
+                  ~floor:th.min_rss_bytes b.peak_rss c.peak_rss acc
+              in
+              let acc =
+                check ~key:b.ekey ~what:"hpwl" ~limit:th.max_hpwl_ratio ~floor:1e-9 b.hpwl
+                  c.hpwl acc
+              in
+              List.fold_left
+                (fun acc (phase, bs) ->
+                  check ~key:b.ekey ~what:("self:" ^ phase) ~limit:th.max_self_ratio
+                    ~floor:th.min_phase_s (Some bs) (List.assoc_opt phase c.self) acc)
+                acc b.self)
+      baseline
+  in
+  List.sort (fun a b -> compare (a.key, a.what) (b.key, b.what)) violations
+
+let compare_docs th ~baseline ~current =
+  match (entries_of_doc baseline, entries_of_doc current) with
+  | Error e, _ -> Error ("baseline: " ^ e)
+  | _, Error e -> Error ("current: " ^ e)
+  | Ok b, Ok c -> Ok (compare_entries th ~baseline:b ~current:c)

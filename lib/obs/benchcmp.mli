@@ -1,0 +1,36 @@
+(** Bench regression sentinel core: match two [bench-results-v1]
+    documents entry-by-entry and check ratio thresholds (with absolute
+    baseline floors) on runtime, peak RSS, per-phase self time, HPWL.
+    A baseline entry missing from the current run is a violation. *)
+
+type thresholds = {
+  max_time_ratio : float;
+  max_rss_ratio : float;
+  max_self_ratio : float;
+  max_hpwl_ratio : float;
+  min_phase_s : float;
+  min_rss_bytes : float;
+}
+
+(** Generous defaults (a gate, not a noise alarm). *)
+val default_thresholds : thresholds
+
+type violation = {
+  key : string; (* "design/label" *)
+  what : string; (* "runtime" | "peak_rss" | "hpwl" | "self:<phase>" | "missing" *)
+  baseline : float;
+  current : float;
+  limit : float;
+}
+
+val violation_to_string : violation -> string
+
+type entry
+
+(** Errors on schema mismatch or a malformed results list. *)
+val entries_of_doc : Json.t -> (entry list, string) result
+
+val compare_entries : thresholds -> baseline:entry list -> current:entry list -> violation list
+
+(** [Ok []] means the current run passes the gate. *)
+val compare_docs : thresholds -> baseline:Json.t -> current:Json.t -> (violation list, string) result

@@ -1,0 +1,181 @@
+(** Periodic structured progress records — the flight recorder's live
+    feed. Producers push the latest value of each signal (timing,
+    extraction stats) as they compute it; [tick] fires once per placement
+    iteration and emits a record every N iterations or T seconds,
+    whichever comes first. The clock is the owning context's, so tests
+    with an injected clock get bit-deterministic cadence.
+
+    This is the stable interface adaptive controllers subscribe to
+    (ROADMAP "adaptive extraction control"): [on_record] callbacks see
+    every record synchronously, in emission order, with trend fields
+    (delta since the previous record) precomputed. *)
+
+type extraction_stats = {
+  failing : int;
+  paths : int;
+  pairs : int;
+  sta_s : float;
+  extract_s : float;
+}
+
+type record = {
+  seq : int; (* 0-based emission index *)
+  iter : int; (* placement iteration of the emitting tick *)
+  t : float; (* seconds on the context clock *)
+  overflow : float;
+  hpwl : float; (* latest checkpointed HPWL; nan before the first *)
+  tns : float; (* latest timing-round TNS; nan before the first *)
+  wns : float;
+  tns_trend : float; (* tns - previous record's tns; 0 for the first *)
+  wns_trend : float;
+  guard_nan : float; (* cumulative guard.nan_detected counter *)
+  guard_rollbacks : float; (* cumulative guard.rollbacks counter *)
+  extraction : extraction_stats option; (* latest round, once one ran *)
+}
+
+type t = {
+  ctx : Ctx.t;
+  every_iters : int;
+  every_seconds : float; (* <= 0 disables the time trigger *)
+  emit : record -> unit;
+  mutable subscribers : (record -> unit) list;
+  mutable seq : int;
+  mutable last_emit_iter : int;
+  mutable last_emit_t : float;
+  mutable prev_tns : float;
+  mutable prev_wns : float;
+  (* latest values pushed by producers *)
+  mutable hpwl : float;
+  mutable tns : float;
+  mutable wns : float;
+  mutable extraction : extraction_stats option;
+}
+
+let create ?(every_iters = 25) ?(every_seconds = 0.0) ?(emit = ignore) ctx =
+  if every_iters <= 0 then invalid_arg "Heartbeat.create: every_iters must be positive";
+  {
+    ctx;
+    every_iters;
+    every_seconds;
+    emit;
+    subscribers = [];
+    seq = 0;
+    last_emit_iter = min_int;
+    last_emit_t = Float.neg_infinity;
+    prev_tns = Float.nan;
+    prev_wns = Float.nan;
+    hpwl = Float.nan;
+    tns = Float.nan;
+    wns = Float.nan;
+    extraction = None;
+  }
+
+(** Subscribe to every future record (called synchronously at emission,
+    registration order). *)
+let on_record hb f = hb.subscribers <- hb.subscribers @ [ f ]
+
+(* ---- producers ---- *)
+
+let note_hpwl hb hpwl = hb.hpwl <- hpwl
+
+let note_timing hb ~tns ~wns =
+  hb.tns <- tns;
+  hb.wns <- wns
+
+let note_extraction hb ~failing ~paths ~pairs ~sta_s ~extract_s =
+  hb.extraction <- Some { failing; paths; pairs; sta_s; extract_s }
+
+(* ---- emission ---- *)
+
+let counter_value ctx name =
+  match Ctx.metric ctx name with Some (Metric.Counter r) -> !r | _ -> 0.0
+
+let make_record hb ~iter ~overflow =
+  let trend cur prev = if Float.is_nan prev || Float.is_nan cur then 0.0 else cur -. prev in
+  {
+    seq = hb.seq;
+    iter;
+    t = Ctx.now hb.ctx;
+    overflow;
+    hpwl = hb.hpwl;
+    tns = hb.tns;
+    wns = hb.wns;
+    tns_trend = trend hb.tns hb.prev_tns;
+    wns_trend = trend hb.wns hb.prev_wns;
+    guard_nan = counter_value hb.ctx "guard.nan_detected";
+    guard_rollbacks = counter_value hb.ctx "guard.rollbacks";
+    extraction = hb.extraction;
+  }
+
+let deliver hb r =
+  hb.seq <- hb.seq + 1;
+  hb.last_emit_iter <- r.iter;
+  hb.last_emit_t <- r.t;
+  hb.prev_tns <- hb.tns;
+  hb.prev_wns <- hb.wns;
+  hb.emit r;
+  List.iter (fun f -> f r) hb.subscribers
+
+(** Force a record out now (flow boundaries: the final state should
+    always be on the wire regardless of cadence). *)
+let force hb ~iter ~overflow = deliver hb (make_record hb ~iter ~overflow)
+
+(** One call per placement iteration; emits when the iteration or time
+    trigger fires. The first tick always emits (records start at the
+    beginning of the run, not one period in). *)
+let tick hb ~iter ~overflow =
+  (* [last_emit_iter = min_int] marks "never emitted"; subtracting it
+     would wrap, so test it explicitly. *)
+  let due_iters =
+    hb.last_emit_iter = min_int || iter - hb.last_emit_iter >= hb.every_iters
+  in
+  let due_time =
+    hb.every_seconds > 0.0 && Ctx.now hb.ctx -. hb.last_emit_t >= hb.every_seconds
+  in
+  if due_iters || due_time then force hb ~iter ~overflow
+
+(* ---- serialisation ---- *)
+
+let extraction_to_json (e : extraction_stats) : Json.t =
+  Json.Obj
+    [
+      ("failing", Json.Int e.failing);
+      ("paths", Json.Int e.paths);
+      ("pairs", Json.Int e.pairs);
+      ("sta_s", Json.Float e.sta_s);
+      ("extract_s", Json.Float e.extract_s);
+    ]
+
+(** One self-describing JSONL record, ["type"] = "heartbeat". Non-finite
+    floats (e.g. [hpwl] before the first checkpoint) emit as null per
+    [Json] convention. *)
+let to_json (r : record) : Json.t =
+  Json.Obj
+    [
+      ("type", Json.String "heartbeat");
+      ("seq", Json.Int r.seq);
+      ("iter", Json.Int r.iter);
+      ("t", Json.Float r.t);
+      ("overflow", Json.Float r.overflow);
+      ("hpwl", Json.Float r.hpwl);
+      ("tns", Json.Float r.tns);
+      ("wns", Json.Float r.wns);
+      ("tns_trend", Json.Float r.tns_trend);
+      ("wns_trend", Json.Float r.wns_trend);
+      ("guard_nan", Json.Float r.guard_nan);
+      ("guard_rollbacks", Json.Float r.guard_rollbacks);
+      ( "extraction",
+        match r.extraction with None -> Json.Null | Some e -> extraction_to_json e );
+    ]
+
+(** A [record -> unit] emitter writing JSONL to [path]; returns the
+    emitter and a close function (flushes on every record so a live
+    tail sees heartbeats as they happen). *)
+let jsonl_emitter path =
+  let oc = open_out path in
+  let emit r =
+    output_string oc (Json.to_string (to_json r));
+    output_char oc '\n';
+    flush oc
+  in
+  (emit, fun () -> close_out oc)

@@ -1,0 +1,59 @@
+(** Periodic structured progress records (live flight-recorder feed):
+    producers push the latest signal values, [tick] emits a record every
+    N iterations or T seconds on the owning context's clock. The stable
+    interface adaptive controllers subscribe to via [on_record]. *)
+
+type extraction_stats = {
+  failing : int;
+  paths : int;
+  pairs : int;
+  sta_s : float;
+  extract_s : float;
+}
+
+type record = {
+  seq : int;
+  iter : int;
+  t : float; (* seconds on the context clock *)
+  overflow : float;
+  hpwl : float; (* nan before the first checkpoint *)
+  tns : float; (* nan before the first timing round *)
+  wns : float;
+  tns_trend : float; (* delta vs the previous record *)
+  wns_trend : float;
+  guard_nan : float; (* cumulative context counters *)
+  guard_rollbacks : float;
+  extraction : extraction_stats option;
+}
+
+type t
+
+(** [create ctx] reads the clock and guard counters from [ctx]. [emit]
+    receives every record (before subscribers). [every_seconds <= 0]
+    disables the time trigger. Raises [Invalid_argument] when
+    [every_iters <= 0]. *)
+val create :
+  ?every_iters:int -> ?every_seconds:float -> ?emit:(record -> unit) -> Ctx.t -> t
+
+val on_record : t -> (record -> unit) -> unit
+
+val note_hpwl : t -> float -> unit
+
+val note_timing : t -> tns:float -> wns:float -> unit
+
+val note_extraction :
+  t -> failing:int -> paths:int -> pairs:int -> sta_s:float -> extract_s:float -> unit
+
+(** Once per placement iteration; emits when a trigger fires. The first
+    tick always emits. *)
+val tick : t -> iter:int -> overflow:float -> unit
+
+(** Emit unconditionally (flow boundaries). *)
+val force : t -> iter:int -> overflow:float -> unit
+
+(** JSONL record, ["type"] = "heartbeat". *)
+val to_json : record -> Json.t
+
+(** JSONL emitter writing (and flushing) one record per line to [path];
+    returns [(emit, close)]. *)
+val jsonl_emitter : string -> (record -> unit) * (unit -> unit)

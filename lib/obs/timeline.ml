@@ -1,0 +1,135 @@
+(** Timeline exports: completed spans (plus the metric snapshot) rendered
+    as Chrome trace-event JSON — loadable in [chrome://tracing] and
+    Perfetto — and as folded stacks for flamegraph tooling.
+
+    Inputs are spans in *completion order* (children before parents),
+    exactly what [Sink.memory] collects and what a [Sink.jsonl] trace
+    replays line by line. Span times are seconds relative to the owning
+    context; the trace-event format wants microseconds. *)
+
+let us_of_s s = s *. 1e6
+
+(* ---- Chrome trace events ---- *)
+
+(* One complete ("ph":"X") event per span. Spans are single-threaded and
+   well-nested, so a constant pid/tid renders as one nested track. *)
+let span_event ?(pid = 1) ?(tid = 1) (s : Span.t) : Json.t =
+  let base =
+    [
+      ("name", Json.String s.Span.name);
+      ("ph", Json.String "X");
+      ("ts", Json.Float (us_of_s s.Span.start));
+      ("dur", Json.Float (us_of_s s.Span.dur));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+    ]
+  in
+  Json.Obj (if s.Span.attrs = [] then base else base @ [ ("args", Json.Obj s.Span.attrs) ])
+
+(* Counter ("ph":"C") events let scalar series render as tracks. The
+   metric snapshot is a point-in-time value, so it becomes one event at
+   the end of the trace; histograms contribute their count. *)
+let metric_events ~ts metrics : Json.t list =
+  List.filter_map
+    (fun (name, m) ->
+      let value =
+        match (m : Metric.m) with
+        | Metric.Counter r | Metric.Gauge r -> Some !r
+        | Metric.Histogram h -> Some (float_of_int h.Metric.n)
+      in
+      Option.map
+        (fun v ->
+          Json.Obj
+            [
+              ("name", Json.String name);
+              ("ph", Json.String "C");
+              ("ts", Json.Float (us_of_s ts));
+              ("pid", Json.Int 1);
+              ("args", Json.Obj [ ("value", Json.Float v) ]);
+            ])
+        value)
+    metrics
+
+let trace_end_ts spans =
+  List.fold_left (fun acc (s : Span.t) -> Float.max acc (s.Span.start +. s.Span.dur)) 0.0 spans
+
+(** The full trace document: [{"traceEvents": [...], ...}] with a
+    process-name metadata record, one X event per span, and one C event
+    per metric at the trace end. *)
+let to_chrome_trace ?(process_name = "efficient-tdp") ?(metrics = []) (spans : Span.t list) :
+    Json.t =
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.String process_name) ]);
+      ]
+  in
+  let events =
+    (meta :: List.map span_event spans) @ metric_events ~ts:(trace_end_ts spans) metrics
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+(* ---- folded stacks (flamegraphs) ---- *)
+
+(** Per-stack *self* time in seconds, stacks rendered as
+    "root;child;leaf". Spans arrive in completion order, so a span's
+    children are always recorded before it; self = dur - sum(children).
+    Aggregates identical stacks; result is sorted by stack string for
+    deterministic output. *)
+let to_folded (spans : Span.t list) : (string * float) list =
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun (s : Span.t) -> Hashtbl.replace by_id s.Span.id s) spans;
+  let child_time = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Span.t) ->
+      if s.Span.parent >= 0 then
+        match Hashtbl.find_opt child_time s.Span.parent with
+        | Some r -> r := !r +. s.Span.dur
+        | None -> Hashtbl.add child_time s.Span.parent (ref s.Span.dur))
+    spans;
+  let stack_cache = Hashtbl.create 256 in
+  let rec stack_of (s : Span.t) =
+    match Hashtbl.find_opt stack_cache s.Span.id with
+    | Some st -> st
+    | None ->
+        let st =
+          match Hashtbl.find_opt by_id s.Span.parent with
+          | Some p when s.Span.parent >= 0 -> stack_of p ^ ";" ^ s.Span.name
+          | _ -> s.Span.name
+        in
+        Hashtbl.add stack_cache s.Span.id st;
+        st
+  in
+  let acc = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Span.t) ->
+      let children =
+        match Hashtbl.find_opt child_time s.Span.id with Some r -> !r | None -> 0.0
+      in
+      let self = Float.max 0.0 (s.Span.dur -. children) in
+      let st = stack_of s in
+      match Hashtbl.find_opt acc st with
+      | Some r -> r := !r +. self
+      | None -> Hashtbl.add acc st (ref self))
+    spans;
+  Hashtbl.fold (fun st r l -> (st, !r) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** Folded stacks in the flamegraph.pl input dialect: one
+    "stack;frames count" line each, counts in integer microseconds
+    (stacks rounding to zero are dropped). *)
+let folded_to_string folded =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (stack, self_s) ->
+      let us = int_of_float (Float.round (us_of_s self_s)) in
+      if us > 0 then Buffer.add_string buf (Printf.sprintf "%s %d\n" stack us))
+    folded;
+  Buffer.contents buf

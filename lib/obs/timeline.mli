@@ -1,0 +1,17 @@
+(** Timeline exports: spans + metrics as Chrome trace-event JSON
+    (chrome://tracing / Perfetto) and folded stacks for flamegraphs.
+    Spans must be given in completion order (what [Sink.memory] and a
+    JSONL trace replay both provide). *)
+
+(** The trace document: [{"traceEvents": [...]}] with a process-name
+    metadata event, an "X" event per span (ts/dur in microseconds), and
+    a "C" counter event per metric placed at the trace end. *)
+val to_chrome_trace :
+  ?process_name:string -> ?metrics:(string * Metric.m) list -> Span.t list -> Json.t
+
+(** Per-stack self seconds, stacks rendered "root;child;leaf", sorted by
+    stack string. *)
+val to_folded : Span.t list -> (string * float) list
+
+(** flamegraph.pl input: "stack count\n" lines, counts in µs. *)
+val folded_to_string : (string * float) list -> string

@@ -43,7 +43,9 @@ type result = {
   metrics_gp : Evalkit.Metrics.t; (* at the raw global-placement output *)
   runtime : float; (* whole flow wall-clock, seconds *)
   curve : curve_point list; (* timing-phase trajectory (Fig. 5) *)
-  breakdown : (string * float) list; (* component seconds (Fig. 4) *)
+  breakdown : (string * float) list; (* component total seconds (Fig. 4) *)
+  breakdown_self : (string * float) list; (* component self seconds *)
+  resource : Obs.Resource.delta; (* GC / peak-RSS accounting for the run *)
   extraction_rounds : Extraction.round_stats list; (* Efficient only *)
 }
 
@@ -110,8 +112,8 @@ let timing_gp_params ~seed (cfg : Config.t) =
     max_iters = cfg.timing_start + cfg.extra_iters;
   }
 
-let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : method_)
-    (d : Design.t) =
+let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs ?heartbeat
+    (meth : method_) (d : Design.t) =
   (* Default: a private context so [result.breakdown] is populated even
      when the caller doesn't care about tracing. An explicitly disabled
      context ([Obs.Ctx.null]) turns all observation off — breakdown comes
@@ -122,6 +124,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : 
   let agg = Obs.Agg.create () in
   let agg_sink = Obs.Agg.sink agg in
   Obs.Ctx.add_sink obs agg_sink;
+  let res_before = Obs.Resource.sample () in
   let t_start = Unix.gettimeofday () in
   (* Reject malformed inputs up front with a structured error rather than
      letting NaN coordinates or dangling pins surface as divergence deep
@@ -137,6 +140,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : 
   let best_hpwl = ref Float.infinity in
   let best_snap = ref None in
   let push_curve ~iter ~overflow ~tns ~wns =
+    (match heartbeat with Some hb -> Obs.Heartbeat.note_timing hb ~tns ~wns | None -> ());
     let key = tns +. (0.1 *. wns) in
     let hpwl = Design.total_hpwl d in
     (match checkpoint_decision ~best_key:!best_key ~best_hpwl:!best_hpwl ~key ~hpwl with
@@ -247,6 +251,12 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : 
                 let r =
                   Obs.Ctx.span obs "sta+extraction" (fun () -> Extraction.round ex ~iter)
                 in
+                (match heartbeat with
+                | Some hb ->
+                    Obs.Heartbeat.note_extraction hb ~failing:r.Extraction.num_failing
+                      ~paths:r.Extraction.num_paths ~pairs:r.Extraction.num_pairs
+                      ~sta_s:r.Extraction.sta_time ~extract_s:r.Extraction.extract_time
+                | None -> ());
                 push_curve ~iter ~overflow ~tns:r.Extraction.tns ~wns:r.Extraction.wns);
             extra_grad =
               (fun ~iter ~wl_norm ~gx ~gy ->
@@ -268,7 +278,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : 
           ("seed", Obs.Json.Int seed);
         ]
       (fun () ->
-        let _gp = Gp.Globalplace.run ~params:gp_params ~hooks ~obs d in
+        let _gp = Gp.Globalplace.run ~params:gp_params ~hooks ~obs ?heartbeat d in
         (* Keep the better of (final iterate, best checkpoint) under the
            common evaluation model. *)
         let metrics_gp =
@@ -302,6 +312,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : 
   in
   let runtime = Unix.gettimeofday () -. t_start in
   Obs.Ctx.remove_sink obs agg_sink;
+  Obs.Resource.update_gauges obs;
   {
     name = method_name meth;
     design = d.name;
@@ -310,6 +321,8 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs (meth : 
     runtime;
     curve = List.rev !curve;
     breakdown = Obs.Agg.to_breakdown agg;
+    breakdown_self = Obs.Agg.to_self_breakdown agg;
+    resource = Obs.Resource.delta ~before:res_before ~after:(Obs.Resource.sample ());
     extraction_rounds =
       (match !extraction_state with None -> [] | Some ex -> Extraction.rounds ex);
   }
@@ -361,5 +374,8 @@ let result_to_json (r : result) =
       ("curve", Obs.Json.List (List.map curve_point_to_json r.curve));
       ( "breakdown",
         Obs.Json.Obj (List.map (fun (n, s) -> (n, Obs.Json.Float s)) r.breakdown) );
+      ( "breakdown_self",
+        Obs.Json.Obj (List.map (fun (n, s) -> (n, Obs.Json.Float s)) r.breakdown_self) );
+      ("resource", Obs.Resource.delta_to_json r.resource);
       ("extraction_rounds", Obs.Json.List (List.map round_stats_to_json r.extraction_rounds));
     ]

@@ -23,6 +23,8 @@ type result = {
   runtime : float; (* whole-flow wall clock, seconds *)
   curve : curve_point list; (* timing-phase trajectory (Fig. 5) *)
   breakdown : (string * float) list; (* component seconds (Fig. 4) *)
+  breakdown_self : (string * float) list; (* per-phase self seconds *)
+  resource : Obs.Resource.delta; (* GC / peak-RSS telemetry for the flow *)
   extraction_rounds : Extraction.round_stats list; (* Efficient only *)
 }
 
@@ -61,6 +63,7 @@ val run :
   ?legalize:bool ->
   ?topology:Sta.Delay.topology ->
   ?obs:Obs.Ctx.t ->
+  ?heartbeat:Obs.Heartbeat.t ->
   method_ ->
   Netlist.Design.t ->
   result

@@ -199,6 +199,266 @@ let test_null_ctx_noop () =
   Alcotest.(check bool) "no metrics" true (Obs.Ctx.metric ctx "c" = None);
   Alcotest.(check bool) "snapshot empty" true (Obs.Ctx.metrics_json ctx = Obs.Json.List [])
 
+(* ---------------- Resource telemetry ---------------- *)
+
+let test_resource_delta () =
+  let before = Obs.Resource.sample () in
+  (* Allocate enough to move the minor-words counter for sure. *)
+  let junk = ref [] in
+  for i = 0 to 100_000 do
+    junk := (i, float_of_int i) :: !junk
+  done;
+  ignore (List.length !junk);
+  let after = Obs.Resource.sample () in
+  let d = Obs.Resource.delta ~before ~after in
+  Alcotest.(check bool) "minor words grew" true (d.Obs.Resource.d_minor_words > 0.0);
+  Alcotest.(check bool) "elapsed >= 0" true (d.Obs.Resource.elapsed_s >= 0.0);
+  Alcotest.(check bool) "gc counters monotonic" true
+    (d.Obs.Resource.d_minor_collections >= 0
+    && d.Obs.Resource.d_major_collections >= 0
+    && d.Obs.Resource.d_compactions >= 0);
+  Alcotest.(check bool) "peak rss positive" true (d.Obs.Resource.peak_rss_bytes > 0);
+  Alcotest.(check bool) "peak >= current heap fallback sane" true
+    (Obs.Resource.peak_rss_bytes () > 0 && Obs.Resource.rss_bytes () > 0);
+  (* JSON roundtrip is exact (no string re-parse involved). *)
+  Alcotest.(check bool) "delta json roundtrip" true
+    (Obs.Resource.delta_of_json (Obs.Resource.delta_to_json d) = Some d);
+  (* Gauges land in the registry. *)
+  let ctx, _ = manual_ctx [] in
+  Obs.Resource.update_gauges ctx;
+  match Obs.Ctx.metric ctx "res.peak_rss_bytes" with
+  | Some (Obs.Metric.Gauge r) -> Alcotest.(check bool) "gauge positive" true (!r > 0.0)
+  | _ -> Alcotest.fail "res.peak_rss_bytes gauge missing"
+
+(* ---------------- Timeline exports ---------------- *)
+
+(* outer [0,2.75]: 1.0s, then inner 0.25, inner 0.5, then 1.0s. *)
+let sample_spans () =
+  let sink, get_spans, _ = Obs.Sink.memory () in
+  let ctx, tick = manual_ctx [ sink ] in
+  Obs.Ctx.span ctx "outer" (fun () ->
+      tick 1.0;
+      Obs.Ctx.span ctx "inner" (fun () -> tick 0.25);
+      Obs.Ctx.span ctx ~attrs:[ ("k", Obs.Json.Int 7) ] "inner" (fun () -> tick 0.5);
+      tick 1.0);
+  get_spans ()
+
+let test_chrome_trace_wellformed () =
+  let spans = sample_spans () in
+  let doc =
+    Obs.Timeline.to_chrome_trace ~process_name:"test"
+      ~metrics:[ ("events", Obs.Metric.Counter (ref 3.0)) ]
+      spans
+  in
+  (* Structural validation happens on the re-parsed document, proving the
+     serialised form (what Perfetto sees) is what we checked. *)
+  let doc = Obs.Json.parse_exn (Obs.Json.to_string doc) in
+  let events =
+    match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents list"
+  in
+  (* meta + 3 spans + 1 counter *)
+  Alcotest.(check int) "event count" 5 (List.length events);
+  let ph j = Option.bind (Obs.Json.member "ph" j) Obs.Json.to_string_opt in
+  let fget k j = Option.bind (Obs.Json.member k j) Obs.Json.to_float in
+  (match events with
+  | meta :: _ ->
+      Alcotest.(check (option string)) "meta first" (Some "M") (ph meta);
+      Alcotest.(check (option string)) "process name" (Some "test")
+        (Option.bind (Obs.Json.member "args" meta) (fun a ->
+             Option.bind (Obs.Json.member "name" a) Obs.Json.to_string_opt))
+  | [] -> Alcotest.fail "empty events");
+  let xs = List.filter (fun j -> ph j = Some "X") events in
+  Alcotest.(check int) "3 complete events" 3 (List.length xs);
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) "ts present" true (fget "ts" j <> None);
+      Alcotest.(check bool) "dur present" true (fget "dur" j <> None);
+      Alcotest.(check bool) "pid/tid present" true
+        (Obs.Json.member "pid" j <> None && Obs.Json.member "tid" j <> None))
+    xs;
+  (* The second inner span started at t=1.25 and ran 0.5 s -> µs. *)
+  let inner2 =
+    List.find (fun j -> fget "ts" j = Some 1.25e6) xs
+  in
+  Alcotest.(check (option (float 1e-3))) "dur in µs" (Some 0.5e6) (fget "dur" inner2);
+  Alcotest.(check bool) "attrs become args" true
+    (Option.bind (Obs.Json.member "args" inner2) (Obs.Json.member "k") <> None);
+  let cs = List.filter (fun j -> ph j = Some "C") events in
+  (match cs with
+  | [ c ] ->
+      Alcotest.(check (option (float 1e-3))) "counter at trace end" (Some 2.75e6) (fget "ts" c);
+      Alcotest.(check (option (float 1e-9))) "counter value" (Some 3.0)
+        (Option.bind (Obs.Json.member "args" c) (fun a -> fget "value" a))
+  | l -> Alcotest.failf "expected 1 counter event, got %d" (List.length l))
+
+let test_folded_stacks () =
+  let spans = sample_spans () in
+  (match Obs.Timeline.to_folded spans with
+  | [ ("outer", outer_self); ("outer;inner", inner_self) ] ->
+      (* outer dur 2.75 minus 0.75 of children; both inners collapse. *)
+      check_float "outer self" 2.0 outer_self;
+      check_float "inner stack aggregates" 0.75 inner_self
+  | l ->
+      Alcotest.failf "unexpected folded stacks: %s"
+        (String.concat ", " (List.map fst l)));
+  Alcotest.(check string) "flamegraph.pl dialect" "outer 2000000\nouter;inner 750000\n"
+    (Obs.Timeline.folded_to_string (Obs.Timeline.to_folded spans))
+
+(* ---------------- Heartbeat ---------------- *)
+
+let test_heartbeat_cadence () =
+  let ctx, tick_clock = manual_ctx [] in
+  let records = ref [] in
+  let hb = Obs.Heartbeat.create ~every_iters:10 ~emit:(fun r -> records := r :: !records) ctx in
+  Obs.Ctx.count ctx "guard.nan_detected";
+  Obs.Ctx.count ctx "guard.nan_detected";
+  Obs.Heartbeat.note_timing hb ~tns:(-100.0) ~wns:(-10.0);
+  for iter = 1 to 35 do
+    tick_clock 0.1;
+    if iter = 20 then Obs.Heartbeat.note_timing hb ~tns:(-40.0) ~wns:(-4.0);
+    Obs.Heartbeat.tick hb ~iter ~overflow:(1.0 /. float_of_int iter)
+  done;
+  (* First tick emits, then every 10 iterations: 1, 11, 21, 31. *)
+  let rs = List.rev !records in
+  Alcotest.(check (list int)) "emission iters" [ 1; 11; 21; 31 ]
+    (List.map (fun (r : Obs.Heartbeat.record) -> r.iter) rs);
+  Alcotest.(check (list int)) "seq numbering" [ 0; 1; 2; 3 ]
+    (List.map (fun (r : Obs.Heartbeat.record) -> r.seq) rs);
+  (match rs with
+  | [ r1; r11; r21; _ ] ->
+      check_float "clock time recorded" 0.1 r1.t;
+      check_float "guard counter snapshot" 2.0 r1.guard_nan;
+      check_float "first trend is 0" 0.0 r1.tns_trend;
+      check_float "unchanged trend is 0" 0.0 r11.tns_trend;
+      check_float "tns trend" 60.0 r21.tns_trend;
+      check_float "wns trend" 6.0 r21.wns_trend;
+      check_float "latest tns" (-40.0) r21.tns
+  | _ -> Alcotest.fail "expected 4 records");
+  (* Time trigger, deterministic under the injected clock. *)
+  let records2 = ref [] in
+  let hb2 =
+    Obs.Heartbeat.create ~every_iters:max_int ~every_seconds:1.0
+      ~emit:(fun r -> records2 := r :: !records2)
+      ctx
+  in
+  for iter = 1 to 10 do
+    tick_clock 0.3;
+    Obs.Heartbeat.tick hb2 ~iter ~overflow:0.5
+  done;
+  Alcotest.(check (list int)) "time-triggered iters" [ 1; 5; 9 ]
+    (List.map (fun (r : Obs.Heartbeat.record) -> r.iter) (List.rev !records2));
+  Alcotest.check_raises "bad cadence rejected"
+    (Invalid_argument "Heartbeat.create: every_iters must be positive") (fun () ->
+      ignore (Obs.Heartbeat.create ~every_iters:0 ctx))
+
+let test_heartbeat_json () =
+  let ctx, _ = manual_ctx [] in
+  let out = ref [] in
+  let hb = Obs.Heartbeat.create ~emit:(fun r -> out := r :: !out) ctx in
+  Obs.Heartbeat.note_hpwl hb 1234.5;
+  Obs.Heartbeat.note_extraction hb ~failing:3 ~paths:30 ~pairs:90 ~sta_s:0.2 ~extract_s:0.05;
+  Obs.Heartbeat.force hb ~iter:42 ~overflow:0.25;
+  let r = List.hd !out in
+  let j = Obs.Json.parse_exn (Obs.Json.to_string (Obs.Heartbeat.to_json r)) in
+  let str k = Option.bind (Obs.Json.member k j) Obs.Json.to_string_opt in
+  let num k = Option.bind (Obs.Json.member k j) Obs.Json.to_float in
+  Alcotest.(check (option string)) "type tag" (Some "heartbeat") (str "type");
+  List.iter
+    (fun k -> Alcotest.(check bool) (k ^ " present") true (Obs.Json.member k j <> None))
+    [ "overflow"; "hpwl"; "tns"; "wns"; "tns_trend"; "wns_trend"; "guard_nan"; "guard_rollbacks" ];
+  Alcotest.(check (option (float 1e-9))) "overflow" (Some 0.25) (num "overflow");
+  Alcotest.(check (option (float 1e-9))) "hpwl" (Some 1234.5) (num "hpwl");
+  (* tns was never noted: nan serialises as null per Json convention. *)
+  Alcotest.(check bool) "unnoted tns is null" true (Obs.Json.member "tns" j = Some Obs.Json.Null);
+  match Obs.Json.member "extraction" j with
+  | Some ext ->
+      Alcotest.(check (option (float 1e-9))) "extraction failing" (Some 3.0)
+        (Option.bind (Obs.Json.member "failing" ext) Obs.Json.to_float)
+  | None -> Alcotest.fail "extraction object missing"
+
+(* ---------------- Bench regression sentinel ---------------- *)
+
+let bench_entry ?(failed = false) ~label ~runtime ~rss ~hpwl ~self () =
+  Obs.Json.Obj
+    ([
+       ("label", Obs.Json.String label);
+       ("design", Obs.Json.String "sbX");
+       ("runtime", Obs.Json.Float runtime);
+       ("resource", Obs.Json.Obj [ ("peak_rss_bytes", Obs.Json.Float rss) ]);
+       ("metrics", Obs.Json.Obj [ ("hpwl", Obs.Json.Float hpwl) ]);
+       ( "breakdown_self",
+         Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Float v)) self) );
+     ]
+    @
+    if failed then [ ("error", Obs.Json.Obj [ ("kind", Obs.Json.String "diverged") ]) ]
+    else [ ("error", Obs.Json.Null) ])
+
+let bench_doc entries =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "bench-results-v1");
+      ("results", Obs.Json.List entries);
+    ]
+
+let mb = 1024.0 *. 1024.0
+
+let test_benchcmp () =
+  let th = Obs.Benchcmp.default_thresholds in
+  let base =
+    bench_doc
+      [ bench_entry ~label:"ours" ~runtime:1.0 ~rss:(64.0 *. mb) ~hpwl:1000.0
+          ~self:[ ("sta", 0.2); ("tiny", 0.001) ] () ]
+  in
+  (* Self-comparison passes. *)
+  (match Obs.Benchcmp.compare_docs th ~baseline:base ~current:base with
+  | Ok [] -> ()
+  | Ok vs -> Alcotest.failf "self-compare produced %d violations" (List.length vs)
+  | Error e -> Alcotest.fail e);
+  (* A regressed current run trips runtime, RSS, self:sta and hpwl — but
+     not the sub-floor "tiny" phase even at 100x. *)
+  let regressed =
+    bench_doc
+      [ bench_entry ~label:"ours" ~runtime:6.0 ~rss:(512.0 *. mb) ~hpwl:2000.0
+          ~self:[ ("sta", 2.0); ("tiny", 0.1) ] () ]
+  in
+  (match Obs.Benchcmp.compare_docs th ~baseline:base ~current:regressed with
+  | Ok vs ->
+      let whats = List.map (fun (v : Obs.Benchcmp.violation) -> v.what) vs in
+      Alcotest.(check (list string)) "violations (sorted)"
+        [ "hpwl"; "peak_rss"; "runtime"; "self:sta" ]
+        whats
+  | Error e -> Alcotest.fail e);
+  (* A baseline entry absent (or failed) in the current run is a
+     violation; a failed baseline entry is skipped. *)
+  let base2 =
+    bench_doc
+      [
+        bench_entry ~label:"ours" ~runtime:1.0 ~rss:(64.0 *. mb) ~hpwl:1000.0 ~self:[] ();
+        bench_entry ~label:"other" ~runtime:1.0 ~rss:(64.0 *. mb) ~hpwl:1000.0 ~self:[] ();
+        bench_entry ~failed:true ~label:"broken" ~runtime:99.0 ~rss:(9e9) ~hpwl:9e9 ~self:[] ();
+      ]
+  in
+  let cur2 =
+    bench_doc
+      [ bench_entry ~label:"ours" ~runtime:1.0 ~rss:(64.0 *. mb) ~hpwl:1000.0 ~self:[] () ]
+  in
+  (match Obs.Benchcmp.compare_docs th ~baseline:base2 ~current:cur2 with
+  | Ok [ v ] ->
+      Alcotest.(check string) "missing entry flagged" "missing" v.Obs.Benchcmp.what;
+      Alcotest.(check string) "which entry" "sbX/other" v.Obs.Benchcmp.key
+  | Ok vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+  | Error e -> Alcotest.fail e);
+  (* Schema guard. *)
+  match
+    Obs.Benchcmp.compare_docs th
+      ~baseline:(Obs.Json.Obj [ ("schema", Obs.Json.String "nope") ])
+      ~current:base
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong schema accepted"
+
 (* ---------------- Observation-only flows ---------------- *)
 
 let flow_cfg = { Tdp.Config.default with timing_start = 120; extra_iters = 180 }
@@ -238,5 +498,11 @@ let suite =
     Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
     Alcotest.test_case "jsonl sink" `Quick test_jsonl_sink;
     Alcotest.test_case "null context no-op" `Quick test_null_ctx_noop;
+    Alcotest.test_case "resource delta accounting" `Quick test_resource_delta;
+    Alcotest.test_case "chrome trace well-formed" `Quick test_chrome_trace_wellformed;
+    Alcotest.test_case "folded stacks" `Quick test_folded_stacks;
+    Alcotest.test_case "heartbeat cadence determinism" `Quick test_heartbeat_cadence;
+    Alcotest.test_case "heartbeat json record" `Quick test_heartbeat_json;
+    Alcotest.test_case "bench regression sentinel" `Quick test_benchcmp;
     Alcotest.test_case "tracing leaves placement identical" `Slow test_flow_identical_with_tracing;
   ]
