@@ -8,9 +8,12 @@
       dune exec bench/main.exe -- --json BENCH_results.json table2
       dune exec bench/main.exe -- -domains 4 table2 -- parallel kernels
       dune exec bench/main.exe -- scaling           -- domain-scaling sweep
+      dune exec bench/main.exe -- spectral --grid-max 512 -- DCT/Poisson engine sweep
 
     Sections: table1 table2 table3 table4 fig3 fig4 fig5 micro scaling
-    smoke all ("smoke" is the CI sentinel sweep and not part of "all").
+    spectral smoke all ("smoke" is the CI sentinel sweep and not part of
+    "all"; "spectral" sweeps the real-even plan engine vs the seed
+    complex-FFT path over grids up to [--grid-max], default 2048).
     Default design scale is 0.5 (full bench in minutes); 1.0 doubles the
     design sizes at ~4x the runtime. [--json FILE] additionally dumps
     every flow result the run produced (runtime, breakdown, tns/wns,
@@ -24,6 +27,13 @@ let scale = ref 0.5
 let json_out : string option ref = ref None
 
 let domains = ref 1
+
+(* Largest grid dimension the [spectral] section sweeps (CI trims it). *)
+let grid_max = ref 2048
+
+(* Extra bench-results-v1 entries produced by non-flow sections (the
+   spectral sweep); merged into the [--json] dump alongside flow results. *)
+let extra_entries : Obs.Json.t list ref = ref []
 
 (* ------------------------------------------------------------------ *)
 (* Design and flow-result caches: Table IV reuses Table II's runs, the
@@ -885,6 +895,127 @@ let stats_section () =
   Printf.printf "Efficient-TDP best or tied in %d/%d (design, seed) pairs\n\n" !wins !total
 
 (* ------------------------------------------------------------------ *)
+(* Spectral engine sweep: the packed real-even plan engine vs the seed
+   per-line complex-FFT path, per-solve wall time and minor-heap
+   allocation over a grid ladder (square and non-square), plus a
+   flow-level density-phase A/B. Emits gateable bench-results-v1 entries
+   (design "spectral<rows>x<cols>", labels "plan"/"seed") with fixed rep
+   counts so the recorded runtime is deterministic work, not a clock
+   budget. *)
+
+let spectral () =
+  let all_grids =
+    [
+      (128, 128);
+      (256, 256);
+      (512, 512);
+      (1024, 1024);
+      (2048, 2048);
+      (512, 128);
+      (128, 512);
+    ]
+  in
+  let grids = List.filter (fun (r, c) -> max r c <= !grid_max) all_grids in
+  let skipped = List.length all_grids - List.length grids in
+  if skipped > 0 then
+    Printf.printf "[spectral] --grid-max %d: %d grid(s) skipped\n" !grid_max skipped;
+  let t =
+    Util.Tablefmt.create
+      ~title:"SPECTRAL: Poisson solve+field+energy, plan engine vs seed complex-FFT path"
+      ~headers:
+        [ "Grid"; "Reps"; "Plan ms"; "Seed ms"; "Speedup"; "Plan w/solve"; "Seed w/solve" ]
+      ~aligns:[ Left; Right; Right; Right; Right; Right; Right ]
+  in
+  let rng = Util.Rng.create 42 in
+  List.iter
+    (fun (rows, cols) ->
+      let n = rows * cols in
+      Printf.printf "[run] spectral %dx%d...\n%!" rows cols;
+      let p = Numerics.Poisson.create ~rows ~cols in
+      let rho = Array.init n (fun _ -> Util.Rng.float_range rng (-1.0) 1.0) in
+      let psi = Array.make n 0.0 in
+      let ex = Array.make n 0.0 and ey = Array.make n 0.0 in
+      (* Fixed work per grid (~2^24 points swept) so runtimes are
+         comparable across runs and big grids stay affordable. *)
+      let reps = max 4 ((1 lsl 24) / n) in
+      let measure use_seed =
+        Numerics.Poisson.use_seed_engine := use_seed;
+        for _ = 1 to 2 do
+          Numerics.Poisson.solve_into p ~rho ~psi;
+          Numerics.Poisson.field_into p ~psi ~ex ~ey;
+          ignore (Numerics.Poisson.energy rho psi)
+        done;
+        let w0 = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          Numerics.Poisson.solve_into p ~rho ~psi;
+          Numerics.Poisson.field_into p ~psi ~ex ~ey;
+          ignore (Numerics.Poisson.energy rho psi)
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        let dw = Gc.minor_words () -. w0 in
+        (dt, dw)
+      in
+      let plan_s, plan_w = measure false in
+      let seed_s, seed_w = measure true in
+      Numerics.Poisson.use_seed_engine := false;
+      let fr = float_of_int reps in
+      Util.Tablefmt.add_row t
+        [
+          Printf.sprintf "%dx%d" rows cols;
+          string_of_int reps;
+          Printf.sprintf "%.3f" (plan_s /. fr *. 1e3);
+          Printf.sprintf "%.3f" (seed_s /. fr *. 1e3);
+          Printf.sprintf "%.2fx" (seed_s /. Float.max 1e-9 plan_s);
+          Printf.sprintf "%.0f" (plan_w /. fr);
+          Printf.sprintf "%.0f" (seed_w /. fr);
+        ];
+      let entry label dt dw =
+        Obs.Json.Obj
+          [
+            ("label", Obs.Json.String label);
+            ("name", Obs.Json.String label);
+            ("design", Obs.Json.String (Printf.sprintf "spectral%dx%d" rows cols));
+            ("reps", Obs.Json.Int reps);
+            ("runtime", Obs.Json.Float dt);
+            ( "resource",
+              Obs.Json.Obj
+                [
+                  ("minor_words", Obs.Json.Float dw);
+                  ("ms_per_solve", Obs.Json.Float (dt /. fr *. 1e3));
+                  ("words_per_solve", Obs.Json.Float (dw /. fr));
+                ] );
+          ]
+      in
+      extra_entries := entry "seed" seed_s seed_w :: entry "plan" plan_s plan_w :: !extra_entries)
+    grids;
+  Util.Tablefmt.print t;
+  print_newline ();
+  (* Flow-level A/B: the same Efficient-TDP flow with the density phase
+     on each engine; the "density" self time is the electro phase the
+     acceptance bar measures. Distinct cache keys so both land in the
+     [--json] dump as separate gateable entries. *)
+  let dname = "sb1" in
+  let plan_r = run_flow dname (Tdp.Flow.Efficient Tdp.Config.default) in
+  Numerics.Poisson.use_seed_engine := true;
+  let seed_r =
+    Fun.protect
+      ~finally:(fun () -> Numerics.Poisson.use_seed_engine := false)
+      (fun () ->
+        run_flow_err ~key_label:"spectral:seed-engine" dname (Tdp.Flow.Efficient Tdp.Config.default))
+  in
+  match (plan_r, seed_r) with
+  | Ok plan, Ok seed ->
+      let density (r : Tdp.Flow.result) =
+        try List.assoc "density" r.breakdown_self with Not_found -> 0.0
+      in
+      Printf.printf
+        "flow-level electro phase (density self-time) on %s: plan %.3fs, seed %.3fs (%.2fx)\n\n"
+        dname (density plan) (density seed)
+        (density seed /. Float.max 1e-9 (density plan))
+  | _ -> Printf.printf "flow-level A/B on %s skipped: a flow failed\n\n" dname
+
+(* ------------------------------------------------------------------ *)
 (* Smoke sweep: the regression sentinel's CI workload — two designs x two
    methods, small enough for a PR gate. Deliberately not part of "all";
    pair with [--json] and [bin/bench_diff] against the committed
@@ -954,6 +1085,7 @@ let dump_json path =
                             (Util.Errors.fields e)) );
                  ])
   in
+  let entries = entries @ List.rev !extra_entries in
   let doc =
     Obs.Json.Obj
       [
@@ -979,6 +1111,9 @@ let () =
         parse acc rest
     | "-domains" :: v :: rest ->
         domains := int_of_string v;
+        parse acc rest
+    | "--grid-max" :: v :: rest ->
+        grid_max := int_of_string v;
         parse acc rest
     | x :: rest -> parse (x :: acc) rest
     | [] -> List.rev acc
@@ -1010,6 +1145,7 @@ let () =
         | "fig5" -> fig5 ()
         | "micro" -> micro ()
         | "scaling" -> scaling ()
+        | "spectral" -> spectral ()
         | "ext" -> ext ()
         | "smoke" -> smoke ()
         | "stats" -> stats_section ()

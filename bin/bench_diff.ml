@@ -17,13 +17,16 @@ let read_json path =
   | exception Sys_error e -> Error e
   | s -> Obs.Json.parse s
 
-let run baseline current max_time max_rss max_self max_hpwl min_phase_s min_rss_mb quiet =
+let run baseline current max_time max_rss max_self max_hpwl max_alloc alloc_slack min_phase_s
+    min_rss_mb quiet =
   let th =
     {
       Obs.Benchcmp.max_time_ratio = max_time;
       max_rss_ratio = max_rss;
       max_self_ratio = max_self;
       max_hpwl_ratio = max_hpwl;
+      max_alloc_ratio = max_alloc;
+      alloc_slack_words = alloc_slack;
       min_phase_s;
       min_rss_bytes = min_rss_mb *. 1024.0 *. 1024.0;
     }
@@ -77,6 +80,16 @@ let max_hpwl =
   Arg.(value & opt float d.max_hpwl_ratio
        & info [ "max-hpwl-ratio" ] ~docv:"R" ~doc:"HPWL quality-backstop ratio limit.")
 
+let max_alloc =
+  Arg.(value & opt float d.max_alloc_ratio
+       & info [ "max-alloc-ratio" ] ~docv:"R"
+           ~doc:"Minor-heap allocation limit: fail when current > baseline * R + slack.")
+
+let alloc_slack =
+  Arg.(value & opt float d.alloc_slack_words
+       & info [ "alloc-slack-words" ] ~docv:"W"
+           ~doc:"Absolute slack (in words) added to the allocation limit.")
+
 let min_phase_s =
   Arg.(value & opt float d.min_phase_s
        & info [ "min-phase-s" ] ~docv:"S"
@@ -93,7 +106,7 @@ let cmd =
   let doc = "compare two bench JSON dumps against regression thresholds" in
   Cmd.v (Cmd.info "bench_diff" ~doc)
     Term.(
-      const run $ baseline $ current $ max_time $ max_rss $ max_self $ max_hpwl $ min_phase_s
-      $ min_rss_mb $ quiet)
+      const run $ baseline $ current $ max_time $ max_rss $ max_self $ max_hpwl $ max_alloc
+      $ alloc_slack $ min_phase_s $ min_rss_mb $ quiet)
 
 let () = exit (Cmd.eval cmd)

@@ -136,9 +136,18 @@ let overflow t ~target_density ~movable_area =
     over /. movable_area
   end
 
-(** Charge density for the Poisson solve: total occupied area density
-    minus the target (so the field pushes from dense to sparse). *)
-let charge t ~target_density =
+(** Charge density for the Poisson solve into a caller-owned buffer:
+    total occupied area density minus the target (so the field pushes
+    from dense to sparse). Allocation-free. *)
+let charge_into t ~target_density ~rho =
+  assert (Array.length rho = Array.length t.density);
   let ba = bin_area t in
-  Array.init (Array.length t.density) (fun i ->
-      ((t.density.(i) +. t.fixed.(i)) /. ba) -. target_density)
+  for i = 0 to Array.length t.density - 1 do
+    rho.(i) <- ((t.density.(i) +. t.fixed.(i)) /. ba) -. target_density
+  done
+
+(** Allocating wrapper over {!charge_into}. *)
+let charge t ~target_density =
+  let rho = Array.make (Array.length t.density) 0.0 in
+  charge_into t ~target_density ~rho;
+  rho

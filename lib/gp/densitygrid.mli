@@ -25,5 +25,9 @@ val update : t -> Netlist.Design.t -> unit
     (target_density * bin_area - fixed) — the convergence metric. *)
 val overflow : t -> target_density:float -> movable_area:float -> float
 
-(** Charge grid for the Poisson solve: occupied density minus target. *)
+(** Charge grid for the Poisson solve into a caller-owned buffer:
+    occupied density minus target. Allocation-free. *)
+val charge_into : t -> target_density:float -> rho:float array -> unit
+
+(** Allocating wrapper over {!charge_into}. *)
 val charge : t -> target_density:float -> float array

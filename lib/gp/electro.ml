@@ -9,33 +9,36 @@ type t = {
   grid : Densitygrid.t;
   poisson : Numerics.Poisson.t;
   obs : Obs.Ctx.t; (* for the in-kernel finiteness probe *)
-  mutable psi : float array;
-  mutable ex : float array; (* field, grid units *)
-  mutable ey : float array;
+  (* Solver state, allocated once in [create] and rewritten in place
+     every [solve] — the steady-state loop never touches the allocator. *)
+  rho : float array;
+  psi : float array;
+  ex : float array; (* field, grid units *)
+  ey : float array;
   mutable energy : float;
 }
 
 let create ?(obs = Obs.Ctx.null) grid =
+  let nbins = grid.Densitygrid.bins_x * grid.Densitygrid.bins_y in
   {
     grid;
     poisson = Numerics.Poisson.create ~rows:grid.Densitygrid.bins_y ~cols:grid.Densitygrid.bins_x;
     obs;
-    psi = [||];
-    ex = [||];
-    ey = [||];
+    rho = Array.make nbins 0.0;
+    psi = Array.make nbins 0.0;
+    ex = Array.make nbins 0.0;
+    ey = Array.make nbins 0.0;
     energy = 0.0;
   }
 
-(** Re-solve the field from the current bin densities. Call after
+(** Re-solve the field from the current bin densities into the
+    preallocated [rho]/[psi]/[ex]/[ey] buffers. Call after
     [Densitygrid.update]. *)
 let solve t ~target_density =
-  let rho = Densitygrid.charge t.grid ~target_density in
-  let psi = Numerics.Poisson.solve ~obs:t.obs t.poisson rho in
-  let ex, ey = Numerics.Poisson.field t.poisson psi in
-  t.psi <- psi;
-  t.ex <- ex;
-  t.ey <- ey;
-  t.energy <- Numerics.Poisson.energy rho psi
+  Densitygrid.charge_into t.grid ~target_density ~rho:t.rho;
+  Numerics.Poisson.solve_into ~obs:t.obs t.poisson ~rho:t.rho ~psi:t.psi;
+  Numerics.Poisson.field_into t.poisson ~psi:t.psi ~ex:t.ex ~ey:t.ey;
+  t.energy <- Numerics.Poisson.energy t.rho t.psi
 
 (* Bilinear interpolation of the field at a physical position. Grid values
    live at bin centres. *)

@@ -6,9 +6,11 @@ type t = {
   grid : Densitygrid.t;
   poisson : Numerics.Poisson.t;
   obs : Obs.Ctx.t; (* routes the in-kernel finiteness probe *)
-  mutable psi : float array;
-  mutable ex : float array; (* field, grid units *)
-  mutable ey : float array;
+  (* Allocated once in [create]; rewritten in place by every [solve]. *)
+  rho : float array;
+  psi : float array;
+  ex : float array; (* field, grid units *)
+  ey : float array;
   mutable energy : float;
 }
 

@@ -7,7 +7,8 @@
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
 let check_size n =
-  if not (is_power_of_two n) then invalid_arg "Fft: size must be a power of two"
+  if not (is_power_of_two n) then
+    invalid_arg (Printf.sprintf "Fft: size must be a power of two, got %d" n)
 
 (* Bit-reversal permutation, in place. *)
 let bit_reverse re im n =

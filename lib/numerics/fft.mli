@@ -3,7 +3,8 @@
 
 val is_power_of_two : int -> bool
 
-(** Raises [Invalid_argument] unless the size is a power of two. *)
+(** Raises [Invalid_argument] unless the size is a power of two; the
+    message names the offending size. *)
 val check_size : int -> unit
 
 (** In-place forward DFT. Arrays must have equal power-of-two length. *)

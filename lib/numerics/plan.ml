@@ -1,0 +1,462 @@
+(** Plan-based real-even spectral engine (the Zhang-Sapatnekar rebuild of
+    the electrostatics transforms).
+
+    A plan precomputes, once per grid shape, everything the per-iteration
+    hot loop would otherwise recompute or reallocate:
+
+    - bit-reversal permutations and per-stage twiddle tables for the
+      complex FFT of each line length (no trig and no [ref] cells in the
+      butterflies, so the transform allocates nothing);
+    - the Makhoul even/odd interleave permutation and the quarter-wave
+      cosine/sine tables that turn an N-point complex FFT into a length-N
+      DCT-II / DCT-III (the seed path used a length-2N complex FFT per
+      line);
+    - per-domain scratch buffers so line batches fan out across
+      [Util.Parallel] without touching the allocator.
+
+    Two real lines are packed into one complex FFT (line A in the real
+    lane, line B in the imaginary lane) and separated afterwards through
+    conjugate symmetry, so a 2D pass costs one N-point complex FFT per
+    *pair* of lines — a ~4x arithmetic reduction over the seed
+    one-2N-FFT-per-line scheme before counting the removed trig calls and
+    allocations.
+
+    Steady-state calls perform zero minor-heap allocation: with one
+    domain and no parallel instrumentation installed the passes run as
+    direct static calls (not even a closure is built); with more domains
+    the only per-call allocation is the dispatch closures handed to
+    [Util.Parallel].
+
+    Numerical note: results agree with the seed [Dct] path only to
+    rounding (different FFT lengths and twiddle evaluation associate the
+    floating-point work differently). The [Oracle.Ref_numerics]
+    differential gates bound the difference against direct summation. *)
+
+(* ------------------------------------------------------------------ *)
+(* Per-line-length tables.                                             *)
+
+type line = {
+  n : int;
+  log2n : int;
+  brev : int array; (* bit-reversal permutation, brev.(i) < n *)
+  (* Forward butterfly twiddles e^{-2 pi i k / len}, all stages flattened:
+     the stage with half-block size h occupies [h-1, 2h-2). Inverse
+     transforms negate the imaginary part. *)
+  twr : float array;
+  twi : float array;
+  (* Makhoul interleave: v.(i) = x.(mperm.(i)) packs the even-index
+     samples first, odd-index samples reversed in the back half. *)
+  mperm : int array;
+  (* Quarter-wave factors cos/sin (pi k / 2n). *)
+  ck : float array;
+  sk : float array;
+}
+
+let make_line n =
+  Fft.check_size n;
+  let log2n =
+    let rec go acc m = if m = 1 then acc else go (acc + 1) (m lsr 1) in
+    go 0 n
+  in
+  let brev = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let j = ref 0 in
+    for b = 0 to log2n - 1 do
+      if i land (1 lsl b) <> 0 then j := !j lor (1 lsl (log2n - 1 - b))
+    done;
+    brev.(i) <- !j
+  done;
+  let tw_len = max 1 (n - 1) in
+  let twr = Array.make tw_len 1.0 and twi = Array.make tw_len 0.0 in
+  for st = 0 to log2n - 1 do
+    let half = 1 lsl st in
+    let len = half * 2 in
+    for k = 0 to half - 1 do
+      let theta = -2.0 *. Float.pi *. float_of_int k /. float_of_int len in
+      twr.(half - 1 + k) <- cos theta;
+      twi.(half - 1 + k) <- sin theta
+    done
+  done;
+  let mperm = Array.make n 0 in
+  for i = 0 to (n / 2) - 1 do
+    mperm.(i) <- 2 * i;
+    mperm.(n - 1 - i) <- (2 * i) + 1
+  done;
+  let ck = Array.init n (fun k -> cos (Float.pi *. float_of_int k /. (2.0 *. float_of_int n))) in
+  let sk = Array.init n (fun k -> sin (Float.pi *. float_of_int k /. (2.0 *. float_of_int n))) in
+  { n; log2n; brev; twr; twi; mperm; ck; sk }
+
+(* In-place complex FFT over the line's tables. [wsign] is +1.0 for the
+   forward transform, -1.0 for the (unnormalised) inverse — the DCT-III
+   path folds the 1/n into its pre-twiddle instead. Free of refs,
+   closures and trig: nothing here allocates. *)
+let fft_core (ln : line) (re : float array) (im : float array) ~wsign =
+  let n = ln.n in
+  let brev = ln.brev in
+  for i = 0 to n - 1 do
+    let j = brev.(i) in
+    if i < j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(j);
+      re.(j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(j);
+      im.(j) <- ti
+    end
+  done;
+  let twr = ln.twr and twi = ln.twi in
+  for st = 0 to ln.log2n - 1 do
+    let half = 1 lsl st in
+    let len = half * 2 in
+    let off = half - 1 in
+    let nblk = n lsr (st + 1) in
+    for blk = 0 to nblk - 1 do
+      let base = blk * len in
+      for k = 0 to half - 1 do
+        let wr = twr.(off + k) in
+        let wi = wsign *. twi.(off + k) in
+        let a = base + k in
+        let b = a + half in
+        let br = re.(b) and bi = im.(b) in
+        let tr = (br *. wr) -. (bi *. wi) in
+        let ti = (br *. wi) +. (bi *. wr) in
+        let ar = re.(a) and ai = im.(a) in
+        re.(b) <- ar -. tr;
+        im.(b) <- ai -. ti;
+        re.(a) <- ar +. tr;
+        im.(a) <- ai +. ti
+      done
+    done
+  done
+
+(* ---- packed-pair DCT-II (forward) ----
+
+   Lines A and B (strided views) are Makhoul-permuted into the real and
+   imaginary lanes of one complex buffer; after one forward FFT the two
+   spectra are separated by conjugate symmetry and the quarter-wave
+   twiddle projects out the DCT-II coefficients:
+     X_k = Re(e^{-i pi k / 2n} V_k)
+   with V the FFT of the permuted line. *)
+
+let load_packed (ln : line) zre zim (a : float array) offa stra (b : float array) offb strb =
+  let mperm = ln.mperm in
+  for i = 0 to ln.n - 1 do
+    let s = mperm.(i) in
+    zre.(i) <- a.(offa + (s * stra));
+    zim.(i) <- b.(offb + (s * strb))
+  done
+
+let load_single (ln : line) zre zim (a : float array) offa stra =
+  let mperm = ln.mperm in
+  for i = 0 to ln.n - 1 do
+    zre.(i) <- a.(offa + (mperm.(i) * stra));
+    zim.(i) <- 0.0
+  done
+
+(* Unpack + quarter-wave twiddle into two strided outputs. *)
+let dct_post (ln : line) zre zim (da : float array) doffa dstra (db : float array) doffb dstrb =
+  let n = ln.n in
+  let mask = n - 1 in
+  let ck = ln.ck and sk = ln.sk in
+  for k = 0 to n - 1 do
+    let k' = (n - k) land mask in
+    let pr = zre.(k) and pq = zre.(k') in
+    let ir = zim.(k) and iq = zim.(k') in
+    let var = 0.5 *. (pr +. pq) and vai = 0.5 *. (ir -. iq) in
+    let vbr = 0.5 *. (ir +. iq) and vbi = 0.5 *. (pq -. pr) in
+    let c = ck.(k) and s = sk.(k) in
+    da.(doffa + (k * dstra)) <- (c *. var) +. (s *. vai);
+    db.(doffb + (k * dstrb)) <- (c *. vbr) +. (s *. vbi)
+  done
+
+(* Same, additionally multiplying coefficient k by strided per-mode
+   factors — the Poisson mode scale fused into the unpack loop. *)
+let dct_post_scaled (ln : line) zre zim (scale : float array) ioffa istr ioffb
+    (da : float array) (db : float array) =
+  let n = ln.n in
+  let mask = n - 1 in
+  let ck = ln.ck and sk = ln.sk in
+  for k = 0 to n - 1 do
+    let k' = (n - k) land mask in
+    let pr = zre.(k) and pq = zre.(k') in
+    let ir = zim.(k) and iq = zim.(k') in
+    let var = 0.5 *. (pr +. pq) and vai = 0.5 *. (ir -. iq) in
+    let vbr = 0.5 *. (ir +. iq) and vbi = 0.5 *. (pq -. pr) in
+    let c = ck.(k) and s = sk.(k) in
+    da.(k) <- ((c *. var) +. (s *. vai)) *. scale.(ioffa + (k * istr));
+    db.(k) <- ((c *. vbr) +. (s *. vbi)) *. scale.(ioffb + (k * istr))
+  done
+
+(* ---- packed-pair DCT-III (inverse) ----
+
+   Rebuild the two conjugate-symmetric spectra from the coefficients,
+     V_k = e^{i pi k / 2n} (X_k - i X_{n-k})        (X_n := 0),
+   pack them as Z = V_A + i V_B, run one inverse FFT (1/n folded into
+   this pre-twiddle), and un-permute both real lanes. *)
+
+let idct_pre (ln : line) zre zim (a : float array) offa stra (b : float array) offb strb =
+  let n = ln.n in
+  let inv_n = 1.0 /. float_of_int n in
+  let ck = ln.ck and sk = ln.sk in
+  zre.(0) <- inv_n *. a.(offa);
+  zim.(0) <- inv_n *. b.(offb);
+  for k = 1 to n - 1 do
+    let xar = a.(offa + (k * stra)) and xaq = a.(offa + ((n - k) * stra)) in
+    let xbr = b.(offb + (k * strb)) and xbq = b.(offb + ((n - k) * strb)) in
+    let c = ck.(k) and s = sk.(k) in
+    let var = (c *. xar) +. (s *. xaq) and vai = (s *. xar) -. (c *. xaq) in
+    let vbr = (c *. xbr) +. (s *. xbq) and vbi = (s *. xbr) -. (c *. xbq) in
+    zre.(k) <- inv_n *. (var -. vbi);
+    zim.(k) <- inv_n *. (vai +. vbr)
+  done
+
+let store_packed (ln : line) zre zim (a : float array) offa stra (b : float array) offb strb =
+  let mperm = ln.mperm in
+  for i = 0 to ln.n - 1 do
+    let s = mperm.(i) in
+    a.(offa + (s * stra)) <- zre.(i);
+    b.(offb + (s * strb)) <- zim.(i)
+  done
+
+let store_single (ln : line) zre (a : float array) offa stra =
+  let mperm = ln.mperm in
+  for i = 0 to ln.n - 1 do
+    a.(offa + (mperm.(i) * stra)) <- zre.(i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* 2D plans.                                                           *)
+
+type scratch = {
+  zre : float array; (* complex work buffer, length max(rows, cols) *)
+  zim : float array;
+  xa : float array; (* coefficient staging for the fused column pass *)
+  xb : float array; (* also the discard sink for odd-count tails *)
+}
+
+type t = {
+  rows : int;
+  cols : int;
+  row_line : line; (* lines of length [cols] *)
+  col_line : line; (* lines of length [rows] *)
+  zero : float array; (* read-only zero line, length max(rows, cols) *)
+  mutable scratch : scratch array; (* one per parallel chunk, grown on demand *)
+}
+
+let rows t = t.rows
+
+let cols t = t.cols
+
+let make_scratch m = { zre = Array.make m 0.0; zim = Array.make m 0.0; xa = Array.make m 0.0; xb = Array.make m 0.0 }
+
+let create ~rows ~cols =
+  Fft.check_size rows;
+  Fft.check_size cols;
+  let m = max rows cols in
+  {
+    rows;
+    cols;
+    row_line = make_line cols;
+    col_line = make_line rows;
+    zero = Array.make m 0.0;
+    scratch = [| make_scratch m |];
+  }
+
+(* Grow the per-chunk scratch set to the current chunk count. Allocates
+   only when the domain count increased since the last call. *)
+let ensure_scratch t k =
+  if Array.length t.scratch < k then begin
+    let m = max t.rows t.cols in
+    let old = t.scratch in
+    t.scratch <- Array.init k (fun i -> if i < Array.length old then old.(i) else make_scratch m)
+  end;
+  t.scratch
+
+(* ---- row passes: pairs of adjacent rows, contiguous lines ---- *)
+
+let row_fwd_seg t (src : float array) (dst : float array) lo hi (sc : scratch) =
+  let ln = t.row_line in
+  let cols = t.cols in
+  for p = lo to hi - 1 do
+    let r0 = 2 * p in
+    if r0 + 1 < t.rows then begin
+      load_packed ln sc.zre sc.zim src (r0 * cols) 1 src ((r0 + 1) * cols) 1;
+      fft_core ln sc.zre sc.zim ~wsign:1.0;
+      dct_post ln sc.zre sc.zim dst (r0 * cols) 1 dst ((r0 + 1) * cols) 1
+    end
+    else begin
+      load_single ln sc.zre sc.zim src (r0 * cols) 1;
+      fft_core ln sc.zre sc.zim ~wsign:1.0;
+      dct_post ln sc.zre sc.zim dst (r0 * cols) 1 sc.xb 0 1
+    end
+  done
+
+let row_inv_seg t (src : float array) (dst : float array) lo hi (sc : scratch) =
+  let ln = t.row_line in
+  let cols = t.cols in
+  for p = lo to hi - 1 do
+    let r0 = 2 * p in
+    if r0 + 1 < t.rows then begin
+      idct_pre ln sc.zre sc.zim src (r0 * cols) 1 src ((r0 + 1) * cols) 1;
+      fft_core ln sc.zre sc.zim ~wsign:(-1.0);
+      store_packed ln sc.zre sc.zim dst (r0 * cols) 1 dst ((r0 + 1) * cols) 1
+    end
+    else begin
+      idct_pre ln sc.zre sc.zim src (r0 * cols) 1 t.zero 0 0;
+      fft_core ln sc.zre sc.zim ~wsign:(-1.0);
+      store_single ln sc.zre dst (r0 * cols) 1
+    end
+  done
+
+(* ---- column passes: pairs of adjacent columns, stride = cols ---- *)
+
+let col_fwd_seg t (buf : float array) lo hi (sc : scratch) =
+  let ln = t.col_line in
+  let cols = t.cols in
+  for p = lo to hi - 1 do
+    let c0 = 2 * p in
+    if c0 + 1 < cols then begin
+      load_packed ln sc.zre sc.zim buf c0 cols buf (c0 + 1) cols;
+      fft_core ln sc.zre sc.zim ~wsign:1.0;
+      dct_post ln sc.zre sc.zim buf c0 cols buf (c0 + 1) cols
+    end
+    else begin
+      load_single ln sc.zre sc.zim buf c0 cols;
+      fft_core ln sc.zre sc.zim ~wsign:1.0;
+      dct_post ln sc.zre sc.zim buf c0 cols sc.xb 0 1
+    end
+  done
+
+let col_inv_seg t (buf : float array) lo hi (sc : scratch) =
+  let ln = t.col_line in
+  let cols = t.cols in
+  for p = lo to hi - 1 do
+    let c0 = 2 * p in
+    if c0 + 1 < cols then begin
+      idct_pre ln sc.zre sc.zim buf c0 cols buf (c0 + 1) cols;
+      fft_core ln sc.zre sc.zim ~wsign:(-1.0);
+      store_packed ln sc.zre sc.zim buf c0 cols buf (c0 + 1) cols
+    end
+    else begin
+      idct_pre ln sc.zre sc.zim buf c0 cols t.zero 0 0;
+      fft_core ln sc.zre sc.zim ~wsign:(-1.0);
+      store_single ln sc.zre buf c0 cols
+    end
+  done
+
+(* Fused column pass of the Poisson solve: forward column DCT, per-mode
+   scale, inverse column DCT — one gather/scatter per column pair instead
+   of three separate sweeps over the grid. *)
+let col_filter_seg t (scale : float array) (buf : float array) lo hi (sc : scratch) =
+  let ln = t.col_line in
+  let cols = t.cols in
+  for p = lo to hi - 1 do
+    let c0 = 2 * p in
+    if c0 + 1 < cols then begin
+      load_packed ln sc.zre sc.zim buf c0 cols buf (c0 + 1) cols;
+      fft_core ln sc.zre sc.zim ~wsign:1.0;
+      dct_post_scaled ln sc.zre sc.zim scale c0 cols (c0 + 1) sc.xa sc.xb;
+      idct_pre ln sc.zre sc.zim sc.xa 0 1 sc.xb 0 1;
+      fft_core ln sc.zre sc.zim ~wsign:(-1.0);
+      store_packed ln sc.zre sc.zim buf c0 cols buf (c0 + 1) cols
+    end
+    else begin
+      load_single ln sc.zre sc.zim buf c0 cols;
+      fft_core ln sc.zre sc.zim ~wsign:1.0;
+      (* Single column: the B lane is a discard; scale indices stay in
+         range by reusing column c0's stride. *)
+      dct_post_scaled ln sc.zre sc.zim scale c0 cols c0 sc.xa sc.xb;
+      idct_pre ln sc.zre sc.zim sc.xa 0 1 t.zero 0 0;
+      fft_core ln sc.zre sc.zim ~wsign:(-1.0);
+      store_single ln sc.zre buf c0 cols
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Pass drivers. The sequential un-instrumented case calls the segment
+   functions directly — no closure is built, so a steady-state transform
+   performs zero minor-heap allocation. Otherwise line pairs are batched
+   through [Util.Parallel.for_chunks] with per-chunk scratch (the
+   dispatch closures are the only per-call allocation). *)
+
+let sequential () = !Util.Parallel.num_domains <= 1 && not (Util.Parallel.instrumented ())
+
+let row_pairs t = (t.rows + 1) / 2
+
+let col_pairs t = (t.cols + 1) / 2
+
+let check_dims t src dst =
+  if Array.length src <> t.rows * t.cols || Array.length dst <> t.rows * t.cols then
+    invalid_arg "Numerics.Plan: array length does not match the planned grid"
+
+let dct2_2d t ~src ~dst =
+  check_dims t src dst;
+  if sequential () then begin
+    let sc = t.scratch.(0) in
+    row_fwd_seg t src dst 0 (row_pairs t) sc;
+    col_fwd_seg t dst 0 (col_pairs t) sc
+  end
+  else begin
+    let scr = ensure_scratch t (Util.Parallel.chunk_count ~n:(row_pairs t)) in
+    Util.Parallel.for_chunks ~grain:4 ~name:"dct.rows" ~n:(row_pairs t)
+      (fun ~chunk ~lo ~hi -> row_fwd_seg t src dst lo hi scr.(chunk));
+    Util.Parallel.for_chunks ~grain:4 ~name:"dct.cols" ~n:(col_pairs t)
+      (fun ~chunk ~lo ~hi -> col_fwd_seg t dst lo hi scr.(chunk))
+  end
+
+let idct2_2d t ~src ~dst =
+  check_dims t src dst;
+  if src != dst then Array.blit src 0 dst 0 (t.rows * t.cols);
+  if sequential () then begin
+    let sc = t.scratch.(0) in
+    col_inv_seg t dst 0 (col_pairs t) sc;
+    row_inv_seg t dst dst 0 (row_pairs t) sc
+  end
+  else begin
+    let scr = ensure_scratch t (Util.Parallel.chunk_count ~n:(row_pairs t)) in
+    Util.Parallel.for_chunks ~grain:4 ~name:"dct.cols" ~n:(col_pairs t)
+      (fun ~chunk ~lo ~hi -> col_inv_seg t dst lo hi scr.(chunk));
+    Util.Parallel.for_chunks ~grain:4 ~name:"dct.rows" ~n:(row_pairs t)
+      (fun ~chunk ~lo ~hi -> row_inv_seg t dst dst lo hi scr.(chunk))
+  end
+
+let apply_filter t ~scale ~src ~dst =
+  check_dims t src dst;
+  if Array.length scale <> t.rows * t.cols then
+    invalid_arg "Numerics.Plan: scale length does not match the planned grid";
+  if sequential () then begin
+    let sc = t.scratch.(0) in
+    row_fwd_seg t src dst 0 (row_pairs t) sc;
+    col_filter_seg t scale dst 0 (col_pairs t) sc;
+    row_inv_seg t dst dst 0 (row_pairs t) sc
+  end
+  else begin
+    let scr = ensure_scratch t (Util.Parallel.chunk_count ~n:(row_pairs t)) in
+    Util.Parallel.for_chunks ~grain:4 ~name:"dct.rows" ~n:(row_pairs t)
+      (fun ~chunk ~lo ~hi -> row_fwd_seg t src dst lo hi scr.(chunk));
+    Util.Parallel.for_chunks ~grain:4 ~name:"poisson.filter" ~n:(col_pairs t)
+      (fun ~chunk ~lo ~hi -> col_filter_seg t scale dst lo hi scr.(chunk));
+    Util.Parallel.for_chunks ~grain:4 ~name:"dct.rows" ~n:(row_pairs t)
+      (fun ~chunk ~lo ~hi -> row_inv_seg t dst dst lo hi scr.(chunk))
+  end
+
+(* ---- 1D pair entry points (tests and benches exercise the packing
+   directly; lines have length [cols t]) ---- *)
+
+let dct2_pair t ~a ~b ~xa ~xb =
+  let n = t.cols in
+  if Array.length a <> n || Array.length b <> n || Array.length xa <> n || Array.length xb <> n
+  then invalid_arg "Numerics.Plan.dct2_pair: line length mismatch";
+  let sc = t.scratch.(0) in
+  load_packed t.row_line sc.zre sc.zim a 0 1 b 0 1;
+  fft_core t.row_line sc.zre sc.zim ~wsign:1.0;
+  dct_post t.row_line sc.zre sc.zim xa 0 1 xb 0 1
+
+let idct2_pair t ~xa ~xb ~a ~b =
+  let n = t.cols in
+  if Array.length a <> n || Array.length b <> n || Array.length xa <> n || Array.length xb <> n
+  then invalid_arg "Numerics.Plan.idct2_pair: line length mismatch";
+  let sc = t.scratch.(0) in
+  idct_pre t.row_line sc.zre sc.zim xa 0 1 xb 0 1;
+  fft_core t.row_line sc.zre sc.zim ~wsign:(-1.0);
+  store_packed t.row_line sc.zre sc.zim a 0 1 b 0 1

@@ -1,0 +1,59 @@
+(** Plan-based real-even spectral engine.
+
+    A plan is created once per grid shape and reused across solves: it
+    precomputes bit-reversal permutations, per-stage FFT twiddles, the
+    Makhoul interleave permutation and quarter-wave cosine tables for
+    both line lengths, and owns per-domain scratch buffers. Two real
+    lines are packed into one complex FFT (Makhoul's N-point DCT via the
+    even/odd interleave), so a 2D DCT costs one N-point complex FFT per
+    *pair* of lines instead of the seed path's one 2N-point FFT per
+    line.
+
+    Steady-state transforms over an existing plan perform zero
+    minor-heap allocation when running on a single domain without
+    parallel instrumentation; under multiple domains the only per-call
+    allocation is the dispatch closures handed to [Util.Parallel]
+    (named [dct.rows] / [dct.cols] / [poisson.filter], so [par.*]
+    metrics stay alive).
+
+    Results agree with the seed [Dct] path only to rounding — the
+    [Oracle.Ref_numerics] differential gates bound both engines against
+    direct summation. *)
+
+type t
+
+(** [create ~rows ~cols] builds a plan for row-major [rows*cols] grids.
+    Both dimensions must be powers of two (raises [Invalid_argument]
+    otherwise, naming the offending size). *)
+val create : rows:int -> cols:int -> t
+
+val rows : t -> int
+
+val cols : t -> int
+
+(** 2D DCT-II of [src] into [dst] (both row-major [rows*cols]; [src] is
+    not modified unless [src == dst], which is allowed). *)
+val dct2_2d : t -> src:float array -> dst:float array -> unit
+
+(** 2D DCT-III (exact inverse of {!dct2_2d}) of [src] into [dst];
+    [src == dst] is allowed. *)
+val idct2_2d : t -> src:float array -> dst:float array -> unit
+
+(** [apply_filter t ~scale ~src ~dst] computes
+    [dst = IDCT2(scale .* DCT2(src))] with the per-mode multiply fused
+    into the column pass — the whole Poisson solve in three sweeps with
+    no intermediate coefficient grid. [scale] is row-major [rows*cols];
+    [src == dst] is allowed. *)
+val apply_filter : t -> scale:float array -> src:float array -> dst:float array -> unit
+
+(** {2 1D packed-pair entry points}
+
+    Direct access to the two-lines-per-FFT packing over lines of length
+    [cols t] — exercised by the differential tests and the bench. *)
+
+(** DCT-II of lines [a] and [b] into [xa] and [xb] (all length
+    [cols t]). *)
+val dct2_pair : t -> a:float array -> b:float array -> xa:float array -> xb:float array -> unit
+
+(** DCT-III (inverse of {!dct2_pair}) of [xa]/[xb] into [a]/[b]. *)
+val idct2_pair : t -> xa:float array -> xb:float array -> a:float array -> b:float array -> unit

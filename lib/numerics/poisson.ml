@@ -4,18 +4,31 @@
     the density grid is transformed with a 2D DCT, each mode is scaled by
     1 / (wu^2 + wv^2), and the inverse transform yields the potential.
     The DC mode is dropped, which is equivalent to neutralising the total
-    charge (ePlace's implicit assumption at the density target). *)
+    charge (ePlace's implicit assumption at the density target).
+
+    The transform work runs on a per-solver [Plan]: real-even packed
+    transforms with the mode scale fused into the column pass, over
+    plan-owned scratch — [solve_into]/[field_into] perform zero
+    minor-heap allocation in steady state. The seed complex-FFT path
+    ([Dct]) is kept behind {!use_seed_engine} for A/B comparison. *)
 
 type t = {
   rows : int;
   cols : int;
   (* Precomputed 1 / (wu^2 + wv^2), DC term 0. *)
   inv_freq_sq : float array;
+  plan : Plan.t;
 }
 
+(* A/B flag: route [solve]/[solve_into] through the seed per-line
+   complex-FFT [Dct] path instead of the packed real-even plan. Results
+   agree to rounding, not bitwise. *)
+let use_seed_engine = ref false
+
 let create ~rows ~cols =
-  Fft.check_size rows;
-  Fft.check_size cols;
+  if not (Fft.is_power_of_two rows && Fft.is_power_of_two cols) then
+    Util.Errors.config_error ~what:"poisson.grid"
+      (Printf.sprintf "grid dimensions must be powers of two, got %dx%d" rows cols);
   let inv = Array.make (rows * cols) 0.0 in
   (* Eigenvalues of the discrete 5-point Laplacian with Neumann BC for
      cosine modes: -(2 - 2 cos wu) - (2 - 2 cos wv). Using the discrete
@@ -29,7 +42,11 @@ let create ~rows ~cols =
       inv.((u * cols) + v) <- (if s = 0.0 then 0.0 else 1.0 /. s)
     done
   done;
-  { rows; cols; inv_freq_sq = inv }
+  { rows; cols; inv_freq_sq = inv; plan = Plan.create ~rows ~cols }
+
+let rows t = t.rows
+
+let cols t = t.cols
 
 (* In-kernel finiteness probe (sampled, so O(1)-ish per solve): a NaN
    entering through the density field or produced inside the DCT pair
@@ -42,46 +59,88 @@ let probe obs ~what a =
     Obs.Log.warn "[poisson] non-finite %s detected in spectral solve" what
   end
 
-(** Potential psi from charge density rho (row-major [rows*cols]).
-    [Dct.idct2_2d] inverts [Dct.dct2_2d] exactly, so no extra
-    normalisation is needed here. *)
-let solve ?(obs = Obs.Ctx.null) t rho =
+(** Potential psi from charge density rho (row-major [rows*cols]) into a
+    caller-owned buffer. [rho == psi] is allowed. The plan path fuses
+    forward transform, mode scale and inverse transform; it allocates
+    nothing in steady state on a single domain. *)
+let solve_into ?(obs = Obs.Ctx.null) t ~rho ~psi =
   assert (Array.length rho = t.rows * t.cols);
+  assert (Array.length psi = t.rows * t.cols);
   probe obs ~what:"density" rho;
-  let coeffs = Dct.dct2_2d rho ~rows:t.rows ~cols:t.cols in
-  Util.Parallel.for_ ~name:"poisson.scale" (t.rows * t.cols) (fun i ->
-      coeffs.(i) <- coeffs.(i) *. t.inv_freq_sq.(i));
-  let psi = Dct.idct2_2d coeffs ~rows:t.rows ~cols:t.cols in
-  probe obs ~what:"psi" psi;
+  if !use_seed_engine then begin
+    let coeffs = Dct.dct2_2d rho ~rows:t.rows ~cols:t.cols in
+    Util.Parallel.for_ ~name:"poisson.scale" (t.rows * t.cols) (fun i ->
+        coeffs.(i) <- coeffs.(i) *. t.inv_freq_sq.(i));
+    let out = Dct.idct2_2d coeffs ~rows:t.rows ~cols:t.cols in
+    Array.blit out 0 psi 0 (t.rows * t.cols)
+  end
+  else Plan.apply_filter t.plan ~scale:t.inv_freq_sq ~src:rho ~dst:psi;
+  probe obs ~what:"psi" psi
+
+(** Allocating wrapper over {!solve_into}. *)
+let solve ?obs t rho =
+  let psi = Array.make (t.rows * t.cols) 0.0 in
+  solve_into ?obs t ~rho ~psi;
   psi
 
-(** Electric field (ex, ey) = -grad(psi), central differences in grid
-    units, one-sided at the boundary. [ex] varies along columns (x),
-    [ey] along rows (y). *)
-let field t psi =
+(* Field rows [lo, hi): closure-free central differences so the
+   sequential path stays allocation-free. *)
+let field_seg rows cols (psi : float array) (ex : float array) (ey : float array) lo hi =
+  for r = lo to hi - 1 do
+    let base = r * cols in
+    let up = (if r = 0 then 0 else r - 1) * cols in
+    let dn = (if r = rows - 1 then rows - 1 else r + 1) * cols in
+    let dy_scale = if r = 0 || r = rows - 1 then 1.0 else 0.5 in
+    for c = 0 to cols - 1 do
+      let dpsi_dx =
+        if c = 0 then psi.(base + 1) -. psi.(base)
+        else if c = cols - 1 then psi.(base + c) -. psi.(base + c - 1)
+        else (psi.(base + c + 1) -. psi.(base + c - 1)) /. 2.0
+      in
+      let dpsi_dy = (psi.(dn + c) -. psi.(up + c)) *. dy_scale in
+      ex.(base + c) <- -.dpsi_dx;
+      ey.(base + c) <- -.dpsi_dy
+    done
+  done
+
+(** Electric field (ex, ey) = -grad(psi) into caller-owned buffers,
+    central differences in grid units, one-sided at the boundary. [ex]
+    varies along columns (x), [ey] along rows (y). *)
+let field_into t ~psi ~ex ~ey =
   let rows = t.rows and cols = t.cols in
-  let ex = Array.make (rows * cols) 0.0 and ey = Array.make (rows * cols) 0.0 in
-  let at r c = psi.((r * cols) + c) in
-  (* Each grid point only reads psi and writes its own slot: parallel
-     over rows. *)
-  Util.Parallel.for_ ~grain:16 ~name:"poisson.field" rows (fun r ->
-      for c = 0 to cols - 1 do
-        let dpsi_dx =
-          if c = 0 then at r 1 -. at r 0
-          else if c = cols - 1 then at r (cols - 1) -. at r (cols - 2)
-          else (at r (c + 1) -. at r (c - 1)) /. 2.0
-        in
-        let dpsi_dy =
-          if r = 0 then at 1 c -. at 0 c
-          else if r = rows - 1 then at (rows - 1) c -. at (rows - 2) c
-          else (at (r + 1) c -. at (r - 1) c) /. 2.0
-        in
-        ex.((r * cols) + c) <- -.dpsi_dx;
-        ey.((r * cols) + c) <- -.dpsi_dy
-      done);
+  assert (Array.length psi = rows * cols);
+  assert (Array.length ex = rows * cols && Array.length ey = rows * cols);
+  if !Util.Parallel.num_domains <= 1 && not (Util.Parallel.instrumented ()) then
+    field_seg rows cols psi ex ey 0 rows
+  else
+    Util.Parallel.for_chunks ~grain:16 ~name:"poisson.field" ~n:rows (fun ~chunk:_ ~lo ~hi ->
+        field_seg rows cols psi ex ey lo hi)
+
+(** Allocating wrapper over {!field_into}. *)
+let field t psi =
+  let ex = Array.make (t.rows * t.cols) 0.0 and ey = Array.make (t.rows * t.cols) 0.0 in
+  field_into t ~psi ~ex ~ey;
   (ex, ey)
 
+(* Sequential energy accumulator: a module-level float-array cell instead
+   of a [ref] (float refs box on every store without flambda). [energy]
+   is only invoked from the orchestrating domain, never inside a kernel
+   body, so a single cell is safe. *)
+let energy_acc = Array.make 1 0.0
+
 (** System energy 0.5 * sum(rho * psi); the ePlace density penalty.
-    Deterministic chunked reduction (see [Util.Parallel.sum]). *)
+    Deterministic chunked reduction (see [Util.Parallel.sum]); the
+    sequential path folds left-to-right exactly like [Parallel.sum] at
+    one domain, so results are bitwise-identical to the seed. *)
 let energy rho psi =
-  0.5 *. Util.Parallel.sum ~name:"poisson.energy" (Array.length rho) (fun i -> rho.(i) *. psi.(i))
+  if !Util.Parallel.num_domains <= 1 then begin
+    let n = Array.length rho in
+    energy_acc.(0) <- 0.0;
+    for i = 0 to n - 1 do
+      energy_acc.(0) <- energy_acc.(0) +. (rho.(i) *. psi.(i))
+    done;
+    0.5 *. energy_acc.(0)
+  end
+  else
+    0.5
+    *. Util.Parallel.sum ~name:"poisson.energy" (Array.length rho) (fun i -> rho.(i) *. psi.(i))

@@ -14,18 +14,26 @@ type thresholds = {
   max_rss_ratio : float; (* peak RSS, current / baseline *)
   max_self_ratio : float; (* per-phase self seconds, current / baseline *)
   max_hpwl_ratio : float; (* quality backstop: HPWL current / baseline *)
+  max_alloc_ratio : float; (* minor-heap words, current vs baseline *)
+  alloc_slack_words : float; (* absolute slack added to the alloc limit *)
   min_phase_s : float; (* ignore phases whose baseline self time is below *)
   min_rss_bytes : float; (* ignore the RSS check below this baseline *)
 }
 
 (* Hosts differ; CI wants regressions an order of magnitude out, not
-   scheduler noise. *)
+   scheduler noise. The allocation gate is ratio-plus-slack rather than
+   pure ratio: a zero-allocation kernel regressing to millions of words
+   would pass any finite ratio against a ~0 baseline, and a pure ratio
+   on small baselines is all jitter — [c > b * ratio + slack] catches
+   both ends. *)
 let default_thresholds =
   {
     max_time_ratio = 5.0;
     max_rss_ratio = 4.0;
     max_self_ratio = 6.0;
     max_hpwl_ratio = 1.5;
+    max_alloc_ratio = 8.0;
+    alloc_slack_words = 1e6;
     min_phase_s = 0.05;
     min_rss_bytes = 32.0 *. 1024.0 *. 1024.0;
   }
@@ -56,6 +64,7 @@ type entry = {
   ekey : string;
   runtime : float option;
   peak_rss : float option;
+  minor_words : float option; (* minor-heap allocation over the run *)
   hpwl : float option;
   self : (string * float) list; (* per-phase self seconds *)
   failed : bool; (* entry carries an error object *)
@@ -76,6 +85,7 @@ let entry_of_json j =
     ekey = design ^ "/" ^ label;
     runtime = mem_float "runtime" j;
     peak_rss = Option.bind (Json.member "resource" j) (mem_float "peak_rss_bytes");
+    minor_words = Option.bind (Json.member "resource" j) (mem_float "minor_words");
     hpwl = Option.bind (Json.member "metrics" j) (mem_float "hpwl");
     self;
     failed = (match Json.member "error" j with Some Json.Null | None -> false | Some _ -> true);
@@ -131,6 +141,23 @@ let compare_entries (th : thresholds) ~(baseline : entry list) ~(current : entry
               let acc =
                 check ~key:b.ekey ~what:"hpwl" ~limit:th.max_hpwl_ratio ~floor:1e-9 b.hpwl
                   c.hpwl acc
+              in
+              (* Allocation: limit is ratio-plus-slack (see
+                 [default_thresholds]) so a ~0 baseline still gates. *)
+              let acc =
+                match (b.minor_words, c.minor_words) with
+                | Some bw, Some cw
+                  when Float.is_finite bw && Float.is_finite cw
+                       && cw > (bw *. th.max_alloc_ratio) +. th.alloc_slack_words ->
+                    {
+                      key = b.ekey;
+                      what = "minor_words";
+                      baseline = bw;
+                      current = cw;
+                      limit = th.max_alloc_ratio;
+                    }
+                    :: acc
+                | _ -> acc
               in
               List.fold_left
                 (fun acc (phase, bs) ->

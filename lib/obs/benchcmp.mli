@@ -8,6 +8,12 @@ type thresholds = {
   max_rss_ratio : float;
   max_self_ratio : float;
   max_hpwl_ratio : float;
+  (* Minor-heap allocation gate: violation when
+     [current > baseline * max_alloc_ratio + alloc_slack_words]. The
+     additive slack makes a near-zero baseline still gate (a pure ratio
+     would let a 0-alloc kernel regress to millions of words). *)
+  max_alloc_ratio : float;
+  alloc_slack_words : float;
   min_phase_s : float;
   min_rss_bytes : float;
 }
@@ -17,7 +23,9 @@ val default_thresholds : thresholds
 
 type violation = {
   key : string; (* "design/label" *)
-  what : string; (* "runtime" | "peak_rss" | "hpwl" | "self:<phase>" | "missing" *)
+  what : string;
+      (* "runtime" | "peak_rss" | "hpwl" | "minor_words" | "self:<phase>"
+         | "missing" *)
   baseline : float;
   current : float;
   limit : float;

@@ -121,3 +121,41 @@ let check_poisson_residual ?(atol = 1e-8) ~rho ~psi ~rows ~cols () =
       Error
         (Printf.sprintf "poisson residual at %d: laplacian %.12g, want %.12g (|rho|max %.3g)" i
            got want scale)
+
+(* ---- differential gates for the packed real-even plan engine ----
+
+   Each gate runs the production [Numerics.Plan] path on a fresh plan
+   and compares against direct summation. Tolerances default looser than
+   the seed-path gates: both the packed FFT and the O(N^2) reference
+   accumulate rounding of order N*eps on coefficients with heavy
+   cancellation, so an absolute floor is required. *)
+
+let check_dct2_2d ?(rtol = 1e-9) ?(atol = 1e-7) grid ~rows ~cols =
+  let plan = Numerics.Plan.create ~rows ~cols in
+  let got = Array.make (rows * cols) 0.0 in
+  Numerics.Plan.dct2_2d plan ~src:grid ~dst:got;
+  Compare.check_array ~rtol ~atol
+    ~what:(Printf.sprintf "plan.dct2_2d %dx%d" rows cols)
+    got
+    (dct2_2d_direct grid ~rows ~cols)
+
+let check_idct2_2d ?(rtol = 1e-9) ?(atol = 1e-7) grid ~rows ~cols =
+  let plan = Numerics.Plan.create ~rows ~cols in
+  let got = Array.make (rows * cols) 0.0 in
+  Numerics.Plan.idct2_2d plan ~src:grid ~dst:got;
+  Compare.check_array ~rtol ~atol
+    ~what:(Printf.sprintf "plan.idct2_2d %dx%d" rows cols)
+    got
+    (idct2_2d_direct grid ~rows ~cols)
+
+let check_poisson_solve ?(rtol = 1e-9) ?(atol = 1e-7) rho ~rows ~cols =
+  let p = Numerics.Poisson.create ~rows ~cols in
+  let psi = Numerics.Poisson.solve p rho in
+  Compare.all
+    [
+      Compare.check_array ~rtol ~atol
+        ~what:(Printf.sprintf "plan.poisson_solve %dx%d" rows cols)
+        psi
+        (poisson_solve_direct rho ~rows ~cols);
+      check_poisson_residual ~rho ~psi ~rows ~cols ();
+    ]

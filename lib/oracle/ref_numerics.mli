@@ -40,3 +40,22 @@ val energy_direct : float array -> float array -> float
     absolute tolerance scaled by the charge magnitude. *)
 val check_poisson_residual :
   ?atol:float -> rho:float array -> psi:float array -> rows:int -> cols:int -> unit -> (unit, string) result
+
+(** {2 Gates for the packed real-even plan engine}
+
+    Each gate builds a fresh [Numerics.Plan] (or plan-backed
+    [Numerics.Poisson]), runs the production packed path on the given
+    row-major grid, and compares against direct summation. The absolute
+    floor (default 1e-7) absorbs the O(N*eps) rounding both the packed
+    FFT and the naive sum accumulate on cancelling coefficients. *)
+
+val check_dct2_2d :
+  ?rtol:float -> ?atol:float -> float array -> rows:int -> cols:int -> (unit, string) result
+
+val check_idct2_2d :
+  ?rtol:float -> ?atol:float -> float array -> rows:int -> cols:int -> (unit, string) result
+
+(** Plan-backed [Numerics.Poisson.solve] vs {!poisson_solve_direct},
+    plus the residual gate on the same solution. *)
+val check_poisson_solve :
+  ?rtol:float -> ?atol:float -> float array -> rows:int -> cols:int -> (unit, string) result

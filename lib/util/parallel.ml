@@ -170,6 +170,8 @@ let instrument : (stats -> unit) option ref = ref None
 
 let set_instrument h = instrument := h
 
+let instrumented () = !instrument <> None
+
 let now () = Unix.gettimeofday ()
 
 let run_inline ~chunks body =

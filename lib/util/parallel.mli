@@ -96,3 +96,9 @@ type stats = {
     call — the obs layer wires this to span/histogram sinks without util
     depending on obs. Adds two clock reads per chunk when installed. *)
 val set_instrument : (stats -> unit) option -> unit
+
+(** Whether an instrumentation hook is currently installed. Allocation-
+    sensitive kernels use this to decide between a closure-free direct
+    call (sequential, uninstrumented) and a named parallel dispatch that
+    keeps the [par.*] metrics alive. *)
+val instrumented : unit -> bool

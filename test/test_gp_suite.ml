@@ -202,6 +202,33 @@ let test_electro_energy_decreases_with_spreading () =
   in
   Alcotest.(check bool) "stacked energy higher" true (stacked > spread)
 
+let test_electro_buffers_reused () =
+  (* The solver state is allocated once in [create] and rewritten in
+     place: repeated solves must keep the same physical arrays (no
+     per-iteration psi/ex/ey churn) while still changing their values. *)
+  let d = spread_design () in
+  let grid = Gp.Densitygrid.create d ~bins_x:32 ~bins_y:32 in
+  Gp.Densitygrid.update grid d;
+  let el = Gp.Electro.create grid in
+  Gp.Electro.solve el ~target_density:1.0;
+  let psi0 = el.Gp.Electro.psi and ex0 = el.Gp.Electro.ex and ey0 = el.Gp.Electro.ey in
+  let psi_snapshot = Array.copy psi0 in
+  (* Perturb the placement so the next solve produces a different field. *)
+  let ctr = Geom.Rect.center d.die in
+  Array.iter
+    (fun (c : Design.cell) ->
+      if c.movable then begin
+        d.x.(c.id) <- ctr.Geom.Point.x;
+        d.y.(c.id) <- ctr.Geom.Point.y
+      end)
+    d.cells;
+  Gp.Densitygrid.update grid d;
+  Gp.Electro.solve el ~target_density:1.0;
+  Alcotest.(check bool) "psi same array" true (el.Gp.Electro.psi == psi0);
+  Alcotest.(check bool) "ex same array" true (el.Gp.Electro.ex == ex0);
+  Alcotest.(check bool) "ey same array" true (el.Gp.Electro.ey == ey0);
+  Alcotest.(check bool) "psi values updated" true (el.Gp.Electro.psi <> psi_snapshot)
+
 (* ---------------- Nesterov ---------------- *)
 
 let test_nesterov_quadratic_bowl () =
@@ -364,6 +391,7 @@ let suite =
     ("overflow extremes", `Quick, test_overflow_extremes);
     ("electro force direction", `Quick, test_electro_force_spreads);
     ("electro energy vs spreading", `Quick, test_electro_energy_decreases_with_spreading);
+    ("electro buffers reused", `Quick, test_electro_buffers_reused);
     ("nesterov quadratic bowl", `Quick, test_nesterov_quadratic_bowl);
     ("nesterov clamp", `Quick, test_nesterov_respects_clamp);
     ("globalplace reduces overflow", `Slow, test_globalplace_reduces_overflow);

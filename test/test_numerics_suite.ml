@@ -62,8 +62,10 @@ let test_fft_parseval () =
     (Float.abs ((!freq_energy /. float_of_int n) -. time_energy) < 1e-8 *. (1.0 +. time_energy))
 
 let test_fft_bad_size () =
-  Alcotest.check_raises "not power of two" (Invalid_argument "Fft: size must be a power of two")
-    (fun () -> Numerics.Fft.forward (Array.make 3 0.0) (Array.make 3 0.0))
+  (* The message must name the offending size. *)
+  Alcotest.check_raises "not power of two"
+    (Invalid_argument "Fft: size must be a power of two, got 3") (fun () ->
+      Numerics.Fft.forward (Array.make 3 0.0) (Array.make 3 0.0))
 
 let test_fft_linearity () =
   let rng = Util.Rng.create 3 in
@@ -126,6 +128,77 @@ let q_dct_roundtrip =
     (fun l ->
       let x = Array.of_list l in
       max_abs_diff (Numerics.Dct.idct2 (Numerics.Dct.dct2 x)) x < 1e-8)
+
+(* ---------------- Plan (packed real-even engine) ---------------- *)
+
+(* The packed two-lines-per-FFT DCT-II must match direct summation at
+   every supported line length, including the degenerate n=2. *)
+let test_plan_pair_vs_naive () =
+  let rng = Util.Rng.create 21 in
+  List.iter
+    (fun n ->
+      let plan = Numerics.Plan.create ~rows:2 ~cols:n in
+      let a = random_array rng n and b = random_array rng n in
+      let xa = Array.make n 0.0 and xb = Array.make n 0.0 in
+      Numerics.Plan.dct2_pair plan ~a ~b ~xa ~xb;
+      Alcotest.(check bool)
+        (Printf.sprintf "pair dct A n=%d" n)
+        true
+        (max_abs_diff xa (naive_dct2 a) < 1e-8);
+      Alcotest.(check bool)
+        (Printf.sprintf "pair dct B n=%d" n)
+        true
+        (max_abs_diff xb (naive_dct2 b) < 1e-8))
+    [ 2; 4; 8; 64; 256 ]
+
+let q_plan_pair_roundtrip =
+  qtest "plan pair pack/unpack roundtrip (random)"
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.return 16) (float_bound_inclusive 10.0))
+        (list_of_size (QCheck.Gen.return 16) (float_bound_inclusive 10.0)))
+    (fun (la, lb) ->
+      let a = Array.of_list la and b = Array.of_list lb in
+      let n = Array.length a in
+      let plan = Numerics.Plan.create ~rows:2 ~cols:n in
+      let xa = Array.make n 0.0 and xb = Array.make n 0.0 in
+      let ra = Array.make n 0.0 and rb = Array.make n 0.0 in
+      Numerics.Plan.dct2_pair plan ~a ~b ~xa ~xb;
+      Numerics.Plan.idct2_pair plan ~xa ~xb ~a:ra ~b:rb;
+      max_abs_diff ra a < 1e-8 && max_abs_diff rb b < 1e-8)
+
+(* 2D plan transforms vs the seed per-line complex-FFT path, on square
+   and non-square (both orientations, odd line counts after pairing). *)
+let test_plan_2d_vs_seed () =
+  let rng = Util.Rng.create 22 in
+  List.iter
+    (fun (rows, cols) ->
+      let g = random_array rng (rows * cols) in
+      let plan = Numerics.Plan.create ~rows ~cols in
+      let dst = Array.make (rows * cols) 0.0 in
+      Numerics.Plan.dct2_2d plan ~src:g ~dst;
+      Alcotest.(check bool)
+        (Printf.sprintf "plan dct2_2d %dx%d == seed" rows cols)
+        true
+        (max_abs_diff dst (Numerics.Dct.dct2_2d g ~rows ~cols) < 1e-8);
+      let back = Array.make (rows * cols) 0.0 in
+      Numerics.Plan.idct2_2d plan ~src:dst ~dst:back;
+      Alcotest.(check bool)
+        (Printf.sprintf "plan 2d roundtrip %dx%d" rows cols)
+        true (max_abs_diff back g < 1e-9))
+    [ (16, 16); (64, 256); (256, 64); (1, 8); (8, 1) ]
+
+(* In-place operation (src == dst) must give the same answer. *)
+let test_plan_in_place () =
+  let rng = Util.Rng.create 23 in
+  let rows = 16 and cols = 32 in
+  let g = random_array rng (rows * cols) in
+  let plan = Numerics.Plan.create ~rows ~cols in
+  let out = Array.make (rows * cols) 0.0 in
+  Numerics.Plan.dct2_2d plan ~src:g ~dst:out;
+  let buf = Array.copy g in
+  Numerics.Plan.dct2_2d plan ~src:buf ~dst:buf;
+  Alcotest.(check bool) "in-place dct2_2d" true (max_abs_diff buf out = 0.0)
 
 (* ---------------- Poisson ---------------- *)
 
@@ -193,6 +266,71 @@ let test_poisson_field_points_downhill () =
   Alcotest.(check bool) "pushes right of blob" true (ex.((16 * cols) + 20) > 0.0);
   Alcotest.(check bool) "pushes left of blob" true (ex.((16 * cols) + 12) < 0.0)
 
+(* Plan engine vs the retained seed engine through the public Poisson
+   API — the A/B flag must select genuinely different code that agrees
+   to rounding. *)
+let test_poisson_engines_agree () =
+  let rng = Util.Rng.create 24 in
+  let rows = 32 and cols = 16 in
+  let rho = random_array rng (rows * cols) in
+  let p = Numerics.Poisson.create ~rows ~cols in
+  let psi_plan = Numerics.Poisson.solve p rho in
+  Numerics.Poisson.use_seed_engine := true;
+  let psi_seed =
+    Fun.protect
+      ~finally:(fun () -> Numerics.Poisson.use_seed_engine := false)
+      (fun () -> Numerics.Poisson.solve p rho)
+  in
+  Alcotest.(check bool) "plan == seed engine" true (max_abs_diff psi_plan psi_seed < 1e-9)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Non-power-of-two grids must surface as a typed Config_error at the
+   Poisson boundary (exit code 2 in binaries), not a bare
+   Invalid_argument from deep inside the FFT. *)
+let test_poisson_bad_grid () =
+  match Numerics.Poisson.create ~rows:48 ~cols:64 with
+  | _ -> Alcotest.fail "expected Config_error for a 48-row grid"
+  | exception Util.Errors.Error (Util.Errors.Config_error { what; detail }) ->
+      Alcotest.(check string) "what" "poisson.grid" what;
+      Alcotest.(check bool) "detail names the size" true (contains_sub detail "48x64")
+
+(* The steady-state solve loop must not touch the minor heap: warmed-up
+   [solve_into] + [field_into] over caller-owned buffers, sequential
+   runtime. [energy] is allowed its boxed-float return (a few words). *)
+let test_poisson_zero_alloc () =
+  Helpers.with_domains 1 (fun () ->
+      let rng = Util.Rng.create 25 in
+      let rows = 64 and cols = 64 in
+      let p = Numerics.Poisson.create ~rows ~cols in
+      let rho = random_array rng (rows * cols) in
+      let psi = Array.make (rows * cols) 0.0 in
+      let ex = Array.make (rows * cols) 0.0 and ey = Array.make (rows * cols) 0.0 in
+      let iters = 50 in
+      let run () =
+        for _ = 1 to 5 do
+          Numerics.Poisson.solve_into p ~rho ~psi;
+          Numerics.Poisson.field_into p ~psi ~ex ~ey;
+          ignore (Numerics.Poisson.energy rho psi)
+        done
+      in
+      run ();
+      (* warm: scratch sized, tables built *)
+      let w0 = Gc.minor_words () in
+      for _ = 1 to iters do
+        Numerics.Poisson.solve_into p ~rho ~psi;
+        Numerics.Poisson.field_into p ~psi ~ex ~ey;
+        ignore (Numerics.Poisson.energy rho psi)
+      done;
+      let dw = Gc.minor_words () -. w0 in
+      let per_solve = dw /. float_of_int iters in
+      Alcotest.(check bool)
+        (Printf.sprintf "minor words/solve = %.1f (want < 16)" per_solve)
+        true (per_solve < 16.0))
+
 let suite =
   [
     ("fft roundtrip", `Quick, test_fft_roundtrip);
@@ -205,6 +343,13 @@ let suite =
     ("dct roundtrip", `Quick, test_dct_roundtrip);
     ("dct 2d roundtrip", `Quick, test_dct2d_roundtrip);
     q_dct_roundtrip;
+    ("plan pair vs naive", `Quick, test_plan_pair_vs_naive);
+    q_plan_pair_roundtrip;
+    ("plan 2d vs seed", `Quick, test_plan_2d_vs_seed);
+    ("plan in place", `Quick, test_plan_in_place);
+    ("poisson engines agree", `Quick, test_poisson_engines_agree);
+    ("poisson bad grid", `Quick, test_poisson_bad_grid);
+    ("poisson zero alloc", `Quick, test_poisson_zero_alloc);
     ("poisson residual", `Quick, test_poisson_residual);
     ("poisson uniform -> zero field", `Quick, test_poisson_uniform_field);
     ("poisson energy nonneg", `Quick, test_poisson_energy_nonneg);
