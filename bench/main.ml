@@ -11,9 +11,11 @@
       dune exec bench/main.exe -- spectral --grid-max 512 -- DCT/Poisson engine sweep
 
     Sections: table1 table2 table3 table4 fig3 fig4 fig5 micro scaling
-    spectral smoke all ("smoke" is the CI sentinel sweep and not part of
-    "all"; "spectral" sweeps the real-even plan engine vs the seed
-    complex-FFT path over grids up to [--grid-max], default 2048).
+    spectral scale smoke all ("smoke" is the CI sentinel sweep and not
+    part of "all"; "spectral" sweeps the real-even plan engine vs the
+    seed complex-FFT path over grids up to [--grid-max], default 2048;
+    "scale" runs the SoA kernel ladder over designs up to [--cells-max]
+    cells, default 100k).
     Default design scale is 0.5 (full bench in minutes); 1.0 doubles the
     design sizes at ~4x the runtime. [--json FILE] additionally dumps
     every flow result the run produced (runtime, breakdown, tns/wns,
@@ -380,8 +382,8 @@ let fig3 () =
           Array.to_list p.arcs
           |> List.filter (fun a -> graph.Sta.Graph.arc_is_net.(a))
           |> List.map (fun a ->
-                 let pi = d.pins.(graph.Sta.Graph.arc_from.(a)) in
-                 let pj = d.pins.(graph.Sta.Graph.arc_to.(a)) in
+                 let pi = graph.Sta.Graph.arc_from.(a) in
+                 let pj = graph.Sta.Graph.arc_to.(a) in
                  Geom.Point.manhattan (Netlist.Design.pin_pos d pi) (Netlist.Design.pin_pos d pj))
           |> Array.of_list
         in
@@ -759,25 +761,23 @@ let ext () =
     let recs =
       Hashtbl.fold
         (fun nid () acc ->
-          let net = d.Netlist.Design.nets.(nid) in
-          let nsinks = Array.length net.Netlist.Design.sinks in
+          let nsinks = Netlist.Design.net_num_sinks d nid in
+          let driver = d.Netlist.Design.net_driver.(nid) in
           let xs = Array.make (nsinks + 1) 0.0 and ys = Array.make (nsinks + 1) 0.0 in
-          let dp = d.Netlist.Design.pins.(net.Netlist.Design.driver) in
-          xs.(0) <- Netlist.Design.pin_x d dp;
-          ys.(0) <- Netlist.Design.pin_y d dp;
-          Array.iteri
-            (fun k pid ->
-              let pin = d.Netlist.Design.pins.(pid) in
-              xs.(k + 1) <- Netlist.Design.pin_x d pin;
-              ys.(k + 1) <- Netlist.Design.pin_y d pin)
-            net.Netlist.Design.sinks;
+          xs.(0) <- Netlist.Design.pin_x d driver;
+          ys.(0) <- Netlist.Design.pin_y d driver;
+          for k = 0 to nsinks - 1 do
+            let pid = Netlist.Design.net_sink d nid k in
+            xs.(k + 1) <- Netlist.Design.pin_x d pid;
+            ys.(k + 1) <- Netlist.Design.pin_y d pid
+          done;
           let tree = Rctree.Steiner.steiner ~xs ~ys in
-          let drive_res, _, _ = Sta.Delay.driver_params d net.Netlist.Design.driver in
+          let drive_res, _, _ = Sta.Delay.driver_params d driver in
           let res =
             Rctree.Buffering.estimate tree ~r:d.Netlist.Design.r_per_unit
               ~c:d.Netlist.Design.c_per_unit ~drive_res
               ~term_req:(fun _ -> 0.0)
-              ~term_cap:(fun k -> d.Netlist.Design.pins.(net.Netlist.Design.sinks.(k - 1)).Netlist.Design.cap)
+              ~term_cap:(fun k -> d.Netlist.Design.pin_cap.{Netlist.Design.net_sink d nid (k - 1)})
               ()
           in
           (res.Rctree.Buffering.best_q -. res.Rctree.Buffering.unbuffered_q) :: acc)
@@ -1016,6 +1016,324 @@ let spectral () =
   | _ -> Printf.printf "flow-level A/B on %s skipped: a flow failed\n\n" dname
 
 (* ------------------------------------------------------------------ *)
+(* Scale: the SoA database on the 100k+ cell ladder. Per rung: design
+   generation time, memory footprint (words/cell), per-iteration time and
+   minor-heap allocation of the wirelength and density kernels, and an
+   AoS record-layout mirror of both inner loops — the seed's boxed
+   cell/pin/net records reconstructed — quantifying what the flat layout
+   bought. The largest rung also runs one full vanilla GP for the
+   per-phase self-time breakdown and peak RSS. [--cells-max] bounds the
+   ladder (default 100k; pass 500000/1000000 for the big rungs). JSON
+   entries (design "scale<N>k", labels wl-soa/density-soa/wl-aos/
+   density-aos/gp) gate in bin/bench_diff. *)
+
+module Aos = struct
+  (* The pre-SoA record layout, reconstructed for measurement only: one
+     boxed record per cell/pin/net; mixed int/float records box every
+     float field, and each pin position costs two pointer hops. *)
+  type cell = { id : int; mutable x : float; mutable y : float; w : float; h : float }
+
+  type pin = { owner : int; off_x : float; off_y : float }
+
+  type net = { pins : int array; weight : float }
+
+  type t = { cells : cell array; pins : pin array; nets : net array; die : Geom.Rect.t }
+
+  let of_design (d : Netlist.Design.t) =
+    let open Netlist in
+    {
+      cells =
+        Array.init (Design.num_cells d) (fun i ->
+            { id = i; x = d.Design.x.{i}; y = d.Design.y.{i}; w = d.Design.w.{i}; h = d.Design.h.{i} });
+      pins =
+        Array.init (Design.num_pins d) (fun p ->
+            {
+              owner = d.Design.pin_owner.(p);
+              off_x = d.Design.pin_off_x.{p};
+              off_y = d.Design.pin_off_y.{p};
+            });
+      nets =
+        Array.init (Design.num_nets d) (fun n ->
+            { pins = Design.net_pins d n; weight = d.Design.net_weight.{n} });
+      die = d.Design.die;
+    }
+
+  (* Same WA math and scratch as Gp.Wirelength.wa_one_dim; only the data
+     layout differs. *)
+  let wa_one_dim t (net : net) ~x_dim ~gamma ~xs ~ea ~eb ~(grad : float array) =
+    let n = Array.length net.pins in
+    if n <= 1 then 0.0
+    else begin
+      let xmax = ref Float.neg_infinity and xmin = ref Float.infinity in
+      for i = 0 to n - 1 do
+        let p = t.pins.(net.pins.(i)) in
+        let c = t.cells.(p.owner) in
+        let v = if x_dim then c.x +. p.off_x else c.y +. p.off_y in
+        xs.(i) <- v;
+        if v > !xmax then xmax := v;
+        if v < !xmin then xmin := v
+      done;
+      let xmax = !xmax and xmin = !xmin in
+      let s_max = ref 0.0 and t_max = ref 0.0 in
+      let s_min = ref 0.0 and t_min = ref 0.0 in
+      for i = 0 to n - 1 do
+        let a = exp ((xs.(i) -. xmax) /. gamma) in
+        let b = exp ((xmin -. xs.(i)) /. gamma) in
+        ea.(i) <- a;
+        eb.(i) <- b;
+        s_max := !s_max +. a;
+        t_max := !t_max +. (xs.(i) *. a);
+        s_min := !s_min +. b;
+        t_min := !t_min +. (xs.(i) *. b)
+      done;
+      let wa_max = !t_max /. !s_max and wa_min = !t_min /. !s_min in
+      for i = 0 to n - 1 do
+        let gmax = ea.(i) *. (1.0 +. ((xs.(i) -. wa_max) /. gamma)) /. !s_max in
+        let gmin = eb.(i) *. (1.0 -. ((xs.(i) -. wa_min) /. gamma)) /. !s_min in
+        let cell = t.pins.(net.pins.(i)).owner in
+        grad.(cell) <- grad.(cell) +. (net.weight *. (gmax -. gmin))
+      done;
+      wa_max -. wa_min
+    end
+
+  let wa_grad t ~gamma ~xs ~ea ~eb ~gx ~gy =
+    let total = ref 0.0 in
+    Array.iter
+      (fun net ->
+        let ex = wa_one_dim t net ~x_dim:true ~gamma ~xs ~ea ~eb ~grad:gx in
+        let ey = wa_one_dim t net ~x_dim:false ~gamma ~xs ~ea ~eb ~grad:gy in
+        total := !total +. (net.weight *. (ex +. ey)))
+      t.nets;
+    !total
+
+  (* Density binning, same inflation rule as Gp.Densitygrid.deposit. *)
+  let density_update t ~bins_x ~bins_y ~bin_w ~bin_h ~movable (acc : float array) =
+    Array.fill acc 0 (Array.length acc) 0.0;
+    let die = t.die in
+    let inflate size bin = if size < bin then (bin, size /. bin) else (size, 1.0) in
+    Array.iter
+      (fun (c : cell) ->
+        if Bytes.get movable c.id = '\001' then begin
+          let ew, sx = inflate c.w bin_w in
+          let eh, sy = inflate c.h bin_h in
+          let scale = sx *. sy in
+          let xl = c.x -. (ew /. 2.0) and xh = c.x +. (ew /. 2.0) in
+          let yl = c.y -. (eh /. 2.0) and yh = c.y +. (eh /. 2.0) in
+          let bxl = max 0 (int_of_float (floor ((xl -. die.Geom.Rect.xl) /. bin_w))) in
+          let bxh = min (bins_x - 1) (int_of_float (floor ((xh -. die.Geom.Rect.xl) /. bin_w))) in
+          let byl = max 0 (int_of_float (floor ((yl -. die.Geom.Rect.yl) /. bin_h))) in
+          let byh = min (bins_y - 1) (int_of_float (floor ((yh -. die.Geom.Rect.yl) /. bin_h))) in
+          for by = byl to byh do
+            let b_yl = die.Geom.Rect.yl +. (float_of_int by *. bin_h) in
+            let oy = Float.min yh (b_yl +. bin_h) -. Float.max yl b_yl in
+            if oy > 0.0 then
+              for bx = bxl to bxh do
+                let b_xl = die.Geom.Rect.xl +. (float_of_int bx *. bin_w) in
+                let ox = Float.min xh (b_xl +. bin_w) -. Float.max xl b_xl in
+                if ox > 0.0 then
+                  acc.((by * bins_x) + bx) <- acc.((by * bins_x) + bx) +. (ox *. oy *. scale)
+              done
+          done
+        end)
+      t.cells
+end
+
+let cells_max = ref 100_000
+
+let scale_section () =
+  let ladder = List.filter (fun c -> c <= !cells_max) [ 20_000; 100_000; 500_000; 1_000_000 ] in
+  let t =
+    Util.Tablefmt.create
+      ~title:
+        "SCALE: SoA database ladder (per-iteration kernel ms / minor words; AoS = record layout)"
+      ~headers:
+        [
+          "Cells"; "Gen s"; "MiB"; "w/cell"; "WL ms"; "WL w"; "Dens ms"; "Dens w"; "AoS WL ms";
+          "AoS Dens ms"; "WL x"; "Dens x";
+        ]
+      ~aligns:[ Right; Right; Right; Right; Right; Right; Right; Right; Right; Right; Right; Right ]
+  in
+  let entry ~design ~label ~runtime ~reps ~minor_words extra =
+    Obs.Json.Obj
+      [
+        ("label", Obs.Json.String label);
+        ("name", Obs.Json.String label);
+        ("design", Obs.Json.String design);
+        ("reps", Obs.Json.Int reps);
+        ("runtime", Obs.Json.Float runtime);
+        ( "resource",
+          Obs.Json.Obj
+            (("minor_words", Obs.Json.Float minor_words)
+            :: ("ms_per_iter", Obs.Json.Float (runtime /. float_of_int reps *. 1e3))
+            :: extra) );
+      ]
+  in
+  List.iter
+    (fun cells ->
+      Printf.printf "[gen] scale ladder %d cells...\n%!" cells;
+      let t0 = Unix.gettimeofday () in
+      let d = Workloads.Suite.load_sized ~cells () in
+      let gen_s = Unix.gettimeofday () -. t0 in
+      let dname = Printf.sprintf "scale%dk" (cells / 1000) in
+      let fp = Netlist.Design.footprint d in
+      let words_per_cell =
+        float_of_int fp.Netlist.Design.total_bytes /. 8.0
+        /. float_of_int (Netlist.Design.num_cells d)
+      in
+      let nc = Netlist.Design.num_cells d in
+      let reps = max 3 (3_000_000 / cells) in
+      let fr = float_of_int reps in
+      (* Interleaved best-of-reps for an (SoA, AoS) kernel pair: the two
+         alternate within every rep, so scheduler/frequency noise from the
+         shared box hits both equally and the speedup ratio stays stable;
+         minima discard the noisy reps entirely (means swung 2x run to
+         run). Word counts carry a few words of harness overhead from the
+         boxed [Gc.minor_words]/[gettimeofday] results. *)
+      let measure2 f g =
+        f ();
+        g ();
+        (* warm-up: scratch growth, first-touch *)
+        let bf = ref Float.infinity and bg = ref Float.infinity in
+        let wf = ref 0.0 and wg = ref 0.0 in
+        for _ = 1 to reps do
+          let t0 = Unix.gettimeofday () in
+          let w0 = Gc.minor_words () in
+          f ();
+          let w1 = Gc.minor_words () in
+          let t1 = Unix.gettimeofday () in
+          let w2 = Gc.minor_words () in
+          g ();
+          let w3 = Gc.minor_words () in
+          let t2 = Unix.gettimeofday () in
+          if t1 -. t0 < !bf then bf := t1 -. t0;
+          if t2 -. t1 < !bg then bg := t2 -. t1;
+          wf := !wf +. (w1 -. w0);
+          wg := !wg +. (w3 -. w2)
+        done;
+        ((!bf *. fr, !wf /. fr), (!bg *. fr, !wg /. fr))
+      in
+      (* SoA kernels exactly as the Nesterov loop drives them; the AoS
+         mirror (same math, boxed record layout) is built up front so each
+         pair can be measured interleaved. *)
+      let ws = Gp.Wirelength.make_ws d in
+      let gx = Array.make nc 0.0 and gy = Array.make nc 0.0 in
+      let nmov = Netlist.Design.num_movable d in
+      let bins =
+        let rec pow2 v = if v >= 256 || v * v >= nmov then v else pow2 (2 * v) in
+        max 16 (pow2 16)
+      in
+      let grid = Gp.Densitygrid.create d ~bins_x:bins ~bins_y:bins in
+      let a = Aos.of_design d in
+      let max_deg =
+        let m = ref 1 in
+        for n = 0 to Netlist.Design.num_nets d - 1 do
+          m := max !m (Netlist.Design.net_degree d n)
+        done;
+        !m
+      in
+      let axs = Array.make max_deg 0.0 in
+      let aea = Array.make max_deg 0.0 in
+      let aeb = Array.make max_deg 0.0 in
+      let (wl_s, wl_w), (aos_wl_s, aos_wl_w) =
+        measure2
+          (fun () ->
+            Array.fill gx 0 nc 0.0;
+            Array.fill gy 0 nc 0.0;
+            ignore (Gp.Wirelength.wa_wirelength_grad_ws ws d ~gamma:4.0 ~gx ~gy))
+          (fun () ->
+            Array.fill gx 0 nc 0.0;
+            Array.fill gy 0 nc 0.0;
+            ignore (Aos.wa_grad a ~gamma:4.0 ~xs:axs ~ea:aea ~eb:aeb ~gx ~gy))
+      in
+      let acc = Array.make (bins * bins) 0.0 in
+      let (dens_s, dens_w), (aos_dens_s, aos_dens_w) =
+        measure2
+          (fun () -> Gp.Densitygrid.update grid d)
+          (fun () ->
+            Aos.density_update a ~bins_x:bins ~bins_y:bins ~bin_w:grid.Gp.Densitygrid.bin_w
+              ~bin_h:grid.Gp.Densitygrid.bin_h ~movable:d.Netlist.Design.movable acc)
+      in
+      let rss = float_of_int (Obs.Resource.peak_rss_bytes ()) in
+      Util.Tablefmt.add_row t
+        [
+          string_of_int cells;
+          Printf.sprintf "%.1f" gen_s;
+          Printf.sprintf "%.1f" (float_of_int fp.Netlist.Design.total_bytes /. 1048576.0);
+          Printf.sprintf "%.1f" words_per_cell;
+          Printf.sprintf "%.1f" (wl_s /. fr *. 1e3);
+          Printf.sprintf "%.0f" wl_w;
+          Printf.sprintf "%.1f" (dens_s /. fr *. 1e3);
+          Printf.sprintf "%.0f" dens_w;
+          Printf.sprintf "%.1f" (aos_wl_s /. fr *. 1e3);
+          Printf.sprintf "%.1f" (aos_dens_s /. fr *. 1e3);
+          Printf.sprintf "%.2fx" (aos_wl_s /. Float.max 1e-9 wl_s);
+          Printf.sprintf "%.2fx" (aos_dens_s /. Float.max 1e-9 dens_s);
+        ];
+      let common =
+        [
+          ("peak_rss_bytes", Obs.Json.Float rss);
+          ("words_per_cell", Obs.Json.Float words_per_cell);
+        ]
+      in
+      extra_entries :=
+        entry ~design:dname ~label:"wl-soa" ~runtime:wl_s ~reps ~minor_words:wl_w common
+        :: entry ~design:dname ~label:"density-soa" ~runtime:dens_s ~reps ~minor_words:dens_w
+             common
+        :: entry ~design:dname ~label:"wl-aos" ~runtime:aos_wl_s ~reps ~minor_words:aos_wl_w []
+        :: entry ~design:dname ~label:"density-aos" ~runtime:aos_dens_s ~reps
+             ~minor_words:aos_dens_w []
+        :: !extra_entries;
+      ignore aos_dens_w)
+    ladder;
+  Util.Tablefmt.print t;
+  print_newline ();
+  (* Full vanilla GP on the largest rung: per-phase self times, end-to-end
+     wall time, peak RSS — the "place a big design" smoke the CI job
+     gates. *)
+  match List.rev ladder with
+  | [] -> Printf.printf "[scale] ladder empty (--cells-max too small)\n"
+  | cells :: _ ->
+      let d = Workloads.Suite.load_sized ~cells () in
+      let dname = Printf.sprintf "scale%dk" (cells / 1000) in
+      Printf.printf "[run] vanilla GP on %s...\n%!" dname;
+      let agg = Obs.Agg.create () in
+      let ctx = Obs.Ctx.create ~sinks:[ Obs.Agg.sink agg ] () in
+      let before = Obs.Resource.sample () in
+      let t0 = Unix.gettimeofday () in
+      let r = Gp.Globalplace.run ~obs:ctx d in
+      let gp_s = Unix.gettimeofday () -. t0 in
+      let delta = Obs.Resource.delta ~before ~after:(Obs.Resource.sample ()) in
+      Obs.Ctx.close ctx;
+      Printf.printf "%s: %d iters, %.1fs, final hpwl %.3e, overflow %.3f\n" dname
+        r.Gp.Globalplace.iters gp_s r.Gp.Globalplace.final_hpwl r.Gp.Globalplace.final_overflow;
+      Printf.printf "  peak RSS %.0f MiB, %.1fM minor words\n"
+        (float_of_int delta.Obs.Resource.peak_rss_bytes /. 1048576.0)
+        (delta.Obs.Resource.d_minor_words /. 1e6);
+      let self = Obs.Agg.to_self_breakdown agg in
+      List.iter
+        (fun (n, s) -> if s > 0.01 then Printf.printf "  %-16s %8.3f s self\n" n s)
+        self;
+      print_newline ();
+      extra_entries :=
+        Obs.Json.Obj
+          [
+            ("label", Obs.Json.String "gp");
+            ("name", Obs.Json.String "gp");
+            ("design", Obs.Json.String dname);
+            ("runtime", Obs.Json.Float gp_s);
+            ( "resource",
+              Obs.Json.Obj
+                [
+                  ( "peak_rss_bytes",
+                    Obs.Json.Float (float_of_int delta.Obs.Resource.peak_rss_bytes) );
+                  ("minor_words", Obs.Json.Float delta.Obs.Resource.d_minor_words);
+                ] );
+            ( "breakdown_self",
+              Obs.Json.Obj (List.map (fun (n, s) -> (n, Obs.Json.Float s)) self) );
+          ]
+        :: !extra_entries
+
+(* ------------------------------------------------------------------ *)
 (* Smoke sweep: the regression sentinel's CI workload — two designs x two
    methods, small enough for a PR gate. Deliberately not part of "all";
    pair with [--json] and [bin/bench_diff] against the committed
@@ -1115,6 +1433,9 @@ let () =
     | "--grid-max" :: v :: rest ->
         grid_max := int_of_string v;
         parse acc rest
+    | "--cells-max" :: v :: rest ->
+        cells_max := int_of_string v;
+        parse acc rest
     | x :: rest -> parse (x :: acc) rest
     | [] -> List.rev acc
   in
@@ -1148,6 +1469,7 @@ let () =
         | "spectral" -> spectral ()
         | "ext" -> ext ()
         | "smoke" -> smoke ()
+        | "scale" -> scale_section ()
         | "stats" -> stats_section ()
         | other -> Printf.printf "unknown section %s (skipped)\n" other
       with Util.Errors.Error e ->

@@ -26,18 +26,34 @@ let run design file scale =
   Printf.printf "  die          %.0f x %.0f sites, utilization %.2f\n"
     (Geom.Rect.width d.die) (Geom.Rect.height d.die)
     (Design.movable_area d /. Geom.Rect.area d.die);
-  let count pred = Array.fold_left (fun n c -> if pred c then n + 1 else n) 0 d.cells in
+  let count pred =
+    let n = ref 0 in
+    for i = 0 to Design.num_cells d - 1 do
+      if pred i then incr n
+    done;
+    !n
+  in
   Printf.printf "  cells        %d total: %d comb, %d ff, %d pads, %d macros\n"
     (Design.num_cells d)
-    (count (fun c -> match c.Design.role with Design.Logic lc -> not lc.Libcell.is_ff | _ -> false))
-    (count Design.is_ff)
-    (count (fun c ->
-         match c.Design.role with Design.Input_pad | Design.Output_pad -> true | _ -> false))
-    (count (fun c -> c.Design.role = Design.Blockage));
+    (count (fun i -> Design.kind d i = Design.Logic && not (Design.is_ff d i)))
+    (count (Design.is_ff d))
+    (count (fun i ->
+         match Design.kind d i with Design.Input_pad | Design.Output_pad -> true | _ -> false))
+    (count (fun i -> Design.kind d i = Design.Blockage));
   Printf.printf "  nets         %d, pins %d\n" (Design.num_nets d) (Design.num_pins d);
   Printf.printf "  wire r/c     %.3f kOhm/site, %.3f fF/site\n" d.r_per_unit d.c_per_unit;
+  (* Memory footprint of the SoA database, by field group. *)
+  let fp = Design.footprint d in
+  let mib b = float_of_int b /. (1024.0 *. 1024.0) in
+  Printf.printf "  memory       %.2f MiB total, %.1f words/cell\n" (mib fp.Design.total_bytes)
+    (float_of_int fp.Design.total_bytes /. 8.0 /. float_of_int (max 1 (Design.num_cells d)));
+  Printf.printf "    cell fields      %9d bytes\n" fp.Design.cell_bytes;
+  Printf.printf "    pin fields       %9d bytes\n" fp.Design.pin_bytes;
+  Printf.printf "    net fields       %9d bytes\n" fp.Design.net_bytes;
+  Printf.printf "    CSR adjacency    %9d bytes\n" fp.Design.adjacency_bytes;
+  Printf.printf "    name tables      %9d bytes\n" fp.Design.name_bytes;
   (* Fanout distribution. *)
-  let fanouts = Array.to_list d.nets |> List.map (fun n -> Array.length n.Design.sinks) in
+  let fanouts = List.init (Design.num_nets d) (fun nid -> Design.net_num_sinks d nid) in
   let fo_arr = Array.of_list (List.map float_of_int fanouts) in
   Printf.printf "  fanout       mean %.2f, p50 %.0f, p95 %.0f, max %.0f\n"
     (Util.Stats.mean fo_arr) (Util.Stats.median fo_arr) (Util.Stats.percentile fo_arr 95.0)

@@ -2,12 +2,17 @@
 
     Examples:
       gen_bench -d sb1 -o sb1.design
-      gen_bench -d sb10 --scale 1.0 --no-calibrate -o big.design *)
+      gen_bench -d sb10 --scale 1.0 --no-calibrate -o big.design
+      gen_bench --cells 500000 -o scale500k.design   # scale ladder *)
 
 open Cmdliner
 
-let run design scale calibrate out =
-  let d = Workloads.Suite.load ~scale ~calibrate design in
+let run design scale calibrate cells out =
+  let d =
+    match cells with
+    | Some cells -> Workloads.Suite.load_sized ~calibrate ~cells ()
+    | None -> Workloads.Suite.load ~scale ~calibrate design
+  in
   (match out with
   | Some path ->
       Netlist.Io.save_file path d;
@@ -37,10 +42,18 @@ let out =
   let doc = "Output file (stdout when omitted)." in
   Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
 
+let cells =
+  let doc =
+    "Generate a scale-ladder design with roughly this many cells instead of a suite design \
+     (overrides --design/--scale; calibration defaults off at this size — pass sizes like \
+     100000..1000000)."
+  in
+  Arg.(value & opt (some int) None & info [ "cells" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "generate an ICCAD2015-like synthetic benchmark" in
   Cmd.v
     (Cmd.info "gen_bench" ~doc)
-    Term.(const (fun d s nc o -> run d s (not nc) o) $ design $ scale $ calibrate $ out)
+    Term.(const (fun d s nc c o -> run d s (not nc) c o) $ design $ scale $ calibrate $ cells $ out)
 
 let () = exit (Cmd.eval cmd)

@@ -8,8 +8,9 @@
 open Cmdliner
 
 let pin_label (d : Netlist.Design.t) pid =
-  let p = d.pins.(pid) in
-  Printf.sprintf "%s.%s" d.cells.(p.owner).cname p.pin_name
+  Printf.sprintf "%s.%s"
+    (Netlist.Design.cell_name d d.Netlist.Design.pin_owner.(pid))
+    (Netlist.Design.pin_name d pid)
 
 let print_path (g : Sta.Graph.t) i (p : Sta.Paths.path) =
   Printf.printf "-- path %d --\n" i;

@@ -23,7 +23,7 @@ let draw (d : Design.t) (g : Sta.Graph.t) (p : Sta.Paths.path) =
   Array.iter
     (fun a ->
       if g.Sta.Graph.arc_is_net.(a) then begin
-        let pi = d.pins.(g.Sta.Graph.arc_from.(a)) and pj = d.pins.(g.Sta.Graph.arc_to.(a)) in
+        let pi = g.Sta.Graph.arc_from.(a) and pj = g.Sta.Graph.arc_to.(a) in
         let x0 = Design.pin_x d pi and y0 = Design.pin_y d pi in
         let x1 = Design.pin_x d pj and y1 = Design.pin_y d pj in
         let steps = 40 in
@@ -35,9 +35,8 @@ let draw (d : Design.t) (g : Sta.Graph.t) (p : Sta.Paths.path) =
     p.arcs;
   Array.iteri
     (fun i pid ->
-      let pin = d.pins.(pid) in
       let c = if i = 0 then 'S' else if i = Array.length p.pins - 1 then 'E' else 'o' in
-      plot (Design.pin_x d pin) (Design.pin_y d pin) c)
+      plot (Design.pin_x d pid) (Design.pin_y d pid) c)
     p.pins;
   Array.iter (fun row -> print_endline (String.init grid_w (fun i -> row.(i)))) canvas
 
@@ -53,8 +52,8 @@ let describe_and_draw d name =
         |> List.filter (fun a -> g.Sta.Graph.arc_is_net.(a))
         |> List.map (fun a ->
                Geom.Point.manhattan
-                 (Design.pin_pos d d.pins.(g.Sta.Graph.arc_from.(a)))
-                 (Design.pin_pos d d.pins.(g.Sta.Graph.arc_to.(a))))
+                 (Design.pin_pos d g.Sta.Graph.arc_from.(a))
+                 (Design.pin_pos d g.Sta.Graph.arc_to.(a)))
         |> Array.of_list
       in
       Printf.printf "\n--- %s ---\n" name;

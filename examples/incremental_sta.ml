@@ -22,7 +22,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   for _ = 1 to moves do
     let id = Util.Rng.choose rng movable in
-    d.x.(id) <- d.x.(id) +. Util.Rng.float_range rng (-1.0) 1.0;
+    d.x.{id} <- d.x.{id} +. Util.Rng.float_range rng (-1.0) 1.0;
     Sta.Timer.invalidate timer;
     Sta.Timer.update timer
   done;
@@ -38,7 +38,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   for _ = 1 to moves do
     let id = Util.Rng.choose rng movable in
-    d2.x.(id) <- d2.x.(id) +. Util.Rng.float_range rng (-1.0) 1.0;
+    d2.x.{id} <- d2.x.{id} +. Util.Rng.float_range rng (-1.0) 1.0;
     Sta.Timer.update_moved timer2 ~cells:[ id ]
   done;
   let t_inc = Unix.gettimeofday () -. t0 in

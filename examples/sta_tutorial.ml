@@ -6,8 +6,7 @@
 open Netlist
 
 let pin_label (d : Design.t) pid =
-  let p = d.pins.(pid) in
-  Printf.sprintf "%s.%s" d.cells.(p.owner).cname p.pin_name
+  Printf.sprintf "%s.%s" (Design.cell_name d d.pin_owner.(pid)) (Design.pin_name d pid)
 
 let () =
   (* Reconvergent circuit: two paths from the input merge at a NAND.
@@ -61,8 +60,8 @@ let () =
     (Sta.Paths.k_worst g arr ~endpoint:ep ~k:2);
 
   Printf.printf "\n=== moving ub close to the merge point re-times the circuit ===\n";
-  d.x.(ub) <- 55.0;
-  d.y.(ub) <- 52.0;
+  d.x.{ub} <- 55.0;
+  d.y.{ub} <- 52.0;
   Sta.Timer.invalidate timer;
   Sta.Timer.update timer;
   Printf.printf "after the move: WNS = %.2f ps (was driven by the long ub branch)\n"

@@ -28,9 +28,9 @@ let slack_color ~wns s =
 
 (* Worst slack over a cell's pins (infinity when untimed). *)
 let cell_slack (d : Design.t) slacks id =
-  Array.fold_left
-    (fun acc pid -> Float.min acc slacks.(pid))
-    Float.infinity d.cells.(id).cell_pins
+  let acc = ref Float.infinity in
+  Design.iter_cell_pins d id (fun pid -> if slacks.(pid) < !acc then acc := slacks.(pid));
+  !acc
 
 (** Render the design's current placement. [paths] (default 3) worst
     failing paths are overlaid as blue polylines. *)
@@ -45,29 +45,27 @@ let render ?(paths = 3) (d : Design.t) =
   (* SVG y grows downward; flip. *)
   let fy y = h -. (y -. die.yl) in
   Buffer.add_string buf (header ~w ~h);
-  Array.iter
-    (fun (c : Design.cell) ->
-      let r = Design.cell_rect d c.id in
-      let fill =
-        match c.role with
-        | Design.Blockage -> "#9a9a9a"
-        | Design.Input_pad | Design.Output_pad -> "#5577aa"
-        | Design.Logic _ -> slack_color ~wns (cell_slack d slacks c.id)
-      in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" fill=\"%s\" \
-            stroke=\"#333\" stroke-width=\"0.03\"/>\n"
-           (r.xl -. die.xl) (fy r.yh) (Geom.Rect.width r) (Geom.Rect.height r) fill))
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    let r = Design.cell_rect d id in
+    let fill =
+      match Design.kind d id with
+      | Design.Blockage -> "#9a9a9a"
+      | Design.Input_pad | Design.Output_pad -> "#5577aa"
+      | Design.Logic -> slack_color ~wns (cell_slack d slacks id)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" fill=\"%s\" \
+          stroke=\"#333\" stroke-width=\"0.03\"/>\n"
+         (r.xl -. die.xl) (fy r.yh) (Geom.Rect.width r) (Geom.Rect.height r) fill)
+  done;
   let worst = Sta.Timer.report_timing_endpoint timer ~n:paths ~k:1 ~failing_only:true in
   List.iter
     (fun (p : Sta.Paths.path) ->
       let pts =
         Array.to_list p.pins
         |> List.map (fun pid ->
-               let pin = d.pins.(pid) in
-               Printf.sprintf "%.2f,%.2f" (Design.pin_x d pin -. die.xl) (fy (Design.pin_y d pin)))
+               Printf.sprintf "%.2f,%.2f" (Design.pin_x d pid -. die.xl) (fy (Design.pin_y d pid)))
       in
       Buffer.add_string buf
         (Printf.sprintf

@@ -22,8 +22,8 @@ let path_segments (d : Design.t) (graph : Sta.Graph.t) (p : Sta.Paths.path) =
   |> List.filter (fun a -> graph.Sta.Graph.arc_is_net.(a))
   |> List.map (fun a ->
          Geom.Point.manhattan
-           (Design.pin_pos d d.pins.(graph.Sta.Graph.arc_from.(a)))
-           (Design.pin_pos d d.pins.(graph.Sta.Graph.arc_to.(a))))
+           (Design.pin_pos d graph.Sta.Graph.arc_from.(a))
+           (Design.pin_pos d graph.Sta.Graph.arc_to.(a)))
 
 let of_segments ?(buffer_threshold = 25.0) segs =
   let a = Array.of_list segs in

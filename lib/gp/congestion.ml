@@ -30,46 +30,40 @@ let create (d : Design.t) ~bins_x ~bins_y =
 (** Rebuild the demand map from the current placement. *)
 let update t (d : Design.t) =
   Array.fill t.demand 0 (Array.length t.demand) 0.0;
-  Array.iter
-    (fun (net : Design.net) ->
-      let pts = List.map (fun pid -> Design.pin_pos d d.pins.(pid)) (Design.net_pins net) in
-      match pts with
-      | [] | [ _ ] -> ()
-      | _ ->
-          let bbox = Geom.Rect.bbox_of_points pts in
-          (* Degenerate (zero-area) boxes still carry length demand: pad
-             to one bin so the density stays finite. *)
-          let bbox =
-            Geom.Rect.make
-              ~xl:(bbox.xl -. (t.bin_w /. 2.0))
-              ~yl:(bbox.yl -. (t.bin_h /. 2.0))
-              ~xh:(bbox.xh +. (t.bin_w /. 2.0))
-              ~yh:(bbox.yh +. (t.bin_h /. 2.0))
-          in
-          let density =
-            (Geom.Rect.width bbox +. Geom.Rect.height bbox) /. Geom.Rect.area bbox
-          in
-          let bxl = max 0 (int_of_float (floor ((bbox.xl -. t.die.xl) /. t.bin_w))) in
-          let bxh =
-            min (t.bins_x - 1) (int_of_float (floor ((bbox.xh -. t.die.xl) /. t.bin_w)))
-          in
-          let byl = max 0 (int_of_float (floor ((bbox.yl -. t.die.yl) /. t.bin_h))) in
-          let byh =
-            min (t.bins_y - 1) (int_of_float (floor ((bbox.yh -. t.die.yl) /. t.bin_h)))
-          in
-          for by = byl to byh do
-            let b_yl = t.die.yl +. (float_of_int by *. t.bin_h) in
-            let oy = Float.min bbox.yh (b_yl +. t.bin_h) -. Float.max bbox.yl b_yl in
-            if oy > 0.0 then
-              for bx = bxl to bxh do
-                let b_xl = t.die.xl +. (float_of_int bx *. t.bin_w) in
-                let ox = Float.min bbox.xh (b_xl +. t.bin_w) -. Float.max bbox.xl b_xl in
-                if ox > 0.0 then
-                  t.demand.((by * t.bins_x) + bx) <-
-                    t.demand.((by * t.bins_x) + bx) +. (density *. ox *. oy)
-              done
-          done)
-    d.nets
+  for nid = 0 to Design.num_nets d - 1 do
+    if Design.net_degree d nid >= 2 then begin
+      let pts = ref [] in
+      Design.iter_net_pins d nid (fun pid -> pts := Design.pin_pos d pid :: !pts);
+      let pts = !pts in
+      let bbox = Geom.Rect.bbox_of_points pts in
+      (* Degenerate (zero-area) boxes still carry length demand: pad
+         to one bin so the density stays finite. *)
+      let bbox =
+        Geom.Rect.make
+          ~xl:(bbox.xl -. (t.bin_w /. 2.0))
+          ~yl:(bbox.yl -. (t.bin_h /. 2.0))
+          ~xh:(bbox.xh +. (t.bin_w /. 2.0))
+          ~yh:(bbox.yh +. (t.bin_h /. 2.0))
+      in
+      let density = (Geom.Rect.width bbox +. Geom.Rect.height bbox) /. Geom.Rect.area bbox in
+      let bxl = max 0 (int_of_float (floor ((bbox.xl -. t.die.xl) /. t.bin_w))) in
+      let bxh = min (t.bins_x - 1) (int_of_float (floor ((bbox.xh -. t.die.xl) /. t.bin_w))) in
+      let byl = max 0 (int_of_float (floor ((bbox.yl -. t.die.yl) /. t.bin_h))) in
+      let byh = min (t.bins_y - 1) (int_of_float (floor ((bbox.yh -. t.die.yl) /. t.bin_h))) in
+      for by = byl to byh do
+        let b_yl = t.die.yl +. (float_of_int by *. t.bin_h) in
+        let oy = Float.min bbox.yh (b_yl +. t.bin_h) -. Float.max bbox.yl b_yl in
+        if oy > 0.0 then
+          for bx = bxl to bxh do
+            let b_xl = t.die.xl +. (float_of_int bx *. t.bin_w) in
+            let ox = Float.min bbox.xh (b_xl +. t.bin_w) -. Float.max bbox.xl b_xl in
+            if ox > 0.0 then
+              t.demand.((by * t.bins_x) + bx) <-
+                t.demand.((by * t.bins_x) + bx) +. (density *. ox *. oy)
+          done
+      done
+    end
+  done
 
 (** Total estimated wirelength (the integral of the demand map): equals
     the sum of padded-bbox half-perimeters, an HPWL-like quantity. *)

@@ -11,83 +11,153 @@ type t = {
   bins_y : int;
   bin_w : float;
   bin_h : float;
+  inv_bin_w : float; (* 1/bin_w — bin-index math multiplies instead of divides *)
+  inv_bin_h : float;
   die : Geom.Rect.t;
   density : float array; (* movable area per bin, row-major [by * bins_x + bx] *)
   fixed : float array; (* fixed (blockage) area per bin, computed once *)
+  (* Per-cell inflated extents and density scale (the ePlace smoothing
+     rule), precomputed once: cell sizes never change during placement,
+     so the branches and divisions drop out of the per-iteration path. *)
+  eff_w : float array;
+  eff_h : float array;
+  eff_scale : float array;
   mutable scratch : float array array; (* per-domain accumulation grids, grown on demand *)
+  mutable partial : float array; (* per-chunk reduction slots (overflow), grown on demand *)
 }
 
 let create (d : Design.t) ~bins_x ~bins_y =
   let die = d.die in
   let bin_w = Geom.Rect.width die /. float_of_int bins_x in
   let bin_h = Geom.Rect.height die /. float_of_int bins_y in
+  let ncells = Design.num_cells d in
+  let eff_w = Array.make ncells 0.0 in
+  let eff_h = Array.make ncells 0.0 in
+  let eff_scale = Array.make ncells 0.0 in
+  for i = 0 to ncells - 1 do
+    let cw = d.w.{i} and ch = d.h.{i} in
+    eff_w.(i) <- (if cw < bin_w then bin_w else cw);
+    eff_h.(i) <- (if ch < bin_h then bin_h else ch);
+    let sx = if cw < bin_w then cw /. bin_w else 1.0 in
+    let sy = if ch < bin_h then ch /. bin_h else 1.0 in
+    eff_scale.(i) <- sx *. sy
+  done;
   let t =
     {
       bins_x;
       bins_y;
       bin_w;
       bin_h;
+      inv_bin_w = 1.0 /. bin_w;
+      inv_bin_h = 1.0 /. bin_h;
       die;
       density = Array.make (bins_x * bins_y) 0.0;
       fixed = Array.make (bins_x * bins_y) 0.0;
+      eff_w;
+      eff_h;
+      eff_scale;
       scratch = [||];
+      partial = Array.make 1 0.0;
     }
   in
   (* Fixed density from blockages and fixed logic (pads are on the
      boundary and tiny; they are included for completeness). *)
-  Array.iter
-    (fun (c : Design.cell) ->
-      if not c.movable then begin
-        let rect = Design.cell_rect d c.id in
-        let bxl = int_of_float (floor ((rect.xl -. die.xl) /. bin_w)) in
-        let bxh = int_of_float (ceil ((rect.xh -. die.xl) /. bin_w)) - 1 in
-        let byl = int_of_float (floor ((rect.yl -. die.yl) /. bin_h)) in
-        let byh = int_of_float (ceil ((rect.yh -. die.yl) /. bin_h)) - 1 in
-        for by = max 0 byl to min (bins_y - 1) byh do
-          for bx = max 0 bxl to min (bins_x - 1) bxh do
-            let bin =
-              Geom.Rect.make
-                ~xl:(die.xl +. (float_of_int bx *. bin_w))
-                ~yl:(die.yl +. (float_of_int by *. bin_h))
-                ~xh:(die.xl +. (float_of_int (bx + 1) *. bin_w))
-                ~yh:(die.yl +. (float_of_int (by + 1) *. bin_h))
-            in
-            t.fixed.((by * bins_x) + bx) <-
-              t.fixed.((by * bins_x) + bx) +. Geom.Rect.overlap_area rect bin
-          done
+  for i = 0 to Design.num_cells d - 1 do
+    if not (Design.is_movable d i) then begin
+      let rect = Design.cell_rect d i in
+      let bxl = int_of_float (floor ((rect.xl -. die.xl) /. bin_w)) in
+      let bxh = int_of_float (ceil ((rect.xh -. die.xl) /. bin_w)) - 1 in
+      let byl = int_of_float (floor ((rect.yl -. die.yl) /. bin_h)) in
+      let byh = int_of_float (ceil ((rect.yh -. die.yl) /. bin_h)) - 1 in
+      for by = max 0 byl to min (bins_y - 1) byh do
+        for bx = max 0 bxl to min (bins_x - 1) bxh do
+          let bin =
+            Geom.Rect.make
+              ~xl:(die.xl +. (float_of_int bx *. bin_w))
+              ~yl:(die.yl +. (float_of_int by *. bin_h))
+              ~xh:(die.xl +. (float_of_int (bx + 1) *. bin_w))
+              ~yh:(die.yl +. (float_of_int (by + 1) *. bin_h))
+          in
+          t.fixed.((by * bins_x) + bx) <-
+            t.fixed.((by * bins_x) + bx) +. Geom.Rect.overlap_area rect bin
         done
-      end)
-    d.cells;
+      done
+    end
+  done;
   t
 
 let bin_area t = t.bin_w *. t.bin_h
 
-(* Effective (inflated) extent of a movable cell in one dimension. *)
-let inflate size bin = if size < bin then (bin, size /. bin) else (size, 1.0)
-
-(* Deposit one movable cell's (inflated) area into an accumulation grid. *)
-let deposit t (d : Design.t) (acc : float array) (c : Design.cell) =
+(* Deposit one movable cell's (inflated) area into an accumulation grid.
+   The inflation (cells smaller than a bin stretched to bin size, density
+   scaled to preserve area) is computed inline with float locals — a
+   tuple-returning helper would allocate per cell per iteration. *)
+let[@inline] deposit t (d : Design.t) (acc : float array) i =
   let die = t.die in
-  let ew, sx = inflate c.w t.bin_w in
-  let eh, sy = inflate c.h t.bin_h in
-  let scale = sx *. sy in
-  let xl = d.x.(c.id) -. (ew /. 2.0) and xh = d.x.(c.id) +. (ew /. 2.0) in
-  let yl = d.y.(c.id) -. (eh /. 2.0) and yh = d.y.(c.id) +. (eh /. 2.0) in
-  let bxl = max 0 (int_of_float (floor ((xl -. die.xl) /. t.bin_w))) in
-  let bxh = min (t.bins_x - 1) (int_of_float (floor ((xh -. die.xl) /. t.bin_w))) in
-  let byl = max 0 (int_of_float (floor ((yl -. die.yl) /. t.bin_h))) in
-  let byh = min (t.bins_y - 1) (int_of_float (floor ((yh -. die.yl) /. t.bin_h))) in
-  for by = byl to byh do
-    let b_yl = die.yl +. (float_of_int by *. t.bin_h) in
-    let oy = Float.min yh (b_yl +. t.bin_h) -. Float.max yl b_yl in
-    if oy > 0.0 then
-      for bx = bxl to bxh do
-        let b_xl = die.xl +. (float_of_int bx *. t.bin_w) in
-        let ox = Float.min xh (b_xl +. t.bin_w) -. Float.max xl b_xl in
-        if ox > 0.0 then
-          acc.((by * t.bins_x) + bx) <- acc.((by * t.bins_x) + bx) +. (ox *. oy *. scale)
-      done
-  done
+  (* [i] is loop-bounded by the caller (< num_cells), so the coordinate
+     reads skip bounds checks; the inflated extents/scale come from the
+     precomputed per-cell arrays and bin-index math multiplies by the
+     cached inverses (branches plus six divides per cell otherwise). *)
+  let cx = Bigarray.Array1.unsafe_get d.x i and cy = Bigarray.Array1.unsafe_get d.y i in
+  let ew = Array.unsafe_get t.eff_w i and eh = Array.unsafe_get t.eff_h i in
+  let scale = Array.unsafe_get t.eff_scale i in
+  let xl = cx -. (0.5 *. ew) and xh = cx +. (0.5 *. ew) in
+  let yl = cy -. (0.5 *. eh) and yh = cy +. (0.5 *. eh) in
+  if ew <= t.bin_w && eh <= t.bin_h then begin
+    (* Fast path: a cell inflated to (at most) bin size spans at most two
+       bins per dimension, so both overlap pairs fall out of one floor per
+       dimension — no rasterisation loop, no NaN-aware min/max calls. This
+       is the overwhelmingly common standard-cell case. *)
+    let bx0 = int_of_float (floor ((xl -. die.xl) *. t.inv_bin_w)) in
+    let by0 = int_of_float (floor ((yl -. die.yl) *. t.inv_bin_h)) in
+    let bxr = die.xl +. (float_of_int (bx0 + 1) *. t.bin_w) in
+    let byr = die.yl +. (float_of_int (by0 + 1) *. t.bin_h) in
+    let ox0 = bxr -. xl and ox1 = xh -. bxr in
+    let oy0 = byr -. yl and oy1 = yh -. byr in
+    let bx1 = bx0 + 1 and by1 = by0 + 1 in
+    let x0_ok = bx0 >= 0 && ox0 > 0.0 in
+    let x1_ok = bx1 <= t.bins_x - 1 && ox1 > 0.0 in
+    if by0 >= 0 && oy0 > 0.0 then begin
+      let row = by0 * t.bins_x in
+      if x0_ok then begin
+        let b = row + bx0 in
+        Array.unsafe_set acc b (Array.unsafe_get acc b +. (ox0 *. oy0 *. scale))
+      end;
+      if x1_ok then begin
+        let b = row + bx1 in
+        Array.unsafe_set acc b (Array.unsafe_get acc b +. (ox1 *. oy0 *. scale))
+      end
+    end;
+    if by1 <= t.bins_y - 1 && oy1 > 0.0 then begin
+      let row = by1 * t.bins_x in
+      if x0_ok then begin
+        let b = row + bx0 in
+        Array.unsafe_set acc b (Array.unsafe_get acc b +. (ox0 *. oy1 *. scale))
+      end;
+      if x1_ok then begin
+        let b = row + bx1 in
+        Array.unsafe_set acc b (Array.unsafe_get acc b +. (ox1 *. oy1 *. scale))
+      end
+    end
+  end
+  else begin
+    let bxl = max 0 (int_of_float (floor ((xl -. die.xl) *. t.inv_bin_w))) in
+    let bxh = min (t.bins_x - 1) (int_of_float (floor ((xh -. die.xl) *. t.inv_bin_w))) in
+    let byl = max 0 (int_of_float (floor ((yl -. die.yl) *. t.inv_bin_h))) in
+    let byh = min (t.bins_y - 1) (int_of_float (floor ((yh -. die.yl) *. t.inv_bin_h))) in
+    for by = byl to byh do
+      let b_yl = die.yl +. (float_of_int by *. t.bin_h) in
+      let oy = Float.min yh (b_yl +. t.bin_h) -. Float.max yl b_yl in
+      if oy > 0.0 then
+        for bx = bxl to bxh do
+          let b_xl = die.xl +. (float_of_int bx *. t.bin_w) in
+          let ox = Float.min xh (b_xl +. t.bin_w) -. Float.max xl b_xl in
+          if ox > 0.0 then
+            let b = (by * t.bins_x) + bx in
+            Array.unsafe_set acc b (Array.unsafe_get acc b +. (ox *. oy *. scale))
+        done
+    done
+  end
 
 (** Accumulate movable-cell density from the current placement. Parallel
     over cells with per-domain accumulation grids merged in chunk order
@@ -95,10 +165,12 @@ let deposit t (d : Design.t) (acc : float array) (c : Design.cell) =
 let update t (d : Design.t) =
   let nbins = Array.length t.density in
   Array.fill t.density 0 nbins 0.0;
-  let ncells = Array.length d.cells in
+  let ncells = Design.num_cells d in
   let nchunks = Util.Parallel.chunk_count ~n:ncells in
   if nchunks = 1 then
-    Array.iter (fun (c : Design.cell) -> if c.movable then deposit t d t.density c) d.cells
+    for i = 0 to ncells - 1 do
+      if Design.is_movable d i then deposit t d t.density i
+    done
   else begin
     if Array.length t.scratch < nchunks then
       t.scratch <- Array.init nchunks (fun _ -> Array.make nbins 0.0);
@@ -108,8 +180,7 @@ let update t (d : Design.t) =
     Util.Parallel.for_chunks ~grain:64 ~name:"density.bins" ~n:ncells (fun ~chunk ~lo ~hi ->
         let acc = t.scratch.(chunk) in
         for i = lo to hi - 1 do
-          let c = d.cells.(i) in
-          if c.movable then deposit t d acc c
+          if Design.is_movable d i then deposit t d acc i
         done);
     (* Merge per-domain grids; each bin sums its chunk contributions in
        chunk order, so bins are independent and the result deterministic. *)
@@ -128,12 +199,27 @@ let overflow t ~target_density ~movable_area =
   if movable_area <= 0.0 then 0.0
   else begin
     let ba = bin_area t in
-    let over =
-      Util.Parallel.sum ~name:"density.overflow" (Array.length t.density) (fun i ->
-          let cap = Float.max 0.0 ((target_density *. ba) -. t.fixed.(i)) in
-          Float.max 0.0 (t.density.(i) -. cap))
-    in
-    over /. movable_area
+    let nbins = Array.length t.density in
+    let nchunks = Util.Parallel.chunk_count ~n:nbins in
+    if Array.length t.partial < nchunks then t.partial <- Array.make nchunks 0.0;
+    let partial = t.partial in
+    Array.fill partial 0 (Array.length partial) 0.0;
+    (* Chunked reduction into preallocated slots: a closure-per-bin sum
+       would box every partial float. Chunk partition is fixed by
+       (nbins, domains), so the float association is deterministic. *)
+    Util.Parallel.for_chunks ~grain:4096 ~name:"density.overflow" ~n:nbins
+      (fun ~chunk ~lo ~hi ->
+        for i = lo to hi - 1 do
+          let cap = target_density *. ba -. t.fixed.(i) in
+          let cap = if cap > 0.0 then cap else 0.0 in
+          let over = t.density.(i) -. cap in
+          if over > 0.0 then partial.(chunk) <- partial.(chunk) +. over
+        done);
+    let over = ref 0.0 in
+    for k = 0 to nchunks - 1 do
+      over := !over +. partial.(k)
+    done;
+    !over /. movable_area
   end
 
 (** Charge density for the Poisson solve into a caller-owned buffer:

@@ -7,10 +7,16 @@ type t = {
   bins_y : int;
   bin_w : float;
   bin_h : float;
+  inv_bin_w : float; (* cached 1/bin_w for bin-index math *)
+  inv_bin_h : float;
   die : Geom.Rect.t;
   density : float array; (* movable area per bin, row-major [by*bins_x+bx] *)
   fixed : float array; (* fixed (blockage/pad) area per bin, set once *)
+  eff_w : float array; (* per-cell inflated extents / density scale, *)
+  eff_h : float array; (* precomputed once (cell sizes are static) *)
+  eff_scale : float array;
   mutable scratch : float array array; (* per-domain accumulation grids *)
+  mutable partial : float array; (* per-chunk reduction slots (overflow) *)
 }
 
 (** Precomputes the fixed-density layer from non-movable cells. *)

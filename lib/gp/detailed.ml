@@ -10,36 +10,34 @@ open Netlist
 
 (* HPWL over the nets incident to the given cells (each net counted once). *)
 let local_hpwl (d : Design.t) nets =
-  List.fold_left (fun acc nid -> acc +. Design.net_hpwl d d.nets.(nid)) 0.0 nets
+  List.fold_left (fun acc nid -> acc +. Design.net_hpwl d nid) 0.0 nets
 
 let incident_nets (d : Design.t) id =
   let tbl = Hashtbl.create 8 in
-  Array.iter
-    (fun pid ->
-      let net = d.pins.(pid).net in
-      if net >= 0 then Hashtbl.replace tbl net ())
-    d.cells.(id).cell_pins;
+  Design.iter_cell_pins d id (fun pid ->
+      let net = d.pin_net.(pid) in
+      if net >= 0 then Hashtbl.replace tbl net ());
   Hashtbl.fold (fun k () acc -> k :: acc) tbl []
 
 let swap_positions (d : Design.t) a b =
-  let tx = d.x.(a) and ty = d.y.(a) in
-  d.x.(a) <- d.x.(b);
-  d.y.(a) <- d.y.(b);
-  d.x.(b) <- tx;
-  d.y.(b) <- ty
+  let tx = d.x.{a} and ty = d.y.{a} in
+  d.x.{a} <- d.x.{b};
+  d.y.{a} <- d.y.{b};
+  d.x.{b} <- tx;
+  d.y.{b} <- ty
 
 (** One pass; returns the number of accepted swaps. Only same-width cells
     are exchanged so legality is preserved trivially. *)
 let pass (d : Design.t) ~window =
   let movables = Array.of_list (Design.movable_ids d) in
-  Array.sort (fun a b -> compare (d.y.(a), d.x.(a)) (d.y.(b), d.x.(b))) movables;
+  Array.sort (fun a b -> compare (d.y.{a}, d.x.{a}) (d.y.{b}, d.x.{b})) movables;
   let accepted = ref 0 in
   let n = Array.length movables in
   for i = 0 to n - 1 do
     let a = movables.(i) in
     for j = i + 1 to min (n - 1) (i + window) do
       let b = movables.(j) in
-      if d.cells.(a).w = d.cells.(b).w && (d.x.(a) <> d.x.(b) || d.y.(a) <> d.y.(b)) then begin
+      if d.w.{a} = d.w.{b} && (d.x.{a} <> d.x.{b} || d.y.{a} <> d.y.{b}) then begin
         let nets =
           List.sort_uniq compare (incident_nets d a @ incident_nets d b)
         in
@@ -71,15 +69,15 @@ let reorder_rows ?(k = 3) (d : Design.t) =
   let rows = Hashtbl.create 64 in
   List.iter
     (fun id ->
-      let key = int_of_float (Float.round (d.y.(id) *. 4.0)) in
+      let key = int_of_float (Float.round (d.y.{id} *. 4.0)) in
       Hashtbl.replace rows key (id :: (try Hashtbl.find rows key with Not_found -> [])))
     (Design.movable_ids d);
   let improved = ref 0 in
   Hashtbl.iter
     (fun _ cells ->
-      let sorted = List.sort (fun a b -> compare d.x.(a) d.x.(b)) cells |> Array.of_list in
+      let sorted = List.sort (fun a b -> compare d.x.{a} d.x.{b}) cells |> Array.of_list in
       let n = Array.length sorted in
-      let resort () = Array.sort (fun a b -> compare d.x.(a) d.x.(b)) sorted in
+      let resort () = Array.sort (fun a b -> compare d.x.{a} d.x.{b}) sorted in
       for i = 0 to n - k do
         let window_cells = Array.to_list (Array.sub sorted i k) in
         (* Occupied span starts at the window's leftmost edge; cells are
@@ -88,7 +86,7 @@ let reorder_rows ?(k = 3) (d : Design.t) =
            the span it already occupied. *)
         let left_edge =
           List.fold_left
-            (fun acc id -> Float.min acc (d.x.(id) -. (d.cells.(id).w /. 2.0)))
+            (fun acc id -> Float.min acc (d.x.{id} -. (d.w.{id} /. 2.0)))
             Float.infinity window_cells
         in
         let nets = List.sort_uniq compare (List.concat_map (incident_nets d) window_cells) in
@@ -96,11 +94,11 @@ let reorder_rows ?(k = 3) (d : Design.t) =
           let cur = ref left_edge in
           List.iter
             (fun id ->
-              d.x.(id) <- !cur +. (d.cells.(id).w /. 2.0);
-              cur := !cur +. d.cells.(id).w)
+              d.x.{id} <- !cur +. (d.w.{id} /. 2.0);
+              cur := !cur +. d.w.{id})
             order
         in
-        let saved = List.map (fun id -> (id, d.x.(id))) window_cells in
+        let saved = List.map (fun id -> (id, d.x.{id})) window_cells in
         let best_cost = ref (local_hpwl d nets) in
         let best_order = ref None in
         List.iter
@@ -117,7 +115,7 @@ let reorder_rows ?(k = 3) (d : Design.t) =
             place order;
             incr improved;
             resort ()
-        | None -> List.iter (fun (id, x) -> d.x.(id) <- x) saved)
+        | None -> List.iter (fun (id, x) -> d.x.{id} <- x) saved)
       done)
     rows;
   !improved

@@ -40,25 +40,6 @@ let solve t ~target_density =
   Numerics.Poisson.field_into t.poisson ~psi:t.psi ~ex:t.ex ~ey:t.ey;
   t.energy <- Numerics.Poisson.energy t.rho t.psi
 
-(* Bilinear interpolation of the field at a physical position. Grid values
-   live at bin centres. *)
-let sample t (field : float array) px py =
-  let g = t.grid in
-  let die = g.Densitygrid.die in
-  let fx = ((px -. die.xl) /. g.Densitygrid.bin_w) -. 0.5 in
-  let fy = ((py -. die.yl) /. g.Densitygrid.bin_h) -. 0.5 in
-  let bx = int_of_float (floor fx) and by = int_of_float (floor fy) in
-  let tx = fx -. float_of_int bx and ty = fy -. float_of_int by in
-  let clampx v = max 0 (min (g.Densitygrid.bins_x - 1) v) in
-  let clampy v = max 0 (min (g.Densitygrid.bins_y - 1) v) in
-  let at bx by = field.((clampy by * g.Densitygrid.bins_x) + clampx bx) in
-  let v00 = at bx by
-  and v10 = at (bx + 1) by
-  and v01 = at bx (by + 1)
-  and v11 = at (bx + 1) (by + 1) in
-  ((v00 *. (1.0 -. tx)) +. (v10 *. tx)) *. (1.0 -. ty)
-  +. (((v01 *. (1.0 -. tx)) +. (v11 *. tx)) *. ty)
-
 (** Density-force gradient: for each movable cell, the gradient of the
     electrostatic energy w.r.t. its position is -q * E(pos); we *add*
     +q*(-E) into [gx]/[gy] so that descending the total objective moves
@@ -66,14 +47,34 @@ let sample t (field : float array) px py =
 let add_grad t (d : Design.t) ~gx ~gy =
   let g = t.grid in
   let inv_w = 1.0 /. g.Densitygrid.bin_w and inv_h = 1.0 /. g.Densitygrid.bin_h in
+  let bins_x = g.Densitygrid.bins_x and bins_y = g.Densitygrid.bins_y in
+  let die_xl = g.Densitygrid.die.xl and die_yl = g.Densitygrid.die.yl in
+  let ex = t.ex and ey = t.ey in
   (* Pure gather: each cell reads the field and writes only its own
-     gradient slot, so the loop is safely data-parallel. *)
-  Util.Parallel.for_ ~grain:256 ~name:"electro.grad" (Array.length d.cells) (fun i ->
-      let c = d.cells.(i) in
-      if c.movable then begin
-        let q = c.w *. c.h in
-        let fx = sample t t.ex d.x.(c.id) d.y.(c.id) *. inv_w in
-        let fy = sample t t.ey d.x.(c.id) d.y.(c.id) *. inv_h in
-        gx.(c.id) <- gx.(c.id) -. (q *. fx);
-        gy.(c.id) <- gy.(c.id) -. (q *. fy)
+     gradient slot, so the loop is safely data-parallel. The bilinear
+     interpolation (grid values at bin centres, indices clamped to the
+     die) is inlined: a helper returning a float would box that return
+     per cell per iteration on the hottest path. *)
+  Util.Parallel.for_ ~grain:256 ~name:"electro.grad" (Design.num_cells d) (fun i ->
+      if Design.is_movable d i then begin
+        let q = d.w.{i} *. d.h.{i} in
+        let fx = ((d.x.{i} -. die_xl) *. inv_w) -. 0.5 in
+        let fy = ((d.y.{i} -. die_yl) *. inv_h) -. 0.5 in
+        let bx = int_of_float (floor fx) and by = int_of_float (floor fy) in
+        let tx = fx -. float_of_int bx and ty = fy -. float_of_int by in
+        let bx0 = if bx < 0 then 0 else if bx > bins_x - 1 then bins_x - 1 else bx in
+        let bx1 = if bx + 1 < 0 then 0 else if bx + 1 > bins_x - 1 then bins_x - 1 else bx + 1 in
+        let by0 = if by < 0 then 0 else if by > bins_y - 1 then bins_y - 1 else by in
+        let by1 = if by + 1 < 0 then 0 else if by + 1 > bins_y - 1 then bins_y - 1 else by + 1 in
+        let r0 = by0 * bins_x and r1 = by1 * bins_x in
+        let vx =
+          (((ex.(r0 + bx0) *. (1.0 -. tx)) +. (ex.(r0 + bx1) *. tx)) *. (1.0 -. ty))
+          +. (((ex.(r1 + bx0) *. (1.0 -. tx)) +. (ex.(r1 + bx1) *. tx)) *. ty)
+        in
+        let vy =
+          (((ey.(r0 + bx0) *. (1.0 -. tx)) +. (ey.(r0 + bx1) *. tx)) *. (1.0 -. ty))
+          +. (((ey.(r1 + bx0) *. (1.0 -. tx)) +. (ey.(r1 + bx1) *. tx)) *. ty)
+        in
+        gx.(i) <- gx.(i) -. (q *. vx *. inv_w);
+        gy.(i) <- gy.(i) -. (q *. vy *. inv_h)
       end)

@@ -79,8 +79,8 @@ let pack d movable =
   let vec = Array.make (2 * nm) 0.0 in
   Array.iteri
     (fun i id ->
-      vec.(i) <- d.Design.x.(id);
-      vec.(nm + i) <- d.Design.y.(id))
+      vec.(i) <- d.Design.x.{id};
+      vec.(nm + i) <- d.Design.y.{id})
     movable;
   vec
 
@@ -88,8 +88,8 @@ let unpack d movable vec =
   let nm = Array.length movable in
   Array.iteri
     (fun i id ->
-      d.Design.x.(id) <- vec.(i);
-      d.Design.y.(id) <- vec.(nm + i))
+      d.Design.x.{id} <- vec.(i);
+      d.Design.y.{id} <- vec.(nm + i))
     movable
 
 (** Spread movable cells around the die centre with Gaussian noise — the
@@ -97,13 +97,12 @@ let unpack d movable vec =
 let initial_spread ?(sigma_bins = 2.0) (d : Design.t) ~bin_w ~bin_h ~seed =
   let rng = Util.Rng.create seed in
   let ctr = Geom.Rect.center d.die in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- Util.Rng.gaussian rng ~mean:ctr.Geom.Point.x ~stddev:(sigma_bins *. bin_w);
-        d.y.(c.id) <- Util.Rng.gaussian rng ~mean:ctr.Geom.Point.y ~stddev:(sigma_bins *. bin_h)
-      end)
-    d.cells;
+  for i = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d i then begin
+      d.x.{i} <- Util.Rng.gaussian rng ~mean:ctr.Geom.Point.x ~stddev:(sigma_bins *. bin_w);
+      d.y.{i} <- Util.Rng.gaussian rng ~mean:ctr.Geom.Point.y ~stddev:(sigma_bins *. bin_h)
+    end
+  done;
   Design.clamp_movable d
 
 type result = {
@@ -129,12 +128,23 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) ?he
   let opt = ref (Nesterov.create ~obs (pack d movable)) in
   (* Per-cell preconditioner data. *)
   let pin_count = Array.make (Design.num_cells d) 0 in
-  Array.iter
-    (fun (p : Design.pin) -> if p.net >= 0 then pin_count.(p.owner) <- pin_count.(p.owner) + 1)
-    d.pins;
+  for p = 0 to Design.num_pins d - 1 do
+    if d.pin_net.(p) >= 0 then begin
+      let o = d.pin_owner.(p) in
+      pin_count.(o) <- pin_count.(o) + 1
+    end
+  done;
   let gx = Array.make (Design.num_cells d) 0.0 in
   let gy = Array.make (Design.num_cells d) 0.0 in
+  (* Density-gradient scratch, zeroed and refilled in place every
+     iteration: the steady-state loop never allocates per-cell arrays. *)
+  let dgx = Array.make (Design.num_cells d) 0.0 in
+  let dgy = Array.make (Design.num_cells d) 0.0 in
+  let wl_ws = Wirelength.make_ws d in
   let gvec = Array.make (2 * nm) 0.0 in
+  (* Single-slot accumulator for the per-iteration norm reductions: a
+     float [ref] would box one float per element summed. *)
+  let nacc = Array.make 1 0.0 in
   let lambda = ref 0.0 in
   let trace = ref [] in
   let iter = ref 0 in
@@ -175,8 +185,7 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) ?he
     (* Project each candidate position so the cell stays on the die. *)
     Array.iteri
       (fun i id ->
-        let c = d.cells.(id) in
-        let hw = c.w /. 2.0 and hh = c.h /. 2.0 in
+        let hw = d.w.{id} /. 2.0 and hh = d.h.{id} /. 2.0 in
         vec.(i) <- Float.max (d.die.xl +. hw) (Float.min (d.die.xh -. hw) vec.(i));
         vec.(nm + i) <-
           Float.max (d.die.yl +. hh) (Float.min (d.die.yh -. hh) vec.(nm + i)))
@@ -208,33 +217,40 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) ?he
     let gamma = bin_w *. params.gamma_scale *. (0.1 +. (0.9 *. Float.min 1.0 overflow)) in
     Array.fill gx 0 (Array.length gx) 0.0;
     Array.fill gy 0 (Array.length gy) 0.0;
-    let _wl = tick "wl_grad" (fun () -> Wirelength.wa_wirelength_grad d ~gamma ~gx ~gy) in
-    let wl_norm = ref 0.0 in
-    Array.iter (fun id -> wl_norm := !wl_norm +. Float.abs gx.(id) +. Float.abs gy.(id)) movable;
+    let _wl = tick "wl_grad" (fun () -> Wirelength.wa_wirelength_grad_ws wl_ws d ~gamma ~gx ~gy) in
+    nacc.(0) <- 0.0;
+    for i = 0 to nm - 1 do
+      let id = movable.(i) in
+      nacc.(0) <- nacc.(0) +. Float.abs gx.(id) +. Float.abs gy.(id)
+    done;
+    let wl_norm = nacc.(0) in
     if !lambda = 0.0 then begin
       (* First iteration: balance wirelength and density gradient norms. *)
-      let dgx = Array.make (Design.num_cells d) 0.0 in
-      let dgy = Array.make (Design.num_cells d) 0.0 in
+      Array.fill dgx 0 (Array.length dgx) 0.0;
+      Array.fill dgy 0 (Array.length dgy) 0.0;
       Electro.add_grad electro d ~gx:dgx ~gy:dgy;
-      let den_norm = ref 0.0 in
-      Array.iter (fun id -> den_norm := !den_norm +. Float.abs dgx.(id) +. Float.abs dgy.(id)) movable;
-      lambda := if !den_norm > 1e-30 then 0.1 *. !wl_norm /. !den_norm else 1.0
+      nacc.(0) <- 0.0;
+      for i = 0 to nm - 1 do
+        let id = movable.(i) in
+        nacc.(0) <- nacc.(0) +. Float.abs dgx.(id) +. Float.abs dgy.(id)
+      done;
+      let den_norm = nacc.(0) in
+      lambda := if den_norm > 1e-30 then 0.1 *. wl_norm /. den_norm else 1.0
     end;
     (* Density gradient scaled by lambda. *)
-    let dgx = Array.make (Design.num_cells d) 0.0 in
-    let dgy = Array.make (Design.num_cells d) 0.0 in
+    Array.fill dgx 0 (Array.length dgx) 0.0;
+    Array.fill dgy 0 (Array.length dgy) 0.0;
     tick "density" (fun () -> Electro.add_grad electro d ~gx:dgx ~gy:dgy);
     Array.iter
       (fun id ->
         gx.(id) <- gx.(id) +. (!lambda *. dgx.(id));
         gy.(id) <- gy.(id) +. (!lambda *. dgy.(id)))
       movable;
-    if !iter >= params.timing_start then hooks.extra_grad ~iter:!iter ~wl_norm:!wl_norm ~gx ~gy;
+    if !iter >= params.timing_start then hooks.extra_grad ~iter:!iter ~wl_norm ~gx ~gy;
     (* Precondition and pack. *)
     Array.iteri
       (fun i id ->
-        let c = d.cells.(id) in
-        let p = Float.max 1.0 (float_of_int pin_count.(id) +. (!lambda *. c.w *. c.h)) in
+        let p = Float.max 1.0 (float_of_int pin_count.(id) +. (!lambda *. d.w.{id} *. d.h.{id})) in
         gvec.(i) <- gx.(id) /. p;
         gvec.(nm + i) <- gy.(id) /. p)
       movable;
@@ -246,11 +262,11 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) ?he
       (* Express step bounds as average cell displacement in bin widths;
          [backoff] shrinks them after a rollback and relaxes back to 1
          as verified checkpoints accumulate. *)
-      let mean_g =
-        let acc = ref 0.0 in
-        Array.iter (fun v -> acc := !acc +. Float.abs v) gvec;
-        Float.max 1e-30 (!acc /. float_of_int (2 * nm))
-      in
+      nacc.(0) <- 0.0;
+      for i = 0 to (2 * nm) - 1 do
+        nacc.(0) <- nacc.(0) +. Float.abs gvec.(i)
+      done;
+      let mean_g = Float.max 1e-30 (nacc.(0) /. float_of_int (2 * nm)) in
       let fallback_step = 0.25 *. bin_w /. mean_g *. !backoff in
       let max_step = 25.0 *. bin_w /. mean_g *. !backoff in
       tick "optimizer" (fun () -> Nesterov.step !opt ~g:gvec ~fallback_step ~max_step ~clamp);

@@ -65,11 +65,11 @@ let simulate seg ~x' ~w ~id =
 let build_rows (d : Design.t) =
   let die = d.die in
   let nrows = int_of_float (floor (Geom.Rect.height die /. d.row_height)) in
-  let blockages =
-    Array.to_list d.cells
-    |> List.filter (fun (c : Design.cell) -> (not c.movable) && c.role = Design.Blockage)
-    |> List.map (fun (c : Design.cell) -> Design.cell_rect d c.id)
-  in
+  let blockages = ref [] in
+  for i = Design.num_cells d - 1 downto 0 do
+    if Design.kind d i = Design.Blockage then blockages := Design.cell_rect d i :: !blockages
+  done;
+  let blockages = !blockages in
   Array.init nrows (fun k ->
       let yl = die.yl +. (float_of_int k *. d.row_height) in
       let yh = yl +. d.row_height in
@@ -102,17 +102,16 @@ let run (d : Design.t) =
   if nrows = 0 then Util.Errors.infeasible ~stage:"legalize" "die has no rows";
   let order =
     Design.movable_ids d
-    |> List.sort (fun a b -> compare (d.x.(a) -. (d.cells.(a).w /. 2.0)) (d.x.(b) -. (d.cells.(b).w /. 2.0)))
+    |> List.sort (fun a b -> compare (d.x.{a} -. (d.w.{a} /. 2.0)) (d.x.{b} -. (d.w.{b} /. 2.0)))
     |> Array.of_list
   in
-  let desired_xs = Array.copy d.x in
+  let desired_xs = Design.farr_copy d.x in
   let disp_y = ref 0.0 in
   Array.iter
     (fun id ->
-      let c = d.cells.(id) in
-      let w = c.w in
-      let desired_x = d.x.(id) -. (w /. 2.0) in
-      let desired_y = d.y.(id) in
+      let w = d.w.{id} in
+      let desired_x = d.x.{id} -. (w /. 2.0) in
+      let desired_y = d.y.{id} in
       let target_row =
         int_of_float
           (Float.round ((desired_y -. d.die.yl -. (d.row_height /. 2.0)) /. d.row_height))
@@ -150,12 +149,12 @@ let run (d : Design.t) =
       match !best with
       | None ->
           Util.Errors.infeasible ~stage:"legalize"
-            (Printf.sprintf "no room for cell %s anywhere on the die" c.cname)
+            (Printf.sprintf "no room for cell %s anywhere on the die" (Design.cell_name d id))
       | Some (seg, stack, _x_final, k) ->
           seg.clusters <- stack;
           seg.used <- seg.used +. w;
           disp_y := !disp_y +. Float.abs (rows.(k).row_y -. desired_y);
-          d.y.(id) <- rows.(k).row_y)
+          d.y.{id} <- rows.(k).row_y)
     order;
   (* Materialise x positions from the final cluster structure: later
      insertions may have collapsed clusters and moved earlier cells. *)
@@ -169,8 +168,8 @@ let run (d : Design.t) =
               let right = ref (x +. cl.w) in
               List.iter
                 (fun id ->
-                  let w = d.cells.(id).w in
-                  d.x.(id) <- !right -. (w /. 2.0);
+                  let w = d.w.{id} in
+                  d.x.{id} <- !right -. (w /. 2.0);
                   right := !right -. w)
                 cl.members)
             seg.clusters)
@@ -180,7 +179,7 @@ let run (d : Design.t) =
      (cluster collapses moved cells after their commit), plus the row
      moves accumulated above. *)
   let disp_x = ref 0.0 in
-  Array.iter (fun id -> disp_x := !disp_x +. Float.abs (d.x.(id) -. desired_xs.(id))) order;
+  Array.iter (fun id -> disp_x := !disp_x +. Float.abs (d.x.{id} -. desired_xs.{id})) order;
   !disp_x +. !disp_y
 
 (** Check that no two movable cells overlap and every movable cell sits
@@ -190,7 +189,7 @@ let is_legal (d : Design.t) =
   let in_rows =
     List.for_all
       (fun id ->
-        let yc = d.y.(id) -. d.die.yl -. (d.row_height /. 2.0) in
+        let yc = d.y.{id} -. d.die.yl -. (d.row_height /. 2.0) in
         Float.abs (yc -. (Float.round (yc /. d.row_height) *. d.row_height)) < 1e-6)
       movables
   in

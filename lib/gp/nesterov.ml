@@ -13,6 +13,8 @@ type t = {
   v : float array;
   prev_v : float array;
   prev_g : float array;
+  u_new : float array; (* step scratch, reused every call *)
+  norm : float array; (* single-slot accumulator for the BB norms *)
   obs : Obs.Ctx.t;
   mutable a : float;
   mutable have_prev : bool;
@@ -26,6 +28,8 @@ let create ?(obs = Obs.Ctx.null) x0 =
     v = Array.copy x0;
     prev_v = Array.copy x0;
     prev_g = Array.make (Array.length x0) 0.0;
+    u_new = Array.make (Array.length x0) 0.0;
+    norm = Array.make 1 0.0;
     obs;
     a = 1.0;
     have_prev = false;
@@ -39,14 +43,15 @@ let iterate t = t.u
 
 let last_step t = t.last_step
 
-(* ||a - b||_2 *)
-let dist2 a b =
-  let acc = ref 0.0 in
+(* ||a - b||_2, accumulated in a float-array slot: a [ref] accumulator
+   would box a float per element, twice per optimizer step. *)
+let dist2 (s : float array) a b =
+  s.(0) <- 0.0;
   for i = 0 to Array.length a - 1 do
     let d = a.(i) -. b.(i) in
-    acc := !acc +. (d *. d)
+    s.(0) <- s.(0) +. (d *. d)
   done;
-  sqrt !acc
+  sqrt s.(0)
 
 (** One optimizer step given gradient [g] at [reference t].
     [fallback_step] is used before a Lipschitz estimate exists;
@@ -64,7 +69,8 @@ let step t ~g ~fallback_step ~max_step ~clamp =
       fallback_step
     end
     else begin
-      let dv = dist2 t.v t.prev_v and dg = dist2 g t.prev_g in
+      let dv = dist2 t.norm t.v t.prev_v in
+      let dg = dist2 t.norm g t.prev_g in
       (* A NaN anywhere in [g] (or a poisoned iterate) makes dv/dg NaN;
          every comparison against NaN is false, so the old [dg < 1e-30]
          test alone let a NaN step through and poison u/v/prev_g forever.
@@ -85,7 +91,7 @@ let step t ~g ~fallback_step ~max_step ~clamp =
   Array.blit t.v 0 t.prev_v 0 t.dim;
   Array.blit g 0 t.prev_g 0 t.dim;
   t.have_prev <- true;
-  let u_new = Array.make t.dim 0.0 in
+  let u_new = t.u_new in
   for i = 0 to t.dim - 1 do
     u_new.(i) <- t.v.(i) -. (alpha *. g.(i))
   done;

@@ -10,8 +10,21 @@ val grad_fault : (float -> float) option ref
 (** Exact net-weighted HPWL. *)
 val weighted_hpwl : Netlist.Design.t -> float
 
+(** Reusable kernel scratch (per-pin exponent buffers, per-chunk gradient
+    accumulators). Create once per design; the gradient kernel then runs
+    allocation-free in steady state. *)
+type ws
+
+val make_ws : Netlist.Design.t -> ws
+
 (** Smooth weighted wirelength of the whole design; adds its gradient
     w.r.t. cell centres into [gx]/[gy] (cell-indexed; fixed cells receive
-    gradient too — callers ignore them). Returns the smooth value. *)
+    gradient too — callers ignore them). Returns the smooth value.
+    Allocation-free in steady state. *)
+val wa_wirelength_grad_ws :
+  ws -> Netlist.Design.t -> gamma:float -> gx:float array -> gy:float array -> float
+
+(** One-shot variant of {!wa_wirelength_grad_ws} building a fresh
+    workspace per call — cold paths and tests. *)
 val wa_wirelength_grad :
   Netlist.Design.t -> gamma:float -> gx:float array -> gy:float array -> float

@@ -1,8 +1,12 @@
 (** Incremental construction of a {!Design.t}.
 
-    Collects cells/pins/nets in growable vectors, checks structural
-    invariants (single driver per net, pins exist) and freezes into the
-    flat-array database. All operations are amortised O(1). *)
+    Streams every field through monomorphic {!Util.Gvec} vectors (no
+    per-element boxing, no intermediate lists), checks structural
+    invariants (single driver per net, no reconnection) as connections
+    arrive, and freezes into the struct-of-arrays database with a
+    counting-sort CSR build. All operations are amortised O(1). *)
+
+module Gv = Util.Gvec
 
 type t = {
   name : string;
@@ -11,12 +15,33 @@ type t = {
   clock_period : float;
   r_per_unit : float;
   c_per_unit : float;
-  cells : Design.cell Util.Gvec.t;
-  pins : Design.pin Util.Gvec.t;
-  nets : Design.net Util.Gvec.t;
-  sink_lists : int list Util.Gvec.t; (* per net, reversed sink pids *)
-  xs : float Util.Gvec.t;
-  ys : float Util.Gvec.t;
+  (* cells *)
+  cell_names : string Gv.t;
+  kinds : Gv.Int.t;
+  lib_idx : Gv.Int.t;
+  libs : Libcell.t Gv.t;
+  lib_tbl : (string, int) Hashtbl.t; (* lname -> index into libs *)
+  ws : Gv.Float.t;
+  hs : Gv.Float.t;
+  movs : Gv.Int.t;
+  xs : Gv.Float.t;
+  ys : Gv.Float.t;
+  first_pin : Gv.Int.t; (* pins are created contiguously per cell *)
+  (* pins *)
+  pin_names : string Gv.t;
+  pin_owner : Gv.Int.t;
+  pin_dir : Gv.Int.t; (* 0 = In, 1 = Out *)
+  pin_off_x : Gv.Float.t;
+  pin_off_y : Gv.Float.t;
+  pin_cap : Gv.Float.t;
+  pin_net : Gv.Int.t; (* -1 until connected *)
+  (* nets *)
+  net_names : string Gv.t;
+  net_driver : Gv.Int.t;
+  net_nsinks : Gv.Int.t;
+  (* sink connections in arrival order; counting-sorted into CSR at finish *)
+  sink_net : Gv.Int.t;
+  sink_pin : Gv.Int.t;
 }
 
 let create ~name ~die ~row_height ~clock_period ~r_per_unit ~c_per_unit =
@@ -27,146 +52,204 @@ let create ~name ~die ~row_height ~clock_period ~r_per_unit ~c_per_unit =
     clock_period;
     r_per_unit;
     c_per_unit;
-    cells = Util.Gvec.create ();
-    pins = Util.Gvec.create ();
-    nets = Util.Gvec.create ();
-    sink_lists = Util.Gvec.create ();
-    xs = Util.Gvec.create ();
-    ys = Util.Gvec.create ();
+    cell_names = Gv.create ();
+    kinds = Gv.Int.create ();
+    lib_idx = Gv.Int.create ();
+    libs = Gv.create ();
+    lib_tbl = Hashtbl.create 16;
+    ws = Gv.Float.create ();
+    hs = Gv.Float.create ();
+    movs = Gv.Int.create ();
+    xs = Gv.Float.create ();
+    ys = Gv.Float.create ();
+    first_pin = Gv.Int.create ();
+    pin_names = Gv.create ();
+    pin_owner = Gv.Int.create ();
+    pin_dir = Gv.Int.create ();
+    pin_off_x = Gv.Float.create ();
+    pin_off_y = Gv.Float.create ();
+    pin_cap = Gv.Float.create ();
+    pin_net = Gv.Int.create ();
+    net_names = Gv.create ();
+    net_driver = Gv.Int.create ();
+    net_nsinks = Gv.Int.create ();
+    sink_net = Gv.Int.create ();
+    sink_pin = Gv.Int.create ();
   }
 
-let num_cells b = Util.Gvec.length b.cells
+let num_cells b = Gv.length b.cell_names
 
-let num_nets b = Util.Gvec.length b.nets
+let num_nets b = Gv.length b.net_names
 
 let add_pin b ~owner ~pin_name ~dir ~off_x ~off_y ~cap =
-  let pid = Util.Gvec.length b.pins in
-  Util.Gvec.push b.pins { Design.pid; owner; pin_name; dir; off_x; off_y; cap; net = -1 };
+  let pid = Gv.Int.length b.pin_owner in
+  Gv.push b.pin_names pin_name;
+  Gv.Int.push b.pin_owner owner;
+  Gv.Int.push b.pin_dir (match dir with Design.In -> 0 | Design.Out -> 1);
+  Gv.Float.push b.pin_off_x off_x;
+  Gv.Float.push b.pin_off_y off_y;
+  Gv.Float.push b.pin_cap cap;
+  Gv.Int.push b.pin_net (-1);
   pid
+
+(* Library cells are interned by name: designs reuse a handful of
+   [Libcell.t] values, so the side table stays tiny. *)
+let intern_lib b (lib : Libcell.t) =
+  match Hashtbl.find_opt b.lib_tbl lib.Libcell.lname with
+  | Some i -> i
+  | None ->
+      let i = Gv.length b.libs in
+      Gv.push b.libs lib;
+      Hashtbl.add b.lib_tbl lib.Libcell.lname i;
+      i
+
+let add_cell b ~cname ~kind ~lib_idx ~w ~h ~movable ~x ~y =
+  let id = num_cells b in
+  Gv.push b.cell_names cname;
+  Gv.Int.push b.kinds kind;
+  Gv.Int.push b.lib_idx lib_idx;
+  Gv.Float.push b.ws w;
+  Gv.Float.push b.hs h;
+  Gv.Int.push b.movs (if movable then 1 else 0);
+  Gv.Float.push b.xs x;
+  Gv.Float.push b.ys y;
+  Gv.Int.push b.first_pin (Gv.Int.length b.pin_owner);
+  id
 
 (** Add a logic cell (combinational or FF); creates its pins from the
     library cell. Returns the cell id. *)
 let add_logic b ~cname ~lib ~x ~y ?(movable = true) () =
-  let id = Util.Gvec.length b.cells in
-  let cell =
-    {
-      Design.id;
-      cname;
-      role = Design.Logic lib;
-      w = lib.Libcell.width;
-      h = lib.Libcell.height;
-      movable;
-      cell_pins = [||];
-    }
+  let li = intern_lib b lib in
+  let id =
+    add_cell b ~cname ~kind:0 ~lib_idx:li ~w:lib.Libcell.width ~h:lib.Libcell.height ~movable
+      ~x ~y
   in
-  let pin_of (lp : Libcell.lib_pin) =
-    let dir = match lp.kind with Libcell.Input -> Design.In | Libcell.Output -> Design.Out in
-    add_pin b ~owner:id ~pin_name:lp.pname ~dir ~off_x:lp.off_x ~off_y:lp.off_y ~cap:lp.cap
-  in
-  cell.cell_pins <- Array.map pin_of lib.Libcell.pins;
-  Util.Gvec.push b.cells cell;
-  Util.Gvec.push b.xs x;
-  Util.Gvec.push b.ys y;
+  Array.iter
+    (fun (lp : Libcell.lib_pin) ->
+      let dir = match lp.kind with Libcell.Input -> Design.In | Libcell.Output -> Design.Out in
+      ignore (add_pin b ~owner:id ~pin_name:lp.pname ~dir ~off_x:lp.off_x ~off_y:lp.off_y ~cap:lp.cap))
+    lib.Libcell.pins;
   id
 
 (* Pads sit on the die boundary, are fixed, and carry one pin at their
    centre with a nominal pad capacitance. *)
-let add_pad b ~cname ~role ~x ~y =
-  let id = Util.Gvec.length b.cells in
-  let dir, cap =
-    match role with
-    | Design.Input_pad -> (Design.Out, 0.0)
-    | Design.Output_pad -> (Design.In, 3.0)
-    | Design.Logic _ | Design.Blockage -> invalid_arg "Builder.add_pad: not a pad role"
-  in
-  let cell = { Design.id; cname; role; w = 1.0; h = 1.0; movable = false; cell_pins = [||] } in
-  let pid = add_pin b ~owner:id ~pin_name:"p" ~dir ~off_x:0.0 ~off_y:0.0 ~cap in
-  cell.cell_pins <- [| pid |];
-  Util.Gvec.push b.cells cell;
-  Util.Gvec.push b.xs x;
-  Util.Gvec.push b.ys y;
+let add_pad b ~cname ~kind ~x ~y =
+  let dir, cap = if kind = 1 then (Design.Out, 0.0) else (Design.In, 3.0) in
+  let id = add_cell b ~cname ~kind ~lib_idx:(-1) ~w:1.0 ~h:1.0 ~movable:false ~x ~y in
+  ignore (add_pin b ~owner:id ~pin_name:"p" ~dir ~off_x:0.0 ~off_y:0.0 ~cap);
   id
 
-let add_input_pad b ~cname ~x ~y = add_pad b ~cname ~role:Design.Input_pad ~x ~y
+let add_input_pad b ~cname ~x ~y = add_pad b ~cname ~kind:1 ~x ~y
 
-let add_output_pad b ~cname ~x ~y = add_pad b ~cname ~role:Design.Output_pad ~x ~y
+let add_output_pad b ~cname ~x ~y = add_pad b ~cname ~kind:2 ~x ~y
 
 (** Add a fixed rectangular blockage (macro). *)
 let add_blockage b ~cname ~x ~y ~w ~h =
-  let id = Util.Gvec.length b.cells in
-  let cell =
-    { Design.id; cname; role = Design.Blockage; w; h; movable = false; cell_pins = [||] }
-  in
-  Util.Gvec.push b.cells cell;
-  Util.Gvec.push b.xs x;
-  Util.Gvec.push b.ys y;
-  id
+  add_cell b ~cname ~kind:3 ~lib_idx:(-1) ~w ~h ~movable:false ~x ~y
 
 let add_net b ~nname =
-  let nid = Util.Gvec.length b.nets in
-  Util.Gvec.push b.nets { Design.nid; nname; driver = -1; sinks = [||]; weight = 1.0 };
-  Util.Gvec.push b.sink_lists [];
+  let nid = num_nets b in
+  Gv.push b.net_names nname;
+  Gv.Int.push b.net_driver (-1);
+  Gv.Int.push b.net_nsinks 0;
   nid
 
 (** Connect pin [pid] to net [nid]; direction decides driver vs sink.
     A net must end up with exactly one driver. *)
 let connect b ~net:nid ~pin:pid =
-  let net = Util.Gvec.get b.nets nid in
-  let pin = Util.Gvec.get b.pins pid in
-  if pin.Design.net >= 0 then
+  if Gv.Int.get b.pin_net pid >= 0 then
     Util.Errors.invalid_design ~design:b.name
       [ Printf.sprintf "pin %d connected to two nets" pid ];
-  pin.Design.net <- nid;
-  match pin.Design.dir with
-  | Design.Out ->
-      if net.Design.driver >= 0 then
-        Util.Errors.invalid_design ~design:b.name
-          [ Printf.sprintf "net %s has two drivers" net.Design.nname ];
-      net.Design.driver <- pid
-  | Design.In -> Util.Gvec.set b.sink_lists nid (pid :: Util.Gvec.get b.sink_lists nid)
+  Gv.Int.set b.pin_net pid nid;
+  if Gv.Int.get b.pin_dir pid = 1 then begin
+    if Gv.Int.get b.net_driver nid >= 0 then
+      Util.Errors.invalid_design ~design:b.name
+        [ Printf.sprintf "net %s has two drivers" (Gv.get b.net_names nid) ];
+    Gv.Int.set b.net_driver nid pid
+  end
+  else begin
+    Gv.Int.set b.net_nsinks nid (Gv.Int.get b.net_nsinks nid + 1);
+    Gv.Int.push b.sink_net nid;
+    Gv.Int.push b.sink_pin pid
+  end
+
+(* Pins of cell [c] occupy the contiguous pid range starting at
+   [first_pin c]; the range ends at the next cell's first pin (or the pin
+   count for the last cell). *)
+let pin_range b ~cell =
+  let lo = Gv.Int.get b.first_pin cell in
+  let hi =
+    if cell + 1 < num_cells b then Gv.Int.get b.first_pin (cell + 1)
+    else Gv.Int.length b.pin_owner
+  in
+  (lo, hi)
+
+let find_pin b ~cell ~pin_name =
+  let lo, hi = pin_range b ~cell in
+  let rec go pid =
+    if pid >= hi then None
+    else if Gv.get b.pin_names pid = pin_name then Some pid
+    else go (pid + 1)
+  in
+  go lo
 
 (** Connect by cell id + pin name (looked up in the cell's pins). *)
 let connect_by_name b ~net ~cell ~pin_name =
-  let c = Util.Gvec.get b.cells cell in
-  let pid =
-    match
-      Array.find_opt
-        (fun pid -> (Util.Gvec.get b.pins pid).Design.pin_name = pin_name)
-        c.Design.cell_pins
-    with
-    | Some pid -> pid
-    | None ->
-        invalid_arg
-          (Printf.sprintf "Builder.connect_by_name: cell %s has no pin %s" c.Design.cname
-             pin_name)
-  in
-  connect b ~net ~pin:pid
+  match find_pin b ~cell ~pin_name with
+  | Some pid -> connect b ~net ~pin:pid
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Builder.connect_by_name: cell %s has no pin %s"
+           (Gv.get b.cell_names cell) pin_name)
 
 (** Pin id of [cell]'s pin called [pin_name]. *)
 let pin_of_cell b ~cell ~pin_name =
-  let c = Util.Gvec.get b.cells cell in
-  match
-    Array.find_opt
-      (fun pid -> (Util.Gvec.get b.pins pid).Design.pin_name = pin_name)
-      c.Design.cell_pins
-  with
+  match find_pin b ~cell ~pin_name with
   | Some pid -> pid
   | None -> invalid_arg "Builder.pin_of_cell: no such pin"
 
-(** Freeze into the flat-array database. Every net must have a driver and
-    at least one sink. *)
+(** Freeze into the struct-of-arrays database. Every net must have a
+    driver and at least one sink. *)
 let finish b =
-  let nets = Util.Gvec.to_array b.nets in
+  let n_cells = num_cells b in
+  let n_pins = Gv.Int.length b.pin_owner in
+  let n_nets = num_nets b in
+  let net_driver = Gv.Int.to_array b.net_driver in
   let problems = ref [] in
-  Array.iteri
-    (fun i (n : Design.net) ->
-      n.sinks <- Array.of_list (List.rev (Util.Gvec.get b.sink_lists i));
-      if n.driver < 0 then
-        problems := Printf.sprintf "net %s has no driver" n.nname :: !problems;
-      if Array.length n.sinks = 0 then
-        problems := Printf.sprintf "net %s has no sinks" n.nname :: !problems)
-    nets;
-  if !problems <> [] then Util.Errors.invalid_design ~design:b.name (List.rev !problems);
+  for nid = n_nets - 1 downto 0 do
+    if Gv.Int.get b.net_nsinks nid = 0 then
+      problems := Printf.sprintf "net %s has no sinks" (Gv.get b.net_names nid) :: !problems;
+    if net_driver.(nid) < 0 then
+      problems := Printf.sprintf "net %s has no driver" (Gv.get b.net_names nid) :: !problems
+  done;
+  if !problems <> [] then Util.Errors.invalid_design ~design:b.name !problems;
+  (* Cell->pin CSR: the builder creates each cell's pins contiguously, so
+     offsets come straight from [first_pin] and the id map is identity. *)
+  let cell_pin_off = Array.make (n_cells + 1) n_pins in
+  for i = 0 to n_cells - 1 do
+    cell_pin_off.(i) <- Gv.Int.get b.first_pin i
+  done;
+  let cell_pin_ids = Array.init n_pins Fun.id in
+  (* Net->pin CSR by counting sort: slot 0 of each net is its driver, then
+     sinks in connection order (the sort is stable over [sink_net]). *)
+  let net_pin_off = Array.make (n_nets + 1) 0 in
+  for nid = 0 to n_nets - 1 do
+    net_pin_off.(nid + 1) <- net_pin_off.(nid) + 1 + Gv.Int.get b.net_nsinks nid
+  done;
+  let net_pin_ids = Array.make net_pin_off.(n_nets) (-1) in
+  let cursor = Array.make n_nets 0 in
+  for nid = 0 to n_nets - 1 do
+    net_pin_ids.(net_pin_off.(nid)) <- net_driver.(nid);
+    cursor.(nid) <- net_pin_off.(nid) + 1
+  done;
+  for k = 0 to Gv.Int.length b.sink_net - 1 do
+    let nid = Gv.Int.get b.sink_net k in
+    net_pin_ids.(cursor.(nid)) <- Gv.Int.get b.sink_pin k;
+    cursor.(nid) <- cursor.(nid) + 1
+  done;
+  let bytes_of_gvec g n = Bytes.init n (fun i -> Char.chr (Gv.Int.get g i)) in
+  let weights = Design.farr_create n_nets in
+  Design.farr_fill weights 1.0;
   {
     Design.name = b.name;
     die = b.die;
@@ -176,9 +259,30 @@ let finish b =
     output_delay = 0.0;
     r_per_unit = b.r_per_unit;
     c_per_unit = b.c_per_unit;
-    cells = Util.Gvec.to_array b.cells;
-    pins = Util.Gvec.to_array b.pins;
-    nets;
-    x = Util.Gvec.to_array b.xs;
-    y = Util.Gvec.to_array b.ys;
+    n_cells;
+    n_pins;
+    n_nets;
+    x = Design.farr_of_array (Gv.Float.to_array b.xs);
+    y = Design.farr_of_array (Gv.Float.to_array b.ys);
+    w = Design.farr_of_array (Gv.Float.to_array b.ws);
+    h = Design.farr_of_array (Gv.Float.to_array b.hs);
+    movable = bytes_of_gvec b.movs n_cells;
+    kinds = bytes_of_gvec b.kinds n_cells;
+    lib_idx = Gv.Int.to_array b.lib_idx;
+    libs = Gv.to_array b.libs;
+    cell_pin_off;
+    cell_pin_ids;
+    pin_owner = Gv.Int.to_array b.pin_owner;
+    pin_net = Gv.Int.to_array b.pin_net;
+    pin_dirs = bytes_of_gvec b.pin_dir n_pins;
+    pin_off_x = Design.farr_of_array (Gv.Float.to_array b.pin_off_x);
+    pin_off_y = Design.farr_of_array (Gv.Float.to_array b.pin_off_y);
+    pin_cap = Design.farr_of_array (Gv.Float.to_array b.pin_cap);
+    net_driver;
+    net_weight = weights;
+    net_pin_off;
+    net_pin_ids;
+    cell_names = Gv.to_array b.cell_names;
+    pin_names = Gv.to_array b.pin_names;
+    net_names = Gv.to_array b.net_names;
   }

@@ -16,10 +16,9 @@
     v} *)
 
 let save_placement oc (d : Design.t) =
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then Printf.fprintf oc "p %d %.6f %.6f\n" c.id d.x.(c.id) d.y.(c.id))
-    d.cells
+  for i = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d i then Printf.fprintf oc "p %d %.6f %.6f\n" i d.x.{i} d.y.{i}
+  done
 
 let save oc (d : Design.t) =
   Printf.fprintf oc "# efficient-tdp design format v1\n";
@@ -29,28 +28,25 @@ let save oc (d : Design.t) =
   Printf.fprintf oc "clock %.6f\n" d.clock_period;
   Printf.fprintf oc "iodelay %.6f %.6f\n" d.input_delay d.output_delay;
   Printf.fprintf oc "wire %.6f %.6f\n" d.r_per_unit d.c_per_unit;
-  Array.iter
-    (fun (c : Design.cell) ->
-      let x = d.x.(c.id) and y = d.y.(c.id) in
-      match c.role with
-      | Design.Logic lc ->
-          Printf.fprintf oc "c %s L %s %c %.6f %.6f\n" c.cname lc.Libcell.lname
-            (if c.movable then 'M' else 'F')
-            x y
-      | Design.Input_pad -> Printf.fprintf oc "c %s I %.6f %.6f\n" c.cname x y
-      | Design.Output_pad -> Printf.fprintf oc "c %s O %.6f %.6f\n" c.cname x y
-      | Design.Blockage -> Printf.fprintf oc "c %s B %.6f %.6f %.6f %.6f\n" c.cname x y c.w c.h)
-    d.cells;
-  Array.iter
-    (fun (n : Design.net) ->
-      Printf.fprintf oc "n %s" n.nname;
-      List.iter
-        (fun pid ->
-          let p = d.pins.(pid) in
-          Printf.fprintf oc " %d:%s" p.owner p.pin_name)
-        (Design.net_pins n);
-      Printf.fprintf oc "\n")
-    d.nets;
+  for i = 0 to Design.num_cells d - 1 do
+    let cname = Design.cell_name d i in
+    let x = d.x.{i} and y = d.y.{i} in
+    match Design.kind d i with
+    | Design.Logic ->
+        Printf.fprintf oc "c %s L %s %c %.6f %.6f\n" cname (Design.libcell d i).Libcell.lname
+          (if Design.is_movable d i then 'M' else 'F')
+          x y
+    | Design.Input_pad -> Printf.fprintf oc "c %s I %.6f %.6f\n" cname x y
+    | Design.Output_pad -> Printf.fprintf oc "c %s O %.6f %.6f\n" cname x y
+    | Design.Blockage ->
+        Printf.fprintf oc "c %s B %.6f %.6f %.6f %.6f\n" cname x y d.w.{i} d.h.{i}
+  done;
+  for n = 0 to Design.num_nets d - 1 do
+    Printf.fprintf oc "n %s" (Design.net_name d n);
+    Design.iter_net_pins d n (fun pid ->
+        Printf.fprintf oc " %d:%s" d.Design.pin_owner.(pid) (Design.pin_name d pid));
+    Printf.fprintf oc "\n"
+  done;
   Printf.fprintf oc "end\n"
 
 let save_file path d =

@@ -123,10 +123,10 @@ let prop_incremental_sta =
             let moved = ref [] in
             for _ = 1 to 1 + Util.Rng.int rng 4 do
               let c = Util.Rng.choose rng movable in
-              d.Netlist.Design.x.(c) <-
-                d.Netlist.Design.x.(c) +. Util.Rng.float_range rng (-30.0) 30.0;
-              d.Netlist.Design.y.(c) <-
-                d.Netlist.Design.y.(c) +. Util.Rng.float_range rng (-30.0) 30.0;
+              d.Netlist.Design.x.{c} <-
+                d.Netlist.Design.x.{c} +. Util.Rng.float_range rng (-30.0) 30.0;
+              d.Netlist.Design.y.{c} <-
+                d.Netlist.Design.y.{c} +. Util.Rng.float_range rng (-30.0) 30.0;
               moved := c :: !moved
             done;
             Netlist.Design.clamp_movable d;
@@ -159,20 +159,19 @@ let prop_elmore =
     check =
       (fun d ->
         let checks = ref [] in
-        Array.iter
-          (fun (n : Netlist.Design.net) ->
-            if Netlist.Design.net_degree n >= 2 && List.length !checks < 12 then begin
-              let pids = Array.of_list (Netlist.Design.net_pins n) in
-              let xs = Array.map (fun pid -> Netlist.Design.pin_x d d.Netlist.Design.pins.(pid)) pids in
-              let ys = Array.map (fun pid -> Netlist.Design.pin_y d d.Netlist.Design.pins.(pid)) pids in
-              let tree = Rctree.Steiner.steiner ~xs ~ys in
-              let term_cap i = d.Netlist.Design.pins.(pids.(i)).Netlist.Design.cap in
-              checks :=
-                Ref_elmore.check tree ~r:d.Netlist.Design.r_per_unit
-                  ~c:d.Netlist.Design.c_per_unit ~term_cap
-                :: !checks
-            end)
-          d.Netlist.Design.nets;
+        for nid = 0 to Netlist.Design.num_nets d - 1 do
+          if Netlist.Design.net_degree d nid >= 2 && List.length !checks < 12 then begin
+            let pids = Netlist.Design.net_pins d nid in
+            let xs = Array.map (fun pid -> Netlist.Design.pin_x d pid) pids in
+            let ys = Array.map (fun pid -> Netlist.Design.pin_y d pid) pids in
+            let tree = Rctree.Steiner.steiner ~xs ~ys in
+            let term_cap i = d.Netlist.Design.pin_cap.{pids.(i)} in
+            checks :=
+              Ref_elmore.check tree ~r:d.Netlist.Design.r_per_unit
+                ~c:d.Netlist.Design.c_per_unit ~term_cap
+              :: !checks
+          end
+        done;
         all !checks);
   }
 
@@ -200,8 +199,82 @@ let prop_density =
         Metamorphic.density_mass d grid);
   }
 
+(* CSR adjacency invariants of the SoA database: offsets start at 0, end
+   at the pin count, and are monotone; the cell CSR partitions the pin id
+   space exactly once with agreeing [pin_owner]; the net CSR lists every
+   connected pin exactly once under its [pin_net] with the driver first;
+   the degree/sink accessors agree with the offsets. *)
+let prop_csr =
+  {
+    name = "csr-invariants";
+    check =
+      (fun d ->
+        let open Netlist.Design in
+        let nc = num_cells d and np = num_pins d and nn = num_nets d in
+        let problem = ref None in
+        let bad fmt =
+          Printf.ksprintf (fun m -> if !problem = None then problem := Some m) fmt
+        in
+        if d.cell_pin_off.(0) <> 0 then bad "cell_pin_off.(0) = %d" d.cell_pin_off.(0);
+        if d.cell_pin_off.(nc) <> np then
+          bad "cell CSR covers %d of %d pins" d.cell_pin_off.(nc) np;
+        for i = 0 to nc - 1 do
+          if d.cell_pin_off.(i + 1) < d.cell_pin_off.(i) then
+            bad "cell_pin_off not monotone at cell %d" i
+        done;
+        if d.net_pin_off.(0) <> 0 then bad "net_pin_off.(0) = %d" d.net_pin_off.(0);
+        for n = 0 to nn - 1 do
+          if d.net_pin_off.(n + 1) < d.net_pin_off.(n) then
+            bad "net_pin_off not monotone at net %d" n
+        done;
+        (* Cell CSR: every pin id exactly once, under its owner. *)
+        let seen = Array.make (max 1 np) 0 in
+        for i = 0 to nc - 1 do
+          for k = d.cell_pin_off.(i) to d.cell_pin_off.(i + 1) - 1 do
+            let p = d.cell_pin_ids.(k) in
+            if p < 0 || p >= np then bad "cell %d: pin id %d out of range" i p
+            else begin
+              seen.(p) <- seen.(p) + 1;
+              if d.pin_owner.(p) <> i then
+                bad "pin %d: owner %d but listed under cell %d" p d.pin_owner.(p) i
+            end
+          done
+        done;
+        for p = 0 to np - 1 do
+          if seen.(p) <> 1 then bad "pin %d appears %d times in the cell CSR" p seen.(p)
+        done;
+        (* Net CSR: every connected pin exactly once, driver first. *)
+        Array.fill seen 0 (Array.length seen) 0;
+        for n = 0 to nn - 1 do
+          let off = d.net_pin_off.(n) and stop = d.net_pin_off.(n + 1) in
+          if stop > off && d.net_driver.(n) >= 0 && d.net_pin_ids.(off) <> d.net_driver.(n)
+          then bad "net %d: driver pin %d not first in CSR row" n d.net_driver.(n);
+          for k = off to stop - 1 do
+            let p = d.net_pin_ids.(k) in
+            if p < 0 || p >= np then bad "net %d: pin id %d out of range" n p
+            else begin
+              seen.(p) <- seen.(p) + 1;
+              if d.pin_net.(p) <> n then
+                bad "pin %d: pin_net %d but listed under net %d" p d.pin_net.(p) n
+            end
+          done;
+          if net_degree d n <> stop - off then bad "net %d: degree accessor mismatch" n;
+          if stop > off && net_num_sinks d n <> stop - off - 1 then
+            bad "net %d: sink count mismatch" n
+        done;
+        for p = 0 to np - 1 do
+          let expect = if d.pin_net.(p) >= 0 then 1 else 0 in
+          if seen.(p) <> expect then
+            bad "pin %d appears %d times in the net CSR (expected %d)" p seen.(p) expect
+        done;
+        match !problem with None -> Ok () | Some m -> Error m);
+  }
+
 let default_props =
-  [ prop_sta_full; prop_incremental_sta; prop_paths; prop_elmore; prop_wa_grad; prop_density ]
+  [
+    prop_sta_full; prop_incremental_sta; prop_paths; prop_elmore; prop_wa_grad; prop_density;
+    prop_csr;
+  ]
 
 (* ------------------------------------------------------------------ *)
 

@@ -8,8 +8,8 @@ let wirelength_translation ?(rtol = 1e-9) (d : Design.t) ~gamma ~dx ~dy =
   let hp0 = Gp.Wirelength.weighted_hpwl d in
   let wa0 = Ref_place.wa_value d ~gamma in
   for i = 0 to Design.num_cells d - 1 do
-    d.x.(i) <- d.x.(i) +. dx;
-    d.y.(i) <- d.y.(i) +. dy
+    d.x.{i} <- d.x.{i} +. dx;
+    d.y.{i} <- d.y.{i} +. dy
   done;
   let hp1 = Gp.Wirelength.weighted_hpwl d in
   let wa1 = Ref_place.wa_value d ~gamma in
@@ -34,10 +34,12 @@ let transpose_design (d : Design.t) : Design.t =
   {
     d with
     die;
-    cells = Array.map (fun (c : Design.cell) -> { c with w = c.h; h = c.w }) d.cells;
-    pins = Array.map (fun (p : Design.pin) -> { p with off_x = p.off_y; off_y = p.off_x }) d.pins;
-    x = Array.copy d.y;
-    y = Array.copy d.x;
+    w = Design.farr_copy d.h;
+    h = Design.farr_copy d.w;
+    pin_off_x = Design.farr_copy d.pin_off_y;
+    pin_off_y = Design.farr_copy d.pin_off_x;
+    x = Design.farr_copy d.y;
+    y = Design.farr_copy d.x;
   }
 
 let transpose_consistent ?(rtol = 1e-9) (d : Design.t) ~gamma ~bins =
@@ -69,18 +71,18 @@ let density_mass ?(rtol = 1e-9) (d : Design.t) (grid : Gp.Densitygrid.t) =
   (* Expected mass: each movable cell's inflated rectangle clipped against
      the die outline directly — no bin decomposition anywhere. *)
   let expect = ref 0.0 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        let ew = Float.max c.w bin_w and eh = Float.max c.h bin_h in
-        let scale = c.w *. c.h /. (ew *. eh) in
-        let xl = Float.max (d.x.(c.id) -. (ew /. 2.0)) die.Geom.Rect.xl in
-        let xh = Float.min (d.x.(c.id) +. (ew /. 2.0)) die.Geom.Rect.xh in
-        let yl = Float.max (d.y.(c.id) -. (eh /. 2.0)) die.Geom.Rect.yl in
-        let yh = Float.min (d.y.(c.id) +. (eh /. 2.0)) die.Geom.Rect.yh in
-        if xh > xl && yh > yl then expect := !expect +. ((xh -. xl) *. (yh -. yl) *. scale)
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      let cw = d.w.{id} and ch = d.h.{id} in
+      let ew = Float.max cw bin_w and eh = Float.max ch bin_h in
+      let scale = cw *. ch /. (ew *. eh) in
+      let xl = Float.max (d.x.{id} -. (ew /. 2.0)) die.Geom.Rect.xl in
+      let xh = Float.min (d.x.{id} +. (ew /. 2.0)) die.Geom.Rect.xh in
+      let yl = Float.max (d.y.{id} -. (eh /. 2.0)) die.Geom.Rect.yl in
+      let yh = Float.min (d.y.{id} +. (eh /. 2.0)) die.Geom.Rect.yh in
+      if xh > xl && yh > yl then expect := !expect +. ((xh -. xl) *. (yh -. yl) *. scale)
+    end
+  done;
   let got = Array.fold_left ( +. ) 0.0 grid.Gp.Densitygrid.density in
   check_float ~rtol ~atol:(rtol *. (1.0 +. !expect)) ~what:"density mass" got !expect
 

@@ -31,19 +31,18 @@ let points_hpwl_pairwise ~xs ~ys =
     !w +. !h
   end
 
-let net_points (d : Design.t) (n : Design.net) =
-  let pids = Array.of_list (Design.net_pins n) in
-  let xs = Array.map (fun pid -> Design.pin_x d d.pins.(pid)) pids in
-  let ys = Array.map (fun pid -> Design.pin_y d d.pins.(pid)) pids in
+let net_points (d : Design.t) nid =
+  let pids = Design.net_pins d nid in
+  let xs = Array.map (fun pid -> Design.pin_x d pid) pids in
+  let ys = Array.map (fun pid -> Design.pin_y d pid) pids in
   (xs, ys)
 
 let hpwl_direct (d : Design.t) =
   let acc = ref 0.0 in
-  Array.iter
-    (fun (n : Design.net) ->
-      let xs, ys = net_points d n in
-      acc := !acc +. (n.weight *. points_hpwl_pairwise ~xs ~ys))
-    d.nets;
+  for nid = 0 to Design.num_nets d - 1 do
+    let xs, ys = net_points d nid in
+    acc := !acc +. (d.net_weight.{nid} *. points_hpwl_pairwise ~xs ~ys)
+  done;
   !acc
 
 (* WA extent straight from the definition, shifted by max/min for
@@ -70,23 +69,22 @@ let wa_extent ~gamma coords =
 
 let wa_value (d : Design.t) ~gamma =
   let acc = ref 0.0 in
-  Array.iter
-    (fun (n : Design.net) ->
-      let xs, ys = net_points d n in
-      acc := !acc +. (n.weight *. (wa_extent ~gamma xs +. wa_extent ~gamma ys)))
-    d.nets;
+  for nid = 0 to Design.num_nets d - 1 do
+    let xs, ys = net_points d nid in
+    acc := !acc +. (d.net_weight.{nid} *. (wa_extent ~gamma xs +. wa_extent ~gamma ys))
+  done;
   !acc
 
 open Compare
 
 (* Central finite difference of [value ()] w.r.t. one coordinate cell. *)
-let fd_of (coord : float array) cell ~h ~value =
-  let saved = coord.(cell) in
-  coord.(cell) <- saved +. h;
+let fd_of (coord : Design.farr) cell ~h ~value =
+  let saved = coord.{cell} in
+  coord.{cell} <- saved +. h;
   let plus = value () in
-  coord.(cell) <- saved -. h;
+  coord.{cell} <- saved -. h;
   let minus = value () in
-  coord.(cell) <- saved;
+  coord.{cell} <- saved;
   (plus -. minus) /. (2.0 *. h)
 
 let fd_check_cells (d : Design.t) ~cells ~h ~rtol ~value ~gx ~gy ~what =
@@ -131,25 +129,25 @@ let density_direct (d : Design.t) (grid : Gp.Densitygrid.t) =
   let bin_w = grid.Gp.Densitygrid.bin_w and bin_h = grid.Gp.Densitygrid.bin_h in
   let die = grid.Gp.Densitygrid.die in
   let out = Array.make (bins_x * bins_y) 0.0 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        let ew = Float.max c.w bin_w and eh = Float.max c.h bin_h in
-        let scale = c.w *. c.h /. (ew *. eh) in
-        let xl = d.x.(c.id) -. (ew /. 2.0) and xh = d.x.(c.id) +. (ew /. 2.0) in
-        let yl = d.y.(c.id) -. (eh /. 2.0) and yh = d.y.(c.id) +. (eh /. 2.0) in
-        for by = 0 to bins_y - 1 do
-          for bx = 0 to bins_x - 1 do
-            let b_xl = die.Geom.Rect.xl +. (float_of_int bx *. bin_w) in
-            let b_yl = die.Geom.Rect.yl +. (float_of_int by *. bin_h) in
-            let ox = Float.min xh (b_xl +. bin_w) -. Float.max xl b_xl in
-            let oy = Float.min yh (b_yl +. bin_h) -. Float.max yl b_yl in
-            if ox > 0.0 && oy > 0.0 then
-              out.((by * bins_x) + bx) <- out.((by * bins_x) + bx) +. (ox *. oy *. scale)
-          done
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      let cw = d.w.{id} and ch = d.h.{id} in
+      let ew = Float.max cw bin_w and eh = Float.max ch bin_h in
+      let scale = cw *. ch /. (ew *. eh) in
+      let xl = d.x.{id} -. (ew /. 2.0) and xh = d.x.{id} +. (ew /. 2.0) in
+      let yl = d.y.{id} -. (eh /. 2.0) and yh = d.y.{id} +. (eh /. 2.0) in
+      for by = 0 to bins_y - 1 do
+        for bx = 0 to bins_x - 1 do
+          let b_xl = die.Geom.Rect.xl +. (float_of_int bx *. bin_w) in
+          let b_yl = die.Geom.Rect.yl +. (float_of_int by *. bin_h) in
+          let ox = Float.min xh (b_xl +. bin_w) -. Float.max xl b_xl in
+          let oy = Float.min yh (b_yl +. bin_h) -. Float.max yl b_yl in
+          if ox > 0.0 && oy > 0.0 then
+            out.((by * bins_x) + bx) <- out.((by * bins_x) + bx) +. (ox *. oy *. scale)
         done
-      end)
-    d.cells;
+      done
+    end
+  done;
   out
 
 let bilinear ~field ~bins_x ~bins_y ~die ~bin_w ~bin_h px py =
@@ -171,20 +169,19 @@ let electro_grad_expected (e : Gp.Electro.t) (d : Design.t) =
   let die = g.Gp.Densitygrid.die in
   let nc = Design.num_cells d in
   let gx = Array.make nc 0.0 and gy = Array.make nc 0.0 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        let q = c.w *. c.h in
-        let fx =
-          bilinear ~field:e.Gp.Electro.ex ~bins_x ~bins_y ~die ~bin_w ~bin_h d.x.(c.id) d.y.(c.id)
-          /. bin_w
-        in
-        let fy =
-          bilinear ~field:e.Gp.Electro.ey ~bins_x ~bins_y ~die ~bin_w ~bin_h d.x.(c.id) d.y.(c.id)
-          /. bin_h
-        in
-        gx.(c.id) <- -.(q *. fx);
-        gy.(c.id) <- -.(q *. fy)
-      end)
-    d.cells;
+  for id = 0 to nc - 1 do
+    if Design.is_movable d id then begin
+      let q = d.w.{id} *. d.h.{id} in
+      let fx =
+        bilinear ~field:e.Gp.Electro.ex ~bins_x ~bins_y ~die ~bin_w ~bin_h d.x.{id} d.y.{id}
+        /. bin_w
+      in
+      let fy =
+        bilinear ~field:e.Gp.Electro.ey ~bins_x ~bins_y ~die ~bin_w ~bin_h d.x.{id} d.y.{id}
+        /. bin_h
+      in
+      gx.(id) <- -.(q *. fx);
+      gy.(id) <- -.(q *. fy)
+    end
+  done;
   (gx, gy)

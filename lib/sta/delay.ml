@@ -28,9 +28,11 @@ let pad_slew_load = 0.5
 let wire_slew_factor = 0.69
 
 let driver_params (d : Design.t) pin_id =
-  let owner = d.cells.(d.pins.(pin_id).owner) in
-  match owner.role with
-  | Design.Logic lc -> (lc.Libcell.drive_res, lc.Libcell.slew_base, lc.Libcell.slew_load)
+  let owner = d.pin_owner.(pin_id) in
+  match Design.kind d owner with
+  | Design.Logic ->
+      let lc = Design.libcell d owner in
+      (lc.Libcell.drive_res, lc.Libcell.slew_base, lc.Libcell.slew_load)
   | Design.Input_pad -> (pad_drive_res, pad_slew_base, pad_slew_load)
   | Design.Output_pad | Design.Blockage -> invalid_arg "Delay.driver_params: not a driver"
 
@@ -52,61 +54,59 @@ let create graph ~topology =
     net_wirelen = Array.make (Design.num_nets graph.Graph.design) 0.0;
   }
 
-(* Arc ids of a net's sinks, aligned with net.sinks order: net arcs were
-   pushed per net, in sink order, before all cell arcs, so they form a
-   contiguous block. We precompute each net's first arc id. *)
+(* Arc ids of a net's sinks, aligned with sink order: net arcs were pushed
+   per net, in sink order, before all cell arcs, so they form a contiguous
+   block. We precompute each net's first arc id. *)
 let net_first_arc graph =
   let d = graph.Graph.design in
   let firsts = Array.make (Design.num_nets d) 0 in
   let acc = ref 0 in
-  Array.iter
-    (fun (n : Design.net) ->
-      firsts.(n.nid) <- !acc;
-      acc := !acc + Array.length n.sinks)
-    d.nets;
+  for nid = 0 to Design.num_nets d - 1 do
+    firsts.(nid) <- !acc;
+    acc := !acc + Design.net_num_sinks d nid
+  done;
   firsts
 
 (* Refresh one net: topology, Elmore, net arc delays, driver/sink slews.
    [firsts] maps net id to its first (contiguous) arc id. *)
-let update_net t firsts (n : Design.net) =
+let update_net t firsts nid =
   let graph = t.graph in
   let d = graph.Graph.design in
   let r = d.r_per_unit and c = d.c_per_unit in
-  let nsinks = Array.length n.sinks in
+  let nsinks = Design.net_num_sinks d nid in
+  let driver = d.net_driver.(nid) in
   let xs = Array.make (nsinks + 1) 0.0 and ys = Array.make (nsinks + 1) 0.0 in
-  let dp = d.pins.(n.driver) in
-  xs.(0) <- Design.pin_x d dp;
-  ys.(0) <- Design.pin_y d dp;
-  Array.iteri
-    (fun k pid ->
-      let p = d.pins.(pid) in
-      xs.(k + 1) <- Design.pin_x d p;
-      ys.(k + 1) <- Design.pin_y d p)
-    n.sinks;
+  xs.(0) <- Design.pin_x d driver;
+  ys.(0) <- Design.pin_y d driver;
+  for k = 0 to nsinks - 1 do
+    let pid = Design.net_sink d nid k in
+    xs.(k + 1) <- Design.pin_x d pid;
+    ys.(k + 1) <- Design.pin_y d pid
+  done;
   let tree =
     match t.topology with
     | Star -> Rctree.Steiner.star ~xs ~ys
     | Steiner_tree -> Rctree.Steiner.steiner ~xs ~ys
   in
-  let term_cap k = d.pins.(n.sinks.(k - 1)).cap in
+  let term_cap k = d.pin_cap.{Design.net_sink d nid (k - 1)} in
   let res = Rctree.Elmore.compute tree ~r ~c ~term_cap in
-  t.net_cap.(n.nid) <- res.Rctree.Elmore.total_cap;
-  t.net_wirelen.(n.nid) <- res.Rctree.Elmore.total_wirelen;
-  let drive_res, slew_base, slew_load = driver_params d n.driver in
+  t.net_cap.(nid) <- res.Rctree.Elmore.total_cap;
+  t.net_wirelen.(nid) <- res.Rctree.Elmore.total_wirelen;
+  let drive_res, slew_base, slew_load = driver_params d driver in
   let drv_slew = slew_base +. (slew_load *. res.Rctree.Elmore.total_cap) in
-  t.slew.(n.driver) <- drv_slew;
+  t.slew.(driver) <- drv_slew;
   (* Map caller terminals back to tree nodes once (O(nodes)). *)
   let node_of_term = Array.make (nsinks + 1) (-1) in
   Array.iteri
     (fun v term -> if term >= 0 then node_of_term.(term) <- v)
     tree.Rctree.Steiner.terminal;
-  let base = firsts.(n.nid) in
+  let base = firsts.(nid) in
   for k = 0 to nsinks - 1 do
     let node = node_of_term.(k + 1) in
     assert (node >= 0);
     let wire_d = res.Rctree.Elmore.sink_delay.(node) in
     graph.Graph.arc_delay.(base + k) <- (drive_res *. res.Rctree.Elmore.total_cap) +. wire_d;
-    t.slew.(n.sinks.(k)) <- drv_slew +. (wire_slew_factor *. wire_d)
+    t.slew.(Design.net_sink d nid k) <- drv_slew +. (wire_slew_factor *. wire_d)
   done
 
 (* Refresh the cell arcs leaving a pin (their delay depends on the pin's
@@ -117,9 +117,10 @@ let update_cell_arcs_from t pin =
   for j = graph.Graph.out_start.(pin) to graph.Graph.out_start.(pin + 1) - 1 do
     let a = graph.Graph.out_arc.(j) in
     if not graph.Graph.arc_is_net.(a) then begin
-      let owner = d.cells.(d.pins.(pin).owner) in
-      match owner.role with
-      | Design.Logic lc ->
+      let owner = d.pin_owner.(pin) in
+      match Design.kind d owner with
+      | Design.Logic ->
+          let lc = Design.libcell d owner in
           graph.Graph.arc_delay.(a) <-
             lc.Libcell.intrinsic +. (lc.Libcell.slew_sens *. t.slew.(pin))
       | Design.Input_pad | Design.Output_pad | Design.Blockage -> assert false
@@ -135,16 +136,16 @@ let update t =
      writes only its own arcs, caps and pin slews (driver + sinks are
      unique to a net), so the loop is safely data-parallel — this is the
      paper's GPU-accelerated timing kernel on CPU domains. *)
-  let nets = d.nets in
-  Util.Parallel.for_ ~grain:128 ~name:"sta.delay.nets" (Array.length nets) (fun i ->
-      update_net t firsts nets.(i));
+  Util.Parallel.for_ ~grain:128 ~name:"sta.delay.nets" (Design.num_nets d) (fun nid ->
+      update_net t firsts nid);
   (* Pass 2: cell arcs — slews at inputs are now final. *)
   for a = 0 to graph.Graph.num_arcs - 1 do
     if not graph.Graph.arc_is_net.(a) then begin
       let from_pin = graph.Graph.arc_from.(a) in
-      let owner = d.cells.(d.pins.(from_pin).owner) in
-      match owner.role with
-      | Design.Logic lc ->
+      let owner = d.pin_owner.(from_pin) in
+      match Design.kind d owner with
+      | Design.Logic ->
+          let lc = Design.libcell d owner in
           graph.Graph.arc_delay.(a) <-
             lc.Libcell.intrinsic +. (lc.Libcell.slew_sens *. t.slew.(from_pin))
       | Design.Input_pad | Design.Output_pad | Design.Blockage ->
@@ -163,16 +164,13 @@ let update_moved t ~cells =
   let dirty_nets = Hashtbl.create 64 in
   List.iter
     (fun id ->
-      Array.iter
-        (fun pid ->
-          let net = d.pins.(pid).Design.net in
-          if net >= 0 then Hashtbl.replace dirty_nets net ())
-        d.cells.(id).Design.cell_pins)
+      Design.iter_cell_pins d id (fun pid ->
+          let net = d.pin_net.(pid) in
+          if net >= 0 then Hashtbl.replace dirty_nets net ()))
     cells;
   Hashtbl.iter
     (fun nid () ->
-      let n = d.nets.(nid) in
-      update_net t firsts n;
+      update_net t firsts nid;
       (* Sink slews changed: their cells' input->output arcs follow. *)
-      Array.iter (fun sink -> update_cell_arcs_from t sink) n.sinks)
+      Design.iter_net_sinks d nid (fun sink -> update_cell_arcs_from t sink))
     dirty_nets

@@ -23,10 +23,10 @@ let create graph =
   { arr_early = Array.make np 0.0; hold_slack = Array.make np 0.0 }
 
 let hold_requirement (d : Design.t) pin =
-  let owner = d.cells.(d.pins.(pin).owner) in
-  match owner.role with
-  | Design.Logic lc when lc.Libcell.is_ff -> Some lc.Libcell.hold
-  | Design.Logic _ | Design.Input_pad | Design.Output_pad | Design.Blockage -> None
+  let owner = d.pin_owner.(pin) in
+  match Design.kind d owner with
+  | Design.Logic when Design.is_ff d owner -> Some (Design.libcell d owner).Libcell.hold
+  | Design.Logic | Design.Input_pad | Design.Output_pad | Design.Blockage -> None
 
 (** Propagate early arrivals and compute hold slacks. Requires the arc
     delays to be current (run [Delay.update] / a timer update first). *)

@@ -53,30 +53,23 @@ let build (d : Design.t) =
     Util.Gvec.push arcs_net net;
     Util.Gvec.push arcs_sink sink_idx
   in
-  Array.iter
-    (fun (n : Design.net) ->
-      Array.iteri
-        (fun k sink -> add_arc ~from_pin:n.driver ~to_pin:sink ~is_net:true ~net:n.nid ~sink_idx:k)
-        n.sinks)
-    d.nets;
-  Array.iter
-    (fun (c : Design.cell) ->
-      match c.role with
-      | Design.Logic lc when not lc.Libcell.is_ff ->
-          let ins =
-            Array.to_list c.cell_pins |> List.filter (fun pid -> d.pins.(pid).dir = Design.In)
-          in
-          let outs =
-            Array.to_list c.cell_pins |> List.filter (fun pid -> d.pins.(pid).dir = Design.Out)
-          in
-          List.iter
-            (fun i ->
-              List.iter
-                (fun o -> add_arc ~from_pin:i ~to_pin:o ~is_net:false ~net:(-1) ~sink_idx:(-1))
-                outs)
-            ins
-      | Design.Logic _ | Design.Input_pad | Design.Output_pad | Design.Blockage -> ())
-    d.cells;
+  (* Net arcs first, per net in sink order: [Delay.net_first_arc] relies
+     on each net's arcs being contiguous at the front of the arc list. *)
+  for nid = 0 to Design.num_nets d - 1 do
+    let driver = d.net_driver.(nid) in
+    for k = 0 to Design.net_num_sinks d nid - 1 do
+      add_arc ~from_pin:driver ~to_pin:(Design.net_sink d nid k) ~is_net:true ~net:nid
+        ~sink_idx:k
+    done
+  done;
+  for cid = 0 to Design.num_cells d - 1 do
+    if Design.kind d cid = Design.Logic && not (Design.is_ff d cid) then
+      Design.iter_cell_pins d cid (fun i ->
+          if Design.pin_dir d i = Design.In then
+            Design.iter_cell_pins d cid (fun o ->
+                if Design.pin_dir d o = Design.Out then
+                  add_arc ~from_pin:i ~to_pin:o ~is_net:false ~net:(-1) ~sink_idx:(-1)))
+  done;
   let arc_from = Util.Gvec.to_array arcs_from in
   let arc_to = Util.Gvec.to_array arcs_to in
   let num_arcs = Array.length arc_from in
@@ -131,35 +124,28 @@ let build (d : Design.t) =
   let is_endpoint = Array.make np false in
   let start_arrival = Array.make np 0.0 in
   let end_required = Array.make np 0.0 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      match c.role with
-      | Design.Logic lc when lc.Libcell.is_ff ->
-          Array.iter
-            (fun pid ->
-              let p = d.pins.(pid) in
-              match p.dir with
-              | Design.Out ->
-                  is_startpoint.(pid) <- true;
-                  start_arrival.(pid) <- lc.Libcell.clk_to_q
-              | Design.In ->
-                  is_endpoint.(pid) <- true;
-                  end_required.(pid) <- d.clock_period -. lc.Libcell.setup)
-            c.cell_pins
-      | Design.Input_pad ->
-          Array.iter
-            (fun pid ->
-              is_startpoint.(pid) <- true;
-              start_arrival.(pid) <- d.input_delay)
-            c.cell_pins
-      | Design.Output_pad ->
-          Array.iter
-            (fun pid ->
-              is_endpoint.(pid) <- true;
-              end_required.(pid) <- d.clock_period -. d.output_delay)
-            c.cell_pins
-      | Design.Logic _ | Design.Blockage -> ())
-    d.cells;
+  for cid = 0 to Design.num_cells d - 1 do
+    match Design.kind d cid with
+    | Design.Logic when Design.is_ff d cid ->
+        let lc = Design.libcell d cid in
+        Design.iter_cell_pins d cid (fun pid ->
+            match Design.pin_dir d pid with
+            | Design.Out ->
+                is_startpoint.(pid) <- true;
+                start_arrival.(pid) <- lc.Libcell.clk_to_q
+            | Design.In ->
+                is_endpoint.(pid) <- true;
+                end_required.(pid) <- d.clock_period -. lc.Libcell.setup)
+    | Design.Input_pad ->
+        Design.iter_cell_pins d cid (fun pid ->
+            is_startpoint.(pid) <- true;
+            start_arrival.(pid) <- d.input_delay)
+    | Design.Output_pad ->
+        Design.iter_cell_pins d cid (fun pid ->
+            is_endpoint.(pid) <- true;
+            end_required.(pid) <- d.clock_period -. d.output_delay)
+    | Design.Logic | Design.Blockage -> ()
+  done;
   let endpoints =
     Array.of_list
       (List.filter (fun p -> is_endpoint.(p)) (List.init np Fun.id))

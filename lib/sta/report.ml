@@ -92,9 +92,9 @@ let report_timing_endpoint ?(failing_only = true) (prop : Propagate.t) (graph : 
 let pp_path fmt (graph : Graph.t) (p : Paths.path) =
   let d = graph.Graph.design in
   let label pid =
-    let pin = d.Netlist.Design.pins.(pid) in
-    Printf.sprintf "%s.%s" d.Netlist.Design.cells.(pin.Netlist.Design.owner).Netlist.Design.cname
-      pin.Netlist.Design.pin_name
+    Printf.sprintf "%s.%s"
+      (Netlist.Design.cell_name d d.Netlist.Design.pin_owner.(pid))
+      (Netlist.Design.pin_name d pid)
   in
   Format.fprintf fmt "Startpoint: %s@." (label p.Paths.pins.(0));
   Format.fprintf fmt "Endpoint:   %s@." (label p.Paths.endpoint);

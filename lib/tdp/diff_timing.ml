@@ -132,52 +132,51 @@ let add_grad t ~mult ~gx ~gy =
   let graph = Sta.Timer.graph t.timer in
   let r = d.r_per_unit and c = d.c_per_unit in
   (* Net arcs of one net form a contiguous block in arc order. *)
-  Array.iter
-    (fun (net : Design.net) ->
-      let nsinks = Array.length net.sinks in
-      if nsinks > 0 then begin
-        let drv = d.pins.(net.driver) in
-        let drive_res, _, _ = Sta.Delay.driver_params d net.driver in
-        (* Locate this net's arcs via the driver pin's out-arcs. *)
-        let dxs = Array.make nsinks 0.0 and dys = Array.make nsinks 0.0 in
-        let lens = Array.make nsinks 0.0 in
-        let gsum = ref 0.0 in
-        let garc = Array.make nsinks 0.0 in
-        Array.iteri
-          (fun k spid ->
-            let sp = d.pins.(spid) in
-            dxs.(k) <- Design.pin_x d drv -. Design.pin_x d sp;
-            dys.(k) <- Design.pin_y d drv -. Design.pin_y d sp;
-            lens.(k) <- Float.abs dxs.(k) +. Float.abs dys.(k))
-          net.sinks;
-        (* dLoss/d(arc delay) for each sink arc. *)
-        let lo = graph.Sta.Graph.out_start.(net.driver) in
-        let hi = graph.Sta.Graph.out_start.(net.driver + 1) in
-        for j = lo to hi - 1 do
-          let a = graph.Sta.Graph.out_arc.(j) in
-          if graph.Sta.Graph.arc_is_net.(a) then begin
-            let k = graph.Sta.Graph.arc_sink_idx.(a) in
-            garc.(k) <- t.dl_darc.(a);
-            gsum := !gsum +. t.dl_darc.(a)
-          end
-        done;
-        (* delay_k = R_drv * sum_j (c*L_j + C_j) + r*L_k*(c*L_k/2 + C_k) *)
-        for k = 0 to nsinks - 1 do
-          let sink_cap = d.pins.(net.sinks.(k)).cap in
-          let dl_dlen =
-            (drive_res *. c *. !gsum)
-            +. (garc.(k) *. ((r *. c *. lens.(k)) +. (r *. sink_cap)))
-          in
-          if dl_dlen <> 0.0 then begin
-            let sgn v = if v > 0.0 then 1.0 else if v < 0.0 then -1.0 else 0.0 in
-            let gx_d = mult *. dl_dlen *. sgn dxs.(k) in
-            let gy_d = mult *. dl_dlen *. sgn dys.(k) in
-            let cd = drv.owner and cs = d.pins.(net.sinks.(k)).owner in
-            gx.(cd) <- gx.(cd) +. gx_d;
-            gy.(cd) <- gy.(cd) +. gy_d;
-            gx.(cs) <- gx.(cs) -. gx_d;
-            gy.(cs) <- gy.(cs) -. gy_d
-          end
-        done
-      end)
-    d.nets
+  for nid = 0 to Design.num_nets d - 1 do
+    let nsinks = Design.net_num_sinks d nid in
+    if nsinks > 0 then begin
+      let driver = d.net_driver.(nid) in
+      let drive_res, _, _ = Sta.Delay.driver_params d driver in
+      let dx0 = Design.pin_x d driver and dy0 = Design.pin_y d driver in
+      let dxs = Array.make nsinks 0.0 and dys = Array.make nsinks 0.0 in
+      let lens = Array.make nsinks 0.0 in
+      let gsum = ref 0.0 in
+      let garc = Array.make nsinks 0.0 in
+      for k = 0 to nsinks - 1 do
+        let spid = Design.net_sink d nid k in
+        dxs.(k) <- dx0 -. Design.pin_x d spid;
+        dys.(k) <- dy0 -. Design.pin_y d spid;
+        lens.(k) <- Float.abs dxs.(k) +. Float.abs dys.(k)
+      done;
+      (* dLoss/d(arc delay) for each sink arc. *)
+      let lo = graph.Sta.Graph.out_start.(driver) in
+      let hi = graph.Sta.Graph.out_start.(driver + 1) in
+      for j = lo to hi - 1 do
+        let a = graph.Sta.Graph.out_arc.(j) in
+        if graph.Sta.Graph.arc_is_net.(a) then begin
+          let k = graph.Sta.Graph.arc_sink_idx.(a) in
+          garc.(k) <- t.dl_darc.(a);
+          gsum := !gsum +. t.dl_darc.(a)
+        end
+      done;
+      (* delay_k = R_drv * sum_j (c*L_j + C_j) + r*L_k*(c*L_k/2 + C_k) *)
+      for k = 0 to nsinks - 1 do
+        let spid = Design.net_sink d nid k in
+        let sink_cap = d.pin_cap.{spid} in
+        let dl_dlen =
+          (drive_res *. c *. !gsum)
+          +. (garc.(k) *. ((r *. c *. lens.(k)) +. (r *. sink_cap)))
+        in
+        if dl_dlen <> 0.0 then begin
+          let sgn v = if v > 0.0 then 1.0 else if v < 0.0 then -1.0 else 0.0 in
+          let gx_d = mult *. dl_dlen *. sgn dxs.(k) in
+          let gy_d = mult *. dl_dlen *. sgn dys.(k) in
+          let cd = d.pin_owner.(driver) and cs = d.pin_owner.(spid) in
+          gx.(cd) <- gx.(cd) +. gx_d;
+          gy.(cd) <- gy.(cd) +. gy_d;
+          gx.(cs) <- gx.(cs) -. gx_d;
+          gy.(cs) <- gy.(cs) -. gy_d
+        end
+      done
+    end
+  done

@@ -36,13 +36,17 @@ let round t =
           let crit = p.slack /. wns in
           let np = Array.length p.pins in
           for i = 1 to np - 2 do
-            let pin = d.pins.(p.pins.(i)) in
-            let cell = d.cells.(pin.owner) in
-            if cell.movable then begin
-              let prev = d.pins.(p.pins.(i - 1)) and next = d.pins.(p.pins.(i + 1)) in
-              let tx = (Design.pin_x d prev +. Design.pin_x d next) /. 2.0 -. pin.off_x in
-              let ty = (Design.pin_y d prev +. Design.pin_y d next) /. 2.0 -. pin.off_y in
-              t.anchors <- { cell = cell.id; tx; ty; strength = crit } :: t.anchors
+            let pid = p.pins.(i) in
+            let cid = d.pin_owner.(pid) in
+            if Design.is_movable d cid then begin
+              let prev = p.pins.(i - 1) and next = p.pins.(i + 1) in
+              let tx =
+                ((Design.pin_x d prev +. Design.pin_x d next) /. 2.0) -. d.pin_off_x.{pid}
+              in
+              let ty =
+                ((Design.pin_y d prev +. Design.pin_y d next) /. 2.0) -. d.pin_off_y.{pid}
+              in
+              t.anchors <- { cell = cid; tx; ty; strength = crit } :: t.anchors
             end
           done
         end)
@@ -57,6 +61,6 @@ let add_grad t ~mult ~gx ~gy =
   List.iter
     (fun a ->
       let s = mult *. a.strength in
-      gx.(a.cell) <- gx.(a.cell) +. (s *. (d.x.(a.cell) -. a.tx));
-      gy.(a.cell) <- gy.(a.cell) +. (s *. (d.y.(a.cell) -. a.ty)))
+      gx.(a.cell) <- gx.(a.cell) +. (s *. (d.x.{a.cell} -. a.tx));
+      gy.(a.cell) <- gy.(a.cell) +. (s *. (d.y.{a.cell} -. a.ty)))
     t.anchors

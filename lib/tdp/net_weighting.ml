@@ -34,17 +34,15 @@ let round t =
   let slack = Sta.Timer.slacks t.timer in
   let d = t.design in
   if wns < 0.0 then
-    Array.iter
-      (fun (net : Design.net) ->
-        let worst = ref Float.infinity in
-        List.iter
-          (fun pid -> if slack.(pid) < !worst then worst := slack.(pid))
-          (Design.net_pins net);
-        let crit =
-          if Float.is_finite !worst && !worst < 0.0 then Float.min 1.0 (!worst /. wns) else 0.0
-        in
-        let w_hat = 1.0 +. (t.alpha *. crit) in
-        net.weight <- (t.momentum *. net.weight) +. ((1.0 -. t.momentum) *. w_hat))
-      d.nets;
+    for nid = 0 to Design.num_nets d - 1 do
+      let worst = ref Float.infinity in
+      Design.iter_net_pins d nid (fun pid ->
+          if slack.(pid) < !worst then worst := slack.(pid));
+      let crit =
+        if Float.is_finite !worst && !worst < 0.0 then Float.min 1.0 (!worst /. wns) else 0.0
+      in
+      let w_hat = 1.0 +. (t.alpha *. crit) in
+      d.net_weight.{nid} <- (t.momentum *. d.net_weight.{nid}) +. ((1.0 -. t.momentum) *. w_hat)
+    done;
   t.rounds <- t.rounds + 1;
   (tns, wns)

@@ -94,9 +94,8 @@ let loss_value t =
   let d = t.design in
   Hashtbl.fold
     (fun _ p acc ->
-      let pi = d.pins.(p.pin_i) and pj = d.pins.(p.pin_j) in
-      let dx = Design.pin_x d pi -. Design.pin_x d pj in
-      let dy = Design.pin_y d pi -. Design.pin_y d pj in
+      let dx = Design.pin_x d p.pin_i -. Design.pin_x d p.pin_j in
+      let dy = Design.pin_y d p.pin_i -. Design.pin_y d p.pin_j in
       let q =
         match t.loss with
         | Config.Quadratic -> (dx *. dx) +. (dy *. dy)
@@ -109,9 +108,8 @@ let loss_value t =
 (* Gradient contribution of one pair into the given accumulators. *)
 let add_pair_grad t ~beta ~gx ~gy (p : pair) =
   let d = t.design in
-  let pi = d.pins.(p.pin_i) and pj = d.pins.(p.pin_j) in
-  let dx = Design.pin_x d pi -. Design.pin_x d pj in
-  let dy = Design.pin_y d pi -. Design.pin_y d pj in
+  let dx = Design.pin_x d p.pin_i -. Design.pin_x d p.pin_j in
+  let dy = Design.pin_y d p.pin_i -. Design.pin_y d p.pin_j in
   let gx_i, gy_i =
     match t.loss with
     | Config.Quadratic -> (2.0 *. dx, 2.0 *. dy)
@@ -123,7 +121,7 @@ let add_pair_grad t ~beta ~gx ~gy (p : pair) =
         (sgn dx, sgn dy)
   in
   let s = beta *. p.weight in
-  let ci = pi.owner and cj = pj.owner in
+  let ci = d.pin_owner.(p.pin_i) and cj = d.pin_owner.(p.pin_j) in
   gx.(ci) <- gx.(ci) +. (s *. gx_i);
   gy.(ci) <- gy.(ci) +. (s *. gy_i);
   gx.(cj) <- gx.(cj) -. (s *. gx_i);
@@ -139,7 +137,7 @@ let add_grad t ~beta ~gx ~gy =
   let nchunks = Util.Parallel.chunk_count ~n:npairs in
   if nchunks = 1 then Array.iter (fun p -> add_pair_grad t ~beta ~gx ~gy p) pairs
   else begin
-    let nc = Array.length t.design.cells in
+    let nc = Design.num_cells t.design in
     let bufs =
       Util.Parallel.iter_chunks_scratch ~grain:256 ~name:"pp.grad" ~n:npairs
         ~scratch:(fun () -> (Array.make nc 0.0, Array.make nc 0.0))

@@ -18,11 +18,11 @@ type stats = {
 }
 
 let swap (d : Design.t) a b =
-  let tx = d.x.(a) and ty = d.y.(a) in
-  d.x.(a) <- d.x.(b);
-  d.y.(a) <- d.y.(b);
-  d.x.(b) <- tx;
-  d.y.(b) <- ty
+  let tx = d.x.{a} and ty = d.y.{a} in
+  d.x.{a} <- d.x.{b};
+  d.y.{a} <- d.y.{b};
+  d.x.{b} <- tx;
+  d.y.{b} <- ty
 
 (* Combined cost: negative slack dominates; wirelength is a regulariser
    with weight chosen so a site of wire trades against ~1 ps of TNS. *)
@@ -40,11 +40,11 @@ let run ?(seed = 1) ?(moves = 2000) ?(t0 = 15.0) ?(alpha = 0.998) ?(wl_weight = 
   let by_width = Hashtbl.create 8 in
   List.iter
     (fun id ->
-      let w = d.cells.(id).w in
+      let w = d.w.{id} in
       Hashtbl.replace by_width w (id :: (try Hashtbl.find by_width w with Not_found -> [])))
     (Design.movable_ids d);
   let pool_of id =
-    Array.of_list (try Hashtbl.find by_width d.cells.(id).w with Not_found -> [ id ])
+    Array.of_list (try Hashtbl.find by_width d.w.{id} with Not_found -> [ id ])
   in
   let pools =
     Hashtbl.fold (fun _ l acc -> if List.length l >= 2 then Array.of_list l :: acc else acc)
@@ -65,8 +65,8 @@ let run ?(seed = 1) ?(moves = 2000) ?(t0 = 15.0) ?(alpha = 0.998) ?(wl_weight = 
           | Some p ->
               Array.iter
                 (fun pid ->
-                  let c = d.cells.(d.pins.(pid).owner) in
-                  if c.movable then Hashtbl.replace tbl c.id ())
+                  let cid = d.pin_owner.(pid) in
+                  if Design.is_movable d cid then Hashtbl.replace tbl cid ())
                 p.Sta.Paths.pins)
       failing;
     Array.of_list (Hashtbl.fold (fun id () acc -> id :: acc) tbl [])
@@ -80,7 +80,7 @@ let run ?(seed = 1) ?(moves = 2000) ?(t0 = 15.0) ?(alpha = 0.998) ?(wl_weight = 
       if k = 0 then best
       else begin
         let b = Util.Rng.choose rng pool in
-        if b <> a && Float.abs (d.x.(b) -. d.x.(a)) +. Float.abs (d.y.(b) -. d.y.(a)) <= window
+        if b <> a && Float.abs (d.x.{b} -. d.x.{a}) +. Float.abs (d.y.{b} -. d.y.{a}) <= window
         then Some b
         else try_k (k - 1) best
       end

@@ -30,18 +30,18 @@ let critical_cells (d : Design.t) timer ~max_endpoints =
         | Some p ->
             Array.iter
               (fun pid ->
-                let c = d.cells.(d.pins.(pid).owner) in
-                if c.movable then Hashtbl.replace tbl c.id ())
+                let cid = d.pin_owner.(pid) in
+                if Design.is_movable d cid then Hashtbl.replace tbl cid ())
               p.Sta.Paths.pins)
     failing;
   Hashtbl.fold (fun id () acc -> id :: acc) tbl []
 
 let swap (d : Design.t) a b =
-  let tx = d.x.(a) and ty = d.y.(a) in
-  d.x.(a) <- d.x.(b);
-  d.y.(a) <- d.y.(b);
-  d.x.(b) <- tx;
-  d.y.(b) <- ty
+  let tx = d.x.{a} and ty = d.y.{a} in
+  d.x.{a} <- d.x.{b};
+  d.y.{a} <- d.y.{b};
+  d.x.{b} <- tx;
+  d.y.{b} <- ty
 
 (** Run on a legal placement. [max_endpoints] bounds the critical set,
     [window] the neighbour search distance (in sites). Returns stats; the
@@ -62,8 +62,8 @@ let run ?(max_endpoints = 50) ?(window = 8.0) (d : Design.t) =
         (fun b ->
           if
             b <> a
-            && d.cells.(b).w = d.cells.(a).w
-            && Float.abs (d.x.(b) -. d.x.(a)) +. Float.abs (d.y.(b) -. d.y.(a)) <= window
+            && d.w.{b} = d.w.{a}
+            && Float.abs (d.x.{b} -. d.x.{a}) +. Float.abs (d.y.{b} -. d.y.{a}) <= window
           then begin
             incr candidates;
             swap d a b;

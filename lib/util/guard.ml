@@ -22,6 +22,17 @@ let all_finite (a : float array) =
   done;
   !ok
 
+(** [all_finite] over a float64 Bigarray (the SoA coordinate fields). *)
+let all_finite_ba (a : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t) =
+  let n = Bigarray.Array1.dim a in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    if not (Float.is_finite (Bigarray.Array1.unsafe_get a !i)) then ok := false;
+    incr i
+  done;
+  !ok
+
 (** Index of the first non-finite element, if any. *)
 let first_nonfinite (a : float array) =
   let n = Array.length a in

@@ -8,6 +8,8 @@ val is_finite : float -> bool
     the first offender. *)
 val all_finite : float array -> bool
 
+val all_finite_ba : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> bool
+
 (** Index of the first non-finite element, if any. *)
 val first_nonfinite : float array -> int option
 

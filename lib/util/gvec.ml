@@ -34,3 +34,63 @@ let iter f t =
   done
 
 let clear t = t.size <- 0
+
+(* Monomorphic variants for the netlist builders: the backing stores are
+   flat [float array] / [int array], so streaming a million fields never
+   boxes an element and [to_array] is a single blit. *)
+
+module Float = struct
+  type t = { mutable data : float array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let length t = t.size
+
+  let push t x =
+    let cap = Array.length t.data in
+    if t.size = cap then begin
+      let nd = Array.make (max 8 (2 * cap)) 0.0 in
+      Array.blit t.data 0 nd 0 t.size;
+      t.data <- nd
+    end;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1
+
+  let get t i =
+    if i < 0 || i >= t.size then invalid_arg "Gvec.Float.get: out of bounds";
+    t.data.(i)
+
+  let set t i x =
+    if i < 0 || i >= t.size then invalid_arg "Gvec.Float.set: out of bounds";
+    t.data.(i) <- x
+
+  let to_array t = Array.sub t.data 0 t.size
+end
+
+module Int = struct
+  type t = { mutable data : int array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let length t = t.size
+
+  let push t x =
+    let cap = Array.length t.data in
+    if t.size = cap then begin
+      let nd = Array.make (max 8 (2 * cap)) 0 in
+      Array.blit t.data 0 nd 0 t.size;
+      t.data <- nd
+    end;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1
+
+  let get t i =
+    if i < 0 || i >= t.size then invalid_arg "Gvec.Int.get: out of bounds";
+    t.data.(i)
+
+  let set t i x =
+    if i < 0 || i >= t.size then invalid_arg "Gvec.Int.set: out of bounds";
+    t.data.(i) <- x
+
+  let to_array t = Array.sub t.data 0 t.size
+end

@@ -67,3 +67,37 @@ let load ?scale ?(calibrate = true) short =
   if calibrate then
     ignore (Generate.calibrate_clock d ~quantile:e.params.Genparams.slack_quantile);
   d
+
+(* ------------------------------------------------------------------ *)
+(* Scale-ladder designs: a single parameter point stretched to a target
+   cell count for the 100k-1M SoA scale bench. The mix mirrors sb10
+   (7:1 comb:FF, moderate depth); boundary IO grows with the die
+   perimeter (sqrt of the cell count) rather than linearly. *)
+
+let sized_params ?(seed = 4242) ~cells () =
+  let cells = max 1_000 cells in
+  (* comb + ff + io + macros ~= cells, with ff = comb/7. *)
+  let io = max 64 (int_of_float (2.0 *. sqrt (float_of_int cells))) in
+  let num_macros = 4 in
+  let movable = max 512 (cells - (2 * io) - num_macros) in
+  let num_ff = movable / 8 in
+  let num_comb = movable - num_ff in
+  {
+    Genparams.default with
+    name = Printf.sprintf "scale%dk" (cells / 1000);
+    seed;
+    num_comb;
+    num_ff;
+    num_inputs = io;
+    num_outputs = io;
+    levels = 14;
+    num_macros;
+    (* Hubs stay rare at scale so net degree stays bounded. *)
+    fanout_hub_prob = 0.01;
+  }
+
+let load_sized ?seed ?(calibrate = false) ~cells () =
+  let p = sized_params ?seed ~cells () in
+  let d = Generate.generate p in
+  if calibrate then ignore (Generate.calibrate_clock d ~quantile:p.Genparams.slack_quantile);
+  d

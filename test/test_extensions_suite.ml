@@ -11,13 +11,12 @@ let check_float = Alcotest.(check (float 1e-6))
 let test_early_le_late () =
   let d = Helpers.small_calibrated () in
   let rng = Util.Rng.create 21 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
-        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- Util.Rng.float rng (Geom.Rect.width d.die);
+      d.y.{id} <- Util.Rng.float rng (Geom.Rect.height d.die)
+    end
+  done;
   let timer = Sta.Timer.create d in
   Sta.Timer.update timer;
   let late = Sta.Timer.arrivals timer in
@@ -35,8 +34,9 @@ let test_hold_chain_exact () =
   let timer = Sta.Timer.create d in
   Sta.Timer.update timer;
   let g = Sta.Timer.graph timer in
-  let ff = d.cells.(2) in
-  let dpin = Array.to_list ff.cell_pins |> List.find (fun p -> d.pins.(p).pin_name = "d") in
+  let dpin =
+    Array.to_list (Design.cell_pins d 2) |> List.find (fun p -> Design.pin_name d p = "d")
+  in
   let early = Sta.Timer.early_arrivals timer in
   check_float "single path: early = late" (Sta.Timer.arrivals timer).(dpin) early.(dpin);
   (* DFF hold = 5.0; arrival ~136 ps >> 5 ps, so no violation. *)
@@ -89,14 +89,15 @@ let test_rudy_single_net () =
   Gp.Congestion.update c d;
   (* Every net contributes (w+h) of wiring demand over its (padded)
      bbox: total demand equals the sum of padded half-perimeters. *)
-  let expect =
-    Array.fold_left
-      (fun acc (net : Design.net) ->
-        let pts = List.map (fun pid -> Design.pin_pos d d.pins.(pid)) (Design.net_pins net) in
-        let bb = Geom.Rect.bbox_of_points pts in
-        acc +. (Geom.Rect.width bb +. c.bin_w +. (Geom.Rect.height bb +. c.bin_h)))
-      0.0 d.nets
-  in
+  let expect = ref 0.0 in
+  for nid = 0 to Design.num_nets d - 1 do
+    let pts =
+      List.map (fun pid -> Design.pin_pos d pid) (Array.to_list (Design.net_pins d nid))
+    in
+    let bb = Geom.Rect.bbox_of_points pts in
+    expect := !expect +. (Geom.Rect.width bb +. c.bin_w +. (Geom.Rect.height bb +. c.bin_h))
+  done;
+  let expect = !expect in
   (* Some demand may fall outside the die for boundary nets; allow 15%. *)
   let total = Gp.Congestion.total_demand c in
   Alcotest.(check bool)
@@ -109,24 +110,22 @@ let test_rudy_hotspot_detects_clumping () =
   let c = Gp.Congestion.create d ~bins_x:16 ~bins_y:16 in
   (* Spread: low hotspot factor. *)
   let rng = Util.Rng.create 5 in
-  Array.iter
-    (fun (cell : Design.cell) ->
-      if cell.movable then begin
-        d.x.(cell.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
-        d.y.(cell.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- Util.Rng.float rng (Geom.Rect.width d.die);
+      d.y.{id} <- Util.Rng.float rng (Geom.Rect.height d.die)
+    end
+  done;
   Gp.Congestion.update c d;
   let spread_factor = Gp.Congestion.hotspot_factor c in
   (* Stack everything: hotspot factor must jump. *)
   let ctr = Geom.Rect.center d.die in
-  Array.iter
-    (fun (cell : Design.cell) ->
-      if cell.movable then begin
-        d.x.(cell.id) <- ctr.Geom.Point.x;
-        d.y.(cell.id) <- ctr.Geom.Point.y
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- ctr.Geom.Point.x;
+      d.y.{id} <- ctr.Geom.Point.y
+    end
+  done;
   Gp.Congestion.update c d;
   let stacked_factor = Gp.Congestion.hotspot_factor c in
   Alcotest.(check bool)
@@ -148,13 +147,12 @@ let test_wire_stats_of_segments () =
 let test_wire_stats_critical_paths () =
   let d = Helpers.small_calibrated () in
   let rng = Util.Rng.create 6 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
-        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- Util.Rng.float rng (Geom.Rect.width d.die);
+      d.y.{id} <- Util.Rng.float rng (Geom.Rect.height d.die)
+    end
+  done;
   d.clock_period <- d.clock_period *. 0.7;
   let s = Evalkit.Wire_stats.of_critical_paths d ~n:10 in
   Alcotest.(check bool) "segments found" true (s.num_segments > 0);
@@ -184,8 +182,8 @@ let test_io_delays_shift_timing () =
   let timer0 = Sta.Timer.create d in
   Sta.Timer.update timer0;
   let g0 = Sta.Timer.graph timer0 in
-  let po = d.cells.(4) in
-  let base_slack = Sta.Timer.endpoint_slack timer0 po.cell_pins.(0) in
+  let po_pin = (Design.cell_pins d 4).(0) in
+  let base_slack = Sta.Timer.endpoint_slack timer0 po_pin in
   ignore g0;
   (* input delay shifts arrivals on PI-fed cones; output delay tightens
      the PO requirement — both reduce the PO slack additively. *)
@@ -193,13 +191,14 @@ let test_io_delays_shift_timing () =
   d.output_delay <- 25.0;
   let timer = Sta.Timer.create d in
   Sta.Timer.update timer;
-  let s = Sta.Timer.endpoint_slack timer po.cell_pins.(0) in
+  let s = Sta.Timer.endpoint_slack timer po_pin in
   (* PO path launches from the FF (not the PI), so only output_delay
      applies to it. *)
   check_float "output delay tightens PO" (base_slack -. 25.0) s;
   (* The FF D endpoint is fed from the PI: input delay applies. *)
-  let ff = d.cells.(2) in
-  let dpin = Array.to_list ff.cell_pins |> List.find (fun p -> d.pins.(p).pin_name = "d") in
+  let dpin =
+    Array.to_list (Design.cell_pins d 2) |> List.find (fun p -> Design.pin_name d p = "d")
+  in
   d.input_delay <- 0.0;
   d.output_delay <- 0.0;
   let t2 = Sta.Timer.create d in
@@ -313,13 +312,12 @@ let test_sa_refine_deterministic () =
 let test_drv_checks () =
   let d = Helpers.small_calibrated () in
   let rng = Util.Rng.create 61 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
-        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- Util.Rng.float rng (Geom.Rect.width d.die);
+      d.y.{id} <- Util.Rng.float rng (Geom.Rect.height d.die)
+    end
+  done;
   let timer = Sta.Timer.create d in
   Sta.Timer.update timer;
   (* Absurdly loose thresholds: nothing violates. *)
@@ -357,9 +355,9 @@ let test_save_placement_format () =
       match String.split_on_char ' ' l with
       | [ "p"; id; x; y ] ->
           let id = int_of_string id in
-          Alcotest.(check bool) "movable id" true d.cells.(id).movable;
-          check_float "x matches" d.x.(id) (float_of_string x);
-          check_float "y matches" d.y.(id) (float_of_string y)
+          Alcotest.(check bool) "movable id" true (Design.is_movable d id);
+          check_float "x matches" d.x.{id} (float_of_string x);
+          check_float "y matches" d.y.{id} (float_of_string y)
       | _ -> Alcotest.fail ("bad placement line: " ^ l))
     !lines
 

@@ -36,11 +36,15 @@ let qtest ?(count = 30) name prop =
 let fuzz_structure =
   qtest "generated designs structurally sound" (fun p ->
       let d = Workloads.Generate.generate p in
-      Array.for_all (fun (n : Design.net) -> n.driver >= 0 && Array.length n.sinks >= 1) d.nets
-      && Array.for_all
-           (fun (pin : Design.pin) -> pin.dir = Design.Out || pin.net >= 0)
-           d.pins
-      && Design.num_movable d > 0)
+      let nets_ok = ref true in
+      for nid = 0 to Design.num_nets d - 1 do
+        if not (d.net_driver.(nid) >= 0 && Design.net_num_sinks d nid >= 1) then nets_ok := false
+      done;
+      let pins_ok = ref true in
+      for pid = 0 to Design.num_pins d - 1 do
+        if not (Design.pin_dir d pid = Design.Out || d.pin_net.(pid) >= 0) then pins_ok := false
+      done;
+      !nets_ok && !pins_ok && Design.num_movable d > 0)
 
 let fuzz_acyclic_and_timeable =
   qtest "generated designs build a DAG and time cleanly" (fun p ->

@@ -11,13 +11,12 @@ let check_float = Alcotest.(check (float 1e-6))
 let spread_design () =
   let d = Lazy.force Helpers.small_generated in
   let rng = Util.Rng.create 17 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- 2.0 +. Util.Rng.float rng (Geom.Rect.width d.die -. 4.0);
-        d.y.(c.id) <- 2.0 +. Util.Rng.float rng (Geom.Rect.height d.die -. 4.0)
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- 2.0 +. Util.Rng.float rng (Geom.Rect.width d.die -. 4.0);
+      d.y.{id} <- 2.0 +. Util.Rng.float rng (Geom.Rect.height d.die -. 4.0)
+    end
+  done;
   d
 
 let test_wa_approaches_hpwl () =
@@ -49,13 +48,13 @@ let test_wa_gradient_finite_diff () =
   let rng = Util.Rng.create 23 in
   for _ = 1 to 10 do
     let id = Util.Rng.int rng n in
-    if d.cells.(id).movable then begin
-      let x0 = d.x.(id) in
-      d.x.(id) <- x0 +. h;
+    if Design.is_movable d id then begin
+      let x0 = d.x.{id} in
+      d.x.{id} <- x0 +. h;
       let fp = value () in
-      d.x.(id) <- x0 -. h;
+      d.x.{id} <- x0 -. h;
       let fm = value () in
-      d.x.(id) <- x0;
+      d.x.{id} <- x0;
       let num = (fp -. fm) /. (2.0 *. h) in
       Alcotest.(check bool)
         (Printf.sprintf "grad x cell %d (%g vs %g)" id num gx.(id))
@@ -67,9 +66,9 @@ let test_wa_gradient_finite_diff () =
 let test_weighted_wl_scales () =
   let d = Helpers.chain_design () in
   let base = Gp.Wirelength.weighted_hpwl d in
-  d.nets.(0).weight <- 3.0;
+  d.net_weight.{0} <- 3.0;
   let weighted = Gp.Wirelength.weighted_hpwl d in
-  check_float "weight multiplies" (base +. (2.0 *. Design.net_hpwl d d.nets.(0))) weighted;
+  check_float "weight multiplies" (base +. (2.0 *. Design.net_hpwl d 0)) weighted;
   Design.reset_net_weights d
 
 let test_wa_respects_net_weights () =
@@ -81,7 +80,9 @@ let test_wa_respects_net_weights () =
     Array.fold_left (fun a v -> a +. Float.abs v) 0.0 gx
   in
   let g1 = grad_norm () in
-  Array.iter (fun (net : Design.net) -> net.weight <- 2.0) d.nets;
+  for nid = 0 to Design.num_nets d - 1 do
+    d.net_weight.{nid} <- 2.0
+  done;
   let g2 = grad_norm () in
   Design.reset_net_weights d;
   check_float "gradient scales with weights" (2.0 *. g1) g2
@@ -105,26 +106,24 @@ let test_density_fixed_blockages () =
   let fixed_total = Array.fold_left ( +. ) 0.0 grid.Gp.Densitygrid.fixed in
   (* Boundary pads hang half-off the die, so expectation uses the
      die-clipped area of each fixed cell. *)
-  let expect =
-    Array.fold_left
-      (fun acc (c : Design.cell) ->
-        if c.movable then acc
-        else acc +. Geom.Rect.overlap_area d.die (Design.cell_rect d c.id))
-      0.0 d.cells
-  in
+  let expect = ref 0.0 in
+  for id = 0 to Design.num_cells d - 1 do
+    if not (Design.is_movable d id) then
+      expect := !expect +. Geom.Rect.overlap_area d.die (Design.cell_rect d id)
+  done;
+  let expect = !expect in
   Alcotest.(check bool) "fixed mass" true (Float.abs (fixed_total -. expect) < 0.05 *. expect +. 1.0)
 
 let test_overflow_extremes () =
   let d = spread_design () in
   let grid = Gp.Densitygrid.create d ~bins_x:32 ~bins_y:32 in
   (* Everything stacked in one corner: overflow near 1. *)
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- 2.0;
-        d.y.(c.id) <- 2.0
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- 2.0;
+      d.y.{id} <- 2.0
+    end
+  done;
   Gp.Densitygrid.update grid d;
   let ovf_stacked =
     Gp.Densitygrid.overflow grid ~target_density:1.0 ~movable_area:(Design.movable_area d)
@@ -143,13 +142,12 @@ let test_electro_force_spreads () =
      i.e. following -gradient increases distance from the stack. *)
   let d = spread_design () in
   let ctr = Geom.Rect.center d.die in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- ctr.Geom.Point.x +. 3.0;
-        d.y.(c.id) <- ctr.Geom.Point.y
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- ctr.Geom.Point.x +. 3.0;
+      d.y.{id} <- ctr.Geom.Point.y
+    end
+  done;
   let grid = Gp.Densitygrid.create d ~bins_x:32 ~bins_y:32 in
   Gp.Densitygrid.update grid d;
   let el = Gp.Electro.create grid in
@@ -160,7 +158,7 @@ let test_electro_force_spreads () =
   (* Descending the gradient moves the cell away from the overfull spot:
      probe a test cell shifted right of the stack. *)
   let id = List.hd (Design.movable_ids d) in
-  d.x.(id) <- ctr.Geom.Point.x +. 8.0;
+  d.x.{id} <- ctr.Geom.Point.x +. 8.0;
   Gp.Densitygrid.update grid d;
   Gp.Electro.solve el ~target_density:1.0;
   Array.fill gx 0 n 0.0;
@@ -181,24 +179,22 @@ let test_electro_energy_decreases_with_spreading () =
   let ctr = Geom.Rect.center d.die in
   let stacked =
     energy_at (fun () ->
-        Array.iter
-          (fun (c : Design.cell) ->
-            if c.movable then begin
-              d.x.(c.id) <- ctr.Geom.Point.x;
-              d.y.(c.id) <- ctr.Geom.Point.y
-            end)
-          d.cells)
+        for id = 0 to Design.num_cells d - 1 do
+          if Design.is_movable d id then begin
+            d.x.{id} <- ctr.Geom.Point.x;
+            d.y.{id} <- ctr.Geom.Point.y
+          end
+        done)
   in
   let spread =
     energy_at (fun () ->
         let rng = Util.Rng.create 31 in
-        Array.iter
-          (fun (c : Design.cell) ->
-            if c.movable then begin
-              d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
-              d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
-            end)
-          d.cells)
+        for id = 0 to Design.num_cells d - 1 do
+          if Design.is_movable d id then begin
+            d.x.{id} <- Util.Rng.float rng (Geom.Rect.width d.die);
+            d.y.{id} <- Util.Rng.float rng (Geom.Rect.height d.die)
+          end
+        done)
   in
   Alcotest.(check bool) "stacked energy higher" true (stacked > spread)
 
@@ -215,13 +211,12 @@ let test_electro_buffers_reused () =
   let psi_snapshot = Array.copy psi0 in
   (* Perturb the placement so the next solve produces a different field. *)
   let ctr = Geom.Rect.center d.die in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- ctr.Geom.Point.x;
-        d.y.(c.id) <- ctr.Geom.Point.y
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- ctr.Geom.Point.x;
+      d.y.{id} <- ctr.Geom.Point.y
+    end
+  done;
   Gp.Densitygrid.update grid d;
   Gp.Electro.solve el ~target_density:1.0;
   Alcotest.(check bool) "psi same array" true (el.Gp.Electro.psi == psi0);
@@ -268,14 +263,13 @@ let test_globalplace_reduces_overflow () =
   Alcotest.(check bool) "ran iterations" true (r.iters > 10);
   Alcotest.(check bool) "overflow shrank" true (r.final_overflow < 0.35);
   (* All movable cells inside the die. *)
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        let rect = Design.cell_rect d c.id in
-        Alcotest.(check bool) "in die" true
-          (rect.xl >= d.die.xl -. 1e-6 && rect.xh <= d.die.xh +. 1e-6)
-      end)
-    d.cells
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      let rect = Design.cell_rect d id in
+      Alcotest.(check bool) "in die" true
+        (rect.xl >= d.die.xl -. 1e-6 && rect.xh <= d.die.xh +. 1e-6)
+    end
+  done
 
 let test_globalplace_deterministic () =
   let d1 = Helpers.small_calibrated () in
@@ -320,30 +314,27 @@ let test_legalize_produces_legal () =
   Alcotest.(check bool) "legal" true (Gp.Legalize.is_legal d);
   Alcotest.(check bool) "displacement sane" true (disp >= 0.0);
   (* no overlap with blockages *)
-  Array.iter
-    (fun (c : Design.cell) ->
-      if (not c.movable) && c.role = Design.Blockage then begin
-        let b = Design.cell_rect d c.id in
-        Array.iter
-          (fun (m : Design.cell) ->
-            if m.movable then
-              Alcotest.(check bool) "clear of blockage" true
-                (Geom.Rect.overlap_area b (Design.cell_rect d m.id) < 1e-6))
-          d.cells
-      end)
-    d.cells
+  for cid = 0 to Design.num_cells d - 1 do
+    if (not (Design.is_movable d cid)) && Design.kind d cid = Design.Blockage then begin
+      let b = Design.cell_rect d cid in
+      for mid = 0 to Design.num_cells d - 1 do
+        if Design.is_movable d mid then
+          Alcotest.(check bool) "clear of blockage" true
+            (Geom.Rect.overlap_area b (Design.cell_rect d mid) < 1e-6)
+      done
+    end
+  done
 
 let test_legalize_from_stack () =
   (* Even a fully stacked placement legalises. *)
   let d = Helpers.small_calibrated () in
   let ctr = Geom.Rect.center d.die in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- ctr.Geom.Point.x;
-        d.y.(c.id) <- ctr.Geom.Point.y
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- ctr.Geom.Point.x;
+      d.y.{id} <- ctr.Geom.Point.y
+    end
+  done;
   ignore (Gp.Legalize.run d);
   Alcotest.(check bool) "legal from stack" true (Gp.Legalize.is_legal d)
 
@@ -359,12 +350,12 @@ let test_legalize_deterministic () =
 let test_legalize_is_legal_detects_overlap () =
   let d = Helpers.chain_design () in
   (* Put u1 and u2 in the same row at overlapping x. *)
-  d.x.(1) <- 10.0;
-  d.y.(1) <- 10.5;
-  d.x.(3) <- 10.2;
-  d.y.(3) <- 10.5;
-  d.x.(2) <- 50.0;
-  d.y.(2) <- 20.5;
+  d.x.{1} <- 10.0;
+  d.y.{1} <- 10.5;
+  d.x.{3} <- 10.2;
+  d.y.{3} <- 10.5;
+  d.x.{2} <- 50.0;
+  d.y.{2} <- 20.5;
   Alcotest.(check bool) "overlap detected" false (Gp.Legalize.is_legal d)
 
 (* ---------------- Detailed ---------------- *)

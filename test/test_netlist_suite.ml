@@ -64,18 +64,17 @@ let test_build_counts () =
 
 let test_net_structure () =
   let d = Helpers.chain_design () in
-  Array.iter
-    (fun (n : Design.net) ->
-      Alcotest.(check bool) (n.nname ^ " has driver") true (n.driver >= 0);
-      Alcotest.(check bool) (n.nname ^ " has sinks") true (Array.length n.sinks >= 1);
-      Alcotest.(check bool)
-        (n.nname ^ " driver is output pin")
-        true
-        (d.pins.(n.driver).dir = Design.Out);
-      Array.iter
-        (fun s -> Alcotest.(check bool) "sink is input pin" true (d.pins.(s).dir = Design.In))
-        n.sinks)
-    d.nets
+  for nid = 0 to Design.num_nets d - 1 do
+    let nname = Design.net_name d nid in
+    Alcotest.(check bool) (nname ^ " has driver") true (d.net_driver.(nid) >= 0);
+    Alcotest.(check bool) (nname ^ " has sinks") true (Design.net_num_sinks d nid >= 1);
+    Alcotest.(check bool)
+      (nname ^ " driver is output pin")
+      true
+      (Design.pin_dir d d.net_driver.(nid) = Design.Out);
+    Design.iter_net_sinks d nid (fun s ->
+        Alcotest.(check bool) "sink is input pin" true (Design.pin_dir d s = Design.In))
+  done
 
 let test_double_driver_rejected () =
   let b = Helpers.fresh_builder () in
@@ -112,24 +111,100 @@ let test_undriven_net_rejected () =
        false
      with Util.Errors.Error (Util.Errors.Invalid_design _) -> true)
 
+(* ---------------- CSR adjacency invariants (SoA database) ------------ *)
+
+(* Offsets monotone and exhaustive; every pin id exactly once in the cell
+   CSR under its recorded owner; every connected pin exactly once in the
+   net CSR under its recorded net, driver first. *)
+let check_csr_invariants (d : Design.t) =
+  let nc = Design.num_cells d and np = Design.num_pins d and nn = Design.num_nets d in
+  Alcotest.(check int) "cell_pin_off starts at 0" 0 d.cell_pin_off.(0);
+  Alcotest.(check int) "cell CSR covers all pins" np d.cell_pin_off.(nc);
+  for i = 0 to nc - 1 do
+    Alcotest.(check bool) "cell_pin_off monotone" true
+      (d.cell_pin_off.(i + 1) >= d.cell_pin_off.(i))
+  done;
+  Alcotest.(check int) "net_pin_off starts at 0" 0 d.net_pin_off.(0);
+  for n = 0 to nn - 1 do
+    Alcotest.(check bool) "net_pin_off monotone" true (d.net_pin_off.(n + 1) >= d.net_pin_off.(n))
+  done;
+  let seen = Array.make (max 1 np) 0 in
+  for i = 0 to nc - 1 do
+    for k = d.cell_pin_off.(i) to d.cell_pin_off.(i + 1) - 1 do
+      let p = d.cell_pin_ids.(k) in
+      seen.(p) <- seen.(p) + 1;
+      Alcotest.(check int) "pin under its owner" i d.pin_owner.(p)
+    done
+  done;
+  for p = 0 to np - 1 do
+    Alcotest.(check int) "pin partitioned exactly once" 1 seen.(p)
+  done;
+  Array.fill seen 0 (Array.length seen) 0;
+  for n = 0 to nn - 1 do
+    let off = d.net_pin_off.(n) and stop = d.net_pin_off.(n + 1) in
+    if stop > off && d.net_driver.(n) >= 0 then
+      Alcotest.(check int) "driver first in net row" d.net_driver.(n) d.net_pin_ids.(off);
+    for k = off to stop - 1 do
+      let p = d.net_pin_ids.(k) in
+      seen.(p) <- seen.(p) + 1;
+      Alcotest.(check int) "pin under its net" n d.pin_net.(p)
+    done;
+    Alcotest.(check int) "degree matches offsets" (stop - off) (Design.net_degree d n)
+  done;
+  for p = 0 to np - 1 do
+    Alcotest.(check int) "connected pin in net CSR exactly once"
+      (if d.pin_net.(p) >= 0 then 1 else 0)
+      seen.(p)
+  done
+
+let test_csr_invariants_chain () = check_csr_invariants (Helpers.chain_design ())
+
+let test_csr_invariants_generated () = check_csr_invariants (Lazy.force Helpers.small_generated)
+
+(* Round-trip against the builder input: pins appear in add order under
+   each cell, net rows follow the connection order (driver, then sinks as
+   connected). chain_design wires pi.p->u1.a1, u1.o->ff.d, ff.q->u2.a1,
+   u2.o->po.p on cells pi(0) u1(1) ff(2) u2(3) po(4). *)
+let test_csr_roundtrip_builder () =
+  let d = Helpers.chain_design () in
+  let pin cell name =
+    let found = ref (-1) in
+    Design.iter_cell_pins d cell (fun p -> if Design.pin_name d p = name then found := p);
+    Alcotest.(check bool) (Printf.sprintf "cell %d has pin %s" cell name) true (!found >= 0);
+    !found
+  in
+  let expected =
+    [|
+      [| pin 0 "p"; pin 1 "a1" |];
+      [| pin 1 "o"; pin 2 "d" |];
+      [| pin 2 "q"; pin 3 "a1" |];
+      [| pin 3 "o"; pin 4 "p" |];
+    |]
+  in
+  for n = 0 to Design.num_nets d - 1 do
+    Alcotest.(check (array int))
+      (Design.net_name d n ^ " row matches connection order")
+      expected.(n) (Design.net_pins d n)
+  done;
+  (* Cell rows are contiguous and in pin-add order (inv: a1 then o). *)
+  Alcotest.(check (list string)) "u1 pins in add order" [ "a1"; "o" ]
+    (Array.to_list (Design.cell_pins d 1) |> List.map (Design.pin_name d))
+
 let test_hpwl_hand_computed () =
   let d = Helpers.chain_design () in
   (* Net n1: pi pin at (0,50); u1.a1 at 30-0.5, 50 = (29.5, 50). *)
-  let n1 = d.nets.(0) in
-  check_float "n1 hpwl" 29.5 (Design.net_hpwl d n1);
-  Alcotest.(check bool) "total = sum" true
-    (Float.abs
-       (Design.total_hpwl d
-       -. Array.fold_left (fun acc n -> acc +. Design.net_hpwl d n) 0.0 d.nets)
-    < 1e-9)
+  check_float "n1 hpwl" 29.5 (Design.net_hpwl d 0);
+  let sum = ref 0.0 in
+  for nid = 0 to Design.num_nets d - 1 do
+    sum := !sum +. Design.net_hpwl d nid
+  done;
+  Alcotest.(check bool) "total = sum" true (Float.abs (Design.total_hpwl d -. !sum) < 1e-9)
 
 let test_pin_positions () =
   let d = Helpers.chain_design () in
   (* u1 is cell 1 at (30,50); its input a1 offset is (-w/2, 0) = (-0.5, 0). *)
-  let u1 = d.cells.(1) in
   let a1 =
-    Array.to_list u1.cell_pins |> List.map (fun p -> d.pins.(p))
-    |> List.find (fun (p : Design.pin) -> p.pin_name = "a1")
+    Array.to_list (Design.cell_pins d 1) |> List.find (fun p -> Design.pin_name d p = "a1")
   in
   check_float "pin x" 29.5 (Design.pin_x d a1);
   check_float "pin y" 50.0 (Design.pin_y d a1)
@@ -138,16 +213,16 @@ let test_snapshot_restore () =
   let d = Helpers.chain_design () in
   let snap = Design.snapshot d in
   let h0 = Design.total_hpwl d in
-  d.x.(1) <- 5.0;
-  d.y.(1) <- 5.0;
+  d.x.{1} <- 5.0;
+  d.y.{1} <- 5.0;
   Alcotest.(check bool) "changed" true (Design.total_hpwl d <> h0);
   Design.restore d snap;
   check_float "restored" h0 (Design.total_hpwl d)
 
 let test_clamp_movable () =
   let d = Helpers.chain_design () in
-  d.x.(1) <- -50.0;
-  d.y.(1) <- 500.0;
+  d.x.{1} <- -50.0;
+  d.y.{1} <- 500.0;
   Design.clamp_movable d;
   let r = Design.cell_rect d 1 in
   Alcotest.(check bool) "inside die" true
@@ -155,9 +230,9 @@ let test_clamp_movable () =
 
 let test_reset_net_weights () =
   let d = Helpers.chain_design () in
-  d.nets.(0).weight <- 7.0;
+  d.net_weight.{0} <- 7.0;
   Design.reset_net_weights d;
-  check_float "reset" 1.0 d.nets.(0).weight
+  check_float "reset" 1.0 d.net_weight.{0}
 
 let test_cell_rect () =
   let d = Helpers.chain_design () in
@@ -179,12 +254,12 @@ let test_io_roundtrip () =
   check_float "hpwl preserved" (Design.total_hpwl d) (Design.total_hpwl d2);
   check_float "clock" d.clock_period d2.clock_period;
   (* Net-by-net structural identity. *)
-  Array.iteri
-    (fun i (n : Design.net) ->
-      let n2 = d2.nets.(i) in
-      Alcotest.(check int) "degree" (Design.net_degree n) (Design.net_degree n2);
-      Alcotest.(check int) "driver owner" d.pins.(n.driver).owner d2.pins.(n2.driver).owner)
-    d.nets
+  for nid = 0 to Design.num_nets d - 1 do
+    Alcotest.(check int) "degree" (Design.net_degree d nid) (Design.net_degree d2 nid);
+    Alcotest.(check int) "driver owner"
+      d.pin_owner.(d.net_driver.(nid))
+      d2.pin_owner.(d2.net_driver.(nid))
+  done
 
 let test_io_roundtrip_twice_identical () =
   let d = Helpers.chain_design () in
@@ -234,6 +309,9 @@ let suite =
     ("double driver rejected", `Quick, test_double_driver_rejected);
     ("pin reconnect rejected", `Quick, test_reconnect_rejected);
     ("undriven net rejected", `Quick, test_undriven_net_rejected);
+    ("csr invariants (chain)", `Quick, test_csr_invariants_chain);
+    ("csr invariants (generated)", `Quick, test_csr_invariants_generated);
+    ("csr roundtrip vs builder", `Quick, test_csr_roundtrip_builder);
     ("hpwl hand computed", `Quick, test_hpwl_hand_computed);
     ("pin positions", `Quick, test_pin_positions);
     ("snapshot/restore", `Quick, test_snapshot_restore);

@@ -67,10 +67,10 @@ let sta_incremental_walk () =
         let moved = ref [] in
         for _ = 1 to 1 + Util.Rng.int rng 5 do
           let c = Util.Rng.choose rng movable in
-          d.Netlist.Design.x.(c) <-
-            d.Netlist.Design.x.(c) +. Util.Rng.float_range rng (-40.0) 40.0;
-          d.Netlist.Design.y.(c) <-
-            d.Netlist.Design.y.(c) +. Util.Rng.float_range rng (-40.0) 40.0;
+          d.Netlist.Design.x.{c} <-
+            d.Netlist.Design.x.{c} +. Util.Rng.float_range rng (-40.0) 40.0;
+          d.Netlist.Design.y.{c} <-
+            d.Netlist.Design.y.{c} +. Util.Rng.float_range rng (-40.0) 40.0;
           moved := c :: !moved
         done;
         Netlist.Design.clamp_movable d;
@@ -261,30 +261,23 @@ let tie_break_determinism () =
 let elmore_diff () =
   let d = Lazy.force Helpers.small_generated in
   let seen = ref 0 in
-  Array.iter
-    (fun (n : Netlist.Design.net) ->
-      if Netlist.Design.net_degree n >= 2 && !seen < 10 then begin
-        incr seen;
-        let pids = Array.of_list (Netlist.Design.net_pins n) in
-        let xs =
-          Array.map (fun pid -> Netlist.Design.pin_x d d.Netlist.Design.pins.(pid)) pids
-        in
-        let ys =
-          Array.map (fun pid -> Netlist.Design.pin_y d d.Netlist.Design.pins.(pid)) pids
-        in
-        let term_cap i = d.Netlist.Design.pins.(pids.(i)).Netlist.Design.cap in
-        let r = d.Netlist.Design.r_per_unit and c = d.Netlist.Design.c_per_unit in
-        List.iter
-          (fun tree ->
-            check_ok
-              (Printf.sprintf "net %d" n.Netlist.Design.nid)
-              (Ref_elmore.check tree ~r ~c ~term_cap);
-            check_ok
-              (Printf.sprintf "net %d monotone" n.Netlist.Design.nid)
-              (Metamorphic.elmore_monotone ~lambda:1.7 tree ~r ~c ~term_cap))
-          [ Rctree.Steiner.steiner ~xs ~ys; Rctree.Steiner.star ~xs ~ys ]
-      end)
-    d.Netlist.Design.nets;
+  for nid = 0 to Netlist.Design.num_nets d - 1 do
+    if Netlist.Design.net_degree d nid >= 2 && !seen < 10 then begin
+      incr seen;
+      let pids = Netlist.Design.net_pins d nid in
+      let xs = Array.map (fun pid -> Netlist.Design.pin_x d pid) pids in
+      let ys = Array.map (fun pid -> Netlist.Design.pin_y d pid) pids in
+      let term_cap i = d.Netlist.Design.pin_cap.{pids.(i)} in
+      let r = d.Netlist.Design.r_per_unit and c = d.Netlist.Design.c_per_unit in
+      List.iter
+        (fun tree ->
+          check_ok (Printf.sprintf "net %d" nid) (Ref_elmore.check tree ~r ~c ~term_cap);
+          check_ok
+            (Printf.sprintf "net %d monotone" nid)
+            (Metamorphic.elmore_monotone ~lambda:1.7 tree ~r ~c ~term_cap))
+        [ Rctree.Steiner.steiner ~xs ~ys; Rctree.Steiner.star ~xs ~ys ]
+    end
+  done;
   Alcotest.(check bool) "sampled some nets" true (!seen > 0)
 
 let numerics_diff () =

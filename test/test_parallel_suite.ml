@@ -180,12 +180,14 @@ let test_density_grid_equivalence () =
     with_domains nd (fun () ->
         let grid = Gp.Densitygrid.create d ~bins_x:32 ~bins_y:32 in
         Gp.Densitygrid.update grid d;
-        let movable_area =
-          Array.fold_left
-            (fun acc (c : Netlist.Design.cell) ->
-              match c.role with Netlist.Design.Logic _ -> acc +. (c.w *. c.h) | _ -> acc)
-            0.0 d.cells
-        in
+        let movable_area = ref 0.0 in
+        for id = 0 to Netlist.Design.num_cells d - 1 do
+          match Netlist.Design.kind d id with
+          | Netlist.Design.Logic ->
+              movable_area := !movable_area +. (d.Netlist.Design.w.{id} *. d.Netlist.Design.h.{id})
+          | _ -> ()
+        done;
+        let movable_area = !movable_area in
         let ovf = Gp.Densitygrid.overflow grid ~target_density:1.0 ~movable_area in
         (Array.copy grid.Gp.Densitygrid.density, ovf))
   in
@@ -248,7 +250,7 @@ let test_extraction_equivalence () =
 
 let test_pin_attract_equivalence () =
   let d = Lazy.force small_generated in
-  let npins = Array.length d.Netlist.Design.pins in
+  let npins = Netlist.Design.num_pins d in
   let ncells = Netlist.Design.num_cells d in
   let run nd =
     with_domains nd (fun () ->

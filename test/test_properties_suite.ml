@@ -7,13 +7,12 @@ let check_float = Alcotest.(check (float 1e-6))
 
 let spread (d : Design.t) seed =
   let rng = Util.Rng.create seed in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
-        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- Util.Rng.float rng (Geom.Rect.width d.die);
+      d.y.{id} <- Util.Rng.float rng (Geom.Rect.height d.die)
+    end
+  done;
   Design.clamp_movable d
 
 (* k_worst paths: counts monotone in k, all distinct, slacks sorted. *)
@@ -106,8 +105,8 @@ let test_zero_parasitics_bound () =
   let d1 = Builder.finish b in
   let t_nowire = Sta.Timer.create d1 in
   Sta.Timer.update t_nowire;
-  let po_pin = d1.cells.(4).cell_pins.(0) in
-  let po_pin0 = d0.cells.(4).cell_pins.(0) in
+  let po_pin = (Netlist.Design.cell_pins d1 4).(0) in
+  let po_pin0 = (Netlist.Design.cell_pins d0 4).(0) in
   Alcotest.(check bool) "wire adds delay" true
     ((Sta.Timer.arrivals t_nowire).(po_pin) < (Sta.Timer.arrivals t_wire).(po_pin0))
 

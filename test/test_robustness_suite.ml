@@ -161,7 +161,7 @@ let test_gp_transient_fault_recovers () =
       Alcotest.(check bool) "rolled back" true (counter ctx "guard.rollbacks" >= 1.0);
       Alcotest.(check bool) "final hpwl finite" true (Float.is_finite r.Gp.Globalplace.final_hpwl);
       Alcotest.(check bool) "coordinates finite" true
-        (Util.Guard.all_finite d.Design.x && Util.Guard.all_finite d.Design.y))
+        (Util.Guard.all_finite_ba d.Design.x && Util.Guard.all_finite_ba d.Design.y))
 
 (* Every fault kind must be caught, not just NaN. *)
 let test_gp_fault_kinds_recover () =
@@ -285,8 +285,8 @@ let test_design_validate () =
   let d = Helpers.chain_design () in
   Alcotest.(check (list string)) "clean design" [] (Design.validate d);
   Design.validate_exn d;
-  let saved = d.Design.x.(1) in
-  d.Design.x.(1) <- Float.nan;
+  let saved = d.Design.x.{1} in
+  d.Design.x.{1} <- Float.nan;
   Alcotest.(check bool) "nan coordinate detected" true (Design.validate d <> []);
   (try
      Design.validate_exn d;
@@ -294,7 +294,7 @@ let test_design_validate () =
    with Util.Errors.Error (Util.Errors.Invalid_design { design; problems }) ->
      Alcotest.(check string) "design name" d.Design.name design;
      Alcotest.(check bool) "problems listed" true (problems <> []));
-  d.Design.x.(1) <- saved;
+  d.Design.x.{1} <- saved;
   Alcotest.(check (list string)) "restored design clean" [] (Design.validate d)
 
 let test_config_validate () =
@@ -333,7 +333,7 @@ let test_flow_with_elmore_fault () =
       Alcotest.(check bool) "hpwl finite" true (Float.is_finite m.Evalkit.Metrics.hpwl);
       Alcotest.(check bool) "tns finite" true (Float.is_finite m.Evalkit.Metrics.tns);
       Alcotest.(check bool) "coordinates finite" true
-        (Util.Guard.all_finite d.Design.x && Util.Guard.all_finite d.Design.y))
+        (Util.Guard.all_finite_ba d.Design.x && Util.Guard.all_finite_ba d.Design.y))
 
 (* NaN delays: Propagate filters non-finite slacks, so tns/wns stay
    finite and the extraction guard layers never let a NaN reach the pair
@@ -349,7 +349,7 @@ let test_flow_with_elmore_nan_fault () =
 
 let test_flow_rejects_invalid_design () =
   let d = Helpers.chain_design () in
-  d.Design.x.(1) <- Float.infinity;
+  d.Design.x.{1} <- Float.infinity;
   try
     ignore (Tdp.Flow.run ~obs:Obs.Ctx.null Tdp.Flow.Vanilla d);
     Alcotest.fail "expected Invalid_design"

@@ -52,17 +52,15 @@ let test_chain_arrivals_exact () =
   let g = Sta.Timer.graph timer in
   let arr = Sta.Timer.arrivals timer in
   (* ff.d is the input pin of cell 2 (the DFF). *)
-  let ff = d.cells.(2) in
   let dpin =
-    Array.to_list ff.cell_pins |> List.find (fun p -> d.pins.(p).pin_name = "d")
+    Array.to_list (Design.cell_pins d 2) |> List.find (fun p -> Design.pin_name d p = "d")
   in
   check_float "ff.d arrival" chain_ff_d_arrival arr.(dpin);
-  let po = d.cells.(4) in
-  check_float "po arrival" chain_po_arrival arr.(po.cell_pins.(0));
+  let po_pin = (Design.cell_pins d 4).(0) in
+  check_float "po arrival" chain_po_arrival arr.(po_pin);
   (* Slacks: req(ff.d) = 500 - 25, req(po) = 500. *)
   check_float "ff.d slack" (475.0 -. chain_ff_d_arrival) (Sta.Timer.endpoint_slack timer dpin);
-  check_float "po slack" (500.0 -. chain_po_arrival)
-    (Sta.Timer.endpoint_slack timer po.cell_pins.(0));
+  check_float "po slack" (500.0 -. chain_po_arrival) (Sta.Timer.endpoint_slack timer po_pin);
   ignore g
 
 let test_chain_no_violation () =
@@ -89,11 +87,12 @@ let test_timing_moves_with_placement () =
   let d = Helpers.chain_design () in
   let timer = Sta.Timer.create d in
   Sta.Timer.update timer;
-  let ff = d.cells.(2) in
-  let dpin = Array.to_list ff.cell_pins |> List.find (fun p -> d.pins.(p).pin_name = "d") in
+  let dpin =
+    Array.to_list (Design.cell_pins d 2) |> List.find (fun p -> Design.pin_name d p = "d")
+  in
   let arr0 = (Sta.Timer.arrivals timer).(dpin) in
   (* Pull u1 next to the FF: the d arrival must improve. *)
-  d.x.(1) <- 55.0;
+  d.x.{1} <- 55.0;
   Sta.Timer.invalidate timer;
   Sta.Timer.update timer;
   let arr1 = (Sta.Timer.arrivals timer).(dpin) in
@@ -108,7 +107,7 @@ let test_diamond_worst_branch () =
   | Some p ->
       (* The far branch (ub at y=95) must be the critical one. *)
       let names =
-        Array.to_list p.pins |> List.map (fun pid -> d.cells.(d.pins.(pid).owner).cname)
+        Array.to_list p.pins |> List.map (fun pid -> Design.cell_name d d.pin_owner.(pid))
       in
       Alcotest.(check bool) "goes through ub" true (List.mem "ub" names);
       Alcotest.(check bool) "valid" true (Sta.Paths.is_valid (Sta.Timer.graph timer) p)
@@ -140,13 +139,12 @@ let with_generated_timer f =
   let d = Lazy.force Helpers.small_generated in
   (* Spread cells a bit so distances are nontrivial (deterministic). *)
   let rng = Util.Rng.create 5 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
-        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- Util.Rng.float rng (Geom.Rect.width d.die);
+      d.y.{id} <- Util.Rng.float rng (Geom.Rect.height d.die)
+    end
+  done;
   Design.clamp_movable d;
   d.clock_period <- 400.0;
   let timer = Sta.Timer.create d in
@@ -278,9 +276,9 @@ let test_incremental_equals_full () =
       let moved = ref [] in
       for _ = 1 to 8 do
         let id = Util.Rng.int rng (Design.num_cells d) in
-        if d.cells.(id).movable then begin
-          d.x.(id) <- Util.Rng.float rng (Geom.Rect.width d.die);
-          d.y.(id) <- Util.Rng.float rng (Geom.Rect.height d.die);
+        if Design.is_movable d id then begin
+          d.x.{id} <- Util.Rng.float rng (Geom.Rect.width d.die);
+          d.y.{id} <- Util.Rng.float rng (Geom.Rect.height d.die);
           moved := id :: !moved
         end
       done;

@@ -142,12 +142,12 @@ let test_grad_antisymmetric_and_finite_diff () =
       check_float "sum gy zero" 0.0 (Array.fold_left ( +. ) 0.0 gy);
       (* Finite difference on movable cell u1 (id 1), x direction. *)
       let h = 1e-5 in
-      let x0 = d.x.(1) in
-      d.x.(1) <- x0 +. h;
+      let x0 = d.x.{1} in
+      d.x.{1} <- x0 +. h;
       let fp = Tdp.Pin_attract.loss_value pa in
-      d.x.(1) <- x0 -. h;
+      d.x.{1} <- x0 -. h;
       let fm = Tdp.Pin_attract.loss_value pa in
-      d.x.(1) <- x0;
+      d.x.{1} <- x0;
       let num = (fp -. fm) /. (2.0 *. h) in
       Alcotest.(check bool)
         (Printf.sprintf "finite diff (%g vs %g)" num gx.(1))
@@ -161,13 +161,12 @@ let test_extraction_round () =
   let d = Helpers.small_calibrated () in
   (* Random-ish spread so there are real violations. *)
   let rng = Util.Rng.create 3 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
-        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- Util.Rng.float rng (Geom.Rect.width d.die);
+      d.y.{id} <- Util.Rng.float rng (Geom.Rect.height d.die)
+    end
+  done;
   let ex = Tdp.Extraction.create d ~config:Tdp.Config.default ~topology:Sta.Delay.Steiner_tree in
   let s1 = Tdp.Extraction.round ex ~iter:0 in
   Alcotest.(check bool) "found failing endpoints" true (s1.num_failing > 0);
@@ -189,13 +188,12 @@ let test_extraction_relax_ratchet () =
 let test_extraction_global_topn_variant () =
   let d = Helpers.small_calibrated () in
   let rng = Util.Rng.create 4 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
-        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- Util.Rng.float rng (Geom.Rect.width d.die);
+      d.y.{id} <- Util.Rng.float rng (Geom.Rect.height d.die)
+    end
+  done;
   let cfg = { Tdp.Config.default with extraction = Tdp.Config.Global_topn { mult = 2 } } in
   let ex = Tdp.Extraction.create d ~config:cfg ~topology:Sta.Delay.Steiner_tree in
   let s = Tdp.Extraction.round ex ~iter:0 in
@@ -210,15 +208,14 @@ let test_net_weighting_raises_critical () =
   let tns, wns = Tdp.Net_weighting.round nw in
   Alcotest.(check bool) "violations seen" true (tns < 0.0 && wns < 0.0);
   (* All nets on the (entirely critical) chain get weight > 1. *)
-  Array.iter
-    (fun (net : Design.net) ->
-      Alcotest.(check bool) (net.nname ^ " weighted") true (net.weight > 1.0))
-    d.nets;
-  (* Momentum bound: weight <= 1 + alpha. *)
-  Array.iter
-    (fun (net : Design.net) ->
-      Alcotest.(check bool) "bounded" true (net.weight <= 9.0 +. 1e-9))
-    d.nets;
+  for nid = 0 to Design.num_nets d - 1 do
+    Alcotest.(check bool)
+      (Design.net_name d nid ^ " weighted")
+      true
+      (d.net_weight.{nid} > 1.0);
+    (* Momentum bound: weight <= 1 + alpha. *)
+    Alcotest.(check bool) "bounded" true (d.net_weight.{nid} <= 9.0 +. 1e-9)
+  done;
   Design.reset_net_weights d
 
 let test_net_weighting_no_change_when_met () =
@@ -227,7 +224,9 @@ let test_net_weighting_no_change_when_met () =
   let nw = Tdp.Net_weighting.create d ~topology:Sta.Delay.Steiner_tree in
   let tns, _ = Tdp.Net_weighting.round nw in
   check_float "no violation" 0.0 tns;
-  Array.iter (fun (net : Design.net) -> check_float "weight kept" 1.0 net.weight) d.nets
+  for nid = 0 to Design.num_nets d - 1 do
+    check_float "weight kept" 1.0 d.net_weight.{nid}
+  done
 
 let test_net_weighting_momentum_converges () =
   let d = Helpers.chain_design () in
@@ -238,7 +237,11 @@ let test_net_weighting_momentum_converges () =
     ignore (Tdp.Net_weighting.round nw)
   done;
   (* The WNS-defining net converges to w_hat = 1 + alpha (crit = 1). *)
-  let max_w = Array.fold_left (fun acc (n : Design.net) -> Float.max acc n.weight) 0.0 d.nets in
+  let max_w = ref 0.0 in
+  for nid = 0 to Design.num_nets d - 1 do
+    max_w := Float.max !max_w d.net_weight.{nid}
+  done;
+  let max_w = !max_w in
   Alcotest.(check bool) "converges toward 1+alpha" true (max_w > 8.0);
   Design.reset_net_weights d
 
@@ -264,13 +267,12 @@ let test_diff_timing_gradient_descends () =
   let d = Helpers.small_calibrated () in
   (* Stack cells so timing is bad and gradients are meaningful. *)
   let rng = Util.Rng.create 9 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
-        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- Util.Rng.float rng (Geom.Rect.width d.die);
+      d.y.{id} <- Util.Rng.float rng (Geom.Rect.height d.die)
+    end
+  done;
   d.clock_period <- d.clock_period *. 0.7;
   let dt = Tdp.Diff_timing.create d in
   let tns0, _ = Tdp.Diff_timing.round dt in
@@ -281,13 +283,12 @@ let test_diff_timing_gradient_descends () =
   Alcotest.(check bool) "nonzero gradient" true (gnorm > 0.0);
   (* Take a small step along -grad; hard TNS should improve. *)
   let step = 0.5 /. Float.max 1e-9 (Array.fold_left (fun a v -> Float.max a (Float.abs v)) 0.0 gx) in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- d.x.(c.id) -. (step *. gx.(c.id));
-        d.y.(c.id) <- d.y.(c.id) -. (step *. gy.(c.id))
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- d.x.{id} -. (step *. gx.(id));
+      d.y.{id} <- d.y.{id} -. (step *. gy.(id))
+    end
+  done;
   Design.clamp_movable d;
   let tns1, _ = Tdp.Diff_timing.round dt in
   Alcotest.(check bool)
@@ -299,13 +300,12 @@ let test_diff_timing_gradient_descends () =
 let test_distribution_anchors () =
   let d = Helpers.small_calibrated () in
   let rng = Util.Rng.create 11 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
-        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- Util.Rng.float rng (Geom.Rect.width d.die);
+      d.y.{id} <- Util.Rng.float rng (Geom.Rect.height d.die)
+    end
+  done;
   d.clock_period <- d.clock_period *. 0.7;
   let ds = Tdp.Distribution.create d ~topology:Sta.Delay.Steiner_tree in
   let tns, _ = Tdp.Distribution.round ds in
@@ -316,10 +316,10 @@ let test_distribution_anchors () =
   let gnorm = Array.fold_left (fun a v -> a +. Float.abs v) 0.0 gx in
   Alcotest.(check bool) "anchor forces exist" true (gnorm > 0.0);
   (* Gradients touch only movable cells. *)
-  Array.iter
-    (fun (c : Design.cell) ->
-      if not c.movable then check_float "fixed untouched" 0.0 (Float.abs gx.(c.id) +. Float.abs gy.(c.id)))
-    d.cells
+  for id = 0 to Design.num_cells d - 1 do
+    if not (Design.is_movable d id) then
+      check_float "fixed untouched" 0.0 (Float.abs gx.(id) +. Float.abs gy.(id))
+  done
 
 (* ---------------- Flows (integration) ---------------- *)
 
@@ -381,13 +381,12 @@ let test_flow_deterministic () =
 let test_pin_level_round () =
   let d = Helpers.small_calibrated () in
   let rng = Util.Rng.create 13 in
-  Array.iter
-    (fun (c : Design.cell) ->
-      if c.movable then begin
-        d.x.(c.id) <- Util.Rng.float rng (Geom.Rect.width d.die);
-        d.y.(c.id) <- Util.Rng.float rng (Geom.Rect.height d.die)
-      end)
-    d.cells;
+  for id = 0 to Design.num_cells d - 1 do
+    if Design.is_movable d id then begin
+      d.x.{id} <- Util.Rng.float rng (Geom.Rect.width d.die);
+      d.y.{id} <- Util.Rng.float rng (Geom.Rect.height d.die)
+    end
+  done;
   d.clock_period <- d.clock_period *. 0.8;
   let pl = Tdp.Pin_level.create d ~topology:Sta.Delay.Steiner_tree in
   let tns, wns = Tdp.Pin_level.round pl in

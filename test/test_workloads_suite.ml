@@ -8,16 +8,15 @@ let check_float = Alcotest.(check (float 1e-9))
 let test_generated_structure () =
   let d = Lazy.force Helpers.small_generated in
   (* Every net: one driver, >= 1 sink; every pin connected or an output. *)
-  Array.iter
-    (fun (n : Design.net) ->
-      Alcotest.(check bool) "driver" true (n.driver >= 0);
-      Alcotest.(check bool) "sinks" true (Array.length n.sinks >= 1))
-    d.nets;
+  for nid = 0 to Design.num_nets d - 1 do
+    Alcotest.(check bool) "driver" true (d.net_driver.(nid) >= 0);
+    Alcotest.(check bool) "sinks" true (Design.net_num_sinks d nid >= 1)
+  done;
   (* All comb inputs are connected (generator ties every input). *)
-  Array.iter
-    (fun (p : Design.pin) ->
-      if p.dir = Design.In then Alcotest.(check bool) "input connected" true (p.net >= 0))
-    d.pins
+  for pid = 0 to Design.num_pins d - 1 do
+    if Design.pin_dir d pid = Design.In then
+      Alcotest.(check bool) "input connected" true (d.pin_net.(pid) >= 0)
+  done
 
 let test_generated_acyclic () =
   let d = Lazy.force Helpers.small_generated in
@@ -28,20 +27,18 @@ let test_generated_acyclic () =
 let test_generated_counts () =
   let p = Helpers.small_gen_params in
   let d = Lazy.force Helpers.small_generated in
-  let n_logic =
-    Array.fold_left
-      (fun acc (c : Design.cell) ->
-        match c.role with Design.Logic _ -> acc + 1 | _ -> acc)
-      0 d.cells
+  let count pred =
+    let n = ref 0 in
+    for i = 0 to Design.num_cells d - 1 do
+      if pred i then incr n
+    done;
+    !n
   in
+  let n_logic = count (fun i -> Design.kind d i = Design.Logic) in
   Alcotest.(check int) "logic cells" (p.num_comb + p.num_ff) n_logic;
-  let n_ff = Array.fold_left (fun acc c -> if Design.is_ff c then acc + 1 else acc) 0 d.cells in
+  let n_ff = count (Design.is_ff d) in
   Alcotest.(check int) "ffs" p.num_ff n_ff;
-  let n_block =
-    Array.fold_left
-      (fun acc (c : Design.cell) -> if c.role = Design.Blockage then acc + 1 else acc)
-      0 d.cells
-  in
+  let n_block = count (fun i -> Design.kind d i = Design.Blockage) in
   Alcotest.(check int) "macros" p.num_macros n_block
 
 let test_generated_deterministic () =
@@ -51,37 +48,35 @@ let test_generated_deterministic () =
   Alcotest.(check int) "nets" (Design.num_nets d1) (Design.num_nets d2);
   check_float "hpwl" (Design.total_hpwl d1) (Design.total_hpwl d2);
   (* net-by-net identical *)
-  Array.iteri
-    (fun i (n : Design.net) ->
-      Alcotest.(check int) "sinks equal" (Array.length n.sinks)
-        (Array.length d2.nets.(i).sinks))
-    d1.nets
+  for nid = 0 to Design.num_nets d1 - 1 do
+    Alcotest.(check int) "sinks equal" (Design.net_num_sinks d1 nid) (Design.net_num_sinks d2 nid)
+  done
 
 let test_generated_seed_changes () =
   let d1 = Workloads.Generate.generate Helpers.small_gen_params in
   let d2 = Workloads.Generate.generate { Helpers.small_gen_params with seed = 123 } in
   (* Same sizes, different wiring. *)
-  let sig_of d =
-    Array.to_list d.Design.nets |> List.map (fun (n : Design.net) -> Array.to_list n.sinks)
+  let sig_of (d : Design.t) =
+    List.init (Design.num_nets d) (fun nid ->
+        List.init (Design.net_num_sinks d nid) (fun k -> Design.net_sink d nid k))
   in
   Alcotest.(check bool) "different netlists" true (sig_of d1 <> sig_of d2)
 
 let test_pads_on_boundary () =
   let d = Lazy.force Helpers.small_generated in
-  Array.iter
-    (fun (c : Design.cell) ->
-      match c.role with
-      | Design.Input_pad | Design.Output_pad ->
-          let x = d.x.(c.id) and y = d.y.(c.id) in
-          let on_edge v lo hi = Float.abs (v -. lo) < 1e-6 || Float.abs (v -. hi) < 1e-6 in
-          Alcotest.(check bool) "pad on die edge" true
-            (on_edge x d.die.xl d.die.xh || on_edge y d.die.yl d.die.yh)
-      | Design.Logic _ | Design.Blockage -> ())
-    d.cells
+  for id = 0 to Design.num_cells d - 1 do
+    match Design.kind d id with
+    | Design.Input_pad | Design.Output_pad ->
+        let x = d.x.{id} and y = d.y.{id} in
+        let on_edge v lo hi = Float.abs (v -. lo) < 1e-6 || Float.abs (v -. hi) < 1e-6 in
+        Alcotest.(check bool) "pad on die edge" true
+          (on_edge x d.die.xl d.die.xh || on_edge y d.die.yl d.die.yh)
+    | Design.Logic | Design.Blockage -> ()
+  done
 
 let test_fanout_long_tail () =
   let d = Lazy.force Helpers.small_generated in
-  let fanouts = Array.map (fun (n : Design.net) -> Array.length n.sinks) d.nets in
+  let fanouts = Array.init (Design.num_nets d) (fun nid -> Design.net_num_sinks d nid) in
   let max_fo = Array.fold_left max 0 fanouts in
   let mean_fo =
     float_of_int (Array.fold_left ( + ) 0 fanouts) /. float_of_int (Array.length fanouts)
