@@ -11,11 +11,13 @@
       dune exec bench/main.exe -- spectral --grid-max 512 -- DCT/Poisson engine sweep
 
     Sections: table1 table2 table3 table4 fig3 fig4 fig5 micro scaling
-    spectral scale smoke all ("smoke" is the CI sentinel sweep and not
-    part of "all"; "spectral" sweeps the real-even plan engine vs the
-    seed complex-FFT path over grids up to [--grid-max], default 2048;
-    "scale" runs the SoA kernel ladder over designs up to [--cells-max]
-    cells, default 100k).
+    spectral scale formats smoke all ("smoke" is the CI sentinel sweep
+    and not part of "all"; "spectral" sweeps the real-even plan engine vs
+    the seed complex-FFT path over grids up to [--grid-max], default
+    2048; "scale" runs the SoA kernel ladder over designs up to
+    [--cells-max] cells, default 100k; "formats" times cold Bookshelf /
+    LEF-DEF parses over the same ladder — MB/s and minor words per
+    cell).
     Default design scale is 0.5 (full bench in minutes); 1.0 doubles the
     design sizes at ~4x the runtime. [--json FILE] additionally dumps
     every flow result the run produced (runtime, breakdown, tns/wns,
@@ -1334,6 +1336,105 @@ let scale_section () =
         :: !extra_entries
 
 (* ------------------------------------------------------------------ *)
+(* Formats: streaming-parser throughput over the sized ladder. Each rung
+   serializes a generated design to Bookshelf and LEF/DEF on disk and
+   times one cold reparse — MB/s over the on-disk byte count plus minor
+   words per cell, the allocation-discipline number the CI sentinel
+   gates (a per-line string or per-record boxing regression multiplies
+   it). Files are deleted rung by rung so the 1M-cell run stays inside
+   a few hundred MB of scratch. *)
+
+let formats_section () =
+  let ladder = List.filter (fun c -> c <= !cells_max) [ 20_000; 100_000; 500_000; 1_000_000 ] in
+  let t =
+    Util.Tablefmt.create ~title:"FORMATS: cold single-pass parse of serialized designs"
+      ~headers:[ "Cells"; "Fmt"; "MiB"; "Write s"; "Parse s"; "MB/s"; "w/cell"; "RSS MiB" ]
+      ~aligns:[ Right; Left; Right; Right; Right; Right; Right; Right ]
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "etdp_bench_formats_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun cells ->
+      Printf.printf "[gen] formats ladder %d cells...\n%!" cells;
+      let dname = Printf.sprintf "scale%dk" (cells / 1000) in
+      (* Serialize both file sets up front, then let the generated design
+         die and compact: the timed reparse must see a quiet heap, not
+         the generator's garbage (major-slice marking of a 500k-cell
+         live design was 4x'ing the measured parse time). *)
+      let want_cells, write_s_bs, write_s_def =
+        let d = Workloads.Suite.load_sized ~cells () in
+        let t0 = Unix.gettimeofday () in
+        ignore (Formats.Bookshelf.write ~dir ~stem:"fmt" d);
+        let t1 = Unix.gettimeofday () in
+        Formats.Lefdef.write
+          ~lef_path:(Filename.concat dir "fmt.lef")
+          ~def_path:(Filename.concat dir "fmt.def")
+          d;
+        (Netlist.Design.num_cells d, t1 -. t0, Unix.gettimeofday () -. t1)
+      in
+      let fcells = float_of_int want_cells in
+      let rung label write_s files parse =
+        let files = List.filter Sys.file_exists files in
+        let bytes =
+          List.fold_left (fun a f -> a + (Unix.stat f).Unix.st_size) 0 files |> float_of_int
+        in
+        Gc.compact ();
+        let w0 = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        let d' : Netlist.Design.t = parse () in
+        let parse_s = Unix.gettimeofday () -. t0 in
+        let words = Gc.minor_words () -. w0 in
+        if Netlist.Design.num_cells d' <> want_cells then
+          failwith (label ^ ": reparse lost cells");
+        List.iter Sys.remove files;
+        let rss = float_of_int (Obs.Resource.peak_rss_bytes ()) in
+        let mb_per_s = bytes /. 1048576.0 /. Float.max 1e-9 parse_s in
+        Util.Tablefmt.add_row t
+          [
+            string_of_int cells;
+            label;
+            Printf.sprintf "%.1f" (bytes /. 1048576.0);
+            Printf.sprintf "%.2f" write_s;
+            Printf.sprintf "%.2f" parse_s;
+            Printf.sprintf "%.1f" mb_per_s;
+            Printf.sprintf "%.1f" (words /. fcells);
+            Printf.sprintf "%.0f" (rss /. 1048576.0);
+          ];
+        extra_entries :=
+          Obs.Json.Obj
+            [
+              ("label", Obs.Json.String label);
+              ("name", Obs.Json.String label);
+              ("design", Obs.Json.String dname);
+              ("runtime", Obs.Json.Float parse_s);
+              ( "resource",
+                Obs.Json.Obj
+                  [
+                    ("minor_words", Obs.Json.Float words);
+                    ("words_per_cell", Obs.Json.Float (words /. fcells));
+                    ("mb_per_s", Obs.Json.Float mb_per_s);
+                    ("bytes", Obs.Json.Float bytes);
+                    ("peak_rss_bytes", Obs.Json.Float rss);
+                  ] );
+            ]
+          :: !extra_entries
+      in
+      let at ext = Filename.concat dir ("fmt" ^ ext) in
+      rung "bs-parse" write_s_bs
+        (List.map at [ ".aux"; ".nodes"; ".nets"; ".pl"; ".scl"; ".cells" ])
+        (fun () -> Formats.Bookshelf.read_aux (at ".aux"));
+      rung "def-parse" write_s_def
+        [ at ".lef"; at ".def" ]
+        (fun () -> Formats.Lefdef.read_def ~lef:(Formats.Lefdef.read_lef (at ".lef")) (at ".def")))
+    ladder;
+  (try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ());
+  Util.Tablefmt.print t;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Smoke sweep: the regression sentinel's CI workload — two designs x two
    methods, small enough for a PR gate. Deliberately not part of "all";
    pair with [--json] and [bin/bench_diff] against the committed
@@ -1470,6 +1571,7 @@ let () =
         | "ext" -> ext ()
         | "smoke" -> smoke ()
         | "scale" -> scale_section ()
+        | "formats" -> formats_section ()
         | "stats" -> stats_section ()
         | other -> Printf.printf "unknown section %s (skipped)\n" other
       with Util.Errors.Error e ->

@@ -3,7 +3,13 @@
     Examples:
       gen_bench -d sb1 -o sb1.design
       gen_bench -d sb10 --scale 1.0 --no-calibrate -o big.design
-      gen_bench --cells 500000 -o scale500k.design   # scale ladder *)
+      gen_bench --cells 500000 -o scale500k.design   # scale ladder
+      gen_bench -d sb1 -o sb1.aux                    # Bookshelf bundle
+      gen_bench -d sb1 -o sb1.def                    # DEF + sibling LEF
+
+    The output format follows the file extension (Formats.Auto): .aux
+    writes the Bookshelf bundle (.nodes/.nets/.pl/.scl/.cells), .def a
+    LEF/DEF pair, anything else the native format. *)
 
 open Cmdliner
 
@@ -15,7 +21,7 @@ let run design scale calibrate cells out =
   in
   (match out with
   | Some path ->
-      Netlist.Io.save_file path d;
+      Formats.Auto.save path d;
       Printf.printf "wrote %s\n" path
   | None -> Netlist.Io.save stdout d);
   Printf.printf "design %s: %d cells, %d nets, %d pins, clock %.1f ps, die %.0fx%.0f\n"

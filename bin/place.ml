@@ -3,6 +3,8 @@
     Examples:
       place -d sb18 --flow efficient
       place --design-file my.design --flow dp4 --out placed.design
+      place --bookshelf design.aux --write-pl placed.pl
+      place --lef tech.lef --def design.def --wire-rc 0.06,0.5 --write-def placed.def
       place -d sb4 --flow efficient --loss linear --paths-per-endpoint 10
       place -d sb4 --flow efficient --trace-out run.jsonl --report-json report.json
       place -d sb4 --heartbeat-out hb.jsonl --heartbeat-every 10
@@ -82,8 +84,9 @@ let write_error_report path ctx e =
   close_out oc;
   Obs.Log.info "wrote structured report to %s" path
 
-let run design file scale flow loss k domains fault_inject out curve trace_out report_json
-    heartbeat_out heartbeat_every log_level =
+let run design file bookshelf lef def wire_rc clock scale flow loss k domains fault_inject
+    out write_def write_pl curve trace_out report_json heartbeat_out heartbeat_every
+    log_level =
   (match log_level with Some l -> Obs.Log.set_level l | None -> ());
   Util.Parallel.set_num_domains domains;
   Obs.Log.info "parallel: %d domain(s)" !Util.Parallel.num_domains;
@@ -112,14 +115,40 @@ let run design file scale flow loss k domains fault_inject out curve trace_out r
       match Sys.getenv_opt "FAULT_INJECT" with
       | Some s when String.trim s <> "" -> install_faults s
       | _ -> ()));
+  let wire_rc =
+    match wire_rc with
+    | None -> None
+    | Some s -> (
+        match Rctree.Wire_rc.parse s with
+        | Ok rc -> Some rc
+        | Error msg -> Util.Errors.config_error ~what:"wire-rc" msg)
+  in
+  (* One foreign-file source at a time; extension dispatch via Formats.Auto
+     (--bookshelf and --def are explicit spellings of the same path). *)
+  let load_foreign path =
+    try Formats.Auto.load ?lef ?wire_rc ?clock path
+    with Netlist.Io.Parse_error (line, msg) ->
+      Util.Errors.invalid_design ~design:path
+        [ Printf.sprintf "parse error at line %d: %s" line msg ]
+  in
   let d =
-    match file with
-    | Some path -> (
-        try Netlist.Io.load_file path
-        with Netlist.Io.Parse_error (line, msg) ->
-          Util.Errors.invalid_design ~design:path
-            [ Printf.sprintf "parse error at line %d: %s" line msg ])
-    | None -> Workloads.Suite.load ~scale design
+    match (bookshelf, def, file) with
+    | Some path, None, None | None, Some path, None | None, None, Some path ->
+        load_foreign path
+    | None, None, None ->
+        if lef <> None then
+          Util.Errors.config_error ~what:"lef" "--lef needs --def";
+        let d = Workloads.Suite.load ~scale design in
+        (match wire_rc with
+        | Some rc ->
+            d.Netlist.Design.r_per_unit <- rc.Rctree.Wire_rc.r_per_unit;
+            d.Netlist.Design.c_per_unit <- rc.Rctree.Wire_rc.c_per_unit
+        | None -> ());
+        (match clock with Some c -> d.Netlist.Design.clock_period <- c | None -> ());
+        d
+    | _ ->
+        Util.Errors.config_error ~what:"design"
+          "pick one of --bookshelf, --def and --design-file"
   in
   Obs.Log.info "design %s: %d cells, %d nets, clock %.1f ps" d.name
     (Netlist.Design.num_cells d) (Netlist.Design.num_nets d) d.clock_period;
@@ -171,6 +200,17 @@ let run design file scale flow loss k domains fault_inject out curve trace_out r
   | Some path ->
       Netlist.Io.save_file path d;
       Obs.Log.info "wrote placed design to %s" path
+  | None -> ());
+  (match write_def with
+  | Some path ->
+      Formats.Lefdef.write ~lef_path:(Filename.remove_extension path ^ ".lef")
+        ~def_path:path d;
+      Obs.Log.info "wrote placed DEF (plus sibling LEF) to %s" path
+  | None -> ());
+  (match write_pl with
+  | Some path ->
+      Formats.Bookshelf.write_pl path d;
+      Obs.Log.info "wrote placement (.pl) to %s" path
   | None -> ())
   with Util.Errors.Error e -> on_error e
 
@@ -178,6 +218,38 @@ let design = Arg.(value & opt string "sb18" & info [ "d"; "design" ] ~docv:"NAME
 
 let file =
   Arg.(value & opt (some string) None & info [ "design-file" ] ~docv:"FILE" ~doc:"Load a design file instead of generating.")
+
+let bookshelf =
+  Arg.(value & opt (some string) None
+       & info [ "bookshelf" ] ~docv:"AUX"
+           ~doc:"Load a Bookshelf design from its .aux (ICCAD-2015 dialect).")
+
+let lef =
+  Arg.(value & opt (some string) None
+       & info [ "lef" ] ~docv:"LEF" ~doc:"Macro library for --def (MACRO/PIN geometry).")
+
+let def =
+  Arg.(value & opt (some string) None
+       & info [ "def" ] ~docv:"DEF" ~doc:"Load a DEF design (COMPONENTS/PINS/NETS/DIEAREA/ROW).")
+
+let wire_rc =
+  Arg.(value & opt (some string) None
+       & info [ "wire-rc" ] ~docv:"RES,CAP"
+           ~doc:"Per-unit wire parasitics (kOhm,fF per site) for foreign designs — the \
+                 set_wire_rc step feeding the Elmore model.")
+
+let clock =
+  Arg.(value & opt (some float) None
+       & info [ "clock" ] ~docv:"PS" ~doc:"Override the clock period (ps).")
+
+let write_def =
+  Arg.(value & opt (some string) None
+       & info [ "write-def" ] ~docv:"FILE"
+           ~doc:"Write the placed design as DEF (plus a sibling .lef).")
+
+let write_pl =
+  Arg.(value & opt (some string) None
+       & info [ "write-pl" ] ~docv:"FILE" ~doc:"Write the placement as a Bookshelf .pl.")
 
 let scale = Arg.(value & opt float 0.5 & info [ "scale" ] ~docv:"S" ~doc:"Generator size multiplier.")
 
@@ -237,7 +309,8 @@ let cmd =
   let doc = "timing-driven global placement (Efficient-TDP and baselines)" in
   Cmd.v (Cmd.info "place" ~doc)
     Term.(
-      const run $ design $ file $ scale $ flow $ loss $ k $ domains $ fault_inject $ out
-      $ curve $ trace_out $ report_json $ heartbeat_out $ heartbeat_every $ log_level)
+      const run $ design $ file $ bookshelf $ lef $ def $ wire_rc $ clock $ scale $ flow
+      $ loss $ k $ domains $ fault_inject $ out $ write_def $ write_pl $ curve $ trace_out
+      $ report_json $ heartbeat_out $ heartbeat_every $ log_level)
 
 let () = exit (Cmd.eval cmd)

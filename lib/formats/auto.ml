@@ -1,0 +1,46 @@
+(** Extension dispatch (see the interface). *)
+
+module D = Netlist.Design
+
+let ext path = String.lowercase_ascii (Filename.extension path)
+
+let load ?lef ?wire_rc ?clock path =
+  let d =
+    match ext path with
+    | ".aux" -> Bookshelf.read_aux path
+    | ".def" ->
+        (* No explicit LEF: look for the sibling our own writer produces. *)
+        let lef_path =
+          match lef with
+          | Some _ -> lef
+          | None ->
+              let sib = Filename.remove_extension path ^ ".lef" in
+              if Sys.file_exists sib then Some sib else None
+        in
+        let lef = Option.map Lefdef.read_lef lef_path in
+        Lefdef.read_def ?lef path
+    | ".lef" ->
+        raise
+          (Netlist.Io.Parse_error
+             (0, path ^ ": a LEF is a library, not a design; load the DEF (--lef <file> --def <file>)"))
+    | _ -> Netlist.Io.load_file path
+  in
+  (match wire_rc with
+  | Some rc ->
+      d.D.r_per_unit <- rc.Rctree.Wire_rc.r_per_unit;
+      d.D.c_per_unit <- rc.Rctree.Wire_rc.c_per_unit
+  | None -> ());
+  (match clock with Some c -> d.D.clock_period <- c | None -> ());
+  d
+
+let save path d =
+  match ext path with
+  | ".aux" ->
+      let dir = Filename.dirname path in
+      let stem = Filename.remove_extension (Filename.basename path) in
+      ignore (Bookshelf.write ~dir ~stem d)
+  | ".def" ->
+      let lef_path = Filename.remove_extension path ^ ".lef" in
+      Lefdef.write ~lef_path ~def_path:path d
+  | ".pl" -> Bookshelf.write_pl path d
+  | _ -> Netlist.Io.save_file path d

@@ -1,0 +1,21 @@
+(** Extension-dispatched design I/O — the one entry point flow drivers
+    use for foreign files.
+
+    [.aux] loads through {!Bookshelf}, [.def] through {!Lefdef} (with
+    the companion LEF — explicit [lef], else a sibling [.lef] next to
+    the DEF when one exists), anything else through the native
+    [Netlist.Io] format. [wire_rc] and [clock] override whatever the file
+    (or its [# etdp] headers) provided — the [set_wire_rc] path feeding
+    [lib/rctree]. *)
+
+val load :
+  ?lef:string ->
+  ?wire_rc:Rctree.Wire_rc.t ->
+  ?clock:float ->
+  string ->
+  Netlist.Design.t
+
+(** Save by extension: [.aux] writes the Bookshelf bundle next to the
+    path, [.def] writes a DEF plus a sibling [.lef], [.pl] writes
+    placement only, anything else the native format. *)
+val save : string -> Netlist.Design.t -> unit

@@ -1,0 +1,86 @@
+(** Fallback timing/electrical context for foreign files.
+
+    Bookshelf and vanilla LEF/DEF carry geometry and connectivity but no
+    delay model, so every quantity the STA needs gets a plausible default
+    in the units of {!Netlist.Libcell} (sites / fF / kOhm / ps), matched
+    to the middle of the synthetic library. Files written by this repo
+    round-trip their true values through [# etdp] headers instead
+    ({!Meta}), and the CLI can override clock and wire RC explicitly. *)
+
+let clock_period = 1000.0
+let sink_cap = 1.5
+
+(* NAND2_X1-grade constants for cells synthesized from foreign macros. *)
+let synth_drive_res = 10.0
+let synth_intrinsic = 12.0
+
+(* Synthesized library cell for a macro we only know geometrically. Pin
+   names/offsets/caps come from the file (or are generated for raw
+   Bookshelf); timing parameters are the defaults above. *)
+let synth_libcell ~lname ~w ~h ~(pins : Netlist.Libcell.lib_pin array) : Netlist.Libcell.t =
+  {
+    lname;
+    width = w;
+    height = h;
+    pins;
+    drive_res = synth_drive_res;
+    intrinsic = synth_intrinsic;
+    slew_sens = 0.1;
+    slew_base = 10.0;
+    slew_load = 0.8 *. synth_drive_res;
+    is_ff = false;
+    setup = 0.0;
+    hold = 0.0;
+    clk_to_q = 0.0;
+  }
+
+(* Generic interned libcell for raw-Bookshelf cells identified only by
+   their pin-direction profile: GEN_<nin>I<nout>O. *)
+let gen_name ~nin ~nout = Printf.sprintf "GEN_%dI%dO" nin nout
+
+(* A cell is library-faithful when its pins mirror its library cell
+   (resp. the canonical pad/blockage shapes) exactly — true for every
+   design the generator or a sidecar/LEF ingest builds, false after a raw
+   Bookshelf ingest (whose pins exist only in the design arrays). Writers
+   use this to decide between shared macros/sidecar lines and per-cell
+   fallbacks. *)
+let cell_faithful (d : Netlist.Design.t) c =
+  let module D = Netlist.Design in
+  let module L = Netlist.Libcell in
+  let off = d.D.cell_pin_off.(c) in
+  let npins = d.D.cell_pin_off.(c + 1) - off in
+  let pin_matches pid (lp : L.lib_pin) =
+    d.D.pin_names.(pid) = lp.L.pname
+    && d.D.pin_off_x.{pid} = lp.L.off_x
+    && d.D.pin_off_y.{pid} = lp.L.off_y
+    && d.D.pin_cap.{pid} = lp.L.cap
+    &&
+    match (D.pin_dir d pid, lp.L.kind) with
+    | D.In, L.Input | D.Out, L.Output -> true
+    | _ -> false
+  in
+  match D.kind d c with
+  | D.Logic ->
+      let li = d.D.lib_idx.(c) in
+      li >= 0
+      &&
+      let lib = d.D.libs.(li) in
+      Array.length lib.L.pins = npins
+      && d.D.w.{c} = lib.L.width
+      && d.D.h.{c} = lib.L.height
+      &&
+      let ok = ref true in
+      for k = 0 to npins - 1 do
+        if not (pin_matches d.D.cell_pin_ids.(off + k) lib.L.pins.(k)) then ok := false
+      done;
+      !ok
+  | D.Input_pad | D.Output_pad ->
+      npins = 1
+      &&
+      let pid = d.D.cell_pin_ids.(off) in
+      d.D.pin_names.(pid) = "p"
+      && d.D.pin_off_x.{pid} = 0.0
+      && d.D.pin_off_y.{pid} = 0.0
+      && d.D.w.{c} = 1.0
+      && d.D.h.{c} = 1.0
+  | D.Blockage -> npins = 0

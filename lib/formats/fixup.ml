@@ -1,0 +1,29 @@
+(** Round-trip-exact coordinate emission (see the interface). *)
+
+(* Search outward from [init] for an [e] with [apply e = target]. IEEE
+   rounding puts the solution (when it exists) within a couple of ulps,
+   so a +/-4-step probe is exhaustive in practice; returning the nearest
+   miss keeps the writer total for subnormal/extreme inputs. *)
+let solve ~apply ~target ~init =
+  if apply init = target then init
+  else begin
+    let best = ref init in
+    let best_err = ref (Float.abs (apply init -. target)) in
+    let probe e =
+      let err = Float.abs (apply e -. target) in
+      if err < !best_err then begin
+        best := e;
+        best_err := err
+      end;
+      err = 0.0
+    in
+    let rec up e n = n > 0 && (probe e || up (Float.succ e) (n - 1)) in
+    let rec down e n = n > 0 && (probe e || down (Float.pred e) (n - 1)) in
+    if up (Float.succ init) 4 then () else ignore (down (Float.pred init) 4);
+    !best
+  end
+
+let add_to ~delta x = solve ~apply:(fun e -> e +. delta) ~target:x ~init:(x -. delta)
+let ll ~half x = add_to ~delta:half x
+let hi ~lo w = solve ~apply:(fun e -> e -. lo) ~target:w ~init:(lo +. w)
+let print v = Printf.sprintf "%.17g" v

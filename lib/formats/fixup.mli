@@ -1,0 +1,26 @@
+(** Round-trip-exact coordinate emission.
+
+    The design database stores cell centres; Bookshelf [.pl] and DEF
+    store lower-left corners. A writer that naively emits [x -. w/2]
+    loses up to half an ulp twice (once on subtraction, once when the
+    reader adds the half-width back), so coordinates drift by an ulp per
+    round trip. These helpers instead search the few floats around the
+    naive value for one whose rounded inverse lands exactly on the
+    original, making write -> parse the identity whenever such a float
+    exists (it does for every value produced by the flow). Printing uses
+    ["%.17g"] everywhere, which round-trips decimal <-> binary exactly. *)
+
+(** [ll ~half x] is a corner value [e] with [e +. half = x] when one
+    exists within a few ulps of [x -. half] (else the nearest miss). *)
+val ll : half:float -> float -> float
+
+(** [add_to ~delta x]: an [e] with [e +. delta = x]; [ll] generalized to
+    arbitrary offsets (used for pin-offset emission). *)
+val add_to : delta:float -> float -> float
+
+(** [hi ~lo w]: an [e] with [e -. lo = w] — the upper edge of a span
+    whose parsed width must equal [w] exactly. *)
+val hi : lo:float -> float -> float
+
+(** Shortest decimal form that parses back to exactly [v] (["%.17g"]). *)
+val print : float -> string

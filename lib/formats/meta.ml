@@ -1,0 +1,60 @@
+(** etdp comment headers (see the interface). *)
+
+type t = {
+  mutable dname : string option;
+  mutable clock : float option;
+  mutable iodelay : (float * float) option;
+  mutable wire : (float * float) option;
+  mutable die : Geom.Rect.t option;
+  mutable rowheight : float option;
+}
+
+let create () =
+  { dname = None; clock = None; iodelay = None; wire = None; die = None; rowheight = None }
+
+let scan_comment m sc =
+  if Scan.at_hash sc then begin
+    Scan.skip_hash sc;
+    if Scan.next_tok sc && Scan.tok_is sc "etdp" && Scan.next_tok sc then
+      if Scan.tok_is sc "design" then begin
+        Scan.expect sc ~what:"design name";
+        m.dname <- Some (Scan.tok sc)
+      end
+      else if Scan.tok_is sc "clock" then
+        m.clock <- Some (Scan.expect_float sc ~what:"clock period")
+      else if Scan.tok_is sc "iodelay" then begin
+        let i = Scan.expect_float sc ~what:"input delay" in
+        let o = Scan.expect_float sc ~what:"output delay" in
+        m.iodelay <- Some (i, o)
+      end
+      else if Scan.tok_is sc "wire" then begin
+        let r = Scan.expect_float sc ~what:"wire resistance" in
+        let c = Scan.expect_float sc ~what:"wire capacitance" in
+        m.wire <- Some (r, c)
+      end
+      else if Scan.tok_is sc "die" then begin
+        let xl = Scan.expect_float sc ~what:"die xl" in
+        let yl = Scan.expect_float sc ~what:"die yl" in
+        let xh = Scan.expect_float sc ~what:"die xh" in
+        let yh = Scan.expect_float sc ~what:"die yh" in
+        if xh < xl || yh < yl then Scan.fail sc "inverted die rectangle";
+        m.die <- Some (Geom.Rect.make ~xl ~yl ~xh ~yh)
+      end
+      else if Scan.tok_is sc "rowheight" then
+        m.rowheight <- Some (Scan.expect_float sc ~what:"row height")
+      (* else: unknown etdp key, skip the line *)
+  end;
+  (* Discard the rest of the comment line in every case. *)
+  while Scan.next_tok sc do
+    ()
+  done
+
+let emit oc (d : Netlist.Design.t) =
+  let p = Fixup.print in
+  Printf.fprintf oc "# etdp design %s\n" d.name;
+  Printf.fprintf oc "# etdp clock %s\n" (p d.clock_period);
+  Printf.fprintf oc "# etdp iodelay %s %s\n" (p d.input_delay) (p d.output_delay);
+  Printf.fprintf oc "# etdp wire %s %s\n" (p d.r_per_unit) (p d.c_per_unit);
+  Printf.fprintf oc "# etdp die %s %s %s %s\n" (p d.die.Geom.Rect.xl) (p d.die.Geom.Rect.yl)
+    (p d.die.Geom.Rect.xh) (p d.die.Geom.Rect.yh);
+  Printf.fprintf oc "# etdp rowheight %s\n" (p d.row_height)

@@ -1,0 +1,32 @@
+(** Timing/electrical context carried through format round trips.
+
+    Bookshelf and DEF describe geometry only; clock period, IO delays and
+    wire parasitics would be lost on write -> parse. Both writers
+    therefore emit an ["# etdp <key> <values>"] comment block (legal
+    comments in both grammars, invisible to other tools) and both readers
+    collect it here. Fields the file does not provide fall back to
+    {!Defaults} or CLI overrides in [Auto.load].
+
+    Keys: [design <name>], [clock <ps>], [iodelay <in> <out>],
+    [wire <r> <c>], [die <xl> <yl> <xh> <yh>], [rowheight <h>]. Unknown
+    keys are skipped (forward compatibility); malformed values in known
+    keys are parse errors. *)
+
+type t = {
+  mutable dname : string option;
+  mutable clock : float option;
+  mutable iodelay : (float * float) option;
+  mutable wire : (float * float) option;
+  mutable die : Geom.Rect.t option;
+  mutable rowheight : float option;
+}
+
+val create : unit -> t
+
+(** Consume a comment the scanner stopped at ({!Scan.at_hash}); recognises
+    the [etdp] marker and records the header, skipping anything else.
+    Always leaves the scan at end of line. *)
+val scan_comment : t -> Scan.t -> unit
+
+(** Write the comment block for [d] (trailing newline included). *)
+val emit : out_channel -> Netlist.Design.t -> unit

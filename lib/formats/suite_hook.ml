@@ -1,0 +1,2 @@
+let register_file ?lef ?wire_rc ?clock ~short path =
+  Workloads.Suite.register_loader ~short (fun () -> Auto.load ?lef ?wire_rc ?clock path)

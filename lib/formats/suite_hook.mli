@@ -1,0 +1,5 @@
+(** Register a foreign design file under a suite short name so it joins
+    the bench matrix ({!Workloads.Suite.register_loader}). The file is
+    parsed lazily, on first [Suite.load]. *)
+val register_file :
+  ?lef:string -> ?wire_rc:Rctree.Wire_rc.t -> ?clock:float -> short:string -> string -> unit

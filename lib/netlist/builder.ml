@@ -42,6 +42,10 @@ type t = {
   (* sink connections in arrival order; counting-sorted into CSR at finish *)
   sink_net : Gv.Int.t;
   sink_pin : Gv.Int.t;
+  (* False once a raw pin lands on a cell that is not the newest one; the
+     name-based pin lookups (which scan the contiguous range) then refuse
+     to answer. [finish] never relies on contiguity. *)
+  mutable pins_contiguous : bool;
 }
 
 let create ~name ~die ~row_height ~clock_period ~r_per_unit ~c_per_unit =
@@ -75,6 +79,7 @@ let create ~name ~die ~row_height ~clock_period ~r_per_unit ~c_per_unit =
     net_nsinks = Gv.Int.create ();
     sink_net = Gv.Int.create ();
     sink_pin = Gv.Int.create ();
+    pins_contiguous = true;
   }
 
 let num_cells b = Gv.length b.cell_names
@@ -147,6 +152,60 @@ let add_output_pad b ~cname ~x ~y = add_pad b ~cname ~kind:2 ~x ~y
 let add_blockage b ~cname ~x ~y ~w ~h =
   add_cell b ~cname ~kind:3 ~lib_idx:(-1) ~w ~h ~movable:false ~x ~y
 
+(* ---- raw construction (streaming format readers) --------------------- *)
+
+let kind_int = function
+  | Design.Logic -> 0
+  | Design.Input_pad -> 1
+  | Design.Output_pad -> 2
+  | Design.Blockage -> 3
+
+(** Add a cell with explicit kind/geometry and NO pins; pins arrive later
+    through {!add_raw_pin} in whatever order the input file dictates. The
+    cell's size comes from the caller, not the library cell — external
+    formats carry their own geometry. *)
+let add_raw_cell b ~cname ~kind ~lib ~w ~h ~movable ~x ~y =
+  let li = match lib with Some l -> intern_lib b l | None -> -1 in
+  add_cell b ~cname ~kind:(kind_int kind) ~lib_idx:li ~w ~h ~movable ~x ~y
+
+(** Add one pin to an arbitrary existing cell. Unlike the library path,
+    pins need not be contiguous per cell — [finish] rebuilds the
+    cell->pin CSR by stable counting sort. After an out-of-order raw pin,
+    the name-based lookups ([connect_by_name]/[pin_of_cell]) raise. *)
+let add_raw_pin b ~cell ~pin_name ~dir ~off_x ~off_y ~cap =
+  if cell < 0 || cell >= num_cells b then
+    invalid_arg (Printf.sprintf "Builder.add_raw_pin: no cell %d" cell);
+  if cell <> num_cells b - 1 then b.pins_contiguous <- false;
+  add_pin b ~owner:cell ~pin_name ~dir ~off_x ~off_y ~cap
+
+(** Reposition a cell centre (format readers stream positions from a
+    separate file, e.g. Bookshelf [.pl], after the cells exist). *)
+let set_position b ~cell ~x ~y =
+  Gv.Float.set b.xs cell x;
+  Gv.Float.set b.ys cell y
+
+(** Mark a cell fixed/movable after creation (Bookshelf splits the
+    movable flag between [.nodes] and [.pl]). *)
+let set_movable b ~cell ~movable = Gv.Int.set b.movs cell (if movable then 1 else 0)
+
+(** Reclassify a cell after creation. Bookshelf only reveals whether a
+    terminal is a pad, macro or fixed gate once the net section shows its
+    pins, so raw readers create cells as [Logic] and settle kinds last. *)
+let set_kind b ~cell ~kind ~lib =
+  Gv.Int.set b.kinds cell (kind_int kind);
+  Gv.Int.set b.lib_idx cell (match lib with Some l -> intern_lib b l | None -> -1)
+
+let cell_width b ~cell = Gv.Float.get b.ws cell
+
+let cell_height b ~cell = Gv.Float.get b.hs cell
+
+let cell_kind b ~cell =
+  match Gv.Int.get b.kinds cell with
+  | 0 -> Design.Logic
+  | 1 -> Design.Input_pad
+  | 2 -> Design.Output_pad
+  | _ -> Design.Blockage
+
 let add_net b ~nname =
   let nid = num_nets b in
   Gv.push b.net_names nname;
@@ -185,6 +244,8 @@ let pin_range b ~cell =
   (lo, hi)
 
 let find_pin b ~cell ~pin_name =
+  if not b.pins_contiguous then
+    invalid_arg "Builder.find_pin: pins are no longer contiguous (raw pins were added)";
   let lo, hi = pin_range b ~cell in
   let rec go pid =
     if pid >= hi then None
@@ -223,13 +284,26 @@ let finish b =
       problems := Printf.sprintf "net %s has no driver" (Gv.get b.net_names nid) :: !problems
   done;
   if !problems <> [] then Util.Errors.invalid_design ~design:b.name !problems;
-  (* Cell->pin CSR: the builder creates each cell's pins contiguously, so
-     offsets come straight from [first_pin] and the id map is identity. *)
-  let cell_pin_off = Array.make (n_cells + 1) n_pins in
-  for i = 0 to n_cells - 1 do
-    cell_pin_off.(i) <- Gv.Int.get b.first_pin i
+  (* Cell->pin CSR by stable counting sort over [pin_owner]. The library
+     path creates each cell's pins contiguously so the sort degenerates to
+     the identity map; raw pins from format readers arrive in net order
+     and land here in pin-id order per cell. *)
+  let cell_pin_off = Array.make (n_cells + 1) 0 in
+  for p = 0 to n_pins - 1 do
+    let owner = Gv.Int.get b.pin_owner p in
+    cell_pin_off.(owner + 1) <- cell_pin_off.(owner + 1) + 1
   done;
-  let cell_pin_ids = Array.init n_pins Fun.id in
+  for i = 0 to n_cells - 1 do
+    cell_pin_off.(i + 1) <- cell_pin_off.(i + 1) + cell_pin_off.(i)
+  done;
+  let cell_pin_ids = Array.make n_pins (-1) in
+  let cell_cursor = Array.make (max 1 n_cells) 0 in
+  Array.blit cell_pin_off 0 cell_cursor 0 n_cells;
+  for p = 0 to n_pins - 1 do
+    let owner = Gv.Int.get b.pin_owner p in
+    cell_pin_ids.(cell_cursor.(owner)) <- p;
+    cell_cursor.(owner) <- cell_cursor.(owner) + 1
+  done;
   (* Net->pin CSR by counting sort: slot 0 of each net is its driver, then
      sinks in connection order (the sort is stable over [sink_net]). *)
   let net_pin_off = Array.make (n_nets + 1) 0 in

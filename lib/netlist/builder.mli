@@ -45,5 +45,50 @@ val connect_by_name : t -> net:int -> cell:int -> pin_name:string -> unit
 (** Pin id of a cell's named pin; raises [Invalid_argument] if absent. *)
 val pin_of_cell : t -> cell:int -> pin_name:string -> int
 
+(** {2 Raw construction}
+
+    Streaming format readers (lib/formats) build cells and pins in file
+    order: cells first with explicit geometry, pins later as net records
+    mention them. Pins then need not be contiguous per cell — [finish]
+    rebuilds the cell->pin CSR by stable counting sort (the library path
+    above still freezes to the identity map, bit for bit). After an
+    out-of-order raw pin, [connect_by_name]/[pin_of_cell] raise
+    [Invalid_argument]; raw callers track pin ids themselves. *)
+
+(** Add a cell with explicit kind/geometry and no pins. [lib] supplies
+    the timing view for [Logic] cells (ignored for pads/blockages). *)
+val add_raw_cell :
+  t ->
+  cname:string ->
+  kind:Design.kind ->
+  lib:Libcell.t option ->
+  w:float ->
+  h:float ->
+  movable:bool ->
+  x:float ->
+  y:float ->
+  int
+
+(** Add one pin to an existing cell; returns the pin id. Raises
+    [Invalid_argument] for an unknown cell. *)
+val add_raw_pin :
+  t -> cell:int -> pin_name:string -> dir:Design.dir -> off_x:float -> off_y:float -> cap:float -> int
+
+(** Reposition a cell centre (positions stream from a separate file). *)
+val set_position : t -> cell:int -> x:float -> y:float -> unit
+
+(** Flip a cell's movable flag after creation. *)
+val set_movable : t -> cell:int -> movable:bool -> unit
+
+(** Reclassify a cell (and its library binding) after creation — raw
+    readers learn pad/blockage kinds only once pins are known. *)
+val set_kind : t -> cell:int -> kind:Design.kind -> lib:Libcell.t option -> unit
+
+val cell_width : t -> cell:int -> float
+
+val cell_height : t -> cell:int -> float
+
+val cell_kind : t -> cell:int -> Design.kind
+
 (** Freeze. Every net must have a driver and at least one sink. *)
 val finish : t -> Design.t

@@ -37,8 +37,8 @@ type t = {
   mutable clock_period : float; (* calibrated after generation *)
   mutable input_delay : float; (* SDC-like: arrival offset at input pads *)
   mutable output_delay : float; (* SDC-like: margin required at output pads *)
-  r_per_unit : float; (* wire resistance per unit length *)
-  c_per_unit : float; (* wire capacitance per unit length *)
+  mutable r_per_unit : float; (* wire resistance per unit length *)
+  mutable c_per_unit : float; (* wire capacitance per unit length *)
   n_cells : int;
   n_pins : int;
   n_nets : int;

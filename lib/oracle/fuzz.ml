@@ -276,6 +276,99 @@ let default_props =
     prop_csr;
   ]
 
+(* ------------------------------------------- format mutate-reparse -- *)
+
+(* Serialize the design to a foreign format, corrupt one byte at a time,
+   and reparse. The parsers' only acceptable outcomes are a clean parse
+   (the mutation was benign), Io.Parse_error, or a structural
+   Invalid_design from Builder.finish — any other exception (assert,
+   Invalid_argument, out-of-bounds, stack overflow) is a fuzz failure.
+   Mutation positions/values come from a stream seeded by the file
+   contents, so the prop is deterministic in the design. *)
+let mutations_per_file = 24
+
+let read_bin path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_bin path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let mutate_reparse ~fmt_name ~write ~parse =
+  {
+    name = Printf.sprintf "%s-mutate-reparse" fmt_name;
+    check =
+      (fun d ->
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "etdp_fuzz_%s_%d" fmt_name (Unix.getpid ()))
+        in
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        Fun.protect
+          ~finally:(fun () ->
+            Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+            Unix.rmdir dir)
+          (fun () ->
+            let entry, files = write dir d in
+            let problem = ref None in
+            List.iter
+              (fun file ->
+                let orig = read_bin file in
+                let n = String.length orig in
+                if n > 0 then begin
+                  let rng = Util.Rng.create (Hashtbl.hash (d.Netlist.Design.name, n)) in
+                  for _ = 1 to mutations_per_file do
+                    let pos = Util.Rng.int rng n in
+                    let b = Char.chr (Util.Rng.int rng 256) in
+                    let mutated = Bytes.of_string orig in
+                    Bytes.set mutated pos b;
+                    write_bin file (Bytes.to_string mutated);
+                    (match parse entry with
+                    | (_ : Netlist.Design.t) -> ()
+                    | exception Netlist.Io.Parse_error _ -> ()
+                    | exception Util.Errors.Error (Util.Errors.Invalid_design _) -> ()
+                    | exception e ->
+                        if !problem = None then
+                          problem :=
+                            Some
+                              (Printf.sprintf "%s byte %d -> %#x: escaped exception %s"
+                                 (Filename.basename file) pos (Char.code b)
+                                 (Printexc.to_string e)))
+                  done;
+                  write_bin file orig
+                end)
+              files;
+            match !problem with None -> Ok () | Some m -> Error m));
+  }
+
+let format_props =
+  [
+    mutate_reparse ~fmt_name:"bookshelf"
+      ~write:(fun dir d ->
+        let aux = Formats.Bookshelf.write ~dir ~stem:"fz" d in
+        let all =
+          List.filter Sys.file_exists
+            (List.map
+               (fun e -> Filename.concat dir ("fz" ^ e))
+               [ ".aux"; ".nodes"; ".nets"; ".pl"; ".scl"; ".cells" ])
+        in
+        (aux, all))
+      ~parse:Formats.Bookshelf.read_aux;
+    mutate_reparse ~fmt_name:"def"
+      ~write:(fun dir d ->
+        let lef = Filename.concat dir "fz.lef" in
+        let def = Filename.concat dir "fz.def" in
+        Formats.Lefdef.write ~lef_path:lef ~def_path:def d;
+        (def, [ lef; def ]))
+      ~parse:(fun def ->
+        let lef = Formats.Lefdef.read_lef (Filename.concat (Filename.dirname def) "fz.lef") in
+        Formats.Lefdef.read_def ~lef def);
+  ]
+
 (* ------------------------------------------------------------------ *)
 
 let mkdir_p dir =

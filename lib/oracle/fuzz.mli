@@ -33,6 +33,13 @@ val shrink : prop -> Workloads.Genparams.t -> Workloads.Genparams.t * string
     exhaustive DFS, and a random-walk incremental-STA differential. *)
 val default_props : prop list
 
+(** Format robustness: serialize the design to Bookshelf / LEF+DEF in a
+    temp directory, corrupt one byte at a time (deterministic positions),
+    and reparse. A clean parse, [Netlist.Io.Parse_error] and a structural
+    [Invalid_design] are all acceptable outcomes; any other escaped
+    exception fails the property. *)
+val format_props : prop list
+
 (** [run ~seed ~iters props] draws [iters] parameter sets from the seeded
     stream and checks every property on each. Failures come back shrunk;
     when [dump_dir] is given, each failure's design and parameters are

@@ -1,0 +1,34 @@
+(** Wire parasitics configuration (see the interface). *)
+
+type t = { r_per_unit : float; c_per_unit : float }
+
+(* Mirrors Workloads.Generate's wire_r/wire_c; kept literal here because
+   rctree sits below workloads in the dependency order. *)
+let default = { r_per_unit = 0.060; c_per_unit = 0.50 }
+
+let validate t =
+  let bad what v =
+    Error (Printf.sprintf "wire-rc %s %g must be finite and non-negative" what v)
+  in
+  if not (Float.is_finite t.r_per_unit) || t.r_per_unit < 0.0 then bad "resistance" t.r_per_unit
+  else if not (Float.is_finite t.c_per_unit) || t.c_per_unit < 0.0 then
+    bad "capacitance" t.c_per_unit
+  else Ok ()
+
+let parse s =
+  let s = String.trim s in
+  let parts =
+    String.map (function ',' | ':' -> ' ' | ch -> ch) s
+    |> String.split_on_char ' '
+    |> List.filter (fun w -> w <> "")
+  in
+  match parts with
+  | [ r; c ] -> (
+      match (float_of_string_opt r, float_of_string_opt c) with
+      | Some r, Some c ->
+          let t = { r_per_unit = r; c_per_unit = c } in
+          Result.map (fun () -> t) (validate t)
+      | _ -> Error (Printf.sprintf "malformed wire-rc %S (want RES,CAP)" s))
+  | _ -> Error (Printf.sprintf "malformed wire-rc %S (want RES,CAP)" s)
+
+let to_string t = Printf.sprintf "%g,%g" t.r_per_unit t.c_per_unit

@@ -1,0 +1,24 @@
+(** Wire parasitics configuration — the [set_wire_rc] equivalent of the
+    OpenROAD flow (readLef/readDef -> set_wire_rc -> global_placement).
+
+    External formats (Bookshelf, DEF) carry no electrical data, so the
+    flow driver supplies the per-unit-length wire resistance/capacitance
+    that the Elmore model ({!Elmore}) and the STA net arcs consume. Units
+    match the rest of the repo: kOhm and fF per site, giving R*C in ps. *)
+
+type t = { r_per_unit : float; c_per_unit : float }
+
+(** The synthetic generator's parasitics (0.06 kOhm, 0.5 fF per site) —
+    the regime where wire delay dominates gate delay, as in the
+    ICCAD2015 designs. *)
+val default : t
+
+(** Parse a ["res,cap"] CLI spec (also accepts ["res cap"] and
+    ["res:cap"]). Both values must be finite and non-negative. *)
+val parse : string -> (t, string) result
+
+(** ["res,cap"] — inverse of {!parse}. *)
+val to_string : t -> string
+
+(** [Error] when a value is non-finite or negative. *)
+val validate : t -> (unit, string) result

@@ -1,0 +1,3 @@
+UCLA pl 1.0
+a 1 2 : N
+b 3.5.7 4 : N

@@ -1,0 +1,10 @@
+UCLA pl 1.0
+
+i1 0 2 : N /FIXED
+i2 0 5 : N /FIXED
+o1 9 4 : N /FIXED
+b1 3 5 : N /FIXED
+g1 2 2 : N
+g2 4 3 : N
+g3 6 4 : N
+f1 5 1 : N

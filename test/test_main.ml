@@ -23,6 +23,7 @@ let () =
       ("geom", Test_geom_suite.suite);
       ("numerics", Test_numerics_suite.suite);
       ("netlist", Test_netlist_suite.suite);
+      ("formats", Test_formats_suite.suite);
       ("rctree", Test_rctree_suite.suite);
       ("sta", Test_sta_suite.suite);
       ("gp", Test_gp_suite.suite);
