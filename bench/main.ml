@@ -1473,6 +1473,110 @@ let smoke () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* SERVICE: the placement daemon's request engine — the exact dispatch
+   path bin/placed serves, driven in process. Measures light-job
+   protocol overhead (jobs/sec, latency percentiles over report_timing
+   requests against the warm timer) and the incremental path: a warm
+   [replace] after a 1% random ECO against the from-scratch [place] of
+   the same session. Emits gateable bench-results-v1 entries:
+     svc-place    cold place runtime through the engine
+     svc-replace  warm replace runtime (resource.speedup_x vs svc-place)
+     svc-jobs     total seconds for the report_timing batch
+                  (resource.jobs_per_s, p50/p95/p99 ms)                  *)
+
+let service_section () =
+  let dname = "sb1" in
+  let engine = Service.Engine.create () in
+  let req op params = { Service.Protocol.id = "bench"; op; params = Obs.Json.Obj params } in
+  let run what r =
+    let reply = Service.Engine.handle engine r in
+    match Obs.Json.member "ok" reply with
+    | Some (Obs.Json.Bool true) -> reply
+    | _ -> failwith (Printf.sprintf "service bench %s: %s" what (Obs.Json.to_string reply))
+  in
+  let timed what r =
+    let t0 = Unix.gettimeofday () in
+    let reply = run what r in
+    (Unix.gettimeofday () -. t0, reply)
+  in
+  Printf.printf "[service] engine session on %s (scale %.2f)...\n%!" dname !scale;
+  ignore
+    (run "load"
+       (req "load"
+          [
+            ("suite", Obs.Json.String dname);
+            ("name", Obs.Json.String dname);
+            ("scale", Obs.Json.Float !scale);
+          ]));
+  let place_params extra =
+    ("design", Obs.Json.String dname)
+    :: ("flow", Obs.Json.String "efficient")
+    :: ("seed", Obs.Json.Int 1)
+    :: extra
+  in
+  let cold_s, _ = timed "place" (req "place" (place_params [])) in
+  let warm_s, _ =
+    timed "replace" (req "replace" (place_params [ ("random_frac", Obs.Json.Float 0.01) ]))
+  in
+  (* Light-job latency: timing queries against the session's warm timer. *)
+  let jobs_n = 64 in
+  let lat = Array.make jobs_n 0.0 in
+  let batch_t0 = Unix.gettimeofday () in
+  for i = 0 to jobs_n - 1 do
+    let dt, _ =
+      timed "report_timing"
+        (req "report_timing" [ ("design", Obs.Json.String dname); ("n", Obs.Json.Int 5) ])
+    in
+    lat.(i) <- dt
+  done;
+  let batch_s = Unix.gettimeofday () -. batch_t0 in
+  Array.sort compare lat;
+  let pct q = lat.(min (jobs_n - 1) (int_of_float (Float.ceil (q *. float_of_int jobs_n)) - 1)) in
+  let jobs_per_s = float_of_int jobs_n /. Float.max 1e-9 batch_s in
+  let speedup = cold_s /. Float.max 1e-9 warm_s in
+  let t =
+    Util.Tablefmt.create ~title:"SERVICE: daemon engine (placement-as-a-service)"
+      ~headers:[ "Job"; "Count"; "Total s"; "p50 ms"; "p95 ms"; "p99 ms"; "jobs/s" ]
+      ~aligns:[ Left; Right; Right; Right; Right; Right; Right ]
+  in
+  Util.Tablefmt.add_row t [ "place (cold)"; "1"; f2 cold_s; "-"; "-"; "-"; "-" ];
+  Util.Tablefmt.add_row t
+    [ "replace (warm)"; "1"; f2 warm_s; "-"; "-"; "-"; Printf.sprintf "%.1fx faster" speedup ];
+  Util.Tablefmt.add_row t
+    [
+      "report_timing";
+      string_of_int jobs_n;
+      f2 batch_s;
+      f2 (pct 0.5 *. 1e3);
+      f2 (pct 0.95 *. 1e3);
+      f2 (pct 0.99 *. 1e3);
+      f1 jobs_per_s;
+    ];
+  Util.Tablefmt.print t;
+  print_newline ();
+  let entry label runtime resource =
+    Obs.Json.Obj
+      [
+        ("label", Obs.Json.String label);
+        ("name", Obs.Json.String label);
+        ("design", Obs.Json.String dname);
+        ("runtime", Obs.Json.Float runtime);
+        ("resource", Obs.Json.Obj resource);
+      ]
+  in
+  extra_entries :=
+    entry "svc-jobs" batch_s
+      [
+        ("jobs_per_s", Obs.Json.Float jobs_per_s);
+        ("p50_ms", Obs.Json.Float (pct 0.5 *. 1e3));
+        ("p95_ms", Obs.Json.Float (pct 0.95 *. 1e3));
+        ("p99_ms", Obs.Json.Float (pct 0.99 *. 1e3));
+      ]
+    :: entry "svc-replace" warm_s [ ("speedup_x", Obs.Json.Float speedup) ]
+    :: entry "svc-place" cold_s []
+    :: !extra_entries
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable dump of every flow result this invocation ran (the
    BENCH_*.json convention: per-flow runtime, breakdown, tns/wns/hpwl). *)
 
@@ -1572,6 +1676,7 @@ let () =
         | "smoke" -> smoke ()
         | "scale" -> scale_section ()
         | "formats" -> formats_section ()
+        | "service" -> service_section ()
         | "stats" -> stats_section ()
         | other -> Printf.printf "unknown section %s (skipped)\n" other
       with Util.Errors.Error e ->

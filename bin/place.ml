@@ -19,8 +19,11 @@
     extraction stats) as JSONL while the placement runs.
 
     Exit codes: 0 success, 2 config error, 3 invalid design, 4 diverged
-    (rollback budget exhausted), 5 legalization infeasible; 1 is reserved
-    for unexpected exceptions, 124/125 for cmdliner usage errors. *)
+    (rollback budget exhausted), 5 legalization infeasible, 6 parse
+    error in a foreign input file (the --report-json "error" object
+    carries kind "parse_error" with file/line/detail fields); 1 is
+    reserved for unexpected exceptions, 124/125 for cmdliner usage
+    errors. *)
 
 open Cmdliner
 
@@ -125,11 +128,14 @@ let run design file bookshelf lef def wire_rc clock scale flow loss k domains fa
   in
   (* One foreign-file source at a time; extension dispatch via Formats.Auto
      (--bookshelf and --def are explicit spellings of the same path). *)
+  (* A malformed file is its own failure kind (exit 6, kind
+     "parse_error" in the report), not an [Invalid_design]: the bytes
+     never became a design, and harnesses distinguish "fix the file
+     syntax" from "fix the netlist". *)
   let load_foreign path =
     try Formats.Auto.load ?lef ?wire_rc ?clock path
     with Netlist.Io.Parse_error (line, msg) ->
-      Util.Errors.invalid_design ~design:path
-        [ Printf.sprintf "parse error at line %d: %s" line msg ]
+      Util.Errors.parse_failed ~file:path ~line msg
   in
   let d =
     match (bookshelf, def, file) with

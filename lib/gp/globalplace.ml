@@ -25,6 +25,9 @@ type params = {
   round_every : int; (* hook cadence (the paper's m) *)
   max_recoveries : int; (* consecutive divergence rollbacks before a hard
                            [Util.Errors.Diverged] failure *)
+  warm_start : bool; (* keep the design's current positions instead of the
+                        Gaussian initial spread — incremental re-placement
+                        resumes from the previous converged solution *)
   verbose : bool;
 }
 
@@ -43,6 +46,7 @@ let default_params =
     timing_start = max_int; (* vanilla: hooks never fire *)
     round_every = 15;
     max_recoveries = 5;
+    warm_start = false;
     verbose = false;
   }
 
@@ -124,7 +128,12 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) ?he
   if nm = 0 then Util.Errors.invalid_design ~design:d.Design.name [ "no movable cells" ];
   let movable_area = Design.movable_area d in
   let bin_w = grid.Densitygrid.bin_w and bin_h = grid.Densitygrid.bin_h in
-  initial_spread d ~sigma_bins:params.noise_sigma ~bin_w ~bin_h ~seed:params.seed;
+  (* Warm starts resume from whatever the design currently holds (the
+     daemon's previous converged placement plus an ECO delta); clamping
+     still applies so an out-of-die delta cannot seed the optimizer with
+     an infeasible iterate. *)
+  if params.warm_start then Design.clamp_movable d
+  else initial_spread d ~sigma_bins:params.noise_sigma ~bin_w ~bin_h ~seed:params.seed;
   let opt = ref (Nesterov.create ~obs (pack d movable)) in
   (* Per-cell preconditioner data. *)
   let pin_count = Array.make (Design.num_cells d) 0 in
@@ -235,7 +244,14 @@ let run ?(params = default_params) ?(hooks = no_hooks) ?(obs = Obs.Ctx.null) ?he
         nacc.(0) <- nacc.(0) +. Float.abs dgx.(id) +. Float.abs dgy.(id)
       done;
       let den_norm = nacc.(0) in
-      lambda := if den_norm > 1e-30 then 0.1 *. wl_norm /. den_norm else 1.0
+      (* Cold starts under-weight density (0.1x) and let the multiplier
+         grow into it. A warm start is already near-legal: its overflow
+         is below the stop target, so the growth latch freezes lambda at
+         the init value — an 0.1x init there lets wirelength pull the
+         placement back into overlap that legalization later has to
+         shred. Balance at full strength instead. *)
+      let balance = if params.warm_start then 1.0 else 0.1 in
+      lambda := if den_norm > 1e-30 then balance *. wl_norm /. den_norm else 1.0
     end;
     (* Density gradient scaled by lambda. *)
     Array.fill dgx 0 (Array.length dgx) 0.0;

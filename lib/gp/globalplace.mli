@@ -23,6 +23,8 @@ type params = {
   round_every : int; (* hook cadence (the paper's m) *)
   max_recoveries : int; (* consecutive divergence rollbacks before a hard
                            [Util.Errors.Diverged] failure *)
+  warm_start : bool; (* skip the initial spread; resume from the design's
+                        current (clamped) positions *)
   verbose : bool;
 }
 
@@ -62,7 +64,8 @@ type result = {
 }
 
 (** Runs global placement in place (re-initialises movable positions from
-    [params.seed]). [obs] receives one [gp_iter] span per iteration
+    [params.seed], unless [params.warm_start] keeps the current ones).
+    [obs] receives one [gp_iter] span per iteration
     (attributes: iter / overflow / gamma / lambda, plus hpwl whenever the
     iteration computes it) with [density] / [wl_grad] / [optimizer] child
     spans, iteration counters, and final hpwl/overflow gauges.

@@ -86,6 +86,39 @@ let num_cells b = Gv.length b.cell_names
 
 let num_nets b = Gv.length b.net_names
 
+(** Return the builder to a clean slate so a long-lived process can
+    stream a second design through it. Every vector is emptied (the
+    polymorphic ones also drop their backing store, so the previous
+    load's names and library cells become collectable), the library
+    intern table is cleared, and the contiguity flag rearms. Without the
+    table clear a reused builder would resolve a same-named library cell
+    of the *new* design to the old design's dangling [libs] index. *)
+let reset b =
+  Gv.clear b.cell_names;
+  Gv.Int.clear b.kinds;
+  Gv.Int.clear b.lib_idx;
+  Gv.clear b.libs;
+  Hashtbl.reset b.lib_tbl;
+  Gv.Float.clear b.ws;
+  Gv.Float.clear b.hs;
+  Gv.Int.clear b.movs;
+  Gv.Float.clear b.xs;
+  Gv.Float.clear b.ys;
+  Gv.Int.clear b.first_pin;
+  Gv.clear b.pin_names;
+  Gv.Int.clear b.pin_owner;
+  Gv.Int.clear b.pin_dir;
+  Gv.Float.clear b.pin_off_x;
+  Gv.Float.clear b.pin_off_y;
+  Gv.Float.clear b.pin_cap;
+  Gv.Int.clear b.pin_net;
+  Gv.clear b.net_names;
+  Gv.Int.clear b.net_driver;
+  Gv.Int.clear b.net_nsinks;
+  Gv.Int.clear b.sink_net;
+  Gv.Int.clear b.sink_pin;
+  b.pins_contiguous <- true
+
 let add_pin b ~owner ~pin_name ~dir ~off_x ~off_y ~cap =
   let pid = Gv.Int.length b.pin_owner in
   Gv.push b.pin_names pin_name;

@@ -18,6 +18,14 @@ val num_cells : t -> int
 
 val num_nets : t -> int
 
+(** Return to a clean slate for reuse in a long-lived process: all
+    vectors emptied, the library intern table cleared (a stale entry
+    would bind a same-named library cell to a dangling index), previous
+    elements made collectable, pin contiguity rearmed. The identity
+    [reset b; build X] ≡ [build X on a fresh builder] is enforced by the
+    load-twice test in [test/test_netlist_suite.ml]. *)
+val reset : t -> unit
+
 (** Add a logic cell (combinational or FF); its pins come from the library
     cell. Returns the cell id. *)
 val add_logic :

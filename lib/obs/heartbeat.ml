@@ -74,6 +74,24 @@ let create ?(every_iters = 25) ?(every_seconds = 0.0) ?(emit = ignore) ctx =
     registration order). *)
 let on_record hb f = hb.subscribers <- hb.subscribers @ [ f ]
 
+(** Return the heartbeat to its just-created state — cadence origin,
+    sequence counter, trend window and producer latches all cleared,
+    configuration and subscribers kept. A long-lived process (the
+    placement daemon) calls this between requests; without it the second
+    job inherits the first job's tick origin (so its first record waits a
+    full period) and trend baseline (so its first tns/wns trend compares
+    against the *previous job's* timing). *)
+let reset hb =
+  hb.seq <- 0;
+  hb.last_emit_iter <- min_int;
+  hb.last_emit_t <- Float.neg_infinity;
+  hb.prev_tns <- Float.nan;
+  hb.prev_wns <- Float.nan;
+  hb.hpwl <- Float.nan;
+  hb.tns <- Float.nan;
+  hb.wns <- Float.nan;
+  hb.extraction <- None
+
 (* ---- producers ---- *)
 
 let note_hpwl hb hpwl = hb.hpwl <- hpwl

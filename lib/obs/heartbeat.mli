@@ -37,6 +37,13 @@ val create :
 
 val on_record : t -> (record -> unit) -> unit
 
+(** Return to the just-created state (seq 0, cadence origin and trend
+    window cleared, producer latches nan/None); configuration and
+    subscribers are kept. Long-lived processes call this between
+    requests so a job never inherits the previous job's tick origin or
+    trend baseline. *)
+val reset : t -> unit
+
 val note_hpwl : t -> float -> unit
 
 val note_timing : t -> tns:float -> wns:float -> unit

@@ -100,3 +100,54 @@ let check_incremental ?(topology = Sta.Delay.Steiner_tree) (timer : Sta.Timer.t)
   let* () = check_array_exact ~what:"slacks" (Sta.Timer.slacks timer) (Sta.Timer.slacks fresh) in
   let* () = check_float ~rtol:0.0 ~what:"wns" (Sta.Timer.wns timer) (Sta.Timer.wns fresh) in
   check_float ~rtol:0.0 ~what:"tns" (Sta.Timer.tns timer) (Sta.Timer.tns fresh)
+
+(* One warm timer carried across a whole sequence of random ECO deltas —
+   the correctness anchor for the daemon's [replace] path, where the
+   second and later deltas re-time on top of *incrementally produced*
+   state, not on a fresh full update. Each step moves a few movable
+   cells (occasionally retargeting the clock instead, exercising the
+   [set_clock] boundary refresh) and compares the warm timer against a
+   fresh fully-retimed one bit-for-bit. *)
+let check_eco_sequence ?(topology = Sta.Delay.Steiner_tree) ?(steps = 6)
+    ?(cells_per_step = 3) ?(seed = 1) (design : Netlist.Design.t) =
+  let rng = Util.Rng.create seed in
+  let timer = Sta.Timer.create ~topology design in
+  Sta.Timer.update timer;
+  let movable = Array.of_list (Netlist.Design.movable_ids design) in
+  if Array.length movable = 0 then Error "check_eco_sequence: no movable cells"
+  else begin
+    let die = design.Netlist.Design.die in
+    let span_x = die.Geom.Rect.xh -. die.Geom.Rect.xl in
+    let span_y = die.Geom.Rect.yh -. die.Geom.Rect.yl in
+    let step i =
+      (* Every third step (after the first) retargets the clock by a few
+         percent; the others displace random cells by up to 2% of the
+         die span — the daemon's "small ECO delta" regime. *)
+      if i > 0 && i mod 3 = 2 then begin
+        Sta.Timer.set_clock timer
+          (design.Netlist.Design.clock_period *. Util.Rng.float_range rng 0.95 1.05);
+        (* [set_clock] leaves the timer stale; an empty incremental
+           update exercises the documented stale fallback (full re-time)
+           so the comparison below sees settled state. *)
+        Sta.Timer.update_moved timer ~cells:[]
+      end
+      else begin
+        let moved = ref [] in
+        for _ = 1 to cells_per_step do
+          let id = movable.(Util.Rng.int rng (Array.length movable)) in
+          design.Netlist.Design.x.{id} <-
+            design.Netlist.Design.x.{id} +. Util.Rng.float_range rng (-0.02 *. span_x) (0.02 *. span_x);
+          design.Netlist.Design.y.{id} <-
+            design.Netlist.Design.y.{id} +. Util.Rng.float_range rng (-0.02 *. span_y) (0.02 *. span_y);
+          moved := id :: !moved
+        done;
+        Netlist.Design.clamp_movable design;
+        Sta.Timer.update_moved timer ~cells:!moved
+      end;
+      match check_incremental ~topology timer with
+      | Ok () -> Ok ()
+      | Error e -> Error (Printf.sprintf "ECO step %d/%d: %s" (i + 1) steps e)
+    in
+    let rec go i = if i >= steps then Ok () else match step i with Ok () -> go (i + 1) | e -> e in
+    go 0
+  end

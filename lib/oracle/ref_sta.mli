@@ -35,3 +35,19 @@ val check_against : Sta.Propagate.t -> Sta.Graph.t -> (unit, string) result
     same design and [topology] (default Steiner, matching
     [Sta.Timer.create]) — exact equality of arrivals, slacks, WNS, TNS. *)
 val check_incremental : ?topology:Sta.Delay.topology -> Sta.Timer.t -> (unit, string) result
+
+(** Differential gate for ECO *sequences* (the warm-start correctness
+    anchor for the daemon's [replace]): one warm timer carried across
+    [steps] random deltas — [cells_per_step] small displacements per
+    step, with every third step retargeting the clock through
+    [Sta.Timer.set_clock] instead — checking {!check_incremental}
+    (bit-exact agreement with a fresh full re-time) after each step, so
+    later steps re-time on top of incrementally produced state.
+    Deterministic in [seed]. *)
+val check_eco_sequence :
+  ?topology:Sta.Delay.topology ->
+  ?steps:int ->
+  ?cells_per_step:int ->
+  ?seed:int ->
+  Netlist.Design.t ->
+  (unit, string) result

@@ -1,0 +1,91 @@
+(** Request accounting (see the interface). *)
+
+type t = {
+  cap : int;
+  lat : float array; (* ring of recent latencies, seconds *)
+  stamp : float array; (* completion wall-clock stamps, same ring *)
+  mutable head : int; (* next write position *)
+  mutable filled : int;
+  mutable completed : int;
+  mutable failed : int;
+  ops : (string, int) Hashtbl.t;
+  scratch : float array; (* quantile sort buffer, reused *)
+}
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Jobs.create: capacity must be positive";
+  {
+    cap = capacity;
+    lat = Array.make capacity 0.0;
+    stamp = Array.make capacity 0.0;
+    head = 0;
+    filled = 0;
+    completed = 0;
+    failed = 0;
+    ops = Hashtbl.create 16;
+    scratch = Array.make capacity 0.0;
+  }
+
+let capacity t = t.cap
+
+let record t ~op ~dt ~ok =
+  t.lat.(t.head) <- dt;
+  t.stamp.(t.head) <- Unix.gettimeofday ();
+  t.head <- (t.head + 1) mod t.cap;
+  if t.filled < t.cap then t.filled <- t.filled + 1;
+  t.completed <- t.completed + 1;
+  if not ok then t.failed <- t.failed + 1;
+  Hashtbl.replace t.ops op (1 + Option.value ~default:0 (Hashtbl.find_opt t.ops op))
+
+let run t ~op f =
+  let t0 = Unix.gettimeofday () in
+  match f () with
+  | v ->
+      record t ~op ~dt:(Unix.gettimeofday () -. t0) ~ok:true;
+      v
+  | exception e ->
+      record t ~op ~dt:(Unix.gettimeofday () -. t0) ~ok:false;
+      raise e
+
+let completed t = t.completed
+
+let failed t = t.failed
+
+let latency_quantile t q =
+  if t.filled = 0 then None
+  else begin
+    Array.blit t.lat 0 t.scratch 0 t.filled;
+    let win = Array.sub t.scratch 0 t.filled in
+    Array.sort compare win;
+    (* Nearest-rank: the smallest latency with at least q of the window
+       at or below it. *)
+    let rank = int_of_float (Float.ceil (q *. float_of_int t.filled)) in
+    Some win.(max 0 (min (t.filled - 1) (rank - 1)))
+  end
+
+let throughput t =
+  if t.filled < 2 then None
+  else begin
+    (* Oldest and newest completion stamps in the ring. *)
+    let newest = t.stamp.((t.head - 1 + t.cap) mod t.cap) in
+    let oldest = t.stamp.((t.head - t.filled + t.cap) mod t.cap) in
+    let span = newest -. oldest in
+    if span <= 0.0 then None else Some (float_of_int (t.filled - 1) /. span)
+  end
+
+let stats_json t =
+  let q v = match latency_quantile t v with Some s -> Obs.Json.Float s | None -> Obs.Json.Null in
+  let ops =
+    Hashtbl.fold (fun op n acc -> (op, Obs.Json.Int n) :: acc) t.ops []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Obs.Json.Obj
+    [
+      ("completed", Obs.Json.Int t.completed);
+      ("failed", Obs.Json.Int t.failed);
+      ("ops", Obs.Json.Obj ops);
+      ( "latency",
+        Obs.Json.Obj [ ("p50", q 0.5); ("p95", q 0.95); ("p99", q 0.99); ("max", q 1.0) ] );
+      ( "jobs_per_s",
+        match throughput t with Some r -> Obs.Json.Float r | None -> Obs.Json.Null );
+    ]

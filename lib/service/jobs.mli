@@ -1,0 +1,36 @@
+(** Request accounting for the daemon: a FIFO of one job at a time (the
+    parallel domain pool rejects nested dispatch, so jobs serialise and
+    each job's kernels own the pool), with per-op counters and a latency
+    reservoir for the stats/bench surfaces.
+
+    Latency quantiles are computed over the last {!val:capacity}
+    completions (ring buffer): a long-lived daemon must not let the
+    stats op grow O(total jobs). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** Ring capacity (default 1024). *)
+val capacity : t -> int
+
+(** Run [f] now, recording wall-clock latency and outcome under [op].
+    Exceptions propagate (the engine's reply layer catches them) but are
+    still recorded, as failures. *)
+val run : t -> op:string -> (unit -> 'a) -> 'a
+
+val completed : t -> int
+
+val failed : t -> int
+
+(** Latency quantile in seconds over the retained window, by nearest-rank
+    ([q] in [0,1]); [None] before the first completion. *)
+val latency_quantile : t -> float -> float option
+
+(** Completions per second over the retained window ([None] until two
+    completions). *)
+val throughput : t -> float option
+
+(** {v {"completed"; "failed"; "ops": {per-op counts};
+       "latency": {"p50"; "p95"; "p99"; "max"}; "jobs_per_s"} v} *)
+val stats_json : t -> Obs.Json.t

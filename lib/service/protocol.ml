@@ -1,0 +1,64 @@
+(** JSONL request/reply codec (see the interface). Kept free of any
+    engine state so the same codec serves the stdin loop, the socket
+    loop, the in-process bench driver and the tests. *)
+
+type request = { id : string; op : string; params : Obs.Json.t }
+
+let parse_request line =
+  match Obs.Json.parse line with
+  | Error msg -> Error ("malformed JSON: " ^ msg)
+  | Ok json -> (
+      match json with
+      | Obs.Json.Obj _ -> (
+          let id =
+            match Obs.Json.member "id" json with
+            | Some (Obs.Json.String s) -> s
+            | Some (Obs.Json.Int i) -> string_of_int i
+            | _ -> ""
+          in
+          match Obs.Json.member "op" json with
+          | Some (Obs.Json.String op) when op <> "" ->
+              let params =
+                match Obs.Json.member "params" json with
+                | Some (Obs.Json.Obj _ as p) -> p
+                | _ -> Obs.Json.Obj []
+              in
+              Ok { id; op; params }
+          | _ -> Error "request has no string \"op\" field")
+      | _ -> Error "request is not a JSON object")
+
+let param r key = Obs.Json.member key r.params
+
+let param_string r key =
+  match param r key with Some j -> Obs.Json.to_string_opt j | None -> None
+
+let param_float r key = match param r key with Some j -> Obs.Json.to_float j | None -> None
+
+let param_int r key = match param r key with Some j -> Obs.Json.to_int j | None -> None
+
+let param_bool r key =
+  match param r key with Some (Obs.Json.Bool b) -> Some b | _ -> None
+
+let ok_reply ~id result =
+  Obs.Json.Obj [ ("id", Obs.Json.String id); ("ok", Obs.Json.Bool true); ("result", result) ]
+
+(* Same payload shape as the binaries' --report-json "error" object. *)
+let error_to_json e =
+  Obs.Json.Obj
+    (("kind", Obs.Json.String (Util.Errors.kind e))
+    :: ("message", Obs.Json.String (Util.Errors.message e))
+    :: List.map (fun (k, v) -> (k, Obs.Json.String v)) (Util.Errors.fields e))
+
+let error_reply ~id e =
+  Obs.Json.Obj
+    [ ("id", Obs.Json.String id); ("ok", Obs.Json.Bool false); ("error", error_to_json e) ]
+
+let raw_error_reply ~id ~kind ~message =
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.String id);
+      ("ok", Obs.Json.Bool false);
+      ( "error",
+        Obs.Json.Obj
+          [ ("kind", Obs.Json.String kind); ("message", Obs.Json.String message) ] );
+    ]

@@ -39,6 +39,31 @@ let num_pins t = Design.num_pins t.design
 
 exception Combinational_loop
 
+(* Boundary conditions are the only graph state derived from the design's
+   timing constraints rather than its structure. Factored out of [build]
+   so a constraint change (clock retarget ECO) refreshes them in place —
+   adjacency, topological order and arc delays all survive. *)
+let refresh_boundary_conditions ~(d : Design.t) ~start_arrival ~end_required =
+  for cid = 0 to Design.num_cells d - 1 do
+    match Design.kind d cid with
+    | Design.Logic when Design.is_ff d cid ->
+        let lc = Design.libcell d cid in
+        Design.iter_cell_pins d cid (fun pid ->
+            match Design.pin_dir d pid with
+            | Design.Out -> start_arrival.(pid) <- lc.Libcell.clk_to_q
+            | Design.In -> end_required.(pid) <- d.clock_period -. lc.Libcell.setup)
+    | Design.Input_pad ->
+        Design.iter_cell_pins d cid (fun pid -> start_arrival.(pid) <- d.input_delay)
+    | Design.Output_pad ->
+        Design.iter_cell_pins d cid (fun pid ->
+            end_required.(pid) <- d.clock_period -. d.output_delay)
+    | Design.Logic | Design.Blockage -> ()
+  done
+
+let refresh_boundary t =
+  refresh_boundary_conditions ~d:t.design ~start_arrival:t.start_arrival
+    ~end_required:t.end_required
+
 let build (d : Design.t) =
   let np = Design.num_pins d in
   let arcs_from = Util.Gvec.create () in
@@ -127,25 +152,17 @@ let build (d : Design.t) =
   for cid = 0 to Design.num_cells d - 1 do
     match Design.kind d cid with
     | Design.Logic when Design.is_ff d cid ->
-        let lc = Design.libcell d cid in
         Design.iter_cell_pins d cid (fun pid ->
             match Design.pin_dir d pid with
-            | Design.Out ->
-                is_startpoint.(pid) <- true;
-                start_arrival.(pid) <- lc.Libcell.clk_to_q
-            | Design.In ->
-                is_endpoint.(pid) <- true;
-                end_required.(pid) <- d.clock_period -. lc.Libcell.setup)
+            | Design.Out -> is_startpoint.(pid) <- true
+            | Design.In -> is_endpoint.(pid) <- true)
     | Design.Input_pad ->
-        Design.iter_cell_pins d cid (fun pid ->
-            is_startpoint.(pid) <- true;
-            start_arrival.(pid) <- d.input_delay)
+        Design.iter_cell_pins d cid (fun pid -> is_startpoint.(pid) <- true)
     | Design.Output_pad ->
-        Design.iter_cell_pins d cid (fun pid ->
-            is_endpoint.(pid) <- true;
-            end_required.(pid) <- d.clock_period -. d.output_delay)
+        Design.iter_cell_pins d cid (fun pid -> is_endpoint.(pid) <- true)
     | Design.Logic | Design.Blockage -> ()
   done;
+  refresh_boundary_conditions ~d ~start_arrival ~end_required;
   let endpoints =
     Array.of_list
       (List.filter (fun p -> is_endpoint.(p)) (List.init np Fun.id))

@@ -34,3 +34,10 @@ exception Combinational_loop
 
 (** Build from a design; raises {!Combinational_loop} on cyclic logic. *)
 val build : Netlist.Design.t -> t
+
+(** Recompute [start_arrival]/[end_required] from the design's *current*
+    clock period and IO delays. The graph bakes these constraints in at
+    [build] time; after a constraint ECO (clock retarget) this refresh —
+    followed by a re-time — brings timing up to date without rebuilding
+    adjacency or the topological order. *)
+val refresh_boundary : t -> unit

@@ -57,6 +57,19 @@ let invalidate t =
   t.up_to_date <- false;
   t.early_up_to_date <- false
 
+(** Retarget the clock period without rebuilding the graph: the period
+    is baked into the endpoint required times at [Graph.build], so a
+    bare [design.clock_period <- p] would silently keep timing against
+    the old clock. Refreshes the boundary conditions in place and marks
+    timing stale; arc delays are placement-derived and survive. *)
+let set_clock t period =
+  if not (Float.is_finite period && period > 0.0) then
+    Util.Errors.config_error ~what:"clock"
+      (Printf.sprintf "clock period must be finite and positive, got %g" period);
+  t.design.Netlist.Design.clock_period <- period;
+  Graph.refresh_boundary t.graph;
+  invalidate t
+
 (** Incremental re-time after moving only [cells]: refreshes the delays of
     the nets those cells touch, then re-propagates. Much cheaper than
     [update] when few cells moved (delay calculation dominates; the

@@ -29,6 +29,13 @@ val update : t -> unit
 (** Mark timing stale after a placement change; queries re-time lazily. *)
 val invalidate : t -> unit
 
+(** Retarget the clock period in place (writes [design.clock_period],
+    refreshes the graph's baked-in endpoint required times, invalidates).
+    The warm-cache path for a constraint ECO — the graph, RC trees and
+    arc delays survive. Raises [Util.Errors.Error (Config_error _)] for
+    a non-finite or non-positive period. *)
+val set_clock : t -> float -> unit
+
 (** Incremental re-time after moving only [cells] (falls back to a full
     update when the timer was stale). *)
 val update_moved : t -> cells:int list -> unit

@@ -103,17 +103,28 @@ let checkpoint_decision ~best_key ~best_hpwl ~key ~hpwl =
 let base_gp_params ~seed =
   { Gp.Globalplace.default_params with seed; min_iters = 300; max_iters = 1000 }
 
-let timing_gp_params ~seed (cfg : Config.t) =
+(* Warm (incremental) re-placement: the design already holds a converged
+   legalized solution plus a small ECO delta, so the engine resumes from
+   it instead of re-spreading, and the schedule shrinks — the density is
+   near target from iteration 0 and the timing machinery only needs to
+   repair the delta's neighbourhood, not rebuild the placement. *)
+let warm_gp_params ~seed =
+  { Gp.Globalplace.default_params with seed; warm_start = true; min_iters = 60; max_iters = 400 }
+
+let warm_config (cfg : Config.t) =
+  { cfg with timing_start = 20; extra_iters = max 60 (cfg.extra_iters / 3) }
+
+let timing_gp_params ~warm ~seed (cfg : Config.t) =
   {
-    (base_gp_params ~seed) with
+    (if warm then warm_gp_params ~seed else base_gp_params ~seed) with
     timing_start = cfg.timing_start;
     round_every = cfg.m;
     min_iters = cfg.timing_start + cfg.extra_iters;
     max_iters = cfg.timing_start + cfg.extra_iters;
   }
 
-let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs ?heartbeat
-    (meth : method_) (d : Design.t) =
+let run ?(seed = 1) ?(warm = false) ?(legalize = true) ?(topology = flow_topology) ?obs
+    ?heartbeat (meth : method_) (d : Design.t) =
   (* Default: a private context so [result.breakdown] is populated even
      when the caller doesn't care about tracing. An explicitly disabled
      context ([Obs.Ctx.null]) turns all observation off — breakdown comes
@@ -158,11 +169,18 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs ?heartbe
     | Keep -> ());
     curve := { iter; hpwl; overflow; tns; wns } :: !curve
   in
-  let cfg_default = Config.default in
+  (* A warm run shrinks the timing schedule of whatever config the
+     method carries (the [Efficient] payload, or the default the other
+     timing methods share). *)
+  let meth =
+    match meth with Efficient cfg when warm -> Efficient (warm_config cfg) | m -> m
+  in
+  let cfg_default = if warm then warm_config Config.default else Config.default in
   let extraction_state = ref None in
   let gp_params, hooks =
     match meth with
-    | Vanilla -> (base_gp_params ~seed, Gp.Globalplace.no_hooks)
+    | Vanilla ->
+        ((if warm then warm_gp_params ~seed else base_gp_params ~seed), Gp.Globalplace.no_hooks)
     | Dp4 ->
         let nw = Net_weighting.create d ~topology in
         let hooks =
@@ -174,7 +192,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs ?heartbe
             extra_grad = (fun ~iter:_ ~wl_norm:_ ~gx:_ ~gy:_ -> ());
           }
         in
-        (timing_gp_params ~seed cfg_default, hooks)
+        (timing_gp_params ~warm ~seed cfg_default, hooks)
     | Diff_tdp ->
         let dt = Diff_timing.create d in
         let hooks =
@@ -190,7 +208,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs ?heartbe
                         Diff_timing.add_grad dt ~mult:1.0 ~gx ~gy)));
           }
         in
-        (timing_gp_params ~seed cfg_default, hooks)
+        (timing_gp_params ~warm ~seed cfg_default, hooks)
     | Dist_tdp ->
         let ds = Distribution.create d ~topology in
         let hooks =
@@ -206,7 +224,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs ?heartbe
                         Distribution.add_grad ds ~mult:1.0 ~gx ~gy)));
           }
         in
-        (timing_gp_params ~seed cfg_default, hooks)
+        (timing_gp_params ~warm ~seed cfg_default, hooks)
     | Dp4_in_ours ->
         (* Our engine and pin-pair loss, but pin-level slack information
            with DP4's momentum scheme instead of path extraction (the
@@ -225,7 +243,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs ?heartbe
                         Pin_level.add_grad_raw pl ~gx ~gy)));
           }
         in
-        (timing_gp_params ~seed cfg_default, hooks)
+        (timing_gp_params ~warm ~seed cfg_default, hooks)
     | Efficient cfg ->
         let ex = Extraction.create ~obs d ~config:cfg ~topology in
         extraction_state := Some ex;
@@ -267,7 +285,7 @@ let run ?(seed = 1) ?(legalize = true) ?(topology = flow_topology) ?obs ?heartbe
                       (fun ~gx ~gy -> Extraction.add_grad_raw ex ~gx ~gy)));
           }
         in
-        (timing_gp_params ~seed cfg, hooks)
+        (timing_gp_params ~warm ~seed cfg, hooks)
   in
   let metrics_gp, metrics =
     Obs.Ctx.span obs "flow"

@@ -46,6 +46,13 @@ val checkpoint_decision :
     optimises, keeps the best timing checkpoint, legalises (unless
     [legalize:false]) and scores with the common evaluation kit.
 
+    [warm] (default false) runs the incremental re-placement schedule:
+    the engine keeps the design's current (clamped) positions instead of
+    the Gaussian spread and the timing phase shrinks to roughly a third
+    of its cold length (timing_start 20) — the daemon's [replace] path
+    after a small ECO delta, several times faster than a cold run while
+    converging to comparable WNS/TNS from a near-converged start.
+
     [obs] is the observability context the whole pipeline reports
     through: a [flow] root span (with gp / sta / extraction descendants),
     counters and gauges. When omitted, a private context is created so
@@ -60,6 +67,7 @@ val checkpoint_decision :
     and [Diverged] if the placement engine exhausts its rollback budget. *)
 val run :
   ?seed:int ->
+  ?warm:bool ->
   ?legalize:bool ->
   ?topology:Sta.Delay.topology ->
   ?obs:Obs.Ctx.t ->

@@ -20,6 +20,10 @@ type t =
   | Infeasible of { stage : string; detail : string }
       (** A well-formed input admits no solution at this stage (e.g. the
           legalizer cannot fit a cell anywhere). *)
+  | Parse_failed of { file : string; line : int; detail : string }
+      (** A foreign input file (Bookshelf, LEF/DEF, JSONL request) is
+          syntactically malformed at [line]. Distinct from
+          [Invalid_design]: the bytes never became a design at all. *)
 
 exception Error of t
 
@@ -33,11 +37,14 @@ let config_error ~what detail = fail (Config_error { what; detail })
 
 let infeasible ~stage detail = fail (Infeasible { stage; detail })
 
+let parse_failed ~file ~line detail = fail (Parse_failed { file; line; detail })
+
 let kind = function
   | Invalid_design _ -> "invalid_design"
   | Diverged _ -> "diverged"
   | Config_error _ -> "config_error"
   | Infeasible _ -> "infeasible"
+  | Parse_failed _ -> "parse_error"
 
 (* Process exit codes for the binaries: 1 stays reserved for unexpected
    exceptions, 124/125 for cmdliner's own CLI/internal errors. *)
@@ -46,6 +53,7 @@ let exit_code = function
   | Invalid_design _ -> 3
   | Diverged _ -> 4
   | Infeasible _ -> 5
+  | Parse_failed _ -> 6
 
 let message = function
   | Invalid_design { design; problems } ->
@@ -56,6 +64,8 @@ let message = function
         detail
   | Config_error { what; detail } -> Printf.sprintf "bad configuration (%s): %s" what detail
   | Infeasible { stage; detail } -> Printf.sprintf "infeasible in %s: %s" stage detail
+  | Parse_failed { file; line; detail } ->
+      Printf.sprintf "parse error in %s at line %d: %s" file line detail
 
 (* Flat key/value view for structured (JSON) error reports; the JSON
    encoder lives above this library (lib/obs), so only strings here. *)
@@ -66,6 +76,8 @@ let fields = function
       [ ("stage", stage); ("detail", detail); ("recoveries", string_of_int recoveries) ]
   | Config_error { what; detail } -> [ ("what", what); ("detail", detail) ]
   | Infeasible { stage; detail } -> [ ("stage", stage); ("detail", detail) ]
+  | Parse_failed { file; line; detail } ->
+      [ ("file", file); ("line", string_of_int line); ("detail", detail) ]
 
 let () =
   Printexc.register_printer (function

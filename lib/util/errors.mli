@@ -8,6 +8,7 @@ type t =
   | Diverged of { stage : string; detail : string; recoveries : int }
   | Config_error of { what : string; detail : string }
   | Infeasible of { stage : string; detail : string }
+  | Parse_failed of { file : string; line : int; detail : string }
 
 exception Error of t
 
@@ -21,13 +22,15 @@ val config_error : what:string -> string -> 'a
 
 val infeasible : stage:string -> string -> 'a
 
+val parse_failed : file:string -> line:int -> string -> 'a
+
 (** Stable machine-readable tag: invalid_design | diverged |
-    config_error | infeasible. *)
+    config_error | infeasible | parse_error. *)
 val kind : t -> string
 
 (** Distinct nonzero process exit code per kind: config_error 2,
-    invalid_design 3, diverged 4, infeasible 5 (1 stays reserved for
-    unexpected exceptions, 124/125 for cmdliner). *)
+    invalid_design 3, diverged 4, infeasible 5, parse_error 6 (1 stays
+    reserved for unexpected exceptions, 124/125 for cmdliner). *)
 val exit_code : t -> int
 
 (** Human-readable one-liner. *)

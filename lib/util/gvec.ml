@@ -33,7 +33,14 @@ let iter f t =
     f t.data.(i)
   done
 
-let clear t = t.size <- 0
+(* Dropping the backing array matters for correctness of long-lived
+   processes, not just footprint: [size <- 0] alone would keep every old
+   element reachable through [data] (the GC cannot collect them), so a
+   reused builder would retain the previous load's strings and library
+   cells for its whole lifetime. *)
+let clear t =
+  t.data <- [||];
+  t.size <- 0
 
 (* Monomorphic variants for the netlist builders: the backing stores are
    flat [float array] / [int array], so streaming a million fields never
@@ -65,6 +72,10 @@ module Float = struct
     t.data.(i) <- x
 
   let to_array t = Array.sub t.data 0 t.size
+
+  (* Floats carry no pointers, so keeping the capacity is safe — the
+     whole point of reuse is to skip the regrowth doublings. *)
+  let clear t = t.size <- 0
 end
 
 module Int = struct
@@ -93,4 +104,6 @@ module Int = struct
     t.data.(i) <- x
 
   let to_array t = Array.sub t.data 0 t.size
+
+  let clear t = t.size <- 0
 end

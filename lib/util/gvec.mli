@@ -20,7 +20,9 @@ val to_array : 'a t -> 'a array
 
 val iter : ('a -> unit) -> 'a t -> unit
 
-(** Reset to length 0 (keeps capacity). *)
+(** Reset to length 0 and release the backing array — old elements must
+    become unreachable, not merely inaccessible, or a reused vector
+    retains every previous element for the GC. *)
 val clear : 'a t -> unit
 
 (** Monomorphic float vector over a flat [float array] backing store:
@@ -40,6 +42,9 @@ module Float : sig
   val set : t -> int -> float -> unit
 
   val to_array : t -> float array
+
+  (** Reset to length 0; keeps capacity (floats hold no pointers). *)
+  val clear : t -> unit
 end
 
 (** Monomorphic int vector over a flat [int array] backing store. *)
@@ -57,4 +62,7 @@ module Int : sig
   val set : t -> int -> int -> unit
 
   val to_array : t -> int array
+
+  (** Reset to length 0; keeps capacity. *)
+  val clear : t -> unit
 end

@@ -29,6 +29,7 @@ let () =
       ("gp", Test_gp_suite.suite);
       ("tdp", Test_tdp_suite.suite);
       ("workloads", Test_workloads_suite.suite);
+      ("service", Test_service_suite.suite);
       ("extensions", Test_extensions_suite.suite);
       ("robustness", Test_robustness_suite.suite);
       ("oracle", Test_oracle_suite.suite);

@@ -298,6 +298,58 @@ let test_io_parse_error () =
      with Io.Parse_error _ -> true);
   Sys.remove path
 
+(* A builder is reusable after [reset]: populating, resetting and
+   populating again must give a byte-identical design DB, with no leaked
+   cells, pins, nets or library entries from the first build. Same for
+   loading one file twice through Formats.Auto — the daemon loads many
+   designs through one process, so any parser or builder state that
+   survives a build corrupts the next one. *)
+let test_builder_reset_reuse () =
+  let dump d =
+    let p = Filename.temp_file "netlist_reset" ".design" in
+    Io.save_file p d;
+    let ic = open_in p in
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove p)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let populate b =
+    let pi = Builder.add_input_pad b ~cname:"pi" ~x:0.0 ~y:50.0 in
+    let u1 = Builder.add_logic b ~cname:"u1" ~lib:Helpers.inv ~x:30.0 ~y:50.0 () in
+    let ff = Builder.add_logic b ~cname:"ff" ~lib:Libcell.dff ~x:60.0 ~y:50.0 () in
+    let po = Builder.add_output_pad b ~cname:"po" ~x:100.0 ~y:50.0 in
+    let wire src spin dst dpin name =
+      let n = Builder.add_net b ~nname:name in
+      Builder.connect_by_name b ~net:n ~cell:src ~pin_name:spin;
+      Builder.connect_by_name b ~net:n ~cell:dst ~pin_name:dpin
+    in
+    wire pi "p" u1 "a1" "n1";
+    wire u1 "o" ff "d" "n2";
+    wire ff "q" po "p" "n3";
+    Builder.finish b
+  in
+  let b = Helpers.fresh_builder () in
+  let first = dump (populate b) in
+  Builder.reset b;
+  let again = dump (populate b) in
+  Alcotest.(check string) "reset builder rebuilds identically" first again;
+  (* And twice more to catch state that only leaks on the second reuse. *)
+  Builder.reset b;
+  Alcotest.(check string) "third build identical" first (dump (populate b));
+  let path = Filename.temp_file "netlist_reload" ".design" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc first;
+      close_out oc;
+      let d1 = dump (Formats.Auto.load path) in
+      let d2 = dump (Formats.Auto.load path) in
+      Alcotest.(check string) "Formats.Auto load-twice identical DBs" d1 d2;
+      Alcotest.(check string) "reload reproduces the dump" first d1)
+
 let suite =
   [
     ("libcell lookup", `Quick, test_libcell_lookup);
@@ -321,4 +373,5 @@ let suite =
     ("io roundtrip generated design", `Quick, test_io_roundtrip);
     ("io roundtrip stable", `Quick, test_io_roundtrip_twice_identical);
     ("io parse error", `Quick, test_io_parse_error);
+    ("builder reset reuse / load twice", `Quick, test_builder_reset_reuse);
   ]

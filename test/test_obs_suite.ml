@@ -353,6 +353,44 @@ let test_heartbeat_cadence () =
     (Invalid_argument "Heartbeat.create: every_iters must be positive") (fun () ->
       ignore (Obs.Heartbeat.create ~every_iters:0 ctx))
 
+(* [reset] must return a heartbeat to its just-created state so a
+   long-lived daemon's next request starts a fresh epoch: sequence
+   numbers restart, the first tick emits again regardless of the old
+   cadence origin, and the producer latches forget the previous job's
+   tns/wns (no trend computed against another request's timing). The
+   configuration and subscribers survive. *)
+let test_heartbeat_reset () =
+  let ctx, tick_clock = manual_ctx [] in
+  let records = ref [] in
+  let hb = Obs.Heartbeat.create ~every_iters:10 ~emit:(fun r -> records := r :: !records) ctx in
+  let subscribed = ref 0 in
+  Obs.Heartbeat.on_record hb (fun _ -> incr subscribed);
+  Obs.Heartbeat.note_timing hb ~tns:(-100.0) ~wns:(-10.0);
+  for iter = 1 to 15 do
+    tick_clock 0.1;
+    Obs.Heartbeat.tick hb ~iter ~overflow:0.5
+  done;
+  Alcotest.(check int) "records before reset" 2 (List.length !records);
+  Obs.Heartbeat.reset hb;
+  records := [];
+  for iter = 1 to 15 do
+    tick_clock 0.1;
+    Obs.Heartbeat.tick hb ~iter ~overflow:0.5
+  done;
+  let rs = List.rev !records in
+  Alcotest.(check (list int)) "cadence restarts: first tick emits again" [ 1; 11 ]
+    (List.map (fun (r : Obs.Heartbeat.record) -> r.iter) rs);
+  Alcotest.(check (list int)) "seq restarts at 0" [ 0; 1 ]
+    (List.map (fun (r : Obs.Heartbeat.record) -> r.seq) rs);
+  (match rs with
+  | first :: _ ->
+      Alcotest.(check bool) "timing latch cleared" true (Float.is_nan first.tns);
+      Alcotest.(check bool) "hpwl latch cleared" true (Float.is_nan first.hpwl);
+      Alcotest.(check (float 0.0)) "no trend against the previous job" 0.0 first.tns_trend;
+      Alcotest.(check bool) "extraction latch cleared" true (first.extraction = None)
+  | [] -> Alcotest.fail "no records after reset");
+  Alcotest.(check int) "subscribers survive the reset" 4 !subscribed
+
 let test_heartbeat_json () =
   let ctx, _ = manual_ctx [] in
   let out = ref [] in
@@ -509,6 +547,7 @@ let suite =
     Alcotest.test_case "chrome trace well-formed" `Quick test_chrome_trace_wellformed;
     Alcotest.test_case "folded stacks" `Quick test_folded_stacks;
     Alcotest.test_case "heartbeat cadence determinism" `Quick test_heartbeat_cadence;
+    Alcotest.test_case "heartbeat reset restores a fresh epoch" `Quick test_heartbeat_reset;
     Alcotest.test_case "heartbeat json record" `Quick test_heartbeat_json;
     Alcotest.test_case "bench regression sentinel" `Quick test_benchcmp;
     Alcotest.test_case "tracing leaves placement identical" `Slow test_flow_identical_with_tracing;

@@ -82,6 +82,23 @@ let sta_incremental_walk () =
         check_ok (Printf.sprintf "step %d" step) (Ref_sta.check_incremental timer)
       done)
 
+(* The daemon's replace path as a differential gate: a scripted sequence
+   of ECO deltas (cell moves interleaved with clock retargets through
+   [Sta.Timer.set_clock]) where the incrementally maintained timer must
+   match a full-from-scratch analysis after every step. *)
+let sta_eco_sequence () =
+  at_domains (fun () ->
+      let d = tight_design () in
+      check_ok "eco sequence"
+        (Ref_sta.check_eco_sequence ~steps:6 ~cells_per_step:3 ~seed:3 d));
+  (* A design with nothing to move cannot run the drill. *)
+  let empty = Helpers.chain_design () in
+  List.iter
+    (fun c ->
+      if Netlist.Design.is_movable empty c then Bytes.set empty.Netlist.Design.movable c '\000')
+    (List.init (Netlist.Design.num_cells empty) Fun.id);
+  check_err "no movable cells" (Ref_sta.check_eco_sequence empty)
+
 (* ------------------------------------------------------------------ *)
 (* Differential: path enumeration and the two extraction commands       *)
 
@@ -622,6 +639,7 @@ let suite =
   [
     Alcotest.test_case "sta full differential (1 and 4 domains)" `Quick sta_full_diff;
     Alcotest.test_case "sta incremental random walk" `Quick sta_incremental_walk;
+    Alcotest.test_case "sta eco sequence differential (1 and 4 domains)" `Quick sta_eco_sequence;
     Alcotest.test_case "k_worst vs exhaustive DFS" `Quick paths_vs_exhaustive;
     Alcotest.test_case "report commands vs oracle" `Quick reports_vs_oracle;
     Alcotest.test_case "report_timing_endpoint contracts" `Quick endpoint_contracts;

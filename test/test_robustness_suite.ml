@@ -108,6 +108,7 @@ let test_error_exit_codes () =
       (Util.Errors.Invalid_design { design = "x"; problems = [ "p" ] }, "invalid_design", 3);
       (Util.Errors.Diverged { stage = "gp"; detail = "d"; recoveries = 5 }, "diverged", 4);
       (Util.Errors.Infeasible { stage = "legalize"; detail = "d" }, "infeasible", 5);
+      (Util.Errors.Parse_failed { file = "bad.aux"; line = 3; detail = "d" }, "parse_error", 6);
     ]
   in
   List.iter
@@ -119,7 +120,7 @@ let test_error_exit_codes () =
     cases;
   (* Exit codes are pairwise distinct and avoid the reserved 0/1/124/125. *)
   let codes = List.map (fun (e, _, _) -> Util.Errors.exit_code e) cases in
-  Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare codes));
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare codes));
   List.iter
     (fun c -> Alcotest.(check bool) "not reserved" false (List.mem c [ 0; 1; 124; 125 ]))
     codes
@@ -424,6 +425,17 @@ let test_place_exit_codes () =
       Alcotest.(check int) "nan coordinate exit 3" 3
         (run_place
            (Printf.sprintf "--design-file %s --flow vanilla --log-level quiet" bad_design));
+      (* Malformed foreign file: exit 6, with the structured parse_error
+         (kind + file/line/detail) in the report. *)
+      write_file bad_design "design tiny\nbogus record here\nend\n";
+      Alcotest.(check int) "malformed file exit 6" 6
+        (run_place
+           (Printf.sprintf "--design-file %s --log-level quiet --report-json %s" bad_design
+              report));
+      let rpt = read_file report in
+      Alcotest.(check bool) "parse_error kind in report" true
+        (contains ~sub:"\"kind\":\"parse_error\"" rpt);
+      Alcotest.(check bool) "offending line in report" true (contains ~sub:"\"line\":\"2\"" rpt);
       (* Divergence under a persistent injected fault: exit 4, and the
          report carries the structured error plus the guard counters. *)
       Alcotest.(check int) "persistent fault exit 4" 4
